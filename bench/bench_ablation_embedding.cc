@@ -1,0 +1,98 @@
+// Ablation: embedding feature groups (Fig. 1a step 2) and decoding masks.
+//
+// Part 1 trains small agents with individual embedding groups disabled and
+// reports held-out imitation reward — quantifying how much the paper's
+// topology / ID / memory columns each contribute.
+// Part 2 compares the two decoding-validity modes on a real model: the
+// paper's visited-only masking (+ post-inference repair) vs ready-set
+// masking, reporting repaired-node counts and final peak memory.
+#include <cstdio>
+#include <random>
+
+#include "bench/bench_common.h"
+#include "graph/sampler.h"
+#include "models/zoo.h"
+#include "rl/reward.h"
+#include "rl/scheduler.h"
+#include "rl/trainer.h"
+#include "sched/postprocess.h"
+#include "sched/rho.h"
+
+namespace {
+
+using namespace respect;
+
+double TrainAndEvaluate(const rl::EmbeddingConfig& embedding) {
+  rl::PtrNetConfig net;
+  net.hidden_dim = 24;
+  net.embedding = embedding;
+  net.masking = rl::MaskingMode::kVisitedOnly;
+  rl::PtrNetAgent agent(net);
+
+  rl::TrainConfig config;
+  config.iterations = bench::FastMode() ? 8 : 50;
+  config.batch_size = 12;
+  config.graph_nodes = 24;
+  config.adam.learning_rate = 2e-3f;
+  rl::Train(agent, config);
+
+  std::mt19937_64 rng(0xe5a2);
+  double total = 0.0;
+  const int kGraphs = 40;
+  for (int i = 0; i < kGraphs; ++i) {
+    const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+    const rl::ImitationTarget target = rl::ComputeTarget(dag, 4);
+    total += rl::ComputeReward(dag, target, agent.DecodeGreedy(dag), 4,
+                               rl::RewardForm::kStageCosine);
+  }
+  return total / kGraphs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation part 1: embedding feature groups "
+              "(held-out Eq.3 reward)\n");
+
+  rl::EmbeddingConfig full;
+  rl::EmbeddingConfig no_ids = full;
+  no_ids.include_ids = false;
+  rl::EmbeddingConfig no_memory = full;
+  no_memory.include_memory = false;
+  rl::EmbeddingConfig no_topology = full;
+  no_topology.include_topology = false;
+
+  std::printf("%-40s %10.4f\n", "full embedding (paper)",
+              TrainAndEvaluate(full));
+  std::printf("%-40s %10.4f\n", "without node/parent IDs",
+              TrainAndEvaluate(no_ids));
+  std::printf("%-40s %10.4f\n", "without memory column",
+              TrainAndEvaluate(no_memory));
+  std::printf("%-40s %10.4f\n", "without topological coordinates",
+              TrainAndEvaluate(no_topology));
+
+  std::printf("\nAblation part 2: decoding validity mask on ResNet101, "
+              "4 stages\n");
+  const graph::Dag dag = models::BuildModel(models::ModelName::kResNet101);
+  for (const rl::MaskingMode mode :
+       {rl::MaskingMode::kVisitedOnly, rl::MaskingMode::kReadySet}) {
+    rl::PtrNetConfig net = bench::BenchNetConfig();
+    net.masking = mode;
+    rl::RlScheduler scheduler(net);
+
+    const auto seq = scheduler.Agent().DecodeGreedy(dag);
+    sched::Schedule packed = sched::PackSequence(dag, seq, 4);
+    const int repaired = sched::RepairDependencies(dag, packed);
+    const auto metrics = sched::ComputeMetrics(dag, packed);
+    std::printf("%-14s repaired-nodes %4d   peak %7.2f MB (float32)\n",
+                mode == rl::MaskingMode::kVisitedOnly ? "visited-only"
+                                                      : "ready-set",
+                repaired,
+                static_cast<double>(metrics.peak_stage_param_bytes) /
+                    1048576.0);
+  }
+  std::printf("\n(ready-set decoding emits topological sequences: zero "
+              "repairs and balanced packing; visited-only reproduces the "
+              "paper's repair pipeline)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: reward form (Eq. 3 stage-vector cosine vs Eq. 1 raw sequence
+// cosine) and rollout baseline (on vs off).
+//
+// Trains four small agents under identical budgets and seeds, then evaluates
+// mean imitation reward (always measured with the Eq. 3 metric, the paper's
+// default) on a held-out synthetic set.  Expected: Eq. 3 trains better than
+// Eq. 1 (its signal is invariant to within-stage permutations), and the
+// rollout baseline reduces variance (higher final reward for the same
+// budget).
+#include <cstdio>
+#include <random>
+
+#include "bench/bench_common.h"
+#include "graph/sampler.h"
+#include "rl/reward.h"
+#include "rl/trainer.h"
+
+namespace {
+
+using namespace respect;
+
+struct Variant {
+  const char* name;
+  rl::RewardForm form;
+  bool baseline;
+};
+
+double EvaluateAgent(rl::PtrNetAgent& agent, int num_stages) {
+  std::mt19937_64 rng(0xe5a1);
+  double total = 0.0;
+  const int kGraphs = 40;
+  for (int i = 0; i < kGraphs; ++i) {
+    const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+    const rl::ImitationTarget target = rl::ComputeTarget(dag, num_stages);
+    total += rl::ComputeReward(dag, target, agent.DecodeGreedy(dag),
+                               num_stages, rl::RewardForm::kStageCosine);
+  }
+  return total / kGraphs;
+}
+
+}  // namespace
+
+int main() {
+  const Variant variants[] = {
+      {"Eq3 stage-cosine + rollout baseline (paper)",
+       rl::RewardForm::kStageCosine, true},
+      {"Eq3 stage-cosine, no baseline", rl::RewardForm::kStageCosine, false},
+      {"Eq1 sequence-cosine + rollout baseline",
+       rl::RewardForm::kSequenceCosine, true},
+      {"Eq1 sequence-cosine, no baseline", rl::RewardForm::kSequenceCosine,
+       false},
+  };
+
+  std::printf("Ablation: reward form (Eq. 1 vs Eq. 3) and rollout baseline\n");
+  std::printf("%-46s %14s %14s\n", "Variant", "train-reward",
+              "heldout-Eq3");
+
+  for (const Variant& variant : variants) {
+    rl::PtrNetConfig net;
+    net.hidden_dim = 24;
+    net.masking = rl::MaskingMode::kVisitedOnly;  // learning visible here
+    rl::PtrNetAgent agent(net);
+
+    rl::TrainConfig config;
+    config.iterations = bench::FastMode() ? 8 : 50;
+    config.batch_size = 12;
+    config.graph_nodes = 24;
+    config.reward_form = variant.form;
+    config.use_rollout_baseline = variant.baseline;
+    config.adam.learning_rate = 2e-3f;
+    const rl::TrainStats stats = rl::Train(agent, config);
+
+    const double heldout = EvaluateAgent(agent, config.num_stages);
+    std::printf("%-46s %14.4f %14.4f\n", variant.name,
+                stats.mean_reward.back(), heldout);
+  }
+  return 0;
+}

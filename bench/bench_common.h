@@ -1,0 +1,78 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every figure bench uses the same trained RESPECT agent: the first bench to
+// run trains it on the paper's synthetic curriculum and caches the weights
+// under artifacts/; later benches (and reruns) load the cache.  Set
+// RESPECT_FAST=1 to shrink training and solver budgets for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/respect.h"
+
+namespace respect::bench {
+
+inline bool FastMode() {
+  const char* fast = std::getenv("RESPECT_FAST");
+  return fast != nullptr && fast[0] == '1';
+}
+
+inline std::string ArtifactDir() {
+  const char* dir = std::getenv("RESPECT_ARTIFACTS");
+  return dir != nullptr ? dir : "artifacts";
+}
+
+/// The evaluation pipeline depths of the paper (Figs. 3-5).
+inline const int kStageCounts[] = {4, 5, 6};
+
+/// Training configuration for the cached benchmark agent.  Scaled-down but
+/// faithful reproduction of the paper's setup (synthetic graphs, |V|=30,
+/// deg ∈ {2..6}, REINFORCE + rollout baseline, Adam).
+inline rl::TrainConfig BenchTrainConfig() {
+  rl::TrainConfig config;
+  config.iterations = FastMode() ? 12 : 120;
+  config.batch_size = 24;
+  config.graph_nodes = 30;
+  config.adam.learning_rate = 1e-3f;
+  return config;
+}
+
+inline rl::PtrNetConfig BenchNetConfig() {
+  rl::PtrNetConfig net;
+  net.hidden_dim = 48;
+  return net;
+}
+
+/// Compiler options used by every figure bench.
+inline CompilerOptions BenchOptions() {
+  CompilerOptions options;
+  options.net = BenchNetConfig();
+  options.exact_max_expansions = 0;  // time-limited instead
+  options.exact_time_limit_seconds = FastMode() ? 0.3 : 1.5;
+  if (FastMode()) {
+    options.compiler.refinement_rounds = 2;
+    options.compiler.compile_passes = 1;
+  }
+  return options;
+}
+
+/// Returns a compiler whose RL agent is trained (cached in artifacts/).
+inline PipelineCompiler MakeTrainedCompiler() {
+  const std::string weights =
+      ArtifactDir() + (FastMode() ? "/respect_agent_fast.bin"
+                                  : "/respect_agent.bin");
+  PipelineCompiler compiler(BenchOptions());
+  rl::RlScheduler& rl = compiler.Rl();
+  const bool trained = EnsureTrainedAgent(rl, weights, BenchTrainConfig());
+  if (trained) {
+    std::printf("# trained benchmark agent and cached to %s\n",
+                weights.c_str());
+  } else {
+    std::printf("# loaded cached benchmark agent from %s\n", weights.c_str());
+  }
+  return compiler;
+}
+
+}  // namespace respect::bench

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for every substrate: graph analyses,
+// samplers, exact solvers, the backend compiler, NN forward/backward, PtrNet
+// decode and the pipeline simulator.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "deploy/package.h"
+#include "exact/bnb_scheduler.h"
+#include "exact/dp_partitioner.h"
+#include "graph/sampler.h"
+#include "graph/topology.h"
+#include "heuristics/backend_compile.h"
+#include "models/zoo.h"
+#include "nn/lstm.h"
+#include "nn/tape.h"
+#include "rl/ptrnet.h"
+#include "tpu/sim.h"
+
+namespace {
+
+using namespace respect;
+
+void BM_SampleTrainingDag(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::SampleTrainingDag(30, rng));
+  }
+}
+BENCHMARK(BM_SampleTrainingDag);
+
+void BM_AnalyzeTopology(benchmark::State& state) {
+  const graph::Dag dag = models::BuildModel(models::ModelName::kResNet101);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::AnalyzeTopology(dag));
+  }
+}
+BENCHMARK(BM_AnalyzeTopology);
+
+void BM_DpPartition(benchmark::State& state) {
+  const graph::Dag dag = models::BuildModel(models::ModelName::kResNet152);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact::PartitionDefaultOrder(dag, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_DpPartition)->Arg(4)->Arg(6);
+
+void BM_BnbExactSmall(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+  exact::BnbConfig config;
+  config.num_stages = 4;
+  config.max_expansions = 200'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact::SolveExact(dag, config));
+  }
+}
+BENCHMARK(BM_BnbExactSmall);
+
+void BM_CompileSegment(benchmark::State& state) {
+  const graph::Dag dag = models::BuildModel(models::ModelName::kResNet101);
+  const auto topo = graph::AnalyzeTopology(dag);
+  const std::vector<graph::NodeId> ops(
+      topo.order.begin(), topo.order.begin() + state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristics::CompileSegment(dag, ops));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompileSegment)->Arg(50)->Arg(150);
+
+void BM_LstmStepForward(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  nn::ParamStore store;
+  nn::LstmCell cell(store, "lstm", 48, 48, rng);
+  const nn::Tensor x = nn::Tensor::Xavier(48, 1, rng);
+  auto s = cell.InitialState();
+  for (auto _ : state) {
+    s = cell.Step(x, s);
+    benchmark::DoNotOptimize(s.h);
+  }
+}
+BENCHMARK(BM_LstmStepForward);
+
+void BM_PtrNetGreedyDecode(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  const graph::Dag dag =
+      graph::SampleTrainingDag(static_cast<int>(state.range(0)), rng);
+  rl::PtrNetConfig config;
+  config.hidden_dim = 48;
+  rl::PtrNetAgent agent(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.DecodeGreedy(dag));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PtrNetGreedyDecode)->Arg(30)->Arg(100);
+
+void BM_SampleWithTapeAndBackward(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+  rl::PtrNetConfig config;
+  config.hidden_dim = 48;
+  rl::PtrNetAgent agent(config);
+  for (auto _ : state) {
+    nn::Tape tape;
+    const auto sample = agent.SampleWithTape(dag, tape, rng);
+    tape.Backward(sample.log_prob_sum, 0.01f);
+    benchmark::DoNotOptimize(sample.sequence);
+  }
+}
+BENCHMARK(BM_SampleWithTapeAndBackward);
+
+void BM_PipelineSimulation(benchmark::State& state) {
+  const graph::Dag dag = models::BuildModel(models::ModelName::kResNet50);
+  const auto dp = exact::PartitionDefaultOrder(dag, 4);
+  const auto package = deploy::BuildPackage(dag, dp.schedule, true);
+  tpu::SimConfig sim;
+  sim.num_inferences = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpu::SimulatePipeline(package, sim));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineSimulation)->Arg(1000)->Arg(10000);
+
+void BM_BuildResNet101(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        models::BuildModel(models::ModelName::kResNet101));
+  }
+}
+BENCHMARK(BM_BuildResNet101);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table I reproduction: statistics of the ten evaluation DNNs.
+//
+// Prints |V|, deg(V) and Depth for every model next to the values published
+// in the paper; the MATCH column must read "yes" for all ten.
+#include <cstdio>
+
+#include "graph/topology.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace respect;
+
+  std::printf("Table I: Statistics of DNN models and their computational "
+              "graphs\n");
+  std::printf("%-20s %6s %6s %8s %8s %8s %8s  %s\n", "Model", "|V|", "deg",
+              "Depth", "|V|(pap)", "deg(pap)", "Dep(pap)", "MATCH");
+
+  bool all_match = true;
+  for (const models::ModelName name : models::TableIModels()) {
+    const graph::Dag dag = models::BuildModel(name);
+    const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+    const models::TableIStats paper = models::PaperStats(name);
+
+    const int depth = topo.depth - 1;  // Table I excludes the input node
+    const bool match = dag.NodeCount() == paper.num_nodes &&
+                       dag.MaxInDegree() == paper.max_in_degree &&
+                       depth == paper.depth;
+    all_match = all_match && match;
+    std::printf("%-20s %6d %6d %8d %8d %8d %8d  %s\n",
+                std::string(models::ModelNameString(name)).c_str(),
+                dag.NodeCount(), dag.MaxInDegree(), depth, paper.num_nodes,
+                paper.max_in_degree, paper.depth, match ? "yes" : "NO");
+  }
+  std::printf("\nAll ten models match Table I: %s\n",
+              all_match ? "yes" : "NO");
+  return all_match ? 0 : 1;
+}

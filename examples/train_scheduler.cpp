@@ -1,0 +1,66 @@
+// Domain example 2: train a RESPECT agent from scratch on the paper's
+// synthetic curriculum and watch it imitate the exact scheduler.
+//
+// Reproduces §III-B's training loop (REINFORCE with rollout baseline,
+// cosine-similarity reward against exact schedules of random |V|=30 DAGs
+// with deg ∈ {2..6}) at laptop scale, then evaluates generalization to the
+// real ImageNet graphs — the paper's central generalizability claim.
+//
+//   $ ./build/examples/train_scheduler [iterations] [weights_out]
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "core/respect.h"
+#include "models/zoo.h"
+#include "rl/reward.h"
+#include "rl/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace respect;
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::string weights_out =
+      argc > 2 ? argv[2] : "respect_trained.bin";
+
+  rl::PtrNetConfig net;
+  net.hidden_dim = 48;
+  net.masking = rl::MaskingMode::kVisitedOnly;  // the paper's formulation
+  rl::PtrNetAgent agent(net);
+  std::printf("LSTM-PtrNet with %lld trainable scalars\n",
+              static_cast<long long>(agent.Params().ScalarCount()));
+
+  rl::TrainConfig config;
+  config.iterations = iterations;
+  config.batch_size = 16;
+  config.graph_nodes = 30;
+  config.adam.learning_rate = 1e-3f;
+  config.on_iteration = [](int iter, double reward) {
+    if (iter % 5 == 0) {
+      std::printf("iter %4d   mean imitation reward %.4f\n", iter, reward);
+    }
+  };
+
+  std::printf("training on synthetic graphs (|V|=30, deg 2..6)...\n");
+  const rl::TrainStats stats = rl::Train(agent, config);
+  std::printf("best mean reward: %.4f (%d baseline refreshes)\n",
+              stats.best_mean_reward, stats.baseline_refreshes);
+
+  agent.Save(weights_out);
+  std::printf("saved weights to %s\n\n", weights_out.c_str());
+
+  // Generalizability: evaluate the synthetic-trained policy on real models.
+  std::printf("zero-shot evaluation on real ImageNet graphs (4 stages):\n");
+  for (const models::ModelName name :
+       {models::ModelName::kXception, models::ModelName::kResNet50,
+        models::ModelName::kDenseNet121}) {
+    const graph::Dag dag = models::BuildModel(name);
+    const rl::ImitationTarget target = rl::ComputeTarget(dag, 4, 500'000);
+    const double reward = rl::ComputeReward(
+        dag, target, agent.DecodeGreedy(dag), 4,
+        rl::RewardForm::kStageCosine);
+    std::printf("  %-14s |V|=%4d   Eq.3 similarity to exact: %.4f\n",
+                std::string(models::ModelNameString(name)).c_str(),
+                dag.NodeCount(), reward);
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "core/respect.h"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+#include "exact/dp_partitioner.h"
+#include "graph/topology.h"
+#include "heuristics/annealing.h"
+#include "heuristics/force_directed.h"
+#include "heuristics/hu_scheduler.h"
+#include "heuristics/list_scheduler.h"
+#include "ilp/scheduling_ilp.h"
+#include "sched/postprocess.h"
+
+namespace respect {
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kRespectRl: return "RESPECT";
+    case Method::kExactIlp: return "ExactILP";
+    case Method::kEdgeTpuCompiler: return "EdgeTPUCompiler";
+    case Method::kListScheduling: return "ListScheduling";
+    case Method::kHuLevel: return "HuLevel";
+    case Method::kForceDirected: return "ForceDirected";
+    case Method::kAnnealing: return "Annealing";
+    case Method::kGreedyBalance: return "GreedyBalance";
+  }
+  return "Unknown";
+}
+
+PipelineCompiler::PipelineCompiler(const CompilerOptions& options)
+    : options_(options), rl_(options.net) {
+  if (!options_.weights_path.empty() &&
+      std::filesystem::exists(options_.weights_path)) {
+    rl_.LoadWeights(options_.weights_path);
+  }
+}
+
+CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
+                                        Method method) {
+  dag.Validate();
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = num_stages;
+
+  CompileResult result;
+  const auto start = std::chrono::steady_clock::now();
+
+  switch (method) {
+    case Method::kRespectRl: {
+      const rl::RlScheduler::Result r = rl_.Schedule(dag, constraints);
+      result.schedule = r.schedule;
+      break;
+    }
+    case Method::kExactIlp: {
+      ilp::IlpScheduleConfig config;
+      config.num_stages = num_stages;
+      config.max_nodes = options_.exact_max_expansions;
+      config.time_limit_seconds = options_.exact_time_limit_seconds;
+      const ilp::IlpScheduleResult r = ilp::SolveSchedulingIlp(dag, config);
+      result.schedule = r.schedule;
+      result.proved_optimal = r.proved_optimal;
+      break;
+    }
+    case Method::kEdgeTpuCompiler: {
+      heuristics::EdgeTpuCompilerConfig config = options_.compiler;
+      config.num_stages = num_stages;
+      result.schedule = heuristics::CompileForPipeline(dag, config).schedule;
+      break;
+    }
+    case Method::kListScheduling:
+      result.schedule = heuristics::ListSchedule(dag, num_stages);
+      break;
+    case Method::kHuLevel:
+      result.schedule = heuristics::HuLevelSchedule(dag, num_stages);
+      break;
+    case Method::kForceDirected:
+      result.schedule = heuristics::ForceDirectedSchedule(dag, num_stages);
+      break;
+    case Method::kAnnealing: {
+      heuristics::AnnealingConfig config;
+      config.num_stages = num_stages;
+      result.schedule = heuristics::AnnealSchedule(dag, config);
+      break;
+    }
+    case Method::kGreedyBalance:
+      result.schedule = exact::PartitionDefaultOrder(dag, num_stages).schedule;
+      break;
+  }
+
+  // Every engine must hand back a deployable schedule.
+  sched::PostProcess(dag, constraints, result.schedule);
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  result.package = deploy::BuildPackage(dag, result.schedule, options_.quantize);
+  for (const deploy::Segment& seg : result.package.segments) {
+    result.peak_stage_param_bytes =
+        std::max(result.peak_stage_param_bytes, seg.param_bytes);
+  }
+  return result;
+}
+
+bool EnsureTrainedAgent(rl::RlScheduler& scheduler, const std::string& path,
+                        const rl::TrainConfig& train) {
+  if (std::filesystem::exists(path)) {
+    scheduler.LoadWeights(path);
+    return false;
+  }
+  rl::Train(scheduler.Agent(), train);
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  scheduler.SaveWeights(path);
+  return true;
+}
+
+}  // namespace respect

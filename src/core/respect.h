@@ -1,0 +1,92 @@
+// RESPECT public API — the one-stop façade a downstream user consumes.
+//
+//   respect::PipelineCompiler compiler(options);
+//   auto result = compiler.Compile(dag, /*num_stages=*/4,
+//                                  respect::Method::kRespectRl);
+//   auto sim = respect::tpu::SimulatePipeline(result.package);
+//
+// Compile() runs the chosen scheduler (the RL agent, the exact ILP route,
+// the Edge TPU compiler substitute, or one of the classic heuristics),
+// validates/repairs the schedule, and packages it for deployment
+// (quantization + segment extraction).  EnsureTrainedAgent implements the
+// train-or-load weight cache used by the examples and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "deploy/package.h"
+#include "graph/dag.h"
+#include "heuristics/edgetpu_compiler.h"
+#include "rl/scheduler.h"
+#include "rl/trainer.h"
+#include "sched/schedule.h"
+
+namespace respect {
+
+/// Scheduling engines available through the façade.
+enum class Method {
+  kRespectRl,        // the paper's contribution
+  kExactIlp,         // exact method (ILP route, CPLEX role)
+  kEdgeTpuCompiler,  // commercial-compiler substitute (count + profiling)
+  kListScheduling,
+  kHuLevel,
+  kForceDirected,
+  kAnnealing,
+  kGreedyBalance,    // balanced contiguous partition of the default order
+};
+
+[[nodiscard]] std::string_view MethodName(Method method);
+
+struct CompilerOptions {
+  /// RL agent configuration (hidden size, masking, embedding).
+  rl::PtrNetConfig net;
+
+  /// Weights file; loaded when non-empty and present.
+  std::string weights_path;
+
+  /// Exact-method budgets.
+  std::int64_t exact_max_expansions = 2'000'000;
+  double exact_time_limit_seconds = 10.0;
+
+  /// Compiler-substitute knobs.
+  heuristics::EdgeTpuCompilerConfig compiler;
+
+  /// Quantize packages (uint8) as the real deployment flow does.
+  bool quantize = true;
+};
+
+struct CompileResult {
+  sched::Schedule schedule;
+  deploy::PipelinePackage package;
+  double solve_seconds = 0.0;
+
+  /// Peak per-stage parameter bytes of the deployed (quantized) package —
+  /// the Fig. 5 metric.
+  std::int64_t peak_stage_param_bytes = 0;
+
+  /// True for exact runs that proved optimality within budget.
+  bool proved_optimal = false;
+};
+
+class PipelineCompiler {
+ public:
+  explicit PipelineCompiler(const CompilerOptions& options = {});
+
+  [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
+                                      Method method);
+
+  [[nodiscard]] rl::RlScheduler& Rl() { return rl_; }
+
+ private:
+  CompilerOptions options_;
+  rl::RlScheduler rl_;
+};
+
+/// Loads agent weights from `path` if the file exists; otherwise trains with
+/// `train` (on synthetic graphs) and saves to `path`.  Returns true when
+/// training happened.
+bool EnsureTrainedAgent(rl::RlScheduler& scheduler, const std::string& path,
+                        const rl::TrainConfig& train);
+
+}  // namespace respect

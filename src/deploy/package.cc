@@ -1,0 +1,188 @@
+#include "deploy/package.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "deploy/quantize.h"
+#include "graph/topology.h"
+
+namespace respect::deploy {
+
+PipelinePackage BuildPackage(const graph::Dag& dag,
+                             const sched::Schedule& schedule, bool quantize) {
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = schedule.num_stages;
+  const sched::ValidationResult valid =
+      sched::ValidateSchedule(dag, schedule, constraints);
+  if (!valid.ok) {
+    throw std::invalid_argument("BuildPackage: invalid schedule: " +
+                                valid.reason);
+  }
+
+  const graph::Dag graph = quantize ? QuantizeGraph(dag) : dag;
+  const graph::TopoInfo topo = graph::AnalyzeTopology(graph);
+
+  PipelinePackage package;
+  package.model_name = dag.Name();
+  package.num_stages = schedule.num_stages;
+  package.quantized = quantize;
+  package.segments.resize(schedule.num_stages);
+  for (int k = 0; k < schedule.num_stages; ++k) {
+    package.segments[k].stage = k;
+  }
+
+  for (const graph::NodeId v : topo.order) {
+    Segment& seg = package.segments[schedule.stage[v]];
+    seg.ops.push_back(v);
+    seg.param_bytes += graph.Attr(v).param_bytes;
+    seg.macs += graph.Attr(v).macs;
+  }
+
+  // Boundary tensors: producer in stage s, consumers possibly in several
+  // later stages — the tensor is shipped once per receiving stage hop chain
+  // (from_stage -> first consuming stage; further stages relay it).
+  for (graph::NodeId v = 0; v < graph.NodeCount(); ++v) {
+    const int s = schedule.stage[v];
+    int last = s;
+    int first_after = schedule.num_stages;
+    for (const graph::NodeId c : graph.Children(v)) {
+      const int cs = schedule.stage[c];
+      last = std::max(last, cs);
+      if (cs > s) first_after = std::min(first_after, cs);
+    }
+    if (last > s) {
+      BoundaryTensor t;
+      t.producer = v;
+      t.bytes = graph.Attr(v).output_bytes;
+      t.from_stage = s;
+      t.to_stage = first_after;
+      package.segments[s].outputs.push_back(t);
+      // Every stage from the first consumer through the last consumer needs
+      // the tensor as input (relay through the chain).
+      for (int k = first_after; k <= last; ++k) {
+        package.segments[k].inputs.push_back(t);
+      }
+    }
+  }
+
+  // Host transfers: model input into stage 0, logits out of the last stage.
+  const auto sources = graph.Sources();
+  for (const graph::NodeId s : sources) {
+    package.host_input_bytes += graph.Attr(s).output_bytes;
+  }
+  const auto sinks = graph.Sinks();
+  for (const graph::NodeId s : sinks) {
+    package.host_output_bytes += graph.Attr(s).output_bytes;
+  }
+  return package;
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52455350;  // "RESP"
+
+template <typename T>
+void WritePod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void ReadPod(std::ifstream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+void WriteTensorList(std::ofstream& os,
+                     const std::vector<BoundaryTensor>& list) {
+  WritePod(os, static_cast<std::uint32_t>(list.size()));
+  for (const BoundaryTensor& t : list) {
+    WritePod(os, t.producer);
+    WritePod(os, t.bytes);
+    WritePod(os, t.from_stage);
+    WritePod(os, t.to_stage);
+  }
+}
+
+void ReadTensorList(std::ifstream& is, std::vector<BoundaryTensor>& list) {
+  std::uint32_t count = 0;
+  ReadPod(is, count);
+  list.resize(count);
+  for (BoundaryTensor& t : list) {
+    ReadPod(is, t.producer);
+    ReadPod(is, t.bytes);
+    ReadPod(is, t.from_stage);
+    ReadPod(is, t.to_stage);
+  }
+}
+
+}  // namespace
+
+void SavePackage(const PipelinePackage& package, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("SavePackage: cannot open " + path);
+  WritePod(os, kMagic);
+  const std::uint32_t name_len =
+      static_cast<std::uint32_t>(package.model_name.size());
+  WritePod(os, name_len);
+  os.write(package.model_name.data(), name_len);
+  WritePod(os, package.num_stages);
+  WritePod(os, package.quantized);
+  WritePod(os, package.host_input_bytes);
+  WritePod(os, package.host_output_bytes);
+  WritePod(os, static_cast<std::uint32_t>(package.segments.size()));
+  for (const Segment& seg : package.segments) {
+    WritePod(os, seg.stage);
+    WritePod(os, seg.param_bytes);
+    WritePod(os, seg.macs);
+    WritePod(os, static_cast<std::uint32_t>(seg.ops.size()));
+    for (const graph::NodeId v : seg.ops) WritePod(os, v);
+    WriteTensorList(os, seg.inputs);
+    WriteTensorList(os, seg.outputs);
+  }
+  if (!os) throw std::runtime_error("SavePackage: write failed: " + path);
+}
+
+PipelinePackage LoadPackage(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("LoadPackage: cannot open " + path);
+  std::uint32_t magic = 0;
+  ReadPod(is, magic);
+  if (!is || magic != kMagic) {
+    throw std::runtime_error("LoadPackage: bad header in " + path);
+  }
+  PipelinePackage package;
+  std::uint32_t name_len = 0;
+  ReadPod(is, name_len);
+  if (!is || name_len > 4096) {
+    throw std::runtime_error("LoadPackage: corrupt name in " + path);
+  }
+  package.model_name.resize(name_len);
+  is.read(package.model_name.data(), name_len);
+  ReadPod(is, package.num_stages);
+  ReadPod(is, package.quantized);
+  ReadPod(is, package.host_input_bytes);
+  ReadPod(is, package.host_output_bytes);
+  std::uint32_t seg_count = 0;
+  ReadPod(is, seg_count);
+  if (!is || seg_count > 1024) {
+    throw std::runtime_error("LoadPackage: corrupt segment count in " + path);
+  }
+  package.segments.resize(seg_count);
+  for (Segment& seg : package.segments) {
+    ReadPod(is, seg.stage);
+    ReadPod(is, seg.param_bytes);
+    ReadPod(is, seg.macs);
+    std::uint32_t op_count = 0;
+    ReadPod(is, op_count);
+    if (!is || op_count > (1u << 24)) {
+      throw std::runtime_error("LoadPackage: corrupt op count in " + path);
+    }
+    seg.ops.resize(op_count);
+    for (graph::NodeId& v : seg.ops) ReadPod(is, v);
+    ReadTensorList(is, seg.inputs);
+    ReadTensorList(is, seg.outputs);
+  }
+  if (!is) throw std::runtime_error("LoadPackage: truncated " + path);
+  return package;
+}
+
+}  // namespace respect::deploy

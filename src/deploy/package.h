@@ -1,0 +1,65 @@
+// Pipeline package: the deployable artifact of a scheduling decision.
+//
+// BuildPackage turns (graph, schedule) into n dependency-closed segments
+// with explicit boundary tensors — the sub-models the paper deploys to each
+// Edge TPU — optionally applying the quantization pass first.  Packages are
+// what the pipeline simulator executes and what Save/Load round-trips to
+// disk (our stand-in for the n .tflite files of the real flow).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::deploy {
+
+/// A tensor crossing a segment boundary.
+struct BoundaryTensor {
+  graph::NodeId producer = graph::kInvalidNode;
+  std::int64_t bytes = 0;
+  int from_stage = 0;
+  int to_stage = 0;  // first consuming stage after from_stage
+};
+
+/// One per-device sub-model.
+struct Segment {
+  int stage = 0;
+  std::vector<graph::NodeId> ops;  // topological execution order
+  std::int64_t param_bytes = 0;
+  std::int64_t macs = 0;
+
+  /// Tensors this segment receives from earlier stages (or the host for
+  /// stage 0: the network input).
+  std::vector<BoundaryTensor> inputs;
+
+  /// Tensors this segment ships to later stages (or the host for the last
+  /// stage: the logits).
+  std::vector<BoundaryTensor> outputs;
+};
+
+struct PipelinePackage {
+  std::string model_name;
+  int num_stages = 0;
+  bool quantized = false;
+  std::vector<Segment> segments;  // indexed by stage
+
+  /// Network input / final output bytes (host transfers).
+  std::int64_t host_input_bytes = 0;
+  std::int64_t host_output_bytes = 0;
+};
+
+/// Validates the schedule and extracts segments.  When `quantize` is set the
+/// byte counts are the uint8 ones (the deployment default, matching the real
+/// Edge TPU flow).
+[[nodiscard]] PipelinePackage BuildPackage(const graph::Dag& dag,
+                                           const sched::Schedule& schedule,
+                                           bool quantize = true);
+
+/// Binary round trip of a package.
+void SavePackage(const PipelinePackage& package, const std::string& path);
+[[nodiscard]] PipelinePackage LoadPackage(const std::string& path);
+
+}  // namespace respect::deploy

@@ -1,0 +1,27 @@
+#include "deploy/quantize.h"
+
+#include <stdexcept>
+
+namespace respect::deploy {
+
+graph::Dag QuantizeGraph(const graph::Dag& dag, const QuantizationSpec& spec) {
+  if (spec.weight_bits <= 0 || spec.activation_bits <= 0 ||
+      spec.source_bits <= 0) {
+    throw std::invalid_argument("QuantizeGraph: non-positive bit width");
+  }
+  graph::Dag out(dag.Name() + "_quant");
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    graph::OpAttr attr = dag.Attr(v);
+    attr.param_bytes = (attr.param_bytes * spec.weight_bits +
+                        spec.source_bits - 1) /
+                       spec.source_bits;
+    attr.output_bytes = (attr.output_bytes * spec.activation_bits +
+                         spec.source_bits - 1) /
+                        spec.source_bits;
+    out.AddNode(std::move(attr));
+  }
+  for (const graph::Edge& e : dag.Edges()) out.AddEdge(e.from, e.to);
+  return out;
+}
+
+}  // namespace respect::deploy

@@ -1,0 +1,28 @@
+// Post-training quantization pass.
+//
+// The paper's deployment flow quantizes the TensorFlow model (TOCO) before
+// Edge TPU compilation: float32 weights and activations become uint8.  For
+// scheduling and simulation what matters is the byte-count change, so the
+// pass rewrites the graph's memory attributes (params/activations shrink
+// 4x by default) and records the scale factors a real converter would emit.
+#pragma once
+
+#include "graph/dag.h"
+
+namespace respect::deploy {
+
+struct QuantizationSpec {
+  int weight_bits = 8;
+  int activation_bits = 8;
+
+  /// Keras-style float source width.
+  int source_bits = 32;
+};
+
+/// Returns a copy of `dag` with param_bytes / output_bytes scaled to the
+/// quantized widths (rounded up; zero stays zero).  Names, edges, MACs are
+/// unchanged.
+[[nodiscard]] graph::Dag QuantizeGraph(const graph::Dag& dag,
+                                       const QuantizationSpec& spec = {});
+
+}  // namespace respect::deploy

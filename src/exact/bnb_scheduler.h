@@ -1,0 +1,57 @@
+// Exact branch-and-bound scheduler over the full space of monotone stage
+// assignments.
+//
+// This plays the role of the paper's "exact optimal scheduling method
+// conducted on constraint solving scheduling using ILP solver" (CPLEX in the
+// paper; our in-repo ILP front end in src/ilp delegates to this solver).
+// The objective is lexicographic (peak per-stage parameter bytes, then
+// hop-weighted communication bytes), matching the paper's memory-allocation
+// + communication-cost optimization.
+//
+// Unlike DpPartitioner the search is NOT restricted to contiguous segments
+// of one topological order: any assignment with stage(u) <= stage(v) along
+// every edge is explored.  Exactness (given enough budget) is verified
+// against brute-force enumeration in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::exact {
+
+struct BnbConfig {
+  int num_stages = 4;
+
+  /// Every pipeline stage must receive at least one operator.
+  bool require_nonempty = true;
+
+  /// Search budget: maximum number of branch-and-bound tree nodes expanded
+  /// before returning the incumbent (0 = unlimited).  The paper's CPLEX runs
+  /// are similarly wall-clock bounded on large models.
+  std::int64_t max_expansions = 20'000'000;
+
+  /// Wall-clock ceiling in seconds (0 = unlimited); checked periodically.
+  double time_limit_seconds = 0.0;
+};
+
+struct BnbResult {
+  sched::Schedule schedule;
+  sched::ObjectiveValue objective;
+
+  /// True when the search ran to completion, i.e. the schedule is proved
+  /// optimal; false when a budget cut it short (the schedule is still the
+  /// best incumbent found and is always feasible).
+  bool proved_optimal = false;
+
+  std::int64_t expansions = 0;
+  double solve_seconds = 0.0;
+};
+
+/// Solves the instance.  Throws std::invalid_argument when
+/// |V| < num_stages and require_nonempty is set.
+[[nodiscard]] BnbResult SolveExact(const graph::Dag& dag,
+                                   const BnbConfig& config);
+
+}  // namespace respect::exact

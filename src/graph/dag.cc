@@ -1,0 +1,186 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace respect::graph {
+
+std::string_view OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kInput: return "Input";
+    case OpType::kConv2D: return "Conv2D";
+    case OpType::kDepthwiseConv2D: return "DepthwiseConv2D";
+    case OpType::kSeparableConv2D: return "SeparableConv2D";
+    case OpType::kDense: return "Dense";
+    case OpType::kBatchNorm: return "BatchNorm";
+    case OpType::kRelu: return "Relu";
+    case OpType::kAdd: return "Add";
+    case OpType::kConcat: return "Concat";
+    case OpType::kMaxPool: return "MaxPool";
+    case OpType::kAvgPool: return "AvgPool";
+    case OpType::kGlobalPool: return "GlobalPool";
+    case OpType::kSoftmax: return "Softmax";
+    case OpType::kPad: return "Pad";
+    case OpType::kGeneric: return "Generic";
+  }
+  return "Unknown";
+}
+
+NodeId Dag::AddNode(OpAttr attr) {
+  if (attr.param_bytes < 0 || attr.output_bytes < 0 || attr.macs < 0) {
+    throw std::invalid_argument("Dag::AddNode: negative attribute for '" +
+                                attr.name + "'");
+  }
+  attrs_.push_back(std::move(attr));
+  parents_.emplace_back();
+  children_.emplace_back();
+  return static_cast<NodeId>(attrs_.size() - 1);
+}
+
+void Dag::CheckNode(NodeId id) const {
+  if (id < 0 || id >= NodeCount()) {
+    throw std::invalid_argument("Dag: node id " + std::to_string(id) +
+                                " out of range (|V|=" +
+                                std::to_string(NodeCount()) + ")");
+  }
+}
+
+void Dag::AddEdge(NodeId from, NodeId to) {
+  CheckNode(from);
+  CheckNode(to);
+  if (from == to) {
+    throw std::invalid_argument("Dag::AddEdge: self edge on node " +
+                                std::to_string(from));
+  }
+  if (HasEdge(from, to)) {
+    throw std::invalid_argument("Dag::AddEdge: duplicate edge " +
+                                std::to_string(from) + "->" +
+                                std::to_string(to));
+  }
+  children_[from].push_back(to);
+  parents_[to].push_back(from);
+  edges_.push_back(Edge{from, to});
+  ++edge_count_;
+}
+
+const OpAttr& Dag::Attr(NodeId id) const {
+  CheckNode(id);
+  return attrs_[id];
+}
+
+OpAttr& Dag::MutableAttr(NodeId id) {
+  CheckNode(id);
+  return attrs_[id];
+}
+
+std::span<const NodeId> Dag::Parents(NodeId id) const {
+  CheckNode(id);
+  return parents_[id];
+}
+
+std::span<const NodeId> Dag::Children(NodeId id) const {
+  CheckNode(id);
+  return children_[id];
+}
+
+bool Dag::HasEdge(NodeId from, NodeId to) const {
+  CheckNode(from);
+  CheckNode(to);
+  const auto& kids = children_[from];
+  return std::find(kids.begin(), kids.end(), to) != kids.end();
+}
+
+int Dag::MaxInDegree() const {
+  int deg = 0;
+  for (const auto& p : parents_) deg = std::max(deg, static_cast<int>(p.size()));
+  return deg;
+}
+
+std::vector<NodeId> Dag::Sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < NodeCount(); ++v) {
+    if (parents_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::Sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < NodeCount(); ++v) {
+    if (children_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+bool Dag::IsAcyclic() const {
+  // Kahn's algorithm: the graph is acyclic iff every node gets popped.
+  std::vector<int> indeg(NodeCount());
+  for (NodeId v = 0; v < NodeCount(); ++v) {
+    indeg[v] = static_cast<int>(parents_[v].size());
+  }
+  std::vector<NodeId> stack;
+  for (NodeId v = 0; v < NodeCount(); ++v) {
+    if (indeg[v] == 0) stack.push_back(v);
+  }
+  int popped = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    ++popped;
+    for (const NodeId c : children_[v]) {
+      if (--indeg[c] == 0) stack.push_back(c);
+    }
+  }
+  return popped == NodeCount();
+}
+
+void Dag::Validate() const {
+  if (NodeCount() == 0) {
+    throw std::logic_error("Dag::Validate: graph '" + name_ + "' is empty");
+  }
+  if (!IsAcyclic()) {
+    throw std::logic_error("Dag::Validate: graph '" + name_ +
+                           "' contains a cycle");
+  }
+}
+
+std::int64_t Dag::TotalParamBytes() const {
+  std::int64_t total = 0;
+  for (const auto& a : attrs_) total += a.param_bytes;
+  return total;
+}
+
+std::int64_t Dag::TotalMacs() const {
+  std::int64_t total = 0;
+  for (const auto& a : attrs_) total += a.macs;
+  return total;
+}
+
+std::uint64_t HashOperatorName(std::string_view name) {
+  // FNV-1a, 64 bit.  Deterministic across platforms, which keeps the RL
+  // embedding reproducible.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string ToDot(const Dag& dag) {
+  std::ostringstream os;
+  os << "digraph \"" << dag.Name() << "\" {\n";
+  for (NodeId v = 0; v < dag.NodeCount(); ++v) {
+    const OpAttr& a = dag.Attr(v);
+    os << "  n" << v << " [label=\"" << a.name << "\\n"
+       << OpTypeName(a.type) << " " << a.param_bytes << "B\"];\n";
+  }
+  for (const Edge& e : dag.Edges()) {
+    os << "  n" << e.from << " -> n" << e.to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace respect::graph

@@ -1,0 +1,132 @@
+#include "graph/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace respect::graph {
+namespace {
+
+/// Log-uniform integer in [lo, hi].
+std::int64_t LogUniform(std::int64_t lo, std::int64_t hi,
+                        std::mt19937_64& rng) {
+  if (lo <= 0 || hi < lo) {
+    throw std::invalid_argument("LogUniform: need 0 < lo <= hi");
+  }
+  std::uniform_real_distribution<double> dist(std::log(double(lo)),
+                                              std::log(double(hi)));
+  return static_cast<std::int64_t>(std::llround(std::exp(dist(rng))));
+}
+
+/// Picks a skip-edge source for node `v` among [0, v-2] with a recency bias:
+/// the distance beyond the backbone parent decays geometrically with
+/// `locality` (DNN skip connections are mostly short residuals).
+NodeId PickSkipParent(NodeId v, double locality, std::mt19937_64& rng) {
+  std::exponential_distribution<double> dist(locality / double(v + 1));
+  const int d = 2 + static_cast<int>(dist(rng));
+  return std::max<NodeId>(0, v - static_cast<NodeId>(d));
+}
+
+OpType PickType(int num_parents, std::mt19937_64& rng) {
+  if (num_parents >= 2) {
+    return (rng() & 1) ? OpType::kAdd : OpType::kConcat;
+  }
+  switch (rng() % 6) {
+    case 0: return OpType::kConv2D;
+    case 1: return OpType::kDepthwiseConv2D;
+    case 2: return OpType::kBatchNorm;
+    case 3: return OpType::kRelu;
+    case 4: return OpType::kMaxPool;
+    default: return OpType::kConv2D;
+  }
+}
+
+}  // namespace
+
+Dag SampleDag(const SamplerConfig& config, std::mt19937_64& rng) {
+  if (config.num_nodes < 2) {
+    throw std::invalid_argument("SampleDag: need at least 2 nodes");
+  }
+  if (config.max_in_degree < 1) {
+    throw std::invalid_argument("SampleDag: max_in_degree must be >= 1");
+  }
+
+  // Structure: a backbone chain 0 -> 1 -> ... -> n-1 (DNN computational
+  // graphs are overwhelmingly chain-like — cf. the Depth column of the
+  // paper's Table I, which nearly equals |V| for every model) plus random
+  // skip edges that form the residual/dense-style joins.  The construction
+  // guarantees all sampler invariants directly: single source, single sink,
+  // acyclicity, and the in-degree cap.
+  Dag dag("synthetic");
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  for (int i = 0; i < config.num_nodes; ++i) {
+    OpAttr attr;
+    attr.param_bytes =
+        LogUniform(config.min_param_bytes, config.max_param_bytes, rng);
+    attr.output_bytes =
+        LogUniform(config.min_output_bytes, config.max_output_bytes, rng);
+    // MACs roughly track parameter size times a spatial reuse factor, the
+    // way convolutions do.
+    attr.macs = attr.param_bytes * (8 + static_cast<std::int64_t>(rng() % 56));
+    const NodeId v = dag.AddNode(std::move(attr));
+
+    if (v == 0) {
+      dag.MutableAttr(v).type = OpType::kInput;
+      dag.MutableAttr(v).param_bytes = 0;
+      dag.MutableAttr(v).macs = 0;
+      dag.MutableAttr(v).name = "input";
+      continue;
+    }
+
+    dag.AddEdge(v - 1, v);  // backbone
+
+    // Joins: extra skip parents up to the in-degree cap.
+    if (v >= 2 && config.max_in_degree >= 2 &&
+        coin(rng) < config.join_probability) {
+      const int extra =
+          1 + static_cast<int>(rng() % (config.max_in_degree - 1));
+      int guard = 0;
+      for (int e = 0; e < extra && guard < 32; ++guard) {
+        const NodeId p = PickSkipParent(v, config.locality, rng);
+        if (!dag.HasEdge(p, v)) {
+          dag.AddEdge(p, v);
+          ++e;
+        }
+      }
+    }
+
+    const int parents = static_cast<int>(dag.Parents(v).size());
+    dag.MutableAttr(v).type = PickType(parents, rng);
+    dag.MutableAttr(v).name =
+        std::string(OpTypeName(dag.Attr(v).type)) + "_" + std::to_string(v);
+  }
+
+  // Guarantee the advertised complexity class: the final join reaches the
+  // in-degree cap if no sampled node did (skip parents only, so the cap,
+  // the single sink and acyclicity all stay intact).
+  const NodeId last = static_cast<NodeId>(config.num_nodes - 1);
+  if (config.max_in_degree >= 2 &&
+      config.num_nodes > config.max_in_degree &&
+      dag.MaxInDegree() < config.max_in_degree) {
+    for (NodeId p = last - 2;
+         p >= 0 && static_cast<int>(dag.Parents(last).size()) <
+                       config.max_in_degree;
+         --p) {
+      if (!dag.HasEdge(p, last)) dag.AddEdge(p, last);
+    }
+    dag.MutableAttr(last).type = PickType(2, rng);
+  }
+
+  dag.Validate();
+  return dag;
+}
+
+Dag SampleTrainingDag(int num_nodes, std::mt19937_64& rng) {
+  SamplerConfig config;
+  config.num_nodes = num_nodes;
+  config.max_in_degree = 2 + static_cast<int>(rng() % 5);  // {2..6}
+  return SampleDag(config, rng);
+}
+
+}  // namespace respect::graph

@@ -1,0 +1,58 @@
+// Synthetic DAG sampler — the paper's training-data generator.
+//
+// RESPECT is trained *entirely* on synthetic graphs: "we integrate a DAG
+// sampler into our RL training framework which randomly generates network
+// graphs with |V| = 30 but with different graph complexities ...
+// deg(V) ∈ {2, 3, 4, 5, 6}" (§III-B).  This module reproduces that sampler:
+// layered random DAGs that mimic the structure of DNN computational graphs
+// (a single input, mostly chain-like flow with skip/branch edges, realistic
+// per-operator memory attributes).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "graph/dag.h"
+
+namespace respect::graph {
+
+/// Controls one draw from the synthetic distribution.
+struct SamplerConfig {
+  /// Number of operator nodes (the paper trains at 30).
+  int num_nodes = 30;
+
+  /// Maximum in-degree `deg(V)`; the paper sweeps {2,3,4,5,6}.
+  int max_in_degree = 2;
+
+  /// Probability that a non-source node receives skip parents in addition
+  /// to its backbone parent (i.e. is a join such as Add/Concat).  Controls
+  /// graph complexity beyond the in-degree cap.
+  double join_probability = 0.35;
+
+  /// How strongly skip parents are biased towards recent nodes; larger =
+  /// shorter residual-style skips (DNN skip connections are mostly local).
+  double locality = 8.0;
+
+  /// Parameter-size distribution (log-uniform), in bytes.  Defaults cover
+  /// the span from tiny batch-norm vectors to large conv kernels.
+  std::int64_t min_param_bytes = 1 << 10;    // 1 KiB
+  std::int64_t max_param_bytes = 2 << 20;    // 2 MiB
+
+  /// Activation-size distribution (log-uniform), in bytes.
+  std::int64_t min_output_bytes = 16 << 10;  // 16 KiB
+  std::int64_t max_output_bytes = 4 << 20;   // 4 MiB
+};
+
+/// Draws one synthetic computational graph: a backbone chain (DNN graphs
+/// are overwhelmingly chain-like — cf. Table I's Depth ~ |V|) decorated with
+/// random residual/dense-style skip joins.  The result is guaranteed
+/// acyclic, single-source, single-sink, respects `max_in_degree`, and has at
+/// least one node with in-degree exactly `max_in_degree` when num_nodes
+/// permits (so the sampled complexity class is actually realized).
+[[nodiscard]] Dag SampleDag(const SamplerConfig& config, std::mt19937_64& rng);
+
+/// Convenience wrapper around the paper's training curriculum: picks
+/// deg(V) uniformly from {2..6} and samples with the default config.
+[[nodiscard]] Dag SampleTrainingDag(int num_nodes, std::mt19937_64& rng);
+
+}  // namespace respect::graph

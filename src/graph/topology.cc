@@ -1,0 +1,120 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace respect::graph {
+
+TopoInfo AnalyzeTopology(const Dag& dag) {
+  dag.Validate();
+  const int n = dag.NodeCount();
+
+  TopoInfo info;
+  info.order.reserve(n);
+  info.asap_level.assign(n, 0);
+
+  std::vector<int> indeg(n);
+  // Min-heap on node id gives a deterministic order.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<int>(dag.Parents(v).size());
+    if (indeg[v] == 0) ready.push(v);
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    info.order.push_back(v);
+    for (const NodeId c : dag.Children(v)) {
+      info.asap_level[c] =
+          std::max(info.asap_level[c], info.asap_level[v] + 1);
+      if (--indeg[c] == 0) ready.push(c);
+    }
+  }
+
+  info.depth = 0;
+  for (const int lvl : info.asap_level) info.depth = std::max(info.depth, lvl);
+  info.depth += 1;  // level count, not max level index
+
+  info.alap_level.assign(n, info.depth - 1);
+  for (auto it = info.order.rbegin(); it != info.order.rend(); ++it) {
+    const NodeId v = *it;
+    for (const NodeId c : dag.Children(v)) {
+      info.alap_level[v] = std::min(info.alap_level[v], info.alap_level[c] - 1);
+    }
+  }
+
+  info.mobility.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    info.mobility[v] = info.alap_level[v] - info.asap_level[v];
+  }
+  return info;
+}
+
+std::vector<int> OrderPositions(const std::vector<NodeId>& order,
+                                int node_count) {
+  std::vector<int> pos(node_count, -1);
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    const NodeId v = order[i];
+    if (v < 0 || v >= node_count || pos[v] != -1) {
+      throw std::invalid_argument("OrderPositions: order is not a permutation");
+    }
+    pos[v] = i;
+  }
+  return pos;
+}
+
+bool IsTopologicalOrder(const Dag& dag, const std::vector<NodeId>& order) {
+  if (static_cast<int>(order.size()) != dag.NodeCount()) return false;
+  std::vector<int> pos(dag.NodeCount(), -1);
+  for (int i = 0; i < static_cast<int>(order.size()); ++i) {
+    const NodeId v = order[i];
+    if (v < 0 || v >= dag.NodeCount() || pos[v] != -1) return false;
+    pos[v] = i;
+  }
+  for (const Edge& e : dag.Edges()) {
+    if (pos[e.from] >= pos[e.to]) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<NodeId>> TransitiveReachability(const Dag& dag) {
+  const TopoInfo topo = AnalyzeTopology(dag);
+  const int n = dag.NodeCount();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  // Process in reverse topological order: reach(u) = union of children and
+  // their reach sets.
+  for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
+    const NodeId u = *it;
+    for (const NodeId c : dag.Children(u)) {
+      reach[u][c] = true;
+      for (NodeId w = 0; w < n; ++w) {
+        if (reach[c][w]) reach[u][w] = true;
+      }
+    }
+  }
+  std::vector<std::vector<NodeId>> out(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId w = 0; w < n; ++w) {
+      if (reach[u][w]) out[u].push_back(w);
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> CriticalPathMacs(const Dag& dag) {
+  const TopoInfo topo = AnalyzeTopology(dag);
+  const int n = dag.NodeCount();
+  std::vector<std::int64_t> cp(n, 0);
+  for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
+    const NodeId v = *it;
+    std::int64_t best_child = 0;
+    for (const NodeId c : dag.Children(v)) {
+      best_child = std::max(best_child, cp[c]);
+    }
+    cp[v] = dag.Attr(v).macs + best_child;
+  }
+  return cp;
+}
+
+}  // namespace respect::graph

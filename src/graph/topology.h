@@ -1,0 +1,62 @@
+// Topological analyses of computational graphs.
+//
+// The paper's embedding (Fig. 1a step 2) is built from As-Soon-As-Possible
+// (ASAP) topological levels; the exact schedulers use ASAP/ALAP levels to
+// bound the feasible stage window of each node; and Table I reports the
+// "Depth" of each evaluated model, which is the number of ASAP levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace respect::graph {
+
+/// Result of a full topological analysis of a Dag.
+struct TopoInfo {
+  /// A deterministic topological order (Kahn's algorithm with a
+  /// smallest-id-first tie break, so the order is reproducible).
+  std::vector<NodeId> order;
+
+  /// ASAP level of each node: sources are level 0, every other node is
+  /// 1 + max(parent levels).  This is the paper's "absolute coordinate".
+  std::vector<int> asap_level;
+
+  /// ALAP level of each node w.r.t. the graph depth: sinks are at
+  /// depth-1, every other node is min(child levels) - 1.
+  std::vector<int> alap_level;
+
+  /// Scheduling freedom per node: alap - asap (force-directed scheduling
+  /// calls this the node's mobility).
+  std::vector<int> mobility;
+
+  /// Number of distinct ASAP levels == longest path length in nodes.
+  /// Matches the "Depth" column of Table I.
+  int depth = 0;
+};
+
+/// Runs Kahn's algorithm plus level computations.  Throws std::logic_error
+/// (via Dag::Validate) if the graph is cyclic or empty.
+[[nodiscard]] TopoInfo AnalyzeTopology(const Dag& dag);
+
+/// Position of each node inside `order` (inverse permutation).
+[[nodiscard]] std::vector<int> OrderPositions(const std::vector<NodeId>& order,
+                                              int node_count);
+
+/// True iff `order` is a valid topological order of `dag` covering every
+/// node exactly once.
+[[nodiscard]] bool IsTopologicalOrder(const Dag& dag,
+                                      const std::vector<NodeId>& order);
+
+/// Bitset-free transitive reachability: reach[u] lists all v with a directed
+/// path u -> v (u excluded).  O(V * E); only used on small/medium graphs and
+/// in tests.
+[[nodiscard]] std::vector<std::vector<NodeId>> TransitiveReachability(
+    const Dag& dag);
+
+/// Length (in nodes) of the longest path through the graph weighted by MACs;
+/// used by list scheduling as the critical-path priority.
+[[nodiscard]] std::vector<std::int64_t> CriticalPathMacs(const Dag& dag);
+
+}  // namespace respect::graph

@@ -1,0 +1,91 @@
+#include "heuristics/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "exact/dp_partitioner.h"
+
+namespace respect::heuristics {
+namespace {
+
+/// Scalarized cost: peak parameter bytes dominate, communication breaks
+/// ties (weighted far below one byte of peak).
+double Cost(const sched::ScheduleMetrics& m) {
+  return static_cast<double>(m.peak_stage_param_bytes) +
+         1e-6 * static_cast<double>(m.comm_bytes);
+}
+
+}  // namespace
+
+sched::Schedule AnnealSchedule(const graph::Dag& dag,
+                               const AnnealingConfig& config) {
+  dag.Validate();
+  const int n = dag.NodeCount();
+  if (n < config.num_stages) {
+    throw std::invalid_argument("AnnealSchedule: |V| < num_stages");
+  }
+
+  sched::Schedule current =
+      exact::PartitionDefaultOrder(dag, config.num_stages).schedule;
+  sched::ScheduleMetrics metrics = sched::ComputeMetrics(dag, current);
+  double current_cost = Cost(metrics);
+
+  sched::Schedule best = current;
+  double best_cost = current_cost;
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_int_distribution<int> pick_node(0, n - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  std::vector<int> stage_count(config.num_stages, 0);
+  for (const int s : current.stage) ++stage_count[s];
+
+  double temperature = config.initial_temperature *
+                       static_cast<double>(dag.TotalParamBytes());
+
+  for (int it = 0; it < config.iterations; ++it, temperature *= config.cooling) {
+    const graph::NodeId v = pick_node(rng);
+
+    // Feasible window of v given the rest of the schedule.
+    int lo = 0;
+    int hi = config.num_stages - 1;
+    for (const graph::NodeId p : dag.Parents(v)) {
+      lo = std::max(lo, current.stage[p]);
+    }
+    for (const graph::NodeId c : dag.Children(v)) {
+      hi = std::min(hi, current.stage[c]);
+    }
+    if (lo >= hi) continue;  // no freedom
+
+    std::uniform_int_distribution<int> pick_stage(lo, hi);
+    const int new_stage = pick_stage(rng);
+    const int old_stage = current.stage[v];
+    if (new_stage == old_stage) continue;
+    if (stage_count[old_stage] == 1) continue;  // would empty the stage
+
+    current.stage[v] = new_stage;
+    const sched::ScheduleMetrics new_metrics =
+        sched::ComputeMetrics(dag, current);
+    const double new_cost = Cost(new_metrics);
+
+    const double delta = new_cost - current_cost;
+    if (delta <= 0 ||
+        unit(rng) < std::exp(-delta / std::max(temperature, 1.0))) {
+      current_cost = new_cost;
+      --stage_count[old_stage];
+      ++stage_count[new_stage];
+      if (new_cost < best_cost) {
+        best_cost = new_cost;
+        best = current;
+      }
+    } else {
+      current.stage[v] = old_stage;  // reject
+    }
+  }
+  return best;
+}
+
+}  // namespace respect::heuristics

@@ -1,0 +1,29 @@
+// Simulated-annealing metaheuristic scheduler.
+//
+// The paper lists iterative metaheuristics (simulated annealing, ant colony,
+// DP budgeting) as the middle ground between fast heuristics and exact
+// solvers.  This implementation starts from the balanced contiguous
+// partition and explores single-node stage moves inside each node's feasible
+// window under a geometric cooling schedule, optimizing the same
+// lexicographic objective as the exact solvers (scalarized).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::heuristics {
+
+struct AnnealingConfig {
+  int num_stages = 4;
+  int iterations = 20000;
+  double initial_temperature = 0.35;  // relative to total parameter bytes
+  double cooling = 0.9995;
+  std::uint64_t seed = 0x5eed;
+};
+
+[[nodiscard]] sched::Schedule AnnealSchedule(const graph::Dag& dag,
+                                             const AnnealingConfig& config);
+
+}  // namespace respect::heuristics

@@ -1,0 +1,165 @@
+#include "heuristics/backend_compile.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace respect::heuristics {
+namespace {
+
+/// Live interval of a tensor inside a segment, in instruction positions.
+struct Interval {
+  graph::NodeId producer = graph::kInvalidNode;
+  int start = 0;
+  int end = 0;
+  std::int64_t bytes = 0;
+  std::int64_t address = -1;
+};
+
+/// First-fit placement: scan the sorted allocated blocks overlapping this
+/// lifetime for the lowest gap that fits.  O(live * allocated) — this is the
+/// honest cost of arena allocation, the dominant term of real compile time.
+std::int64_t FirstFit(const std::vector<Interval>& placed,
+                      const Interval& want) {
+  // Collect blocks whose lifetimes overlap.
+  std::vector<std::pair<std::int64_t, std::int64_t>> blocks;  // (addr, bytes)
+  for (const Interval& p : placed) {
+    if (p.address < 0) continue;
+    if (p.end < want.start || p.start > want.end) continue;
+    blocks.emplace_back(p.address, p.bytes);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  std::int64_t cursor = 0;
+  for (const auto& [addr, bytes] : blocks) {
+    if (addr - cursor >= want.bytes) return cursor;
+    cursor = std::max(cursor, addr + bytes);
+  }
+  return cursor;
+}
+
+/// Parameter-layout optimization: first-fit-decreasing packing of weight
+/// tensors into 128 KiB cache banks, the way the vendor compiler arranges
+/// the on-chip parameter image.  Returns a layout checksum.
+std::uint64_t OptimizeParameterLayout(const graph::Dag& dag,
+                                      const std::vector<graph::NodeId>& ops) {
+  constexpr std::int64_t kBankBytes = 128 * 1024;
+  std::vector<std::pair<std::int64_t, graph::NodeId>> tensors;
+  tensors.reserve(ops.size());
+  for (const graph::NodeId v : ops) {
+    if (dag.Attr(v).param_bytes > 0) {
+      tensors.emplace_back(dag.Attr(v).param_bytes, v);
+    }
+  }
+  std::sort(tensors.begin(), tensors.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::int64_t> bank_free;
+  std::uint64_t checksum = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [bytes, v] : tensors) {
+    std::int64_t remaining = bytes;
+    while (remaining > 0) {
+      const std::int64_t chunk = std::min(remaining, kBankBytes);
+      bool placed = false;
+      for (std::size_t b = 0; b < bank_free.size(); ++b) {
+        if (bank_free[b] >= chunk) {
+          bank_free[b] -= chunk;
+          checksum ^= (static_cast<std::uint64_t>(v) << (b % 48)) + chunk;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        bank_free.push_back(kBankBytes - chunk);
+        checksum += static_cast<std::uint64_t>(chunk) * 0x100000001b3ULL;
+      }
+      remaining -= chunk;
+    }
+  }
+  return checksum;
+}
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t x) {
+  h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+CompiledSegment CompileSegment(const graph::Dag& dag,
+                               const std::vector<graph::NodeId>& ops) {
+  CompiledSegment out;
+  out.ops = ops;
+
+  // Position of each segment-local op.
+  std::unordered_map<graph::NodeId, int> pos;
+  pos.reserve(ops.size());
+  for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    if (!pos.emplace(ops[i], i).second) {
+      throw std::invalid_argument("CompileSegment: duplicate op in segment");
+    }
+  }
+
+  // Liveness: a tensor produced at position i lives until its last local
+  // consumer (or position i if it leaves the segment — it is stored out
+  // immediately).
+  std::vector<Interval> intervals;
+  intervals.reserve(ops.size());
+  for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    const graph::NodeId v = ops[i];
+    Interval iv;
+    iv.producer = v;
+    iv.start = i;
+    iv.end = i;
+    iv.bytes = dag.Attr(v).output_bytes;
+    for (const graph::NodeId c : dag.Children(v)) {
+      const auto it = pos.find(c);
+      if (it != pos.end()) iv.end = std::max(iv.end, it->second);
+    }
+    intervals.push_back(iv);
+  }
+
+  // Linear-scan first-fit allocation in position order.
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    intervals[i].address = FirstFit(intervals, intervals[i]);
+    out.scratch_bytes = std::max(out.scratch_bytes,
+                                 intervals[i].address + intervals[i].bytes);
+  }
+
+  // Lowering: parameter load, activation loads for cross-segment inputs,
+  // compute, store.  Parameter layout is a running offset (the cache image).
+  std::int64_t param_cursor = 0;
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+    const graph::NodeId v = ops[i];
+    const graph::OpAttr& attr = dag.Attr(v);
+
+    if (attr.param_bytes > 0) {
+      out.code.push_back({MicroInstruction::Kind::kLoadParams, v, param_cursor,
+                          attr.param_bytes});
+      param_cursor += attr.param_bytes;
+    }
+    for (const graph::NodeId p : dag.Parents(v)) {
+      if (pos.find(p) == pos.end()) {
+        out.code.push_back({MicroInstruction::Kind::kLoadActivation, p, 0,
+                            dag.Attr(p).output_bytes});
+      }
+    }
+    out.code.push_back({MicroInstruction::Kind::kCompute, v,
+                        intervals[i].address, attr.output_bytes});
+    bool leaves_segment = dag.Children(v).empty();
+    for (const graph::NodeId c : dag.Children(v)) {
+      if (pos.find(c) == pos.end()) leaves_segment = true;
+    }
+    if (leaves_segment) {
+      out.code.push_back({MicroInstruction::Kind::kStoreActivation, v,
+                          intervals[i].address, attr.output_bytes});
+    }
+    checksum = Mix(checksum, static_cast<std::uint64_t>(v));
+    checksum = Mix(checksum, static_cast<std::uint64_t>(intervals[i].address));
+  }
+  out.param_bytes = param_cursor;
+  out.checksum = checksum ^ OptimizeParameterLayout(dag, ops);
+  return out;
+}
+
+}  // namespace respect::heuristics

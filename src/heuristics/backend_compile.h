@@ -1,0 +1,50 @@
+// Mini compiler backend for Edge TPU submodels.
+//
+// The real Edge TPU compiler lowers each submodel to a proprietary
+// instruction stream, lays out parameters for the on-chip cache and
+// allocates scratch memory for activations.  Our substitute performs the
+// same classes of work — op lowering to micro-instructions, liveness
+// analysis, first-fit linear-scan tensor allocation, parameter layout — so
+// that (a) the deployment flow produces a concrete compiled artifact and
+// (b) the compiler's *solving cost* is honestly heavy, which is the paper's
+// Fig. 3 baseline behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace respect::heuristics {
+
+/// One lowered micro-instruction.
+struct MicroInstruction {
+  enum class Kind : std::uint8_t {
+    kLoadParams,
+    kLoadActivation,
+    kCompute,
+    kStoreActivation,
+  };
+  Kind kind = Kind::kCompute;
+  graph::NodeId node = graph::kInvalidNode;
+  std::int64_t address = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Result of compiling one pipeline segment.
+struct CompiledSegment {
+  std::vector<graph::NodeId> ops;       // in execution order
+  std::vector<MicroInstruction> code;   // lowered stream
+  std::int64_t param_bytes = 0;         // parameter footprint
+  std::int64_t scratch_bytes = 0;       // peak activation arena usage
+  std::uint64_t checksum = 0;           // layout checksum (determinism probe)
+};
+
+/// Compiles the subgraph induced by `ops` (must be closed under the
+/// segment's internal dependencies and given in a valid execution order
+/// relative to `dag`).  Runs lowering, liveness analysis and first-fit
+/// arena allocation.
+[[nodiscard]] CompiledSegment CompileSegment(const graph::Dag& dag,
+                                             const std::vector<graph::NodeId>& ops);
+
+}  // namespace respect::heuristics

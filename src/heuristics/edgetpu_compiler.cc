@@ -1,0 +1,144 @@
+#include "heuristics/edgetpu_compiler.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topology.h"
+#include "heuristics/backend_compile.h"
+
+namespace respect::heuristics {
+namespace {
+
+/// Cache-oblivious latency estimate of one compiled segment, microseconds.
+/// Mirrors the vendor tool's internal model: systolic compute plus boundary
+/// activation transfers, assuming all parameters are cache-resident — the
+/// very assumption that breaks on overflowing stages (§IV-A
+/// "performance modeling miscorrelation").
+double EstimateSegmentUs(const graph::Dag& dag, const CompiledSegment& seg) {
+  constexpr double kMacsPerUs = 2.0e6;       // 4 TOPS int8 ≈ 2e12 MAC/s
+  constexpr double kUsbBytesPerUs = 335.5;   // USB 3.0 effective ≈ 320 MiB/s
+  double us = 0.0;
+  for (const MicroInstruction& mi : seg.code) {
+    switch (mi.kind) {
+      case MicroInstruction::Kind::kCompute:
+        us += static_cast<double>(dag.Attr(mi.node).macs) / kMacsPerUs;
+        break;
+      case MicroInstruction::Kind::kLoadActivation:
+      case MicroInstruction::Kind::kStoreActivation:
+        us += static_cast<double>(mi.bytes) / kUsbBytesPerUs;
+        break;
+      case MicroInstruction::Kind::kLoadParams:
+        break;  // assumed cached — the miscorrelation
+    }
+  }
+  return us;
+}
+
+}  // namespace
+
+EdgeTpuCompileResult CompileForPipeline(const graph::Dag& dag,
+                                        const EdgeTpuCompilerConfig& config) {
+  dag.Validate();
+  const int n = dag.NodeCount();
+  const int stages = config.num_stages;
+  if (n < stages) {
+    throw std::invalid_argument("CompileForPipeline: |V| < num_stages");
+  }
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+
+  // Initial split: roughly equal *parameter data size* per segment, walking
+  // the model's own order (the coral.ai documented behaviour of
+  // `--num_segments`).
+  std::vector<int> cut(stages + 1, 0);
+  cut[stages] = n;
+  {
+    const std::int64_t total = dag.TotalParamBytes();
+    std::int64_t cumulative = 0;
+    int k = 1;
+    for (int i = 0; i < n && k < stages; ++i) {
+      cumulative += dag.Attr(topo.order[i]).param_bytes;
+      if (cumulative * stages >= total * static_cast<std::int64_t>(k) &&
+          i + 1 <= n - (stages - k)) {
+        cut[k++] = i + 1;
+      }
+    }
+    for (; k < stages; ++k) cut[k] = std::max(cut[k - 1] + 1, n - (stages - k));
+  }
+
+  EdgeTpuCompileResult result;
+  std::vector<double> est(stages, 0.0);
+
+  // Compiles segment k at the given boundaries; every call runs the full
+  // backend (lowering + liveness + arena allocation), `compile_passes`
+  // times, exactly like the vendor tool's repeated fitting passes.
+  const auto compile_segment = [&](const std::vector<int>& cuts,
+                                   int k) -> double {
+    const std::vector<graph::NodeId> ops(topo.order.begin() + cuts[k],
+                                         topo.order.begin() + cuts[k + 1]);
+    CompiledSegment seg;
+    for (int pass = 0; pass < config.compile_passes; ++pass) {
+      seg = CompileSegment(dag, ops);
+      result.ops_compiled += static_cast<std::int64_t>(ops.size());
+    }
+    return EstimateSegmentUs(dag, seg);
+  };
+
+  for (int k = 0; k < stages; ++k) est[k] = compile_segment(cut, k);
+
+  // Profiling refinement (partition_with_profiling): hill-climb on the
+  // *estimated latency* spread.  Each candidate boundary shift triggers a
+  // full pipeline recompile — every `edgetpu_compiler` invocation of the
+  // real tool recompiles all segments — which is what makes the loop
+  // expensive.  No early exit: the tool keeps probing within its diff
+  // tolerance for the whole budget.
+  const int rounds = config.refinement_rounds > 0
+                         ? config.refinement_rounds
+                         : std::max(6, n / 10);
+  constexpr int kMaxShift = 3;
+  for (int round = 0; round < rounds; ++round) {
+    ++result.rounds_executed;
+    const double current_worst = *std::max_element(est.begin(), est.end());
+
+    double best_worst = current_worst;
+    std::vector<int> best_cut;
+    std::vector<double> best_est;
+    for (int b = 1; b < stages; ++b) {
+      for (int shift = -kMaxShift; shift <= kMaxShift; ++shift) {
+        if (shift == 0) continue;
+        std::vector<int> cand = cut;
+        cand[b] += shift;
+        if (cand[b] <= cand[b - 1] || cand[b] >= cand[b + 1]) continue;
+        std::vector<double> cand_est(stages);
+        for (int k = 0; k < stages; ++k) {
+          cand_est[k] = compile_segment(cand, k);
+        }
+        const double worst =
+            *std::max_element(cand_est.begin(), cand_est.end());
+        if (worst < best_worst) {
+          best_worst = worst;
+          best_cut = std::move(cand);
+          best_est = std::move(cand_est);
+        }
+      }
+    }
+    if (!best_cut.empty()) {
+      cut = std::move(best_cut);
+      est = std::move(best_est);
+    }
+    // At a local optimum the real tool still recompiles while tightening its
+    // tolerance; we keep burning the same per-round compile budget.
+  }
+
+  result.schedule.num_stages = stages;
+  result.schedule.stage.assign(n, 0);
+  for (int k = 0; k < stages; ++k) {
+    for (int i = cut[k]; i < cut[k + 1]; ++i) {
+      result.schedule.stage[topo.order[i]] = k;
+    }
+  }
+  result.estimated_stage_us = est;
+  return result;
+}
+
+}  // namespace respect::heuristics

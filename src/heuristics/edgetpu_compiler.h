@@ -1,0 +1,54 @@
+// Edge TPU compiler substitute — the paper's commercial-compiler baseline.
+//
+// The closed-source Google Edge TPU compiler pipelines a model by cutting it
+// into `num_segments` sub-models.  Publicly documented behaviour that this
+// substitute reproduces:
+//  * the initial split balances *operation counts*, not parameter memory
+//    (coral.ai documents that segments "contain roughly equal amounts of
+//    ops"), so heavy stages can overflow the 8 MiB parameter cache;
+//  * the `partition_with_profiling` tool then iterates: compile every
+//    segment, profile, move ops from the slowest segment to a neighbour,
+//    recompile — an expensive loop dominated by repeated compilation;
+//  * its internal latency estimate ignores the cache-overflow penalty (the
+//    "performance-modeling miscorrelation" of §IV-A), which is exactly why
+//    memory-aware schedulers beat it on-chip.
+//
+// Each refinement round really recompiles the affected segments with the
+// mini backend (backend_compile.h), so solving time scales like the real
+// tool's — this is the Fig. 3 runtime baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::heuristics {
+
+struct EdgeTpuCompilerConfig {
+  int num_stages = 4;
+
+  /// Profile-and-rebalance rounds; 0 selects the auto budget
+  /// max(8, |V|/8), approximating the real tool's run-until-converged loop.
+  int refinement_rounds = 0;
+
+  /// Number of compile passes per segment per evaluation (the real compiler
+  /// runs multiple fitting passes when a segment overflows).
+  int compile_passes = 6;
+};
+
+struct EdgeTpuCompileResult {
+  sched::Schedule schedule;
+
+  /// Internal (cache-oblivious) latency estimate per stage, microseconds —
+  /// what the profiling loop balanced.
+  std::vector<double> estimated_stage_us;
+
+  int rounds_executed = 0;
+  std::int64_t ops_compiled = 0;  // total ops pushed through the backend
+};
+
+[[nodiscard]] EdgeTpuCompileResult CompileForPipeline(
+    const graph::Dag& dag, const EdgeTpuCompilerConfig& config);
+
+}  // namespace respect::heuristics

@@ -1,0 +1,129 @@
+#include "heuristics/force_directed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topology.h"
+#include "sched/postprocess.h"
+
+namespace respect::heuristics {
+namespace {
+
+/// Feasible stage window of every node given current commitments: forward
+/// pass propagates committed/min stages, backward pass the max stages.
+struct Windows {
+  std::vector<int> lo;
+  std::vector<int> hi;
+};
+
+Windows ComputeWindows(const graph::Dag& dag, const graph::TopoInfo& topo,
+                       const std::vector<int>& committed, int num_stages) {
+  const int n = dag.NodeCount();
+  Windows w;
+  w.lo.assign(n, 0);
+  w.hi.assign(n, num_stages - 1);
+
+  // Map ASAP/ALAP levels proportionally into the stage axis as the initial
+  // window, then tighten with dependencies and commitments.
+  const int depth = topo.depth;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    w.lo[v] = static_cast<int>((static_cast<std::int64_t>(topo.asap_level[v]) *
+                                num_stages) /
+                               depth);
+    w.hi[v] = static_cast<int>((static_cast<std::int64_t>(topo.alap_level[v]) *
+                                num_stages) /
+                               depth);
+  }
+  for (const graph::NodeId v : topo.order) {
+    if (committed[v] >= 0) w.lo[v] = w.hi[v] = committed[v];
+    for (const graph::NodeId p : dag.Parents(v)) {
+      w.lo[v] = std::max(w.lo[v], w.lo[p]);
+    }
+    w.hi[v] = std::max(w.hi[v], w.lo[v]);
+  }
+  for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
+    const graph::NodeId v = *it;
+    if (committed[v] >= 0) w.lo[v] = w.hi[v] = committed[v];
+    for (const graph::NodeId c : dag.Children(v)) {
+      w.hi[v] = std::min(w.hi[v], w.hi[c]);
+    }
+    w.lo[v] = std::min(w.lo[v], w.hi[v]);
+  }
+  return w;
+}
+
+/// Distribution graph: expected parameter mass per stage when every node
+/// spreads uniformly over its window.
+std::vector<double> Distribution(const graph::Dag& dag, const Windows& w,
+                                 int num_stages) {
+  std::vector<double> dg(num_stages, 0.0);
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    const int width = w.hi[v] - w.lo[v] + 1;
+    const double share =
+        static_cast<double>(dag.Attr(v).param_bytes) / width;
+    for (int k = w.lo[v]; k <= w.hi[v]; ++k) dg[k] += share;
+  }
+  return dg;
+}
+
+}  // namespace
+
+sched::Schedule ForceDirectedSchedule(const graph::Dag& dag, int num_stages) {
+  dag.Validate();
+  const int n = dag.NodeCount();
+  if (n < num_stages) {
+    throw std::invalid_argument("ForceDirectedSchedule: |V| < num_stages");
+  }
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+
+  std::vector<int> committed(n, -1);
+  for (int round = 0; round < n; ++round) {
+    const Windows w = ComputeWindows(dag, topo, committed, num_stages);
+    const std::vector<double> dg = Distribution(dag, w, num_stages);
+
+    // Pick the uncommitted (node, stage) with the lowest self force =
+    // dg[k] increase of moving the node's whole mass to k.
+    double best_force = std::numeric_limits<double>::infinity();
+    graph::NodeId best_node = graph::kInvalidNode;
+    int best_stage = -1;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (committed[v] >= 0) continue;
+      const int width = w.hi[v] - w.lo[v] + 1;
+      const double mass = static_cast<double>(dag.Attr(v).param_bytes);
+      const double share = mass / width;
+      for (int k = w.lo[v]; k <= w.hi[v]; ++k) {
+        // Self force relative to the node's current expected placement.
+        double force = (mass - share) * dg[k];
+        for (int j = w.lo[v]; j <= w.hi[v]; ++j) {
+          if (j != k) force -= share * dg[j] / width;
+        }
+        if (force < best_force ||
+            (force == best_force && v < best_node)) {
+          best_force = force;
+          best_node = v;
+          best_stage = k;
+        }
+      }
+    }
+    if (best_node == graph::kInvalidNode) break;
+    committed[best_node] = best_stage;
+  }
+
+  sched::Schedule sched;
+  sched.num_stages = num_stages;
+  sched.stage.assign(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    sched.stage[v] = committed[v] >= 0 ? committed[v] : 0;
+  }
+  // Windows guarantee dependency feasibility, but repair defensively and fill
+  // any stage left empty by tight windows.
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = num_stages;
+  sched::PostProcess(dag, constraints, sched);
+  return sched;
+}
+
+}  // namespace respect::heuristics

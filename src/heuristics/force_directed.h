@@ -1,0 +1,20 @@
+// Force-directed scheduling (Paulin & Knight [12]) adapted to pipeline
+// memory balancing.
+//
+// Each node has a feasible stage window derived from its ASAP/ALAP levels.
+// The distribution graph spreads a node's parameter mass uniformly over its
+// window; the force of committing node v to stage k measures how much that
+// commitment (plus the implied window tightening of its neighbours) pushes
+// the distribution away from uniform.  Nodes are committed lowest-force
+// first, which balances per-stage memory while honouring dependencies.
+#pragma once
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::heuristics {
+
+[[nodiscard]] sched::Schedule ForceDirectedSchedule(const graph::Dag& dag,
+                                                    int num_stages);
+
+}  // namespace respect::heuristics

@@ -1,0 +1,70 @@
+#include "heuristics/hu_scheduler.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "exact/dp_partitioner.h"
+#include "graph/topology.h"
+
+namespace respect::heuristics {
+
+sched::Schedule HuLevelSchedule(const graph::Dag& dag, int num_stages) {
+  dag.Validate();
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  if (topo.depth < num_stages) {
+    // Fewer levels than stages: level bands cannot fill every stage; fall
+    // back to the contiguous-order partition.
+    return exact::PartitionDefaultOrder(dag, num_stages).schedule;
+  }
+
+  // Weight of each ASAP level.
+  const int depth = topo.depth;
+  std::vector<std::int64_t> level_weight(depth, 0);
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    level_weight[topo.asap_level[v]] += dag.Attr(v).param_bytes;
+  }
+  std::vector<std::int64_t> prefix(depth + 1, 0);
+  for (int i = 0; i < depth; ++i) prefix[i + 1] = prefix[i] + level_weight[i];
+
+  // Exact min-bottleneck partition of the level sequence into exactly
+  // num_stages non-empty bands: dp[k][i] = best achievable bottleneck for
+  // the first i levels in k bands.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 2;
+  std::vector<std::vector<std::int64_t>> dp(
+      num_stages + 1, std::vector<std::int64_t>(depth + 1, kInf));
+  std::vector<std::vector<int>> parent(num_stages + 1,
+                                       std::vector<int>(depth + 1, -1));
+  dp[0][0] = 0;
+  for (int k = 1; k <= num_stages; ++k) {
+    for (int i = k; i <= depth; ++i) {
+      for (int j = k - 1; j < i; ++j) {
+        if (dp[k - 1][j] >= kInf) continue;
+        const std::int64_t cand =
+            std::max(dp[k - 1][j], prefix[i] - prefix[j]);
+        if (cand < dp[k][i]) {
+          dp[k][i] = cand;
+          parent[k][i] = j;
+        }
+      }
+    }
+  }
+
+  std::vector<int> level_stage(depth, 0);
+  int i = depth;
+  for (int k = num_stages; k >= 1; --k) {
+    const int j = parent[k][i];
+    for (int lvl = j; lvl < i; ++lvl) level_stage[lvl] = k - 1;
+    i = j;
+  }
+
+  sched::Schedule sched;
+  sched.num_stages = num_stages;
+  sched.stage.resize(dag.NodeCount());
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    sched.stage[v] = level_stage[topo.asap_level[v]];
+  }
+  return sched;
+}
+
+}  // namespace respect::heuristics

@@ -1,0 +1,18 @@
+// Hu-style level scheduling for pipeline partitioning.
+//
+// Hu's algorithm (cited by the paper among the classic RCS heuristics)
+// schedules by topological levels.  The pipeline adaptation groups the ASAP
+// levels into `num_stages` contiguous bands; the band boundaries are chosen
+// by the exact min-bottleneck partition of the per-level parameter weights,
+// so the heuristic is "optimal among level-respecting schedules".
+#pragma once
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::heuristics {
+
+[[nodiscard]] sched::Schedule HuLevelSchedule(const graph::Dag& dag,
+                                              int num_stages);
+
+}  // namespace respect::heuristics

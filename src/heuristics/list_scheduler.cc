@@ -1,0 +1,68 @@
+#include "heuristics/list_scheduler.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace respect::heuristics {
+
+sched::Schedule ListSchedule(const graph::Dag& dag, int num_stages) {
+  dag.Validate();
+  const int n = dag.NodeCount();
+  if (n < num_stages) {
+    throw std::invalid_argument("ListSchedule: |V| < num_stages");
+  }
+  const std::vector<std::int64_t> priority = graph::CriticalPathMacs(dag);
+  const std::int64_t total = dag.TotalParamBytes();
+
+  // Max-heap on (critical path, then smaller id for determinism).
+  const auto cmp = [&](graph::NodeId a, graph::NodeId b) {
+    if (priority[a] != priority[b]) return priority[a] < priority[b];
+    return a > b;
+  };
+  std::priority_queue<graph::NodeId, std::vector<graph::NodeId>,
+                      decltype(cmp)>
+      ready(cmp);
+
+  std::vector<int> indeg(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<int>(dag.Parents(v).size());
+    if (indeg[v] == 0) ready.push(v);
+  }
+
+  sched::Schedule sched;
+  sched.num_stages = num_stages;
+  sched.stage.assign(n, 0);
+
+  int stage = 0;
+  std::int64_t cumulative = 0;
+  int placed = 0;
+  while (!ready.empty()) {
+    const graph::NodeId v = ready.top();
+    ready.pop();
+    sched.stage[v] = stage;
+    cumulative += dag.Attr(v).param_bytes;
+    ++placed;
+    const int remaining = n - placed;
+    const bool share_filled =
+        total > 0 &&
+        cumulative * num_stages >= total * static_cast<std::int64_t>(stage + 1);
+    const bool must_advance = remaining <= (num_stages - 1 - stage);
+    if (stage < num_stages - 1 && (share_filled || must_advance) &&
+        remaining > 0) {
+      ++stage;
+    }
+    for (const graph::NodeId c : dag.Children(v)) {
+      if (--indeg[c] == 0) ready.push(c);
+    }
+  }
+  if (placed != n) {
+    throw std::logic_error("ListSchedule: graph was not fully scheduled");
+  }
+  return sched;
+}
+
+}  // namespace respect::heuristics

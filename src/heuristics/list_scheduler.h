@@ -1,0 +1,20 @@
+// List scheduling adapted to pipeline-stage partitioning.
+//
+// Classic list scheduling (Yang & Gerasoulis [19], cited by the paper as a
+// canonical RCS heuristic) keeps a ready list ordered by priority and packs
+// the highest-priority ready operator into the current resource until its
+// budget is exhausted.  Here the "resource" is a pipeline stage with a
+// parameter-memory budget of total/num_stages; the priority is the
+// critical-path length in MACs.  Assigning only ready nodes makes the
+// result dependency-monotone by construction.
+#pragma once
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::heuristics {
+
+[[nodiscard]] sched::Schedule ListSchedule(const graph::Dag& dag,
+                                           int num_stages);
+
+}  // namespace respect::heuristics

@@ -1,0 +1,75 @@
+#include "ilp/model.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace respect::ilp {
+
+VarId Model::AddBinaryVar(std::string name) {
+  vars_.push_back(Variable{std::move(name), 0, 1});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId Model::AddIntegerVar(std::string name, std::int64_t lower,
+                           std::int64_t upper) {
+  if (lower > upper) {
+    throw std::invalid_argument("AddIntegerVar: lower > upper for " + name);
+  }
+  vars_.push_back(Variable{std::move(name), lower, upper});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void Model::AddConstraint(std::string name, std::vector<LinearTerm> terms,
+                          Sense sense, double rhs) {
+  for (const LinearTerm& t : terms) {
+    if (t.var < 0 || t.var >= NumVars()) {
+      throw std::invalid_argument("AddConstraint: unknown variable in " + name);
+    }
+  }
+  constraints_.push_back(Constraint{std::move(name), std::move(terms), sense, rhs});
+}
+
+void Model::SetObjective(std::vector<LinearTerm> terms, bool minimize) {
+  for (const LinearTerm& t : terms) {
+    if (t.var < 0 || t.var >= NumVars()) {
+      throw std::invalid_argument("SetObjective: unknown variable");
+    }
+  }
+  objective_ = std::move(terms);
+  minimize_ = minimize;
+}
+
+void Model::WriteLp(std::ostream& os) const {
+  os << (minimize_ ? "Minimize\n obj:" : "Maximize\n obj:");
+  for (const LinearTerm& t : objective_) {
+    os << (t.coeff >= 0 ? " + " : " - ")
+       << (t.coeff >= 0 ? t.coeff : -t.coeff) << " " << vars_[t.var].name;
+  }
+  os << "\nSubject To\n";
+  for (const Constraint& c : constraints_) {
+    os << " " << c.name << ":";
+    for (const LinearTerm& t : c.terms) {
+      os << (t.coeff >= 0 ? " + " : " - ")
+         << (t.coeff >= 0 ? t.coeff : -t.coeff) << " " << vars_[t.var].name;
+    }
+    switch (c.sense) {
+      case Sense::kLe: os << " <= "; break;
+      case Sense::kGe: os << " >= "; break;
+      case Sense::kEq: os << " = "; break;
+    }
+    os << c.rhs << "\n";
+  }
+  os << "Bounds\n";
+  for (const Variable& v : vars_) {
+    if (!v.IsBinary()) {
+      os << " " << v.lower << " <= " << v.name << " <= " << v.upper << "\n";
+    }
+  }
+  os << "Binaries\n";
+  for (const Variable& v : vars_) {
+    if (v.IsBinary()) os << " " << v.name << "\n";
+  }
+  os << "End\n";
+}
+
+}  // namespace respect::ilp

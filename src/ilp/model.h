@@ -1,0 +1,83 @@
+// Minimal 0/1 / integer linear program model.
+//
+// The paper solves scheduling exactly by mapping it to an ILP and handing it
+// to IBM ILOG CPLEX.  This module provides the same workflow offline: a
+// Model records variables, linear constraints and a linear objective, can
+// serialize itself in CPLEX LP format (WriteLp) and is solved by the
+// branch-and-bound engine in solver.h.  scheduling_ilp.h builds the paper's
+// formulation on top of it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace respect::ilp {
+
+using VarId = int;
+
+enum class Sense { kLe, kGe, kEq };
+
+struct LinearTerm {
+  VarId var = -1;
+  double coeff = 0.0;
+};
+
+struct Constraint {
+  std::string name;
+  std::vector<LinearTerm> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+struct Variable {
+  std::string name;
+  std::int64_t lower = 0;
+  std::int64_t upper = 1;
+  [[nodiscard]] bool IsBinary() const { return lower == 0 && upper == 1; }
+};
+
+/// A linear program over integer variables.  All variables are integral
+/// (this is a pure ILP engine; the scheduling formulation needs nothing
+/// else).
+class Model {
+ public:
+  /// Adds a binary variable and returns its id.
+  VarId AddBinaryVar(std::string name);
+
+  /// Adds a bounded integer variable.
+  VarId AddIntegerVar(std::string name, std::int64_t lower, std::int64_t upper);
+
+  /// Adds `sum(terms) sense rhs`.  Term variable ids must exist.
+  void AddConstraint(std::string name, std::vector<LinearTerm> terms,
+                     Sense sense, double rhs);
+
+  /// Sets the objective; `minimize` selects the direction.
+  void SetObjective(std::vector<LinearTerm> terms, bool minimize);
+
+  [[nodiscard]] int NumVars() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] int NumConstraints() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const Variable& Var(VarId id) const { return vars_.at(id); }
+  [[nodiscard]] const std::vector<Constraint>& Constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] const std::vector<LinearTerm>& Objective() const {
+    return objective_;
+  }
+  [[nodiscard]] bool Minimize() const { return minimize_; }
+
+  /// Serializes in CPLEX LP file format (readable by CPLEX/Gurobi/SCIP, and
+  /// by humans in tests).
+  void WriteLp(std::ostream& os) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> constraints_;
+  std::vector<LinearTerm> objective_;
+  bool minimize_ = true;
+};
+
+}  // namespace respect::ilp

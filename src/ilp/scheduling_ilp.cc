@@ -1,0 +1,142 @@
+#include "ilp/scheduling_ilp.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "exact/bnb_scheduler.h"
+#include "ilp/solver.h"
+
+namespace respect::ilp {
+
+SchedulingVars BuildSchedulingModel(const graph::Dag& dag, int num_stages,
+                                    Model& model) {
+  dag.Validate();
+  if (num_stages < 1) {
+    throw std::invalid_argument("BuildSchedulingModel: num_stages < 1");
+  }
+  SchedulingVars vars;
+  vars.num_stages = num_stages;
+  vars.x.reserve(static_cast<std::size_t>(dag.NodeCount()) * num_stages);
+
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    for (int k = 0; k < num_stages; ++k) {
+      vars.x.push_back(model.AddBinaryVar(
+          "x_" + std::to_string(v) + "_" + std::to_string(k)));
+    }
+  }
+  vars.z = model.AddIntegerVar("z", 0, dag.TotalParamBytes());
+
+  // (1) each node on exactly one stage
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    std::vector<LinearTerm> terms;
+    for (int k = 0; k < num_stages; ++k) {
+      terms.push_back({vars.X(v, k), 1.0});
+    }
+    model.AddConstraint("assign_" + std::to_string(v), std::move(terms),
+                        Sense::kEq, 1.0);
+  }
+
+  // (2) precedence: stage(u) <= stage(v)
+  int ei = 0;
+  for (const graph::Edge& e : dag.Edges()) {
+    std::vector<LinearTerm> terms;
+    for (int k = 1; k < num_stages; ++k) {
+      terms.push_back({vars.X(e.from, k), static_cast<double>(k)});
+      terms.push_back({vars.X(e.to, k), -static_cast<double>(k)});
+    }
+    model.AddConstraint("prec_" + std::to_string(ei++), std::move(terms),
+                        Sense::kLe, 0.0);
+  }
+
+  // (3) per-stage parameter load below the peak variable
+  for (int k = 0; k < num_stages; ++k) {
+    std::vector<LinearTerm> terms;
+    for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+      const double m = static_cast<double>(dag.Attr(v).param_bytes);
+      if (m > 0) terms.push_back({vars.X(v, k), m});
+    }
+    terms.push_back({vars.z, -1.0});
+    model.AddConstraint("peak_" + std::to_string(k), std::move(terms),
+                        Sense::kLe, 0.0);
+  }
+
+  // (4) no empty stage
+  for (int k = 0; k < num_stages; ++k) {
+    std::vector<LinearTerm> terms;
+    for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+      terms.push_back({vars.X(v, k), 1.0});
+    }
+    model.AddConstraint("nonempty_" + std::to_string(k), std::move(terms),
+                        Sense::kGe, 1.0);
+  }
+
+  model.SetObjective({{vars.z, 1.0}}, /*minimize=*/true);
+  return vars;
+}
+
+sched::Schedule ExtractSchedule(const graph::Dag& dag,
+                                const SchedulingVars& vars,
+                                const std::vector<std::int64_t>& values) {
+  sched::Schedule s;
+  s.num_stages = vars.num_stages;
+  s.stage.assign(dag.NodeCount(), -1);
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    for (int k = 0; k < vars.num_stages; ++k) {
+      if (values.at(vars.X(v, k)) == 1) {
+        if (s.stage[v] != -1) {
+          throw std::logic_error("ExtractSchedule: node on two stages");
+        }
+        s.stage[v] = k;
+      }
+    }
+    if (s.stage[v] == -1) {
+      throw std::logic_error("ExtractSchedule: node unassigned");
+    }
+  }
+  return s;
+}
+
+IlpScheduleResult SolveSchedulingIlp(const graph::Dag& dag,
+                                     const IlpScheduleConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  IlpScheduleResult result;
+
+  const std::int64_t num_x =
+      static_cast<std::int64_t>(dag.NodeCount()) * config.num_stages;
+  if (num_x <= config.generic_engine_var_limit) {
+    Model model;
+    const SchedulingVars vars =
+        BuildSchedulingModel(dag, config.num_stages, model);
+    SolverConfig solver_config;
+    solver_config.max_nodes = config.max_nodes;
+    solver_config.time_limit_seconds = config.time_limit_seconds;
+    const Solution sol = SolveBranchAndBound(model, solver_config);
+    if (!sol.feasible) {
+      throw std::logic_error("SolveSchedulingIlp: infeasible model (|V| >= "
+                             "num_stages should guarantee feasibility)");
+    }
+    result.schedule = ExtractSchedule(dag, vars, sol.values);
+    result.objective = sched::Evaluate(dag, result.schedule);
+    result.proved_optimal = sol.proved_optimal;
+    result.used_generic_engine = true;
+  } else {
+    exact::BnbConfig bnb;
+    bnb.num_stages = config.num_stages;
+    bnb.require_nonempty = true;
+    bnb.max_expansions = config.max_nodes;
+    bnb.time_limit_seconds = config.time_limit_seconds;
+    const exact::BnbResult bnb_result = exact::SolveExact(dag, bnb);
+    result.schedule = bnb_result.schedule;
+    result.objective = bnb_result.objective;
+    result.proved_optimal = bnb_result.proved_optimal;
+    result.used_generic_engine = false;
+  }
+
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace respect::ilp

@@ -1,0 +1,74 @@
+// The paper's ILP formulation of pipeline scheduling, and the exact-method
+// entry point the experiments call (the "CPLEX role").
+//
+// Formulation (following [21] / [24] as cited by the paper):
+//   binaries x[v][k]  — node v runs on stage k
+//   integer  z        — peak per-stage parameter bytes (objective)
+//   (1) assignment     sum_k x[v][k] == 1                      for all v
+//   (2) precedence     sum_k k*x[u][k] <= sum_k k*x[v][k]      for (u,v) in E
+//   (3) peak memory    sum_v m_v * x[v][k] <= z                for all k
+//   (4) non-empty      sum_v x[v][k] >= 1                      for all k
+//   objective: minimize z
+//
+// SolveSchedulingIlp builds this model.  Small instances go through the
+// generic branch-and-bound of solver.h directly on the ILP; larger instances
+// are dispatched to the structure-aware exact engine (src/exact), which
+// searches the identical feasible set and objective — the tests assert both
+// paths return the same optimum on overlapping sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dag.h"
+#include "ilp/model.h"
+#include "sched/schedule.h"
+
+namespace respect::ilp {
+
+/// Mapping from (node, stage) to the x variable id, plus the z variable.
+struct SchedulingVars {
+  int num_stages = 0;
+  std::vector<VarId> x;  // x[v * num_stages + k]
+  VarId z = -1;
+
+  [[nodiscard]] VarId X(graph::NodeId v, int k) const {
+    return x[static_cast<std::size_t>(v) * num_stages + k];
+  }
+};
+
+/// Builds the formulation above into `model`.
+[[nodiscard]] SchedulingVars BuildSchedulingModel(const graph::Dag& dag,
+                                                  int num_stages, Model& model);
+
+struct IlpScheduleResult {
+  sched::Schedule schedule;
+  sched::ObjectiveValue objective;
+  bool proved_optimal = false;
+  double solve_seconds = 0.0;
+
+  /// Which engine solved it: true when the generic Model-level B&B ran,
+  /// false when the structure-aware engine was dispatched.
+  bool used_generic_engine = false;
+};
+
+struct IlpScheduleConfig {
+  int num_stages = 4;
+
+  /// Instances with at most this many x variables use the generic engine.
+  int generic_engine_var_limit = 48;
+
+  /// Budgets forwarded to whichever engine runs.
+  std::int64_t max_nodes = 20'000'000;
+  double time_limit_seconds = 0.0;
+};
+
+/// Exact scheduling via the ILP route.
+[[nodiscard]] IlpScheduleResult SolveSchedulingIlp(const graph::Dag& dag,
+                                                   const IlpScheduleConfig& config);
+
+/// Extracts a Schedule from a feasible assignment of the model variables.
+[[nodiscard]] sched::Schedule ExtractSchedule(const graph::Dag& dag,
+                                              const SchedulingVars& vars,
+                                              const std::vector<std::int64_t>& values);
+
+}  // namespace respect::ilp

@@ -1,0 +1,272 @@
+#include "ilp/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace respect::ilp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kTol = 1e-9;
+
+/// Per-constraint activity bookkeeping: the reachable [min, max] activity
+/// given currently fixed variables.  Fixing a variable tightens both ends.
+struct ActivityBounds {
+  std::vector<double> min_activity;
+  std::vector<double> max_activity;
+};
+
+class Search {
+ public:
+  Search(const Model& model, const SolverConfig& config)
+      : model_(model), config_(config) {
+    const int nv = model_.NumVars();
+    values_.assign(nv, 0);
+    fixed_.assign(nv, false);
+
+    bounds_.min_activity.assign(model_.NumConstraints(), 0.0);
+    bounds_.max_activity.assign(model_.NumConstraints(), 0.0);
+    for (int ci = 0; ci < model_.NumConstraints(); ++ci) {
+      for (const LinearTerm& t : model_.Constraints()[ci].terms) {
+        const Variable& v = model_.Var(t.var);
+        const double lo = t.coeff * static_cast<double>(v.lower);
+        const double hi = t.coeff * static_cast<double>(v.upper);
+        bounds_.min_activity[ci] += std::min(lo, hi);
+        bounds_.max_activity[ci] += std::max(lo, hi);
+      }
+    }
+    // Optimistic objective contribution of each free variable.
+    obj_coeff_.assign(nv, 0.0);
+    for (const LinearTerm& t : model_.Objective()) obj_coeff_[t.var] += t.coeff;
+
+    // Constraints touching each variable, for incremental updates.
+    var_constraints_.assign(nv, {});
+    for (int ci = 0; ci < model_.NumConstraints(); ++ci) {
+      for (const LinearTerm& t : model_.Constraints()[ci].terms) {
+        var_constraints_[t.var].push_back(
+            {ci, t.coeff});
+      }
+    }
+  }
+
+  Solution Run() {
+    start_ = Clock::now();
+    double optimistic = 0.0;
+    for (int v = 0; v < model_.NumVars(); ++v) {
+      optimistic += FreeContribution(v);
+    }
+    Dfs(0, optimistic);
+    Solution s;
+    s.feasible = found_;
+    s.proved_optimal = found_ && !budget_hit_;
+    s.objective = best_obj_;
+    s.values = best_values_;
+    s.nodes_explored = nodes_;
+    return s;
+  }
+
+ private:
+  /// Best possible (for minimization) objective contribution of a free var.
+  double FreeContribution(VarId v) const {
+    const Variable& var = model_.Var(v);
+    const double sign = model_.Minimize() ? 1.0 : -1.0;
+    const double lo = obj_coeff_[v] * static_cast<double>(var.lower);
+    const double hi = obj_coeff_[v] * static_cast<double>(var.upper);
+    return sign * std::min(sign * lo, sign * hi);
+  }
+
+  bool ConstraintsSatisfiable() const {
+    for (int ci = 0; ci < model_.NumConstraints(); ++ci) {
+      const Constraint& c = model_.Constraints()[ci];
+      switch (c.sense) {
+        case Sense::kLe:
+          if (bounds_.min_activity[ci] > c.rhs + kTol) return false;
+          break;
+        case Sense::kGe:
+          if (bounds_.max_activity[ci] < c.rhs - kTol) return false;
+          break;
+        case Sense::kEq:
+          if (bounds_.min_activity[ci] > c.rhs + kTol ||
+              bounds_.max_activity[ci] < c.rhs - kTol) {
+            return false;
+          }
+          break;
+      }
+    }
+    return true;
+  }
+
+  bool BudgetExceeded() {
+    if (budget_hit_) return true;
+    if (config_.max_nodes > 0 && nodes_ >= config_.max_nodes) {
+      budget_hit_ = true;
+      return true;
+    }
+    if (config_.time_limit_seconds > 0 && (nodes_ & 0x3FF) == 0) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start_).count();
+      if (elapsed >= config_.time_limit_seconds) {
+        budget_hit_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// `optimistic` is the best reachable objective value of this subtree
+  /// (fixed contributions + optimistic free contributions).
+  void Dfs(VarId v, double optimistic) {
+    if (BudgetExceeded()) return;
+    ++nodes_;
+    if (!ConstraintsSatisfiable()) return;
+    const double sign = model_.Minimize() ? 1.0 : -1.0;
+    if (found_ && sign * optimistic >= sign * best_obj_ - kTol) return;
+
+    if (v == model_.NumVars()) {
+      // All constraints have min==max activity now, so satisfiable implies
+      // satisfied.
+      found_ = true;
+      best_obj_ = ObjectiveOf(model_, values_);
+      best_values_ = values_;
+      return;
+    }
+
+    const Variable& var = model_.Var(v);
+    std::vector<std::int64_t> domain;
+    if (v == model_.NumVars() - 1 && var.upper - var.lower > 64) {
+      // Last unfixed variable with a wide domain (e.g. the peak-memory
+      // variable z of the scheduling model): every other variable is fixed,
+      // so each constraint pins an exact interval for this one — evaluate
+      // only the objective-best feasible value instead of enumerating.
+      std::int64_t lo = var.lower;
+      std::int64_t hi = var.upper;
+      for (const auto& [ci, coeff] : var_constraints_[v]) {
+        const Constraint& c = model_.Constraints()[ci];
+        // Rest activity is exact: subtract this var's optimistic term.
+        const double vlo = coeff * static_cast<double>(var.lower);
+        const double vhi = coeff * static_cast<double>(var.upper);
+        const double rest = bounds_.min_activity[ci] - std::min(vlo, vhi);
+        const double slack = c.rhs - rest;
+        if (c.sense == Sense::kLe || c.sense == Sense::kEq) {
+          if (coeff > 0) {
+            hi = std::min(hi, static_cast<std::int64_t>(
+                                  std::floor(slack / coeff + kTol)));
+          } else if (coeff < 0) {
+            lo = std::max(lo, static_cast<std::int64_t>(
+                                  std::ceil(slack / coeff - kTol)));
+          }
+        }
+        if (c.sense == Sense::kGe || c.sense == Sense::kEq) {
+          if (coeff > 0) {
+            lo = std::max(lo, static_cast<std::int64_t>(
+                                  std::ceil(slack / coeff - kTol)));
+          } else if (coeff < 0) {
+            hi = std::min(hi, static_cast<std::int64_t>(
+                                  std::floor(slack / coeff + kTol)));
+          }
+        }
+      }
+      if (lo > hi) return;  // infeasible under the fixed prefix
+      const bool prefer_low = sign * obj_coeff_[v] >= 0;
+      domain.push_back(prefer_low ? lo : hi);
+    } else {
+      // Try values in order of objective attractiveness.
+      for (std::int64_t x = var.lower; x <= var.upper; ++x) {
+        domain.push_back(x);
+      }
+      std::sort(domain.begin(), domain.end(),
+                [&](std::int64_t a, std::int64_t b) {
+                  return sign * obj_coeff_[v] * static_cast<double>(a) <
+                         sign * obj_coeff_[v] * static_cast<double>(b);
+                });
+    }
+
+    for (const std::int64_t x : domain) {
+      // Fix v := x and update activities incrementally.
+      for (const auto& [ci, coeff] : var_constraints_[v]) {
+        const double lo = coeff * static_cast<double>(var.lower);
+        const double hi = coeff * static_cast<double>(var.upper);
+        bounds_.min_activity[ci] -= std::min(lo, hi);
+        bounds_.max_activity[ci] -= std::max(lo, hi);
+        bounds_.min_activity[ci] += coeff * static_cast<double>(x);
+        bounds_.max_activity[ci] += coeff * static_cast<double>(x);
+      }
+      values_[v] = x;
+      const double child_optimistic = optimistic - FreeContribution(v) +
+                                      obj_coeff_[v] * static_cast<double>(x);
+      Dfs(v + 1, child_optimistic);
+      for (const auto& [ci, coeff] : var_constraints_[v]) {
+        bounds_.min_activity[ci] -= coeff * static_cast<double>(x);
+        bounds_.max_activity[ci] -= coeff * static_cast<double>(x);
+        const double lo = coeff * static_cast<double>(var.lower);
+        const double hi = coeff * static_cast<double>(var.upper);
+        bounds_.min_activity[ci] += std::min(lo, hi);
+        bounds_.max_activity[ci] += std::max(lo, hi);
+      }
+      if (budget_hit_) return;
+    }
+  }
+
+  const Model& model_;
+  const SolverConfig config_;
+
+  std::vector<std::int64_t> values_;
+  std::vector<bool> fixed_;
+  std::vector<double> obj_coeff_;
+  std::vector<std::vector<std::pair<int, double>>> var_constraints_;
+  ActivityBounds bounds_;
+
+  bool found_ = false;
+  bool budget_hit_ = false;
+  double best_obj_ = std::numeric_limits<double>::infinity();
+  std::vector<std::int64_t> best_values_;
+  std::int64_t nodes_ = 0;
+  Clock::time_point start_;
+};
+
+}  // namespace
+
+Solution SolveBranchAndBound(const Model& model, const SolverConfig& config) {
+  Search search(model, config);
+  return search.Run();
+}
+
+bool IsFeasible(const Model& model, const std::vector<std::int64_t>& values) {
+  if (static_cast<int>(values.size()) != model.NumVars()) return false;
+  for (int v = 0; v < model.NumVars(); ++v) {
+    if (values[v] < model.Var(v).lower || values[v] > model.Var(v).upper) {
+      return false;
+    }
+  }
+  for (const Constraint& c : model.Constraints()) {
+    double activity = 0.0;
+    for (const LinearTerm& t : c.terms) {
+      activity += t.coeff * static_cast<double>(values[t.var]);
+    }
+    switch (c.sense) {
+      case Sense::kLe:
+        if (activity > c.rhs + kTol) return false;
+        break;
+      case Sense::kGe:
+        if (activity < c.rhs - kTol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(activity - c.rhs) > kTol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double ObjectiveOf(const Model& model, const std::vector<std::int64_t>& values) {
+  double obj = 0.0;
+  for (const LinearTerm& t : model.Objective()) {
+    obj += t.coeff * static_cast<double>(values[t.var]);
+  }
+  return obj;
+}
+
+}  // namespace respect::ilp

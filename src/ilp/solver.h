@@ -1,0 +1,46 @@
+// Generic branch-and-bound solver for the Model class.
+//
+// Depth-first search over variable assignments with constraint-activity
+// propagation (prune as soon as the partial assignment makes a constraint's
+// best reachable activity violate its bound) and an optimistic objective
+// bound from the free variables.  Complete (proves optimality/infeasibility)
+// within its node budget; designed for the model sizes the tests and small
+// scheduling instances produce — the production scheduling path detects the
+// assignment structure and uses the specialized engine in src/exact instead
+// (see scheduling_ilp.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.h"
+
+namespace respect::ilp {
+
+struct SolverConfig {
+  std::int64_t max_nodes = 10'000'000;
+  double time_limit_seconds = 0.0;  // 0 = unlimited
+};
+
+struct Solution {
+  bool feasible = false;
+  bool proved_optimal = false;
+  double objective = 0.0;
+  std::vector<std::int64_t> values;  // indexed by VarId
+  std::int64_t nodes_explored = 0;
+};
+
+/// Solves the model by branch and bound.
+[[nodiscard]] Solution SolveBranchAndBound(const Model& model,
+                                           const SolverConfig& config = {});
+
+/// Checks a full assignment against every constraint (used by tests and by
+/// the solver's own assertions).
+[[nodiscard]] bool IsFeasible(const Model& model,
+                              const std::vector<std::int64_t>& values);
+
+/// Objective value of a full assignment.
+[[nodiscard]] double ObjectiveOf(const Model& model,
+                                 const std::vector<std::int64_t>& values);
+
+}  // namespace respect::ilp

@@ -1,0 +1,211 @@
+#include "models/builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace respect::models {
+namespace {
+
+constexpr std::int64_t kFloatBytes = 4;
+
+int ConvOutDim(int in, int k, int stride, Padding padding) {
+  if (in <= 0 || k <= 0 || stride <= 0) {
+    throw std::invalid_argument("ConvOutDim: non-positive dimension");
+  }
+  if (padding == Padding::kSame) {
+    return (in + stride - 1) / stride;
+  }
+  if (in < k) {
+    throw std::invalid_argument("ConvOutDim: kernel larger than input");
+  }
+  return (in - k) / stride + 1;
+}
+
+std::int64_t ActivationBytes(const TensorShape& s) {
+  return s.Elements() * kFloatBytes;
+}
+
+}  // namespace
+
+ModelBuilder::ModelBuilder(std::string model_name)
+    : dag_(std::move(model_name)) {}
+
+Layer ModelBuilder::AddLayer(graph::OpAttr attr, TensorShape shape,
+                             std::initializer_list<graph::NodeId> inputs) {
+  attr.output_bytes = ActivationBytes(shape);
+  const graph::NodeId id = dag_.AddNode(std::move(attr));
+  for (const graph::NodeId in : inputs) dag_.AddEdge(in, id);
+  return Layer{id, shape};
+}
+
+Layer ModelBuilder::Input(int h, int w, int c) {
+  if (has_input_) {
+    throw std::logic_error("ModelBuilder::Input called twice");
+  }
+  has_input_ = true;
+  graph::OpAttr attr;
+  attr.name = "input";
+  attr.type = graph::OpType::kInput;
+  return AddLayer(std::move(attr), TensorShape{h, w, c}, {});
+}
+
+Layer ModelBuilder::Conv2D(const Layer& in, int filters, int kh, int kw,
+                           int stride, Padding padding, bool use_bias,
+                           const std::string& name) {
+  const TensorShape out{ConvOutDim(in.shape.h, kh, stride, padding),
+                        ConvOutDim(in.shape.w, kw, stride, padding), filters};
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kConv2D;
+  const std::int64_t weights =
+      std::int64_t{kh} * kw * in.shape.c * filters + (use_bias ? filters : 0);
+  attr.param_bytes = weights * kFloatBytes;
+  attr.macs = std::int64_t{kh} * kw * in.shape.c * filters * out.h * out.w;
+  return AddLayer(std::move(attr), out, {in.node});
+}
+
+Layer ModelBuilder::SeparableConv2D(const Layer& in, int filters, int k,
+                                    int stride, Padding padding,
+                                    const std::string& name) {
+  const TensorShape out{ConvOutDim(in.shape.h, k, stride, padding),
+                        ConvOutDim(in.shape.w, k, stride, padding), filters};
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kSeparableConv2D;
+  const std::int64_t depthwise = std::int64_t{k} * k * in.shape.c;
+  const std::int64_t pointwise = std::int64_t{in.shape.c} * filters;
+  attr.param_bytes = (depthwise + pointwise) * kFloatBytes;
+  attr.macs = depthwise * out.h * out.w + pointwise * out.h * out.w;
+  return AddLayer(std::move(attr), out, {in.node});
+}
+
+Layer ModelBuilder::BatchNorm(const Layer& in, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kBatchNorm;
+  attr.param_bytes = std::int64_t{4} * in.shape.c * kFloatBytes;
+  attr.macs = 2 * in.shape.Elements();
+  return AddLayer(std::move(attr), in.shape, {in.node});
+}
+
+Layer ModelBuilder::Relu(const Layer& in, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kRelu;
+  attr.macs = in.shape.Elements();
+  return AddLayer(std::move(attr), in.shape, {in.node});
+}
+
+Layer ModelBuilder::Add(const Layer& a, const Layer& b,
+                        const std::string& name) {
+  if (!(a.shape == b.shape)) {
+    throw std::invalid_argument("ModelBuilder::Add: shape mismatch at " + name);
+  }
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kAdd;
+  attr.macs = a.shape.Elements();
+  return AddLayer(std::move(attr), a.shape, {a.node, b.node});
+}
+
+Layer ModelBuilder::ScaledAdd(const Layer& a, const Layer& b, double scale,
+                              const std::string& name) {
+  if (a.shape.h != b.shape.h || a.shape.w != b.shape.w ||
+      a.shape.c != b.shape.c) {
+    throw std::invalid_argument("ModelBuilder::ScaledAdd: shape mismatch at " +
+                                name);
+  }
+  (void)scale;  // affects values only, not graph structure or cost
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kAdd;
+  attr.macs = 2 * a.shape.Elements();
+  return AddLayer(std::move(attr), a.shape, {a.node, b.node});
+}
+
+Layer ModelBuilder::Concat(const std::vector<Layer>& ins,
+                           const std::string& name) {
+  if (ins.size() < 2) {
+    throw std::invalid_argument("ModelBuilder::Concat: needs >= 2 inputs");
+  }
+  TensorShape out = ins.front().shape;
+  out.c = 0;
+  for (const Layer& in : ins) {
+    if (in.shape.h != out.h || in.shape.w != out.w) {
+      throw std::invalid_argument(
+          "ModelBuilder::Concat: spatial mismatch at " + name);
+    }
+    out.c += in.shape.c;
+  }
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kConcat;
+  attr.macs = out.Elements();  // copy cost
+  std::vector<graph::NodeId> nodes;
+  nodes.reserve(ins.size());
+  for (const Layer& in : ins) nodes.push_back(in.node);
+  attr.output_bytes = out.Elements() * kFloatBytes;
+  const graph::NodeId id = dag_.AddNode(std::move(attr));
+  for (const graph::NodeId n : nodes) dag_.AddEdge(n, id);
+  return Layer{id, out};
+}
+
+TensorShape ModelBuilder::PoolOut(const Layer& in, int k, int stride,
+                                  Padding padding) {
+  return TensorShape{ConvOutDim(in.shape.h, k, stride, padding),
+                     ConvOutDim(in.shape.w, k, stride, padding), in.shape.c};
+}
+
+Layer ModelBuilder::MaxPool(const Layer& in, int k, int stride,
+                            Padding padding, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kMaxPool;
+  const TensorShape out = PoolOut(in, k, stride, padding);
+  attr.macs = std::int64_t{k} * k * out.Elements();
+  return AddLayer(std::move(attr), out, {in.node});
+}
+
+Layer ModelBuilder::AvgPool(const Layer& in, int k, int stride,
+                            Padding padding, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kAvgPool;
+  const TensorShape out = PoolOut(in, k, stride, padding);
+  attr.macs = std::int64_t{k} * k * out.Elements();
+  return AddLayer(std::move(attr), out, {in.node});
+}
+
+Layer ModelBuilder::GlobalAvgPool(const Layer& in, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kGlobalPool;
+  attr.macs = in.shape.Elements();
+  return AddLayer(std::move(attr), TensorShape{1, 1, in.shape.c}, {in.node});
+}
+
+Layer ModelBuilder::Dense(const Layer& in, int units, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kDense;
+  const std::int64_t cin = in.shape.Elements();
+  attr.param_bytes = (cin * units + units) * kFloatBytes;
+  attr.macs = cin * units;
+  return AddLayer(std::move(attr), TensorShape{1, 1, units}, {in.node});
+}
+
+Layer ModelBuilder::ZeroPad(const Layer& in, int pad, const std::string& name) {
+  graph::OpAttr attr;
+  attr.name = name;
+  attr.type = graph::OpType::kPad;
+  const TensorShape out{in.shape.h + 2 * pad, in.shape.w + 2 * pad, in.shape.c};
+  attr.macs = out.Elements();
+  return AddLayer(std::move(attr), out, {in.node});
+}
+
+graph::Dag ModelBuilder::Build() && {
+  dag_.Validate();
+  return std::move(dag_);
+}
+
+}  // namespace respect::models

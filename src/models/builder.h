@@ -1,0 +1,101 @@
+// Shape-tracking builder for DNN computational graphs.
+//
+// The model zoo (zoo.h) reconstructs the layer graphs of the twelve ImageNet
+// architectures the paper evaluates.  Every Keras layer becomes one Dag node,
+// which is exactly the granularity at which the paper's Table I counts |V|,
+// deg(V) and Depth.  The builder tracks tensor shapes through the network so
+// each node gets realistic parameter bytes, activation bytes and MAC counts —
+// the three attributes all schedulers and the Edge TPU simulator consume.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace respect::models {
+
+/// Spatial/channel shape of an activation tensor (NHWC with N=1).
+struct TensorShape {
+  int h = 0;
+  int w = 0;
+  int c = 0;
+
+  [[nodiscard]] std::int64_t Elements() const {
+    return std::int64_t{h} * w * c;
+  }
+  friend bool operator==(const TensorShape&, const TensorShape&) = default;
+};
+
+/// Padding mode following convolution arithmetic ("same" keeps
+/// ceil(h/stride), "valid" computes floor((h-k)/stride)+1).
+enum class Padding { kSame, kValid };
+
+/// Handle to a node inside the builder: the node id plus its output shape.
+struct Layer {
+  graph::NodeId node = graph::kInvalidNode;
+  TensorShape shape;
+};
+
+/// Builds a Dag layer by layer, mirroring the Keras functional API closely
+/// enough that the zoo generators read like the original model definitions.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string model_name);
+
+  /// The network input (h x w x c image).  Must be called exactly once
+  /// before any other layer.
+  Layer Input(int h, int w, int c);
+
+  /// Standard 2-D convolution.  `use_bias` mirrors Keras (conv layers feeding
+  /// a BatchNorm are bias-free).  kh/kw may differ (e.g. 1x7 factorized
+  /// convolutions in InceptionV3).
+  Layer Conv2D(const Layer& in, int filters, int kh, int kw, int stride,
+               Padding padding, bool use_bias, const std::string& name);
+
+  /// Depthwise separable convolution (one node, as in Keras Xception).
+  Layer SeparableConv2D(const Layer& in, int filters, int k, int stride,
+                        Padding padding, const std::string& name);
+
+  Layer BatchNorm(const Layer& in, const std::string& name);
+  Layer Relu(const Layer& in, const std::string& name);
+
+  /// Elementwise residual addition; shapes must match.
+  Layer Add(const Layer& a, const Layer& b, const std::string& name);
+
+  /// Scaled residual addition (the Lambda layer of InceptionResNetV2:
+  /// out = a + scale * b).  One node, like the Keras Lambda.
+  Layer ScaledAdd(const Layer& a, const Layer& b, double scale,
+                  const std::string& name);
+
+  /// Channel concatenation of two or more inputs.
+  Layer Concat(const std::vector<Layer>& ins, const std::string& name);
+
+  Layer MaxPool(const Layer& in, int k, int stride, Padding padding,
+                const std::string& name);
+  Layer AvgPool(const Layer& in, int k, int stride, Padding padding,
+                const std::string& name);
+  Layer GlobalAvgPool(const Layer& in, const std::string& name);
+
+  /// Fully connected head ("predictions" in Keras; softmax folded in).
+  Layer Dense(const Layer& in, int units, const std::string& name);
+
+  /// Explicit zero padding node (Keras ZeroPadding2D).
+  Layer ZeroPad(const Layer& in, int pad, const std::string& name);
+
+  /// Finalizes and returns the graph (validates acyclicity).
+  [[nodiscard]] graph::Dag Build() &&;
+
+ private:
+  Layer AddLayer(graph::OpAttr attr, TensorShape shape,
+                 std::initializer_list<graph::NodeId> inputs);
+  static TensorShape PoolOut(const Layer& in, int k, int stride,
+                             Padding padding);
+
+  graph::Dag dag_;
+  bool has_input_ = false;
+};
+
+}  // namespace respect::models

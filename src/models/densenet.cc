@@ -1,0 +1,69 @@
+// DenseNet generator (Huang et al.), mirroring keras.applications.densenet.
+#include <string>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace respect::models {
+namespace {
+
+/// One dense layer ("conv block" in Keras): BN-ReLU-Conv1x1 bottleneck,
+/// BN-ReLU-Conv3x3 growth, then concat with the running feature map.
+Layer DenseConvBlock(ModelBuilder& b, const Layer& x, int growth,
+                     const std::string& name) {
+  Layer y = b.BatchNorm(x, name + "_0_bn");
+  y = b.Relu(y, name + "_0_relu");
+  y = b.Conv2D(y, 4 * growth, 1, 1, 1, Padding::kSame, false,
+               name + "_1_conv");
+  y = b.BatchNorm(y, name + "_1_bn");
+  y = b.Relu(y, name + "_1_relu");
+  y = b.Conv2D(y, growth, 3, 3, 1, Padding::kSame, false, name + "_2_conv");
+  return b.Concat({x, y}, name + "_concat");
+}
+
+Layer DenseBlock(ModelBuilder& b, Layer x, int blocks,
+                 const std::string& name) {
+  for (int i = 1; i <= blocks; ++i) {
+    x = DenseConvBlock(b, x, /*growth=*/32,
+                       name + "_block" + std::to_string(i));
+  }
+  return x;
+}
+
+/// Transition: BN-ReLU-Conv1x1 (compression 0.5) + 2x2 average pool.
+Layer Transition(ModelBuilder& b, const Layer& x, const std::string& name) {
+  Layer y = b.BatchNorm(x, name + "_bn");
+  y = b.Relu(y, name + "_relu");
+  y = b.Conv2D(y, x.shape.c / 2, 1, 1, 1, Padding::kSame, false,
+               name + "_conv");
+  return b.AvgPool(y, 2, 2, Padding::kSame, name + "_pool");
+}
+
+}  // namespace
+
+graph::Dag BuildDenseNet(const std::vector<int>& blocks,
+                         const std::string& name) {
+  ModelBuilder b(name);
+  Layer x = b.Input(224, 224, 3);
+  x = b.ZeroPad(x, 3, "zero_padding2d");
+  x = b.Conv2D(x, 64, 7, 7, 2, Padding::kValid, false, "conv1/conv");
+  x = b.BatchNorm(x, "conv1/bn");
+  x = b.Relu(x, "conv1/relu");
+  x = b.ZeroPad(x, 1, "zero_padding2d_1");
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "pool1");
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    x = DenseBlock(b, x, blocks[i], "conv" + std::to_string(i + 2));
+    if (i + 1 < blocks.size()) {
+      x = Transition(b, x, "pool" + std::to_string(i + 2));
+    }
+  }
+
+  x = b.BatchNorm(x, "bn");
+  x = b.Relu(x, "relu");
+  x = b.GlobalAvgPool(x, "avg_pool");
+  x = b.Dense(x, 1000, "predictions");
+  return std::move(b).Build();
+}
+
+}  // namespace respect::models

@@ -1,0 +1,222 @@
+// InceptionV3 (Szegedy et al.) and InceptionResNetV2 generators, mirroring
+// keras.applications.inception_v3 / inception_resnet_v2.
+#include <string>
+#include <vector>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace respect::models {
+namespace {
+
+/// Keras `conv2d_bn`: Conv (no bias) + BatchNorm + ReLU — three nodes.
+Layer ConvBnRelu(ModelBuilder& b, const Layer& x, int filters, int kh, int kw,
+                 int stride, Padding padding, const std::string& name) {
+  Layer y = b.Conv2D(x, filters, kh, kw, stride, padding, false,
+                     name + "_conv");
+  y = b.BatchNorm(y, name + "_bn");
+  return b.Relu(y, name + "_act");
+}
+
+/// Builder-local conv2d_bn namer (sequential Keras-style layer names).
+auto MakeCbr(ModelBuilder& b, int& counter) {
+  return [&b, &counter](const Layer& x, int filters, int kh, int kw,
+                        int stride = 1, Padding padding = Padding::kSame) {
+    return ConvBnRelu(b, x, filters, kh, kw, stride, padding,
+                      "conv2d_" + std::to_string(++counter));
+  };
+}
+
+}  // namespace
+
+graph::Dag BuildInceptionV3() {
+  ModelBuilder b("InceptionV3");
+  int cbr_counter = 0;
+  const auto Cbr = MakeCbr(b, cbr_counter);
+  Layer x = b.Input(299, 299, 3);
+  x = Cbr(x, 32, 3, 3, 2, Padding::kValid);
+  x = Cbr(x, 32, 3, 3, 1, Padding::kValid);
+  x = Cbr(x, 64, 3, 3);
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "max_pooling2d");
+  x = Cbr(x, 80, 1, 1, 1, Padding::kValid);
+  x = Cbr(x, 192, 3, 3, 1, Padding::kValid);
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "max_pooling2d_1");
+
+  // Three Inception-A blocks (mixed0..mixed2).
+  for (int i = 0; i < 3; ++i) {
+    const int pool_filters = (i == 0) ? 32 : 64;
+    Layer b0 = Cbr(x, 64, 1, 1);
+    Layer b1 = Cbr(x, 48, 1, 1);
+    b1 = Cbr(b1, 64, 5, 5);
+    Layer b2 = Cbr(x, 64, 1, 1);
+    b2 = Cbr(b2, 96, 3, 3);
+    b2 = Cbr(b2, 96, 3, 3);
+    Layer bp = b.AvgPool(x, 3, 1, Padding::kSame,
+                         "avg_pool_mixed" + std::to_string(i));
+    bp = Cbr(bp, pool_filters, 1, 1);
+    x = b.Concat({b0, b1, b2, bp}, "mixed" + std::to_string(i));
+  }
+
+  // Reduction-A (mixed3).
+  {
+    Layer b0 = Cbr(x, 384, 3, 3, 2, Padding::kValid);
+    Layer b1 = Cbr(x, 64, 1, 1);
+    b1 = Cbr(b1, 96, 3, 3);
+    b1 = Cbr(b1, 96, 3, 3, 2, Padding::kValid);
+    Layer bp = b.MaxPool(x, 3, 2, Padding::kValid, "max_pool_mixed3");
+    x = b.Concat({b0, b1, bp}, "mixed3");
+  }
+
+  // Four Inception-B blocks (mixed4..mixed7) with factorized 7x7 convs.
+  for (int i = 4; i <= 7; ++i) {
+    const int f = (i == 4) ? 128 : (i == 7 ? 192 : 160);
+    Layer b0 = Cbr(x, 192, 1, 1);
+    Layer b1 = Cbr(x, f, 1, 1);
+    b1 = Cbr(b1, f, 1, 7);
+    b1 = Cbr(b1, 192, 7, 1);
+    Layer b2 = Cbr(x, f, 1, 1);
+    b2 = Cbr(b2, f, 7, 1);
+    b2 = Cbr(b2, f, 1, 7);
+    b2 = Cbr(b2, f, 7, 1);
+    b2 = Cbr(b2, 192, 1, 7);
+    Layer bp = b.AvgPool(x, 3, 1, Padding::kSame,
+                         "avg_pool_mixed" + std::to_string(i));
+    bp = Cbr(bp, 192, 1, 1);
+    x = b.Concat({b0, b1, b2, bp}, "mixed" + std::to_string(i));
+  }
+
+  // Reduction-B (mixed8).
+  {
+    Layer b0 = Cbr(x, 192, 1, 1);
+    b0 = Cbr(b0, 320, 3, 3, 2, Padding::kValid);
+    Layer b1 = Cbr(x, 192, 1, 1);
+    b1 = Cbr(b1, 192, 1, 7);
+    b1 = Cbr(b1, 192, 7, 1);
+    b1 = Cbr(b1, 192, 3, 3, 2, Padding::kValid);
+    Layer bp = b.MaxPool(x, 3, 2, Padding::kValid, "max_pool_mixed8");
+    x = b.Concat({b0, b1, bp}, "mixed8");
+  }
+
+  // Two Inception-C blocks (mixed9, mixed10) with split branches.
+  for (int i = 9; i <= 10; ++i) {
+    const std::string m = "mixed" + std::to_string(i);
+    Layer b0 = Cbr(x, 320, 1, 1);
+    Layer b1 = Cbr(x, 384, 1, 1);
+    Layer b1a = Cbr(b1, 384, 1, 3);
+    Layer b1b = Cbr(b1, 384, 3, 1);
+    Layer b1c = b.Concat({b1a, b1b}, m + "_1");
+    Layer b2 = Cbr(x, 448, 1, 1);
+    b2 = Cbr(b2, 384, 3, 3);
+    Layer b2a = Cbr(b2, 384, 1, 3);
+    Layer b2b = Cbr(b2, 384, 3, 1);
+    Layer b2c = b.Concat({b2a, b2b}, m + "_2");
+    Layer bp = b.AvgPool(x, 3, 1, Padding::kSame, "avg_pool_" + m);
+    bp = Cbr(bp, 192, 1, 1);
+    x = b.Concat({b0, b1c, b2c, bp}, m);
+  }
+
+  x = b.GlobalAvgPool(x, "avg_pool");
+  x = b.Dense(x, 1000, "predictions");
+  return std::move(b).Build();
+}
+
+graph::Dag BuildInceptionResNetV2() {
+  ModelBuilder b("InceptionResNetV2");
+  int cbr_counter = 0;
+  const auto Cbr = MakeCbr(b, cbr_counter);
+  Layer x = b.Input(299, 299, 3);
+  x = Cbr(x, 32, 3, 3, 2, Padding::kValid);
+  x = Cbr(x, 32, 3, 3, 1, Padding::kValid);
+  x = Cbr(x, 64, 3, 3);
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "max_pooling2d");
+  x = Cbr(x, 80, 1, 1, 1, Padding::kValid);
+  x = Cbr(x, 192, 3, 3, 1, Padding::kValid);
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "max_pooling2d_1");
+
+  // mixed_5b (Inception-A): the 4-way concat that gives deg(V) = 4.
+  {
+    Layer b0 = Cbr(x, 96, 1, 1);
+    Layer b1 = Cbr(x, 48, 1, 1);
+    b1 = Cbr(b1, 64, 5, 5);
+    Layer b2 = Cbr(x, 64, 1, 1);
+    b2 = Cbr(b2, 96, 3, 3);
+    b2 = Cbr(b2, 96, 3, 3);
+    Layer bp = b.AvgPool(x, 3, 1, Padding::kSame, "avg_pool_5b");
+    bp = Cbr(bp, 64, 1, 1);
+    x = b.Concat({b0, b1, b2, bp}, "mixed_5b");
+  }
+
+  // 10x block35 (Inception-ResNet-A).
+  for (int i = 1; i <= 10; ++i) {
+    const std::string m = "block35_" + std::to_string(i);
+    Layer b0 = Cbr(x, 32, 1, 1);
+    Layer b1 = Cbr(x, 32, 1, 1);
+    b1 = Cbr(b1, 32, 3, 3);
+    Layer b2 = Cbr(x, 32, 1, 1);
+    b2 = Cbr(b2, 48, 3, 3);
+    b2 = Cbr(b2, 64, 3, 3);
+    Layer mixed = b.Concat({b0, b1, b2}, m + "_mixed");
+    Layer up = b.Conv2D(mixed, x.shape.c, 1, 1, 1, Padding::kSame, true,
+                        m + "_conv");
+    x = b.ScaledAdd(x, up, 0.17, m);
+    x = b.Relu(x, m + "_ac");
+  }
+
+  // mixed_6a (Reduction-A).
+  {
+    Layer b0 = Cbr(x, 384, 3, 3, 2, Padding::kValid);
+    Layer b1 = Cbr(x, 256, 1, 1);
+    b1 = Cbr(b1, 256, 3, 3);
+    b1 = Cbr(b1, 384, 3, 3, 2, Padding::kValid);
+    Layer bp = b.MaxPool(x, 3, 2, Padding::kValid, "max_pool_6a");
+    x = b.Concat({b0, b1, bp}, "mixed_6a");
+  }
+
+  // 20x block17 (Inception-ResNet-B).
+  for (int i = 1; i <= 20; ++i) {
+    const std::string m = "block17_" + std::to_string(i);
+    Layer b0 = Cbr(x, 192, 1, 1);
+    Layer b1 = Cbr(x, 128, 1, 1);
+    b1 = Cbr(b1, 160, 1, 7);
+    b1 = Cbr(b1, 192, 7, 1);
+    Layer mixed = b.Concat({b0, b1}, m + "_mixed");
+    Layer up = b.Conv2D(mixed, x.shape.c, 1, 1, 1, Padding::kSame, true,
+                        m + "_conv");
+    x = b.ScaledAdd(x, up, 0.1, m);
+    x = b.Relu(x, m + "_ac");
+  }
+
+  // mixed_7a (Reduction-B): another 4-way concat.
+  {
+    Layer b0 = Cbr(x, 256, 1, 1);
+    b0 = Cbr(b0, 384, 3, 3, 2, Padding::kValid);
+    Layer b1 = Cbr(x, 256, 1, 1);
+    b1 = Cbr(b1, 288, 3, 3, 2, Padding::kValid);
+    Layer b2 = Cbr(x, 256, 1, 1);
+    b2 = Cbr(b2, 288, 3, 3);
+    b2 = Cbr(b2, 320, 3, 3, 2, Padding::kValid);
+    Layer bp = b.MaxPool(x, 3, 2, Padding::kValid, "max_pool_7a");
+    x = b.Concat({b0, b1, b2, bp}, "mixed_7a");
+  }
+
+  // 9x block8 with activation + 1 final block8 without.
+  for (int i = 1; i <= 10; ++i) {
+    const std::string m = "block8_" + std::to_string(i);
+    Layer b0 = Cbr(x, 192, 1, 1);
+    Layer b1 = Cbr(x, 192, 1, 1);
+    b1 = Cbr(b1, 224, 1, 3);
+    b1 = Cbr(b1, 256, 3, 1);
+    Layer mixed = b.Concat({b0, b1}, m + "_mixed");
+    Layer up = b.Conv2D(mixed, x.shape.c, 1, 1, 1, Padding::kSame, true,
+                        m + "_conv");
+    x = b.ScaledAdd(x, up, i < 10 ? 0.2 : 1.0, m);
+    if (i < 10) x = b.Relu(x, m + "_ac");
+  }
+
+  x = Cbr(x, 1536, 1, 1);  // conv_7b
+  x = b.GlobalAvgPool(x, "avg_pool");
+  x = b.Dense(x, 1000, "predictions");
+  return std::move(b).Build();
+}
+
+}  // namespace respect::models

@@ -1,0 +1,136 @@
+// ResNet v1 and v2 generators (He et al.), mirroring the Keras
+// keras.applications reference implementations layer by layer.
+#include <string>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace respect::models {
+namespace {
+
+std::string N(const std::string& base, const std::string& suffix) {
+  return base + "_" + suffix;
+}
+
+/// One v1 bottleneck block.  `conv_shortcut` selects the projection form
+/// used by the first block of each stage.
+Layer ResNetBlockV1(ModelBuilder& b, const Layer& x, int filters, int stride,
+                    bool conv_shortcut, const std::string& name) {
+  Layer shortcut = x;
+  if (conv_shortcut) {
+    shortcut = b.Conv2D(x, 4 * filters, 1, 1, stride, Padding::kSame, true,
+                        N(name, "0_conv"));
+    shortcut = b.BatchNorm(shortcut, N(name, "0_bn"));
+  }
+  Layer y = b.Conv2D(x, filters, 1, 1, stride, Padding::kSame, true,
+                     N(name, "1_conv"));
+  y = b.BatchNorm(y, N(name, "1_bn"));
+  y = b.Relu(y, N(name, "1_relu"));
+  y = b.Conv2D(y, filters, 3, 3, 1, Padding::kSame, true, N(name, "2_conv"));
+  y = b.BatchNorm(y, N(name, "2_bn"));
+  y = b.Relu(y, N(name, "2_relu"));
+  y = b.Conv2D(y, 4 * filters, 1, 1, 1, Padding::kSame, true,
+               N(name, "3_conv"));
+  y = b.BatchNorm(y, N(name, "3_bn"));
+  y = b.Add(shortcut, y, N(name, "add"));
+  return b.Relu(y, N(name, "out"));
+}
+
+Layer ResNetStackV1(ModelBuilder& b, Layer x, int filters, int blocks,
+                    int stride1, const std::string& name) {
+  x = ResNetBlockV1(b, x, filters, stride1, /*conv_shortcut=*/true,
+                    N(name, "block1"));
+  for (int i = 2; i <= blocks; ++i) {
+    x = ResNetBlockV1(b, x, filters, 1, /*conv_shortcut=*/false,
+                      N(name, "block" + std::to_string(i)));
+  }
+  return x;
+}
+
+/// One v2 pre-activation bottleneck block.
+Layer ResNetBlockV2(ModelBuilder& b, const Layer& x, int filters, int stride,
+                    bool conv_shortcut, const std::string& name) {
+  Layer preact = b.BatchNorm(x, N(name, "preact_bn"));
+  preact = b.Relu(preact, N(name, "preact_relu"));
+
+  Layer shortcut = x;
+  if (conv_shortcut) {
+    shortcut = b.Conv2D(preact, 4 * filters, 1, 1, stride, Padding::kSame,
+                        true, N(name, "0_conv"));
+  } else if (stride > 1) {
+    shortcut = b.MaxPool(x, 1, stride, Padding::kSame, N(name, "0_pool"));
+  }
+
+  Layer y = b.Conv2D(preact, filters, 1, 1, 1, Padding::kSame, false,
+                     N(name, "1_conv"));
+  y = b.BatchNorm(y, N(name, "1_bn"));
+  y = b.Relu(y, N(name, "1_relu"));
+  y = b.ZeroPad(y, 1, N(name, "2_pad"));
+  y = b.Conv2D(y, filters, 3, 3, stride, Padding::kValid, false,
+               N(name, "2_conv"));
+  y = b.BatchNorm(y, N(name, "2_bn"));
+  y = b.Relu(y, N(name, "2_relu"));
+  y = b.Conv2D(y, 4 * filters, 1, 1, 1, Padding::kSame, true,
+               N(name, "3_conv"));
+  return b.Add(shortcut, y, N(name, "out"));
+}
+
+Layer ResNetStackV2(ModelBuilder& b, Layer x, int filters, int blocks,
+                    int stride1, const std::string& name) {
+  x = ResNetBlockV2(b, x, filters, 1, /*conv_shortcut=*/true,
+                    N(name, "block1"));
+  for (int i = 2; i < blocks; ++i) {
+    x = ResNetBlockV2(b, x, filters, 1, /*conv_shortcut=*/false,
+                      N(name, "block" + std::to_string(i)));
+  }
+  // Keras applies the stage's stride at its *last* block in v2.
+  x = ResNetBlockV2(b, x, filters, stride1, /*conv_shortcut=*/false,
+                    N(name, "block" + std::to_string(blocks)));
+  return x;
+}
+
+}  // namespace
+
+graph::Dag BuildResNet(int stage3_blocks, int stage2_blocks,
+                       const std::string& name) {
+  ModelBuilder b(name);
+  Layer x = b.Input(224, 224, 3);
+  x = b.ZeroPad(x, 3, "conv1_pad");
+  x = b.Conv2D(x, 64, 7, 7, 2, Padding::kValid, true, "conv1_conv");
+  x = b.BatchNorm(x, "conv1_bn");
+  x = b.Relu(x, "conv1_relu");
+  x = b.ZeroPad(x, 1, "pool1_pad");
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "pool1_pool");
+
+  x = ResNetStackV1(b, x, 64, 3, 1, "conv2");
+  x = ResNetStackV1(b, x, 128, stage2_blocks, 2, "conv3");
+  x = ResNetStackV1(b, x, 256, stage3_blocks, 2, "conv4");
+  x = ResNetStackV1(b, x, 512, 3, 2, "conv5");
+
+  x = b.GlobalAvgPool(x, "avg_pool");
+  x = b.Dense(x, 1000, "predictions");
+  return std::move(b).Build();
+}
+
+graph::Dag BuildResNetV2(int stage3_blocks, int stage2_blocks,
+                         const std::string& name) {
+  ModelBuilder b(name);
+  Layer x = b.Input(224, 224, 3);
+  x = b.ZeroPad(x, 3, "conv1_pad");
+  x = b.Conv2D(x, 64, 7, 7, 2, Padding::kValid, true, "conv1_conv");
+  x = b.ZeroPad(x, 1, "pool1_pad");
+  x = b.MaxPool(x, 3, 2, Padding::kValid, "pool1_pool");
+
+  x = ResNetStackV2(b, x, 64, 3, 2, "conv2");
+  x = ResNetStackV2(b, x, 128, stage2_blocks, 2, "conv3");
+  x = ResNetStackV2(b, x, 256, stage3_blocks, 2, "conv4");
+  x = ResNetStackV2(b, x, 512, 3, 1, "conv5");
+
+  x = b.BatchNorm(x, "post_bn");
+  x = b.Relu(x, "post_relu");
+  x = b.GlobalAvgPool(x, "avg_pool");
+  x = b.Dense(x, 1000, "predictions");
+  return std::move(b).Build();
+}
+
+}  // namespace respect::models

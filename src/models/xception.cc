@@ -1,0 +1,77 @@
+// Xception generator (Chollet), mirroring keras.applications.xception.
+#include <string>
+
+#include "models/builder.h"
+#include "models/zoo.h"
+
+namespace respect::models {
+namespace {
+
+/// Entry/exit-flow residual block with a strided conv projection shortcut.
+/// `pre_act` selects whether an activation precedes the first separable
+/// conv (true for blocks 3, 4 and 13; false for block 2, which follows a
+/// fresh ReLU already).
+Layer XceptionResidualBlock(ModelBuilder& b, const Layer& x, int f1, int f2,
+                            bool pre_act, const std::string& name) {
+  Layer residual =
+      b.Conv2D(x, f2, 1, 1, 2, Padding::kSame, false, name + "_res_conv");
+  residual = b.BatchNorm(residual, name + "_res_bn");
+
+  Layer y = x;
+  if (pre_act) y = b.Relu(y, name + "_sepconv1_act");
+  y = b.SeparableConv2D(y, f1, 3, 1, Padding::kSame, name + "_sepconv1");
+  y = b.BatchNorm(y, name + "_sepconv1_bn");
+  y = b.Relu(y, name + "_sepconv2_act");
+  y = b.SeparableConv2D(y, f2, 3, 1, Padding::kSame, name + "_sepconv2");
+  y = b.BatchNorm(y, name + "_sepconv2_bn");
+  y = b.MaxPool(y, 3, 2, Padding::kSame, name + "_pool");
+  return b.Add(y, residual, name + "_add");
+}
+
+/// Middle-flow block: three ReLU+SepConv+BN triples with identity shortcut.
+Layer XceptionMiddleBlock(ModelBuilder& b, const Layer& x,
+                          const std::string& name) {
+  Layer y = x;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string s = name + "_sepconv" + std::to_string(i);
+    y = b.Relu(y, s + "_act");
+    y = b.SeparableConv2D(y, 728, 3, 1, Padding::kSame, s);
+    y = b.BatchNorm(y, s + "_bn");
+  }
+  return b.Add(y, x, name + "_add");
+}
+
+}  // namespace
+
+graph::Dag BuildXception() {
+  ModelBuilder b("Xception");
+  Layer x = b.Input(299, 299, 3);
+  x = b.Conv2D(x, 32, 3, 3, 2, Padding::kValid, false, "block1_conv1");
+  x = b.BatchNorm(x, "block1_conv1_bn");
+  x = b.Relu(x, "block1_conv1_act");
+  x = b.Conv2D(x, 64, 3, 3, 1, Padding::kValid, false, "block1_conv2");
+  x = b.BatchNorm(x, "block1_conv2_bn");
+  x = b.Relu(x, "block1_conv2_act");
+
+  x = XceptionResidualBlock(b, x, 128, 128, /*pre_act=*/false, "block2");
+  x = XceptionResidualBlock(b, x, 256, 256, /*pre_act=*/true, "block3");
+  x = XceptionResidualBlock(b, x, 728, 728, /*pre_act=*/true, "block4");
+
+  for (int i = 5; i <= 12; ++i) {
+    x = XceptionMiddleBlock(b, x, "block" + std::to_string(i));
+  }
+
+  x = XceptionResidualBlock(b, x, 728, 1024, /*pre_act=*/true, "block13");
+
+  x = b.SeparableConv2D(x, 1536, 3, 1, Padding::kSame, "block14_sepconv1");
+  x = b.BatchNorm(x, "block14_sepconv1_bn");
+  x = b.Relu(x, "block14_sepconv1_act");
+  x = b.SeparableConv2D(x, 2048, 3, 1, Padding::kSame, "block14_sepconv2");
+  x = b.BatchNorm(x, "block14_sepconv2_bn");
+  x = b.Relu(x, "block14_sepconv2_act");
+  x = b.GlobalAvgPool(x, "avg_pool");
+  x = b.Dense(x, 1000, "predictions");
+  return std::move(b).Build();
+}
+
+}  // namespace respect::models

@@ -1,0 +1,83 @@
+#include "models/zoo.h"
+
+#include <stdexcept>
+
+namespace respect::models {
+
+std::string_view ModelNameString(ModelName name) {
+  switch (name) {
+    case ModelName::kXception: return "Xception";
+    case ModelName::kResNet50: return "ResNet50";
+    case ModelName::kResNet101: return "ResNet101";
+    case ModelName::kResNet152: return "ResNet152";
+    case ModelName::kDenseNet121: return "DenseNet121";
+    case ModelName::kResNet101V2: return "ResNet101v2";
+    case ModelName::kResNet152V2: return "ResNet152v2";
+    case ModelName::kDenseNet169: return "DenseNet169";
+    case ModelName::kDenseNet201: return "DenseNet201";
+    case ModelName::kInceptionResNetV2: return "InceptionResNetv2";
+    case ModelName::kResNet50V2: return "ResNet50v2";
+    case ModelName::kInceptionV3: return "InceptionV3";
+  }
+  return "Unknown";
+}
+
+TableIStats PaperStats(ModelName name) {
+  // Table I of the paper, verbatim.
+  switch (name) {
+    case ModelName::kXception: return {134, 2, 125};
+    case ModelName::kResNet50: return {177, 2, 168};
+    case ModelName::kResNet101: return {347, 2, 338};
+    case ModelName::kResNet152: return {517, 2, 508};
+    case ModelName::kDenseNet121: return {429, 2, 428};
+    case ModelName::kResNet101V2: return {379, 2, 371};
+    case ModelName::kResNet152V2: return {566, 2, 558};
+    case ModelName::kDenseNet169: return {597, 2, 596};
+    case ModelName::kDenseNet201: return {709, 2, 708};
+    case ModelName::kInceptionResNetV2: return {782, 4, 571};
+    case ModelName::kResNet50V2:
+    case ModelName::kInceptionV3:
+      return {0, 0, 0};  // not reported in Table I
+  }
+  return {0, 0, 0};
+}
+
+graph::Dag BuildModel(ModelName name) {
+  switch (name) {
+    case ModelName::kXception: return BuildXception();
+    case ModelName::kResNet50: return BuildResNet(6, 4, "ResNet50");
+    case ModelName::kResNet101: return BuildResNet(23, 4, "ResNet101");
+    case ModelName::kResNet152: return BuildResNet(36, 8, "ResNet152");
+    case ModelName::kDenseNet121:
+      return BuildDenseNet({6, 12, 24, 16}, "DenseNet121");
+    case ModelName::kResNet101V2: return BuildResNetV2(23, 4, "ResNet101v2");
+    case ModelName::kResNet152V2: return BuildResNetV2(36, 8, "ResNet152v2");
+    case ModelName::kDenseNet169:
+      return BuildDenseNet({6, 12, 32, 32}, "DenseNet169");
+    case ModelName::kDenseNet201:
+      return BuildDenseNet({6, 12, 48, 32}, "DenseNet201");
+    case ModelName::kInceptionResNetV2: return BuildInceptionResNetV2();
+    case ModelName::kResNet50V2: return BuildResNetV2(6, 4, "ResNet50v2");
+    case ModelName::kInceptionV3: return BuildInceptionV3();
+  }
+  throw std::invalid_argument("BuildModel: unknown model");
+}
+
+std::vector<ModelName> TableIModels() {
+  return {ModelName::kXception,        ModelName::kResNet50,
+          ModelName::kResNet101,       ModelName::kResNet152,
+          ModelName::kDenseNet121,     ModelName::kResNet101V2,
+          ModelName::kResNet152V2,     ModelName::kDenseNet169,
+          ModelName::kDenseNet201,     ModelName::kInceptionResNetV2};
+}
+
+std::vector<ModelName> Fig5Models() {
+  return {ModelName::kDenseNet121,     ModelName::kDenseNet169,
+          ModelName::kDenseNet201,     ModelName::kResNet50,
+          ModelName::kResNet101,       ModelName::kResNet152,
+          ModelName::kResNet50V2,      ModelName::kResNet101V2,
+          ModelName::kInceptionResNetV2, ModelName::kResNet152V2,
+          ModelName::kInceptionV3,     ModelName::kXception};
+}
+
+}  // namespace respect::models

@@ -1,0 +1,70 @@
+// Model zoo: structural reconstructions of the twelve ImageNet architectures
+// evaluated in the paper (Table I plus the two extra models of Fig. 5).
+//
+// Each generator reproduces the Keras layer graph of the architecture —
+// verified against Table I of the paper: |V| (node count), deg(V) (max
+// in-degree) and Depth (longest path, input excluded) match exactly for all
+// ten Table I models.  Parameter/activation/MAC attributes are derived from
+// the real layer shapes, so total weight footprints match the published
+// models (e.g. ResNet50 ≈ 25.6 M parameters).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace respect::models {
+
+/// Evaluated architectures.  Order matches the paper's Table I followed by
+/// the two models that only appear in Fig. 5.
+enum class ModelName {
+  kXception,
+  kResNet50,
+  kResNet101,
+  kResNet152,
+  kDenseNet121,
+  kResNet101V2,
+  kResNet152V2,
+  kDenseNet169,
+  kDenseNet201,
+  kInceptionResNetV2,
+  // Fig. 5 additions:
+  kResNet50V2,
+  kInceptionV3,
+};
+
+/// Reference statistics as printed in Table I of the paper.
+struct TableIStats {
+  int num_nodes = 0;     // |V|
+  int max_in_degree = 0; // deg(V)
+  int depth = 0;         // longest path, input excluded
+};
+
+[[nodiscard]] std::string_view ModelNameString(ModelName name);
+
+/// Paper-reported statistics (only defined for the ten Table I models;
+/// returns zeros for the two Fig. 5-only models).
+[[nodiscard]] TableIStats PaperStats(ModelName name);
+
+/// Builds the computational graph of the given architecture.
+[[nodiscard]] graph::Dag BuildModel(ModelName name);
+
+/// The ten models of Table I, in the paper's order.
+[[nodiscard]] std::vector<ModelName> TableIModels();
+
+/// The twelve models of Fig. 5 (gap-to-optimal analysis).
+[[nodiscard]] std::vector<ModelName> Fig5Models();
+
+// Individual generators (exposed for tests and examples).
+[[nodiscard]] graph::Dag BuildResNet(int stage3_blocks, int stage2_blocks,
+                                     const std::string& name);
+[[nodiscard]] graph::Dag BuildResNetV2(int stage3_blocks, int stage2_blocks,
+                                       const std::string& name);
+[[nodiscard]] graph::Dag BuildDenseNet(const std::vector<int>& blocks,
+                                       const std::string& name);
+[[nodiscard]] graph::Dag BuildXception();
+[[nodiscard]] graph::Dag BuildInceptionV3();
+[[nodiscard]] graph::Dag BuildInceptionResNetV2();
+
+}  // namespace respect::models

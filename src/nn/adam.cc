@@ -1,0 +1,50 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace respect::nn {
+
+float Adam::Step(ParamStore& store) {
+  ++t_;
+
+  double norm_sq = 0.0;
+  for (const auto& [name, value] : store.Values()) {
+    const Tensor& g = store.Grad(name);
+    for (std::int64_t i = 0; i < g.Size(); ++i) {
+      norm_sq += static_cast<double>(g.Data()[i]) * g.Data()[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(norm_sq));
+  float scale = 1.0f;
+  if (config_.max_grad_norm > 0 && norm > config_.max_grad_norm) {
+    scale = config_.max_grad_norm / norm;
+  }
+
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  for (auto& [name, value] : store.MutableValues()) {
+    Tensor& g = store.Grad(name);
+    auto mit = m_.find(name);
+    if (mit == m_.end()) {
+      mit = m_.emplace(name, Tensor::Zeros(g.Rows(), g.Cols())).first;
+      v_.emplace(name, Tensor::Zeros(g.Rows(), g.Cols()));
+    }
+    Tensor& m = mit->second;
+    Tensor& v = v_.at(name);
+    for (std::int64_t i = 0; i < g.Size(); ++i) {
+      const float gi = g.Data()[i] * scale;
+      m.Data()[i] = config_.beta1 * m.Data()[i] + (1.0f - config_.beta1) * gi;
+      v.Data()[i] =
+          config_.beta2 * v.Data()[i] + (1.0f - config_.beta2) * gi * gi;
+      const float mhat = m.Data()[i] / bc1;
+      const float vhat = v.Data()[i] / bc2;
+      value.Data()[i] -=
+          config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+  }
+  store.ZeroGrads();
+  return norm;
+}
+
+}  // namespace respect::nn

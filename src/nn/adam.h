@@ -1,0 +1,39 @@
+// Adam optimizer over a ParamStore (Kingma & Ba), with optional global-norm
+// gradient clipping — the paper trains with Adam at lr 1e-4.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/params.h"
+
+namespace respect::nn {
+
+struct AdamConfig {
+  float learning_rate = 1e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+
+  /// Clip gradients to this global L2 norm before stepping (0 = off).
+  float max_grad_norm = 2.0f;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  /// Applies one update from the accumulated gradients in `store`, then
+  /// zeroes them.  Returns the pre-clip global gradient norm.
+  float Step(ParamStore& store);
+
+  [[nodiscard]] std::int64_t StepCount() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::int64_t t_ = 0;
+  std::map<std::string, Tensor> m_;
+  std::map<std::string, Tensor> v_;
+};
+
+}  // namespace respect::nn

@@ -1,0 +1,130 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include <stdexcept>
+
+namespace respect::nn {
+
+PointerAttention::PointerAttention(ParamStore& store, std::string prefix,
+                                   int hidden_dim, std::mt19937_64& rng)
+    : store_(store), prefix_(std::move(prefix)), hidden_dim_(hidden_dim) {
+  store_.GetOrCreate(prefix_ + ".Wref_g", hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(prefix_ + ".Wq_g", hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(prefix_ + ".b_g", hidden_dim_, 1, rng);
+  store_.GetOrCreate(prefix_ + ".v_g", hidden_dim_, 1, rng);
+  store_.GetOrCreate(prefix_ + ".Wref_p", hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(prefix_ + ".Wq_p", hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(prefix_ + ".b_p", hidden_dim_, 1, rng);
+  store_.GetOrCreate(prefix_ + ".v_p", hidden_dim_, 1, rng);
+}
+
+PointerAttention::CachedRefs PointerAttention::Precompute(
+    const Tensor& contexts) const {
+  if (contexts.Rows() != hidden_dim_) {
+    throw std::invalid_argument("PointerAttention: contexts must be (d, V)");
+  }
+  return CachedRefs{MatMul(store_.Value(prefix_ + ".Wref_g"), contexts),
+                    MatMul(store_.Value(prefix_ + ".Wref_p"), contexts)};
+}
+
+namespace {
+
+/// Fused attention-score kernel: scores[j] = v^T tanh(ref[:,j] + q), with no
+/// (d, V) temporaries.  This runs once per decode step over every node, so
+/// it dominates inference cost on large graphs.
+void ScoreColumns(const Tensor& ref, const Tensor& q, const Tensor& v,
+                  Tensor& scores) {
+  const int d = ref.Rows();
+  const int n = ref.Cols();
+  for (int j = 0; j < n; ++j) scores.At(0, j) = 0.0f;
+  for (int i = 0; i < d; ++i) {
+    const float qi = q.At(i, 0);
+    const float vi = v.At(i, 0);
+    const float* row = ref.Data() + static_cast<std::int64_t>(i) * n;
+    float* out = scores.Data();
+    for (int j = 0; j < n; ++j) {
+      out[j] += vi * std::tanh(row[j] + qi);
+    }
+  }
+}
+
+}  // namespace
+
+Tensor PointerAttention::PointerLogits(const Tensor& contexts,
+                                       const CachedRefs& refs, const Tensor& h,
+                                       const std::vector<bool>& valid) const {
+  const int n = contexts.Cols();
+  const int d = hidden_dim_;
+
+  // Glimpse.
+  const Tensor q_g = Add(MatMul(store_.Value(prefix_ + ".Wq_g"), h),
+                         store_.Value(prefix_ + ".b_g"));
+  Tensor scores_g(1, n);
+  ScoreColumns(refs.glimpse_ref, q_g, store_.Value(prefix_ + ".v_g"),
+               scores_g);
+  const Tensor attn = MaskedSoftmax(scores_g, valid);
+  Tensor glimpse(d, 1);
+  for (int i = 0; i < d; ++i) {
+    const float* row = contexts.Data() + static_cast<std::int64_t>(i) * n;
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) acc += row[j] * attn.At(0, j);
+    glimpse.At(i, 0) = acc;
+  }
+
+  // Pointer.
+  const Tensor q_p = Add(MatMul(store_.Value(prefix_ + ".Wq_p"), glimpse),
+                         store_.Value(prefix_ + ".b_p"));
+  Tensor u(1, n);
+  ScoreColumns(refs.pointer_ref, q_p, store_.Value(prefix_ + ".v_p"), u);
+  for (int j = 0; j < n; ++j) {
+    u.At(0, j) = kLogitClip * std::tanh(u.At(0, j));
+  }
+  return u;
+}
+
+void PointerAttention::BindToTape(Tape& tape) {
+  if (bound_tape_id_ == tape.Id()) return;
+  bound_tape_id_ = tape.Id();
+  const auto bind = [&](const std::string& name) {
+    return tape.Param(store_.Value(prefix_ + name), &store_.Grad(prefix_ + name));
+  };
+  wref_g_ = bind(".Wref_g");
+  wq_g_ = bind(".Wq_g");
+  bg_ = bind(".b_g");
+  vg_ = bind(".v_g");
+  wref_p_ = bind(".Wref_p");
+  wq_p_ = bind(".Wq_p");
+  bp_ = bind(".b_p");
+  vp_ = bind(".v_p");
+}
+
+PointerAttention::TapeRefs PointerAttention::Precompute(Tape& tape,
+                                                        Ref contexts) {
+  BindToTape(tape);
+  TapeRefs refs;
+  refs.contexts = contexts;
+  refs.glimpse_ref = tape.MatMul(wref_g_, contexts);
+  refs.pointer_ref = tape.MatMul(wref_p_, contexts);
+  return refs;
+}
+
+Ref PointerAttention::PointerLogits(Tape& tape, const TapeRefs& refs, Ref h,
+                                    const std::vector<bool>& valid) {
+  BindToTape(tape);
+  // Glimpse.
+  const Ref q_g =
+      tape.AddBroadcastCol(tape.MatMul(wq_g_, h), bg_);  // (d,1)
+  const Ref act_g = tape.Tanh(tape.AddBroadcastCol(refs.glimpse_ref, q_g));
+  const Ref scores_g = tape.MatMul(tape.Transpose(vg_), act_g);
+  const Ref attn = tape.MaskedSoftmax(scores_g, valid);
+  const Ref glimpse = tape.MatMul(refs.contexts, tape.Transpose(attn));
+
+  // Pointer.
+  const Ref q_p = tape.AddBroadcastCol(tape.MatMul(wq_p_, glimpse), bp_);
+  const Ref act_p = tape.Tanh(tape.AddBroadcastCol(refs.pointer_ref, q_p));
+  const Ref u = tape.MatMul(tape.Transpose(vp_), act_p);
+  return tape.Scale(tape.Tanh(u), kLogitClip);
+}
+
+}  // namespace respect::nn

@@ -1,0 +1,72 @@
+// Glimpse + pointer attention networks (Algorithm 1 of the paper; the
+// attention mechanism of Bello et al. / Vinyals et al. pointer networks).
+//
+// Given the encoder context matrix C (hidden x |V|) and a decoder query q:
+//   glimpse:  a = softmax(v_g^T tanh(W_ref_g C + (W_q_g q + b_g) ⊕))   (1,|V|)
+//             g = C a^T                                                (d,1)
+//   pointer:  u = 10·tanh(v_p^T tanh(W_ref_p C + (W_q_p g + b_p) ⊕))   (1,|V|)
+// where ⊕ broadcasts the column across |V| and already-picked nodes are
+// masked to -inf (probability zero) — "the logits of the nodes that appeared
+// in the solution π are set to −∞" (§III-B).
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/params.h"
+#include "nn/tape.h"
+#include "nn/tensor.h"
+
+namespace respect::nn {
+
+class PointerAttention {
+ public:
+  /// Creates (or rebinds to) parameters under `prefix` in `store`.
+  PointerAttention(ParamStore& store, std::string prefix, int hidden_dim,
+                   std::mt19937_64& rng);
+
+  /// Logit clipping constant (Bello et al. use 10).
+  static constexpr float kLogitClip = 10.0f;
+
+  // ---- Inference path (no gradients) ----
+
+  /// Precomputed W_ref C products, reused across decode steps.
+  struct CachedRefs {
+    Tensor glimpse_ref;  // (d, V)
+    Tensor pointer_ref;  // (d, V)
+  };
+  [[nodiscard]] CachedRefs Precompute(const Tensor& contexts) const;
+
+  /// Returns the masked pointer logits (1, V) for query h.
+  [[nodiscard]] Tensor PointerLogits(const Tensor& contexts,
+                                     const CachedRefs& refs, const Tensor& h,
+                                     const std::vector<bool>& valid) const;
+
+  // ---- Training path (tape-recorded) ----
+
+  struct TapeRefs {
+    Ref contexts = -1;     // (d, V)
+    Ref glimpse_ref = -1;  // (d, V)
+    Ref pointer_ref = -1;  // (d, V)
+  };
+  [[nodiscard]] TapeRefs Precompute(Tape& tape, Ref contexts);
+
+  /// Returns the clipped pointer logits node (1, V); masking happens inside
+  /// the caller's PickLogSoftmax.
+  [[nodiscard]] Ref PointerLogits(Tape& tape, const TapeRefs& refs, Ref h,
+                                  const std::vector<bool>& valid);
+
+ private:
+  void BindToTape(Tape& tape);
+
+  ParamStore& store_;
+  std::string prefix_;
+  int hidden_dim_ = 0;
+
+  std::uint64_t bound_tape_id_ = 0;
+  Ref wref_g_ = -1, wq_g_ = -1, bg_ = -1, vg_ = -1;
+  Ref wref_p_ = -1, wq_p_ = -1, bp_ = -1, vp_ = -1;
+};
+
+}  // namespace respect::nn

@@ -1,0 +1,72 @@
+#include "nn/lstm.h"
+
+#include <stdexcept>
+
+namespace respect::nn {
+
+LstmCell::LstmCell(ParamStore& store, std::string prefix, int input_dim,
+                   int hidden_dim, std::mt19937_64& rng)
+    : store_(store),
+      prefix_(std::move(prefix)),
+      input_dim_(input_dim),
+      hidden_dim_(hidden_dim) {
+  store_.GetOrCreate(prefix_ + ".Wx", 4 * hidden_dim_, input_dim_, rng);
+  store_.GetOrCreate(prefix_ + ".Wh", 4 * hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(prefix_ + ".b", 4 * hidden_dim_, 1, rng);
+  // Bias convention: forget gate starts open (+1) so early training does not
+  // wash out the recurrent state.
+  Tensor& b = store_.Value(prefix_ + ".b");
+  for (int i = hidden_dim_; i < 2 * hidden_dim_; ++i) b.At(i, 0) = 1.0f;
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{Tensor::Zeros(hidden_dim_, 1), Tensor::Zeros(hidden_dim_, 1)};
+}
+
+LstmCell::TapeState LstmCell::InitialState(Tape& tape) const {
+  return TapeState{tape.Constant(Tensor::Zeros(hidden_dim_, 1)),
+                   tape.Constant(Tensor::Zeros(hidden_dim_, 1))};
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& prev) const {
+  if (x.Rows() != input_dim_ || x.Cols() != 1) {
+    throw std::invalid_argument("LstmCell::Step: bad input shape");
+  }
+  const Tensor z = Add(Add(MatMul(store_.Value(prefix_ + ".Wx"), x),
+                           MatMul(store_.Value(prefix_ + ".Wh"), prev.h)),
+                       store_.Value(prefix_ + ".b"));
+  const int d = hidden_dim_;
+  const Tensor i = Sigmoid(SliceRows(z, 0, d));
+  const Tensor f = Sigmoid(SliceRows(z, d, 2 * d));
+  const Tensor g = Tanh(SliceRows(z, 2 * d, 3 * d));
+  const Tensor o = Sigmoid(SliceRows(z, 3 * d, 4 * d));
+  State next;
+  next.c = Add(Mul(f, prev.c), Mul(i, g));
+  next.h = Mul(o, Tanh(next.c));
+  return next;
+}
+
+void LstmCell::BindToTape(Tape& tape) {
+  if (bound_tape_id_ == tape.Id()) return;
+  bound_tape_id_ = tape.Id();
+  wx_ = tape.Param(store_.Value(prefix_ + ".Wx"), &store_.Grad(prefix_ + ".Wx"));
+  wh_ = tape.Param(store_.Value(prefix_ + ".Wh"), &store_.Grad(prefix_ + ".Wh"));
+  b_ = tape.Param(store_.Value(prefix_ + ".b"), &store_.Grad(prefix_ + ".b"));
+}
+
+LstmCell::TapeState LstmCell::Step(Tape& tape, Ref x, const TapeState& prev) {
+  BindToTape(tape);
+  const Ref z = tape.AddBroadcastCol(
+      tape.Add(tape.MatMul(wx_, x), tape.MatMul(wh_, prev.h)), b_);
+  const int d = hidden_dim_;
+  const Ref i = tape.Sigmoid(tape.SliceRows(z, 0, d));
+  const Ref f = tape.Sigmoid(tape.SliceRows(z, d, 2 * d));
+  const Ref g = tape.Tanh(tape.SliceRows(z, 2 * d, 3 * d));
+  const Ref o = tape.Sigmoid(tape.SliceRows(z, 3 * d, 4 * d));
+  TapeState next;
+  next.c = tape.Add(tape.Mul(f, prev.c), tape.Mul(i, g));
+  next.h = tape.Mul(o, tape.Tanh(next.c));
+  return next;
+}
+
+}  // namespace respect::nn

@@ -1,0 +1,65 @@
+// LSTM cell with twin execution paths: a tape-recorded path for training
+// (gradients flow through BPTT) and a value-only path for inference.
+//
+// Standard formulation, gate order [i f g o]:
+//   z = Wx·x + Wh·h + b;  i,f,o = σ(z…);  g = tanh(z…)
+//   c' = f ⊙ c + i ⊙ g;   h' = o ⊙ tanh(c')
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "nn/params.h"
+#include "nn/tape.h"
+#include "nn/tensor.h"
+
+namespace respect::nn {
+
+/// One LSTM cell; weights live in a ParamStore under `prefix`.
+class LstmCell {
+ public:
+  /// Creates (or rebinds to) parameters `prefix`.{Wx,Wh,b} in `store`.
+  LstmCell(ParamStore& store, std::string prefix, int input_dim,
+           int hidden_dim, std::mt19937_64& rng);
+
+  [[nodiscard]] int HiddenDim() const { return hidden_dim_; }
+  [[nodiscard]] int InputDim() const { return input_dim_; }
+
+  /// Value-only state (inference path).
+  struct State {
+    Tensor h;  // (hidden, 1)
+    Tensor c;  // (hidden, 1)
+  };
+
+  /// Tape-recorded state (training path).
+  struct TapeState {
+    Ref h = -1;
+    Ref c = -1;
+  };
+
+  [[nodiscard]] State InitialState() const;
+  [[nodiscard]] TapeState InitialState(Tape& tape) const;
+
+  /// One step without gradient recording.
+  [[nodiscard]] State Step(const Tensor& x, const State& prev) const;
+
+  /// One recorded step; `x` must already be a tape node of shape
+  /// (input_dim, 1).  Parameters are bound into the tape on first use.
+  [[nodiscard]] TapeState Step(Tape& tape, Ref x, const TapeState& prev);
+
+  /// Binds this cell's parameters into a fresh tape (one Param leaf per
+  /// tensor per tape); called automatically by Step.
+  void BindToTape(Tape& tape);
+
+ private:
+  ParamStore& store_;
+  std::string prefix_;
+  int input_dim_ = 0;
+  int hidden_dim_ = 0;
+
+  // Per-tape parameter leaf cache (valid for the tape last bound).
+  std::uint64_t bound_tape_id_ = 0;
+  Ref wx_ = -1, wh_ = -1, b_ = -1;
+};
+
+}  // namespace respect::nn

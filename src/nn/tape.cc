@@ -1,0 +1,252 @@
+#include "nn/tape.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace respect::nn {
+
+Ref Tape::Push(Tensor value, std::vector<Ref> inputs,
+               std::function<void(Tape&, Node&)> backward) {
+  for (const Ref r : inputs) {
+    if (r < 0 || r >= NodeCount()) {
+      throw std::invalid_argument("Tape: input ref out of range");
+    }
+  }
+  Node node;
+  node.value = std::move(value);
+  node.inputs = std::move(inputs);
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return NodeCount() - 1;
+}
+
+Ref Tape::Constant(Tensor value) {
+  return Push(std::move(value), {}, nullptr);
+}
+
+Ref Tape::Param(Tensor value, Tensor* grad_sink) {
+  if (grad_sink == nullptr) {
+    throw std::invalid_argument("Tape::Param: null grad sink");
+  }
+  if (grad_sink->Rows() != value.Rows() || grad_sink->Cols() != value.Cols()) {
+    throw std::invalid_argument("Tape::Param: grad sink shape mismatch");
+  }
+  const Ref r = Push(std::move(value), {}, nullptr);
+  nodes_[r].grad_sink = grad_sink;
+  return r;
+}
+
+Ref Tape::MatMul(Ref a, Ref b) {
+  Tensor value = nn::MatMul(Value(a), Value(b));
+  return Push(std::move(value), {a, b}, [](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    Node& nb = t.nodes_[self.inputs[1]];
+    na.grad.Accumulate(nn::MatMul(self.grad, nn::Transpose(nb.value)));
+    nb.grad.Accumulate(nn::MatMul(nn::Transpose(na.value), self.grad));
+  });
+}
+
+Ref Tape::Add(Ref a, Ref b) {
+  Tensor value = nn::Add(Value(a), Value(b));
+  return Push(std::move(value), {a, b}, [](Tape& t, Node& self) {
+    t.nodes_[self.inputs[0]].grad.Accumulate(self.grad);
+    t.nodes_[self.inputs[1]].grad.Accumulate(self.grad);
+  });
+}
+
+Ref Tape::Mul(Ref a, Ref b) {
+  Tensor value = nn::Mul(Value(a), Value(b));
+  return Push(std::move(value), {a, b}, [](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    Node& nb = t.nodes_[self.inputs[1]];
+    na.grad.Accumulate(nn::Mul(self.grad, nb.value));
+    nb.grad.Accumulate(nn::Mul(self.grad, na.value));
+  });
+}
+
+Ref Tape::Scale(Ref a, float s) {
+  Tensor value = nn::Scale(Value(a), s);
+  return Push(std::move(value), {a}, [s](Tape& t, Node& self) {
+    t.nodes_[self.inputs[0]].grad.Accumulate(nn::Scale(self.grad, s));
+  });
+}
+
+Ref Tape::Tanh(Ref a) {
+  Tensor value = nn::Tanh(Value(a));
+  return Push(std::move(value), {a}, [](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    Tensor d = self.grad;
+    for (std::int64_t i = 0; i < d.Size(); ++i) {
+      const float y = self.value.Data()[i];
+      d.Data()[i] *= 1.0f - y * y;
+    }
+    na.grad.Accumulate(d);
+  });
+}
+
+Ref Tape::Sigmoid(Ref a) {
+  Tensor value = nn::Sigmoid(Value(a));
+  return Push(std::move(value), {a}, [](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    Tensor d = self.grad;
+    for (std::int64_t i = 0; i < d.Size(); ++i) {
+      const float y = self.value.Data()[i];
+      d.Data()[i] *= y * (1.0f - y);
+    }
+    na.grad.Accumulate(d);
+  });
+}
+
+Ref Tape::AddBroadcastCol(Ref mat, Ref col) {
+  Tensor value = nn::AddBroadcastCol(Value(mat), Value(col));
+  return Push(std::move(value), {mat, col}, [](Tape& t, Node& self) {
+    Node& nm = t.nodes_[self.inputs[0]];
+    Node& nc = t.nodes_[self.inputs[1]];
+    nm.grad.Accumulate(self.grad);
+    for (int i = 0; i < self.grad.Rows(); ++i) {
+      float s = 0.0f;
+      for (int j = 0; j < self.grad.Cols(); ++j) s += self.grad.At(i, j);
+      nc.grad.At(i, 0) += s;
+    }
+  });
+}
+
+Ref Tape::ConcatCols(const std::vector<Ref>& cols) {
+  std::vector<Tensor> values;
+  values.reserve(cols.size());
+  for (const Ref r : cols) values.push_back(Value(r));
+  Tensor value = nn::ConcatCols(values);
+  return Push(std::move(value), cols, [](Tape& t, Node& self) {
+    for (int j = 0; j < static_cast<int>(self.inputs.size()); ++j) {
+      Node& nc = t.nodes_[self.inputs[j]];
+      for (int i = 0; i < self.grad.Rows(); ++i) {
+        nc.grad.At(i, 0) += self.grad.At(i, j);
+      }
+    }
+  });
+}
+
+Ref Tape::SliceRows(Ref a, int r0, int r1) {
+  Tensor value = nn::SliceRows(Value(a), r0, r1);
+  return Push(std::move(value), {a}, [r0](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    for (int i = 0; i < self.grad.Rows(); ++i) {
+      for (int j = 0; j < self.grad.Cols(); ++j) {
+        na.grad.At(r0 + i, j) += self.grad.At(i, j);
+      }
+    }
+  });
+}
+
+Ref Tape::SliceCols(Ref a, int c0, int c1) {
+  Tensor value = nn::SliceCols(Value(a), c0, c1);
+  return Push(std::move(value), {a}, [c0](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    for (int i = 0; i < self.grad.Rows(); ++i) {
+      for (int j = 0; j < self.grad.Cols(); ++j) {
+        na.grad.At(i, c0 + j) += self.grad.At(i, j);
+      }
+    }
+  });
+}
+
+Ref Tape::Transpose(Ref a) {
+  Tensor value = nn::Transpose(Value(a));
+  return Push(std::move(value), {a}, [](Tape& t, Node& self) {
+    t.nodes_[self.inputs[0]].grad.Accumulate(nn::Transpose(self.grad));
+  });
+}
+
+Ref Tape::MaskedSoftmax(Ref logits, std::vector<bool> valid) {
+  Tensor value = nn::MaskedSoftmax(Value(logits), valid);
+  return Push(std::move(value), {logits},
+              [valid = std::move(valid)](Tape& t, Node& self) {
+                Node& nl = t.nodes_[self.inputs[0]];
+                // ds_j = p_j * (g_j - sum_k g_k p_k) over valid entries.
+                float dot = 0.0f;
+                for (int j = 0; j < self.value.Cols(); ++j) {
+                  dot += self.grad.At(0, j) * self.value.At(0, j);
+                }
+                for (int j = 0; j < self.value.Cols(); ++j) {
+                  if (!valid[j]) continue;
+                  nl.grad.At(0, j) +=
+                      self.value.At(0, j) * (self.grad.At(0, j) - dot);
+                }
+              });
+}
+
+Ref Tape::PickLogSoftmax(Ref logits, std::vector<bool> valid, int pick) {
+  const Tensor& l = Value(logits);
+  if (l.Rows() != 1 || pick < 0 || pick >= l.Cols() || !valid[pick]) {
+    throw std::invalid_argument("PickLogSoftmax: bad pick or shape");
+  }
+  const Tensor probs = nn::MaskedSoftmax(l, valid);
+  Tensor value(1, 1);
+  value.At(0, 0) = std::log(std::max(probs.At(0, pick), 1e-30f));
+  return Push(std::move(value), {logits},
+              [valid = std::move(valid), pick, probs](Tape& t, Node& self) {
+                Node& nl = t.nodes_[self.inputs[0]];
+                const float g = self.grad.At(0, 0);
+                for (int j = 0; j < probs.Cols(); ++j) {
+                  if (!valid[j]) continue;
+                  const float delta = (j == pick) ? 1.0f : 0.0f;
+                  nl.grad.At(0, j) += g * (delta - probs.At(0, j));
+                }
+              });
+}
+
+Ref Tape::Sum(Ref a) {
+  const Tensor& v = Value(a);
+  Tensor value(1, 1);
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < v.Size(); ++i) s += v.Data()[i];
+  value.At(0, 0) = s;
+  return Push(std::move(value), {a}, [](Tape& t, Node& self) {
+    Node& na = t.nodes_[self.inputs[0]];
+    const float g = self.grad.At(0, 0);
+    for (std::int64_t i = 0; i < na.grad.Size(); ++i) na.grad.Data()[i] += g;
+  });
+}
+
+std::uint64_t Tape::NextId() {
+  static std::uint64_t next = 0;
+  return ++next;
+}
+
+const Tensor& Tape::Value(Ref r) const {
+  if (r < 0 || r >= NodeCount()) {
+    throw std::invalid_argument("Tape::Value: ref out of range");
+  }
+  return nodes_[r].value;
+}
+
+const Tensor& Tape::Grad(Ref r) const {
+  if (!backward_run_) {
+    throw std::logic_error("Tape::Grad: Backward() has not run");
+  }
+  return nodes_[r].grad;
+}
+
+void Tape::Backward(Ref result, float seed) {
+  if (backward_run_) {
+    throw std::logic_error("Tape::Backward: may only run once per tape");
+  }
+  const Tensor& rv = Value(result);
+  if (rv.Rows() != 1 || rv.Cols() != 1) {
+    throw std::invalid_argument("Tape::Backward: result must be scalar (1,1)");
+  }
+  for (Node& node : nodes_) {
+    node.grad = Tensor::Zeros(node.value.Rows(), node.value.Cols());
+  }
+  nodes_[result].grad.At(0, 0) = seed;
+  for (Ref r = NodeCount() - 1; r >= 0; --r) {
+    Node& node = nodes_[r];
+    if (node.backward) node.backward(*this, node);
+    if (node.grad_sink != nullptr) node.grad_sink->Accumulate(node.grad);
+  }
+  backward_run_ = true;
+}
+
+}  // namespace respect::nn

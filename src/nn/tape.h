@@ -1,0 +1,92 @@
+// Reverse-mode automatic differentiation tape.
+//
+// Forward computation is eager: every op computes its value immediately and
+// records (op kind, input refs, cached value) on the tape.  Backward() seeds
+// the gradient of a scalar result and walks the tape in reverse, routing
+// gradients through each op's adjoint rule.  Leaves created with Param()
+// additionally accumulate their gradient into an external sink tensor (the
+// parameter's grad buffer), which is how the REINFORCE trainer collects
+// gradients across a batch.
+//
+// Gradient correctness of every op is pinned by central-difference tests
+// (tests/autograd_test.cc) — the policy-gradient path depends on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace respect::nn {
+
+/// Reference to a tape node.
+using Ref = int;
+
+class Tape {
+ public:
+  /// Constant leaf: value participates in the graph, gradient is dropped.
+  Ref Constant(Tensor value);
+
+  /// Parameter leaf: gradient is accumulated into *grad_sink (must outlive
+  /// the tape; shape must match value).
+  Ref Param(Tensor value, Tensor* grad_sink);
+
+  Ref MatMul(Ref a, Ref b);
+  Ref Add(Ref a, Ref b);
+  Ref Mul(Ref a, Ref b);  // elementwise
+  Ref Scale(Ref a, float s);
+  Ref Tanh(Ref a);
+  Ref Sigmoid(Ref a);
+  Ref AddBroadcastCol(Ref mat, Ref col);
+  Ref ConcatCols(const std::vector<Ref>& cols);
+  Ref SliceRows(Ref a, int r0, int r1);
+  Ref SliceCols(Ref a, int c0, int c1);
+  Ref Transpose(Ref a);
+
+  /// Softmax over a (1, n) row restricted to `valid` entries (invalid get
+  /// probability 0); differentiable through the valid entries.
+  Ref MaskedSoftmax(Ref logits, std::vector<bool> valid);
+
+  /// Scalar log p[pick] of the masked softmax of `logits` — the REINFORCE
+  /// building block.  `pick` must be valid.
+  Ref PickLogSoftmax(Ref logits, std::vector<bool> valid, int pick);
+
+  /// Sum of all entries, as a (1,1) scalar.
+  Ref Sum(Ref a);
+
+  /// Process-unique id; lets weight holders detect that a cached binding
+  /// belongs to a different (possibly reallocated) tape.
+  [[nodiscard]] std::uint64_t Id() const { return id_; }
+
+  [[nodiscard]] const Tensor& Value(Ref r) const;
+  [[nodiscard]] const Tensor& Grad(Ref r) const;
+  [[nodiscard]] int NodeCount() const { return static_cast<int>(nodes_.size()); }
+
+  /// Runs the reverse pass from a (1,1) scalar node with seed gradient
+  /// `seed`.  May be called once per tape.
+  void Backward(Ref result, float seed = 1.0f);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    std::vector<Ref> inputs;
+    // Adjoint: routes this node's grad into its inputs' grads.
+    std::function<void(Tape&, Node&)> backward;
+    Tensor* grad_sink = nullptr;
+  };
+
+  Ref Push(Tensor value, std::vector<Ref> inputs,
+           std::function<void(Tape&, Node&)> backward);
+
+  static std::uint64_t NextId();
+
+  std::vector<Node> nodes_;
+  std::uint64_t id_ = NextId();
+  bool backward_run_ = false;
+
+  friend struct TapeTestPeer;
+};
+
+}  // namespace respect::nn

@@ -1,0 +1,181 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace respect::nn {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.SameShape(b)) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch (" +
+                                std::to_string(a.Rows()) + "x" +
+                                std::to_string(a.Cols()) + " vs " +
+                                std::to_string(b.Rows()) + "x" +
+                                std::to_string(b.Cols()) + ")");
+  }
+}
+
+}  // namespace
+
+Tensor Tensor::Xavier(int rows, int cols, std::mt19937_64& rng) {
+  Tensor t(rows, cols);
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  std::uniform_real_distribution<float> dist(-a, a);
+  for (std::int64_t i = 0; i < t.Size(); ++i) t.Data()[i] = dist(rng);
+  return t;
+}
+
+void Tensor::Accumulate(const Tensor& other) {
+  CheckSameShape(*this, other, "Tensor::Accumulate");
+  for (std::int64_t i = 0; i < Size(); ++i) data_[i] += other.data_[i];
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.Cols() != b.Rows()) {
+    throw std::invalid_argument("MatMul: inner dimensions " +
+                                std::to_string(a.Cols()) + " vs " +
+                                std::to_string(b.Rows()));
+  }
+  Tensor out(a.Rows(), b.Cols());
+  for (int i = 0; i < a.Rows(); ++i) {
+    for (int k = 0; k < a.Cols(); ++k) {
+      const float aik = a.At(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.Data() + std::int64_t{k} * b.Cols();
+      float* orow = out.Data() + std::int64_t{i} * out.Cols();
+      for (int j = 0; j < b.Cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out = a;
+  out.Accumulate(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.Size(); ++i) out.Data()[i] -= b.Data()[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.Size(); ++i) out.Data()[i] *= b.Data()[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.Size(); ++i) out.Data()[i] *= s;
+  return out;
+}
+
+Tensor Tanh(const Tensor& a) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.Size(); ++i) {
+    out.Data()[i] = std::tanh(out.Data()[i]);
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.Size(); ++i) {
+    out.Data()[i] = 1.0f / (1.0f + std::exp(-out.Data()[i]));
+  }
+  return out;
+}
+
+Tensor AddBroadcastCol(const Tensor& a, const Tensor& col) {
+  if (col.Rows() != a.Rows() || col.Cols() != 1) {
+    throw std::invalid_argument("AddBroadcastCol: col must be (rows, 1)");
+  }
+  Tensor out = a;
+  for (int i = 0; i < a.Rows(); ++i) {
+    const float c = col.At(i, 0);
+    for (int j = 0; j < a.Cols(); ++j) out.At(i, j) += c;
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& cols) {
+  if (cols.empty()) {
+    throw std::invalid_argument("ConcatCols: empty input");
+  }
+  const int rows = cols.front().Rows();
+  Tensor out(rows, static_cast<int>(cols.size()));
+  for (int j = 0; j < static_cast<int>(cols.size()); ++j) {
+    if (cols[j].Rows() != rows || cols[j].Cols() != 1) {
+      throw std::invalid_argument("ConcatCols: all inputs must be (rows, 1)");
+    }
+    for (int i = 0; i < rows; ++i) out.At(i, j) = cols[j].At(i, 0);
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int r0, int r1) {
+  if (r0 < 0 || r1 > a.Rows() || r0 >= r1) {
+    throw std::invalid_argument("SliceRows: bad range");
+  }
+  Tensor out(r1 - r0, a.Cols());
+  for (int i = r0; i < r1; ++i) {
+    for (int j = 0; j < a.Cols(); ++j) out.At(i - r0, j) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int c0, int c1) {
+  if (c0 < 0 || c1 > a.Cols() || c0 >= c1) {
+    throw std::invalid_argument("SliceCols: bad range");
+  }
+  Tensor out(a.Rows(), c1 - c0);
+  for (int i = 0; i < a.Rows(); ++i) {
+    for (int j = c0; j < c1; ++j) out.At(i, j - c0) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.Cols(), a.Rows());
+  for (int i = 0; i < a.Rows(); ++i) {
+    for (int j = 0; j < a.Cols(); ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+Tensor MaskedSoftmax(const Tensor& logits, const std::vector<bool>& valid) {
+  if (logits.Rows() != 1 ||
+      static_cast<int>(valid.size()) != logits.Cols()) {
+    throw std::invalid_argument("MaskedSoftmax: logits must be (1, n) with "
+                                "matching mask");
+  }
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (int j = 0; j < logits.Cols(); ++j) {
+    if (valid[j]) max_logit = std::max(max_logit, logits.At(0, j));
+  }
+  if (!std::isfinite(max_logit)) {
+    throw std::invalid_argument("MaskedSoftmax: all entries masked");
+  }
+  Tensor out(1, logits.Cols());
+  float denom = 0.0f;
+  for (int j = 0; j < logits.Cols(); ++j) {
+    if (valid[j]) {
+      out.At(0, j) = std::exp(logits.At(0, j) - max_logit);
+      denom += out.At(0, j);
+    }
+  }
+  for (int j = 0; j < logits.Cols(); ++j) out.At(0, j) /= denom;
+  return out;
+}
+
+}  // namespace respect::nn

@@ -1,0 +1,92 @@
+// Dense 2-D float tensor — the numeric value type of the NN substrate.
+//
+// Everything the LSTM-PtrNet needs is expressible with small dense matrices
+// (hidden size d <= a few hundred, sequence length |V| <= ~800), so the
+// library deliberately stays 2-D, row-major, CPU-only, with no views.  The
+// autodiff tape (tape.h) works on these values; the inference path uses the
+// free functions here directly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace respect::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols) : rows_(rows), cols_(cols), data_(Size()) {}
+  Tensor(int rows, int cols, float fill)
+      : rows_(rows), cols_(cols), data_(Size(), fill) {}
+
+  [[nodiscard]] static Tensor Zeros(int rows, int cols) {
+    return Tensor(rows, cols);
+  }
+
+  /// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(in+out)).
+  [[nodiscard]] static Tensor Xavier(int rows, int cols, std::mt19937_64& rng);
+
+  [[nodiscard]] int Rows() const { return rows_; }
+  [[nodiscard]] int Cols() const { return cols_; }
+  [[nodiscard]] std::int64_t Size() const {
+    return std::int64_t{rows_} * cols_;
+  }
+
+  [[nodiscard]] float& At(int r, int c) { return data_[Index(r, c)]; }
+  [[nodiscard]] float At(int r, int c) const { return data_[Index(r, c)]; }
+
+  [[nodiscard]] float* Data() { return data_.data(); }
+  [[nodiscard]] const float* Data() const { return data_.data(); }
+
+  [[nodiscard]] bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// this += other (shapes must match).
+  void Accumulate(const Tensor& other);
+
+ private:
+  [[nodiscard]] std::int64_t Index(int r, int c) const {
+    return std::int64_t{r} * cols_ + c;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- Value-level operations (shared by the inference path and the tape's
+// forward pass).  All functions check shapes and throw std::invalid_argument
+// on mismatch. ----
+
+[[nodiscard]] Tensor MatMul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor Mul(const Tensor& a, const Tensor& b);  // elementwise
+[[nodiscard]] Tensor Scale(const Tensor& a, float s);
+[[nodiscard]] Tensor Tanh(const Tensor& a);
+[[nodiscard]] Tensor Sigmoid(const Tensor& a);
+
+/// a: (r, c), col: (r, 1) broadcast-added to every column.
+[[nodiscard]] Tensor AddBroadcastCol(const Tensor& a, const Tensor& col);
+
+/// Stacks column vectors (all (r,1)) into an (r, n) matrix.
+[[nodiscard]] Tensor ConcatCols(const std::vector<Tensor>& cols);
+
+/// Rows [r0, r1) of a.
+[[nodiscard]] Tensor SliceRows(const Tensor& a, int r0, int r1);
+
+[[nodiscard]] Tensor Transpose(const Tensor& a);
+
+/// Columns [c0, c1) of a.
+[[nodiscard]] Tensor SliceCols(const Tensor& a, int c0, int c1);
+
+/// Masked softmax over a (1, n) row: entries with mask[i]==false get
+/// probability 0.  Throws when every entry is masked.
+[[nodiscard]] Tensor MaskedSoftmax(const Tensor& logits,
+                                   const std::vector<bool>& valid);
+
+}  // namespace respect::nn

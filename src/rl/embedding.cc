@@ -1,0 +1,76 @@
+#include "rl/embedding.h"
+
+#include <algorithm>
+
+#include "graph/topology.h"
+
+namespace respect::rl {
+
+nn::Tensor EmbedGraph(const graph::Dag& dag, const EmbeddingConfig& config) {
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  const int n = dag.NodeCount();
+
+  std::int64_t max_param = 1;
+  std::int64_t max_out = 1;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    max_param = std::max(max_param, dag.Attr(v).param_bytes);
+    max_out = std::max(max_out, dag.Attr(v).output_bytes);
+  }
+  const float depth = static_cast<float>(std::max(topo.depth, 1));
+
+  const auto id_hash = [](const graph::OpAttr& attr) {
+    return static_cast<float>(graph::HashOperatorName(attr.name) % 4096) /
+           4096.0f;
+  };
+
+  nn::Tensor emb(kFeatureDim, n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const auto parents = dag.Parents(v);
+    float max_parent_level = 0.0f;
+    float mean_parent_level = 0.0f;
+    float mean_parent_id = -1.0f;  // paper: source parents' IDs are -1
+    if (!parents.empty()) {
+      float sum_level = 0.0f;
+      float sum_id = 0.0f;
+      float max_level = 0.0f;
+      for (const graph::NodeId p : parents) {
+        const float lvl = static_cast<float>(topo.asap_level[p]);
+        sum_level += lvl;
+        max_level = std::max(max_level, lvl);
+        sum_id += id_hash(dag.Attr(p));
+      }
+      max_parent_level = max_level / depth;
+      mean_parent_level = sum_level / static_cast<float>(parents.size()) / depth;
+      mean_parent_id = sum_id / static_cast<float>(parents.size());
+    }
+
+    int row = 0;
+    // Absolute + relative coordinates.
+    emb.At(row++, v) = config.include_topology
+                           ? static_cast<float>(topo.asap_level[v]) / depth
+                           : 0.0f;
+    emb.At(row++, v) = config.include_topology ? max_parent_level : 0.0f;
+    emb.At(row++, v) = config.include_topology ? mean_parent_level : 0.0f;
+    // IDs.
+    emb.At(row++, v) = config.include_ids ? id_hash(dag.Attr(v)) : 0.0f;
+    emb.At(row++, v) = config.include_ids ? mean_parent_id : 0.0f;
+    // Degree (part of the dependency context).
+    emb.At(row++, v) = config.include_topology
+                           ? static_cast<float>(parents.size()) / 6.0f
+                           : 0.0f;
+    // Memory.
+    emb.At(row++, v) =
+        config.include_memory
+            ? static_cast<float>(dag.Attr(v).param_bytes) /
+                  static_cast<float>(max_param)
+            : 0.0f;
+    emb.At(row++, v) =
+        config.include_memory
+            ? static_cast<float>(dag.Attr(v).output_bytes) /
+                  static_cast<float>(max_out)
+            : 0.0f;
+  }
+  return emb;
+}
+
+}  // namespace respect::rl

@@ -1,0 +1,34 @@
+// DNN computational-graph embedding (Fig. 1a, step 2).
+//
+// Each node is embedded from four groups of features, exactly the columns
+// the paper describes:
+//  * absolute coordinates — the node's ASAP topological level;
+//  * relative coordinates — its parents' topological levels (dependency
+//    constraints) with 0 for sources;
+//  * node/parent IDs — hashes of the operator names, -1 for a source's
+//    missing parents;
+//  * memory — the operator's parameter and activation footprints.
+// Feature groups can be disabled for the ablation benchmarks; disabled
+// groups are zeroed so tensor shapes (and trained weights) stay compatible.
+#pragma once
+
+#include "graph/dag.h"
+#include "nn/tensor.h"
+
+namespace respect::rl {
+
+struct EmbeddingConfig {
+  bool include_topology = true;  // absolute + relative coordinates
+  bool include_ids = true;       // hashed node / parent IDs
+  bool include_memory = true;    // parameter + activation bytes
+};
+
+/// Number of raw feature columns per node.
+inline constexpr int kFeatureDim = 8;
+
+/// Embeds every node of `dag`; returns a (kFeatureDim, |V|) matrix whose
+/// column v is node v's feature vector.
+[[nodiscard]] nn::Tensor EmbedGraph(const graph::Dag& dag,
+                                    const EmbeddingConfig& config);
+
+}  // namespace respect::rl

@@ -1,0 +1,188 @@
+#include "rl/ptrnet.h"
+
+#include <stdexcept>
+
+#include "graph/topology.h"
+
+namespace respect::rl {
+namespace {
+
+/// Samples an index from a (1, n) probability row.
+int SampleIndex(const nn::Tensor& probs, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double r = unit(rng);
+  int last_valid = -1;
+  for (int j = 0; j < probs.Cols(); ++j) {
+    const double p = probs.At(0, j);
+    if (p <= 0.0) continue;
+    last_valid = j;
+    r -= p;
+    if (r <= 0.0) return j;
+  }
+  if (last_valid < 0) {
+    throw std::logic_error("SampleIndex: degenerate distribution");
+  }
+  return last_valid;  // numeric slack lands on the last valid entry
+}
+
+int ArgmaxIndex(const nn::Tensor& probs) {
+  int best = -1;
+  float best_p = -1.0f;
+  for (int j = 0; j < probs.Cols(); ++j) {
+    if (probs.At(0, j) > best_p) {
+      best_p = probs.At(0, j);
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PtrNetAgent::PtrNetAgent(const PtrNetConfig& config)
+    : config_(config),
+      init_rng_(config.init_seed),
+      encoder_(store_, "encoder", config.hidden_dim, config.hidden_dim,
+               init_rng_),
+      decoder_(store_, "decoder", config.hidden_dim, config.hidden_dim,
+               init_rng_),
+      attention_(store_, "attention", config.hidden_dim, init_rng_) {
+  store_.GetOrCreate("input.W", config_.hidden_dim, kFeatureDim, init_rng_);
+  store_.GetOrCreate("input.b", config_.hidden_dim, 1, init_rng_);
+  store_.GetOrCreate("decoder.d0", config_.hidden_dim, 1, init_rng_);
+}
+
+std::vector<bool> PtrNetAgent::StepMask(
+    const std::vector<bool>& picked,
+    const std::vector<int>& unpicked_parents) const {
+  const int n = static_cast<int>(picked.size());
+  std::vector<bool> valid(n);
+  for (int j = 0; j < n; ++j) {
+    valid[j] = !picked[j] && (config_.masking == MaskingMode::kVisitedOnly ||
+                              unpicked_parents[j] == 0);
+  }
+  return valid;
+}
+
+std::vector<graph::NodeId> PtrNetAgent::DecodeImpl(const graph::Dag& dag,
+                                                   std::mt19937_64* rng) const {
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  const int n = dag.NodeCount();
+  const std::vector<int> pos = graph::OrderPositions(topo.order, n);
+
+  // Input queue q follows the ASAP topological order (§III-A).
+  const nn::Tensor emb = EmbedGraph(dag, config_.embedding);
+  const nn::Tensor x_all = nn::AddBroadcastCol(
+      nn::MatMul(store_.Value("input.W"), emb), store_.Value("input.b"));
+
+  // Encoder sweep.
+  nn::LstmCell::State enc = encoder_.InitialState();
+  std::vector<nn::Tensor> contexts;
+  contexts.reserve(n);
+  for (int j = 0; j < n; ++j) {
+    const graph::NodeId v = topo.order[j];
+    enc = encoder_.Step(nn::SliceCols(x_all, v, v + 1), enc);
+    contexts.push_back(enc.h);
+  }
+  const nn::Tensor C = nn::ConcatCols(contexts);
+  const nn::PointerAttention::CachedRefs refs = attention_.Precompute(C);
+
+  // Decoder: position-indexed bookkeeping.
+  std::vector<bool> picked(n, false);
+  std::vector<int> unpicked_parents(n, 0);
+  for (int j = 0; j < n; ++j) {
+    unpicked_parents[j] =
+        static_cast<int>(dag.Parents(topo.order[j]).size());
+  }
+
+  nn::LstmCell::State dec{enc.h, enc.c};
+  nn::Tensor d_input = store_.Value("decoder.d0");
+  std::vector<graph::NodeId> sequence;
+  sequence.reserve(n);
+  for (int t = 0; t < n; ++t) {
+    dec = decoder_.Step(d_input, dec);
+    const std::vector<bool> valid = StepMask(picked, unpicked_parents);
+    const nn::Tensor logits = attention_.PointerLogits(C, refs, dec.h, valid);
+    const nn::Tensor probs = nn::MaskedSoftmax(logits, valid);
+    const int j = rng == nullptr ? ArgmaxIndex(probs) : SampleIndex(probs, *rng);
+    const graph::NodeId v = topo.order[j];
+    picked[j] = true;
+    for (const graph::NodeId c : dag.Children(v)) {
+      --unpicked_parents[pos[c]];
+    }
+    sequence.push_back(v);
+    d_input = nn::SliceCols(x_all, v, v + 1);
+  }
+  return sequence;
+}
+
+std::vector<graph::NodeId> PtrNetAgent::DecodeGreedy(
+    const graph::Dag& dag) const {
+  return DecodeImpl(dag, nullptr);
+}
+
+std::vector<graph::NodeId> PtrNetAgent::DecodeSampled(
+    const graph::Dag& dag, std::mt19937_64& rng) const {
+  return DecodeImpl(dag, &rng);
+}
+
+PtrNetAgent::SampleResult PtrNetAgent::SampleWithTape(const graph::Dag& dag,
+                                                      nn::Tape& tape,
+                                                      std::mt19937_64& rng) {
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  const int n = dag.NodeCount();
+  const std::vector<int> pos = graph::OrderPositions(topo.order, n);
+
+  const nn::Ref w_in = tape.Param(store_.Value("input.W"),
+                                  &store_.Grad("input.W"));
+  const nn::Ref b_in = tape.Param(store_.Value("input.b"),
+                                  &store_.Grad("input.b"));
+  const nn::Ref emb = tape.Constant(EmbedGraph(dag, config_.embedding));
+  const nn::Ref x_all =
+      tape.AddBroadcastCol(tape.MatMul(w_in, emb), b_in);
+
+  nn::LstmCell::TapeState enc = encoder_.InitialState(tape);
+  std::vector<nn::Ref> contexts;
+  contexts.reserve(n);
+  for (int j = 0; j < n; ++j) {
+    const graph::NodeId v = topo.order[j];
+    enc = encoder_.Step(tape, tape.SliceCols(x_all, v, v + 1), enc);
+    contexts.push_back(enc.h);
+  }
+  const nn::Ref C = tape.ConcatCols(contexts);
+  nn::PointerAttention::TapeRefs refs = attention_.Precompute(tape, C);
+
+  std::vector<bool> picked(n, false);
+  std::vector<int> unpicked_parents(n, 0);
+  for (int j = 0; j < n; ++j) {
+    unpicked_parents[j] = static_cast<int>(dag.Parents(topo.order[j]).size());
+  }
+
+  nn::LstmCell::TapeState dec{enc.h, enc.c};
+  nn::Ref d_input = tape.Param(store_.Value("decoder.d0"),
+                               &store_.Grad("decoder.d0"));
+  SampleResult result;
+  result.sequence.reserve(n);
+  nn::Ref log_prob_sum = -1;
+  for (int t = 0; t < n; ++t) {
+    dec = decoder_.Step(tape, d_input, dec);
+    const std::vector<bool> valid = StepMask(picked, unpicked_parents);
+    const nn::Ref logits = attention_.PointerLogits(tape, refs, dec.h, valid);
+    const nn::Tensor probs = nn::MaskedSoftmax(tape.Value(logits), valid);
+    const int j = SampleIndex(probs, rng);
+    const nn::Ref logp = tape.PickLogSoftmax(logits, valid, j);
+    log_prob_sum = (log_prob_sum < 0) ? logp : tape.Add(log_prob_sum, logp);
+
+    const graph::NodeId v = topo.order[j];
+    picked[j] = true;
+    for (const graph::NodeId c : dag.Children(v)) {
+      --unpicked_parents[pos[c]];
+    }
+    result.sequence.push_back(v);
+    d_input = tape.SliceCols(x_all, v, v + 1);
+  }
+  result.log_prob_sum = log_prob_sum;
+  return result;
+}
+
+}  // namespace respect::rl

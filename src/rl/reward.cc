@@ -1,0 +1,47 @@
+#include "rl/reward.h"
+
+#include "exact/bnb_scheduler.h"
+#include "sched/postprocess.h"
+#include "sched/rho.h"
+
+namespace respect::rl {
+
+ImitationTarget ComputeTarget(const graph::Dag& dag, int num_stages,
+                              std::int64_t max_expansions) {
+  exact::BnbConfig config;
+  config.num_stages = num_stages;
+  config.max_expansions = max_expansions;
+  const exact::BnbResult result = exact::SolveExact(dag, config);
+
+  ImitationTarget target;
+  target.schedule = result.schedule;
+  target.gamma = sched::ScheduleToSequence(dag, result.schedule);
+  target.stage_vector = sched::StageVector(result.schedule);
+  return target;
+}
+
+double ComputeReward(const graph::Dag& dag, const ImitationTarget& target,
+                     const std::vector<graph::NodeId>& pi, int num_stages,
+                     RewardForm form) {
+  if (form == RewardForm::kSequenceCosine) {
+    // Eq. 1: cosine over the raw index sequences (1-based so the vectors are
+    // never zero).
+    std::vector<double> a(pi.size()), b(target.gamma.size());
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      a[i] = static_cast<double>(pi[i] + 1);
+    }
+    for (std::size_t i = 0; i < target.gamma.size(); ++i) {
+      b[i] = static_cast<double>(target.gamma[i] + 1);
+    }
+    return sched::CosineSimilarity(a, b);
+  }
+
+  // Eq. 3: pack π with ρ, repair dependencies (the paper's post-inference
+  // step), then compare stage vectors.
+  sched::Schedule packed = sched::PackSequence(dag, pi, num_stages);
+  sched::RepairDependencies(dag, packed);
+  return sched::CosineSimilarity(sched::StageVector(packed),
+                                 target.stage_vector);
+}
+
+}  // namespace respect::rl

@@ -1,0 +1,44 @@
+// Imitation rewards (Eq. 1 and Eq. 3 of the paper).
+//
+// The RL agent imitates a deterministic exact scheduler: for a training
+// graph G the exact method yields the optimal schedule S and its canonical
+// sequence γ; the agent's sequence π is packed by ρ into S′; the reward is
+// the cosine similarity between the stage-label vectors S and S′ (Eq. 3), or
+// — ablation form — between the raw sequences (Eq. 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::rl {
+
+/// Ground truth produced by the exact method for one training graph.
+struct ImitationTarget {
+  sched::Schedule schedule;              // exact-optimal stage assignment
+  std::vector<graph::NodeId> gamma;      // canonical sequence γ
+  std::vector<double> stage_vector;      // S (1-based stage labels)
+};
+
+/// Solves the graph exactly (branch-and-bound seeded by the DP partition;
+/// `max_expansions` bounds the search on unlucky instances — the incumbent
+/// is still a valid, near-optimal target).
+[[nodiscard]] ImitationTarget ComputeTarget(const graph::Dag& dag,
+                                            int num_stages,
+                                            std::int64_t max_expansions = 50'000);
+
+enum class RewardForm {
+  kStageCosine,     // Eq. 3 — default
+  kSequenceCosine,  // Eq. 1 — ablation
+};
+
+/// Reward of an agent sequence π against the target.  Always in [0, 1] for
+/// the stage form (labels are positive).
+[[nodiscard]] double ComputeReward(const graph::Dag& dag,
+                                   const ImitationTarget& target,
+                                   const std::vector<graph::NodeId>& pi,
+                                   int num_stages, RewardForm form);
+
+}  // namespace respect::rl

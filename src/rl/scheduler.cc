@@ -1,0 +1,25 @@
+#include "rl/scheduler.h"
+
+#include <chrono>
+
+#include "sched/postprocess.h"
+#include "sched/rho.h"
+
+namespace respect::rl {
+
+RlScheduler::Result RlScheduler::Schedule(
+    const graph::Dag& dag,
+    const sched::PipelineConstraints& constraints) const {
+  const auto start = std::chrono::steady_clock::now();
+  Result result;
+  result.sequence = agent_.DecodeGreedy(dag);
+  result.schedule =
+      sched::PackSequence(dag, result.sequence, constraints.num_stages);
+  sched::PostProcess(dag, constraints, result.schedule);
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace respect::rl

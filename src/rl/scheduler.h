@@ -1,0 +1,43 @@
+// RESPECT's RL scheduler — the deployable front end over the PtrNet agent.
+//
+// Schedule() runs one greedy decode (polynomial-time inference — the paper's
+// headline speedup over exact/compiler baselines), packs the sequence with
+// ρ, and applies the post-inference repairs so the result always satisfies
+// the deployment constraints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+#include "rl/ptrnet.h"
+#include "sched/schedule.h"
+
+namespace respect::rl {
+
+class RlScheduler {
+ public:
+  explicit RlScheduler(const PtrNetConfig& config = {}) : agent_(config) {}
+
+  /// Loads trained weights (see rl::Train / examples/train_scheduler).
+  void LoadWeights(const std::string& path) { agent_.Load(path); }
+  void SaveWeights(const std::string& path) const { agent_.Save(path); }
+
+  [[nodiscard]] PtrNetAgent& Agent() { return agent_; }
+  [[nodiscard]] const PtrNetAgent& Agent() const { return agent_; }
+
+  struct Result {
+    sched::Schedule schedule;
+    std::vector<graph::NodeId> sequence;  // raw π before packing
+    double solve_seconds = 0.0;
+  };
+
+  /// End-to-end RESPECT inference: decode, pack, repair.
+  [[nodiscard]] Result Schedule(const graph::Dag& dag,
+                                const sched::PipelineConstraints& constraints) const;
+
+ private:
+  PtrNetAgent agent_;
+};
+
+}  // namespace respect::rl

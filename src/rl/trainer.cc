@@ -1,0 +1,68 @@
+#include "rl/trainer.h"
+
+#include <random>
+
+#include "graph/sampler.h"
+#include "nn/tape.h"
+
+namespace respect::rl {
+
+TrainStats Train(PtrNetAgent& agent, const TrainConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  nn::Adam adam(config.adam);
+
+  // Rollout baseline: frozen copy of the best-so-far policy.
+  PtrNetAgent baseline(agent.Config());
+  baseline.Params() = agent.Params();
+  double baseline_best = -1.0;
+
+  TrainStats stats;
+  stats.mean_reward.reserve(config.iterations);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    double reward_sum = 0.0;
+
+    for (int b = 0; b < config.batch_size; ++b) {
+      const graph::Dag dag =
+          graph::SampleTrainingDag(config.graph_nodes, rng);
+      const ImitationTarget target =
+          ComputeTarget(dag, config.num_stages, config.target_max_expansions);
+
+      nn::Tape tape;
+      const PtrNetAgent::SampleResult sample =
+          agent.SampleWithTape(dag, tape, rng);
+      const double reward = ComputeReward(dag, target, sample.sequence,
+                                          config.num_stages,
+                                          config.reward_form);
+      reward_sum += reward;
+
+      double baseline_reward = 0.0;
+      if (config.use_rollout_baseline) {
+        const std::vector<graph::NodeId> rollout = baseline.DecodeGreedy(dag);
+        baseline_reward = ComputeReward(dag, target, rollout,
+                                        config.num_stages, config.reward_form);
+      }
+
+      // Minimizing E[(1-R) log p] ≡ maximizing E[R log p]; the advantage
+      // seeds the backward pass, scaled by 1/batch for a mean gradient.
+      const double advantage = (1.0 - reward) - (1.0 - baseline_reward);
+      tape.Backward(sample.log_prob_sum,
+                    static_cast<float>(advantage / config.batch_size));
+    }
+
+    adam.Step(agent.Params());
+
+    const double mean_reward = reward_sum / config.batch_size;
+    stats.mean_reward.push_back(mean_reward);
+    if (mean_reward > baseline_best) {
+      baseline_best = mean_reward;
+      baseline.Params() = agent.Params();
+      ++stats.baseline_refreshes;
+    }
+    stats.best_mean_reward = baseline_best;
+    if (config.on_iteration) config.on_iteration(iter, mean_reward);
+  }
+  return stats;
+}
+
+}  // namespace respect::rl

@@ -1,0 +1,146 @@
+#include "sched/postprocess.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topology.h"
+#include "sched/rho.h"
+
+namespace respect::sched {
+namespace {
+
+/// Minimal union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Groups all co-children (children of a common parent) together and returns
+/// the group id of every node.
+std::vector<int> CochildGroups(const graph::Dag& dag) {
+  UnionFind uf(dag.NodeCount());
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    const auto kids = dag.Children(v);
+    for (std::size_t i = 1; i < kids.size(); ++i) {
+      uf.Union(kids[0], kids[i]);
+    }
+  }
+  std::vector<int> group(dag.NodeCount());
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) group[v] = uf.Find(v);
+  return group;
+}
+
+}  // namespace
+
+int RepairDependencies(const graph::Dag& dag, Schedule& schedule) {
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  int moved = 0;
+  for (const graph::NodeId v : topo.order) {
+    int lo = schedule.stage[v];
+    for (const graph::NodeId p : dag.Parents(v)) {
+      lo = std::max(lo, schedule.stage[p]);
+    }
+    if (lo != schedule.stage[v]) {
+      schedule.stage[v] = lo;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+int EnforceCochildren(const graph::Dag& dag, Schedule& schedule) {
+  const std::vector<int> group = CochildGroups(dag);
+  const int n = dag.NodeCount();
+
+  // Paper rule: each co-child group starts at the earliest predicted stage
+  // among its members.
+  std::vector<int> gstage(n, schedule.num_stages - 1);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    gstage[group[v]] = std::min(gstage[group[v]], schedule.stage[v]);
+  }
+
+  // Group-level dependency repair: max-relaxation along edges until
+  // fixpoint.  Stages only increase and are bounded by num_stages-1, so this
+  // terminates in at most num_stages sweeps.
+  int iterations = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations;
+    for (const graph::Edge& e : dag.Edges()) {
+      const int gu = group[e.from];
+      const int gv = group[e.to];
+      if (gu != gv && gstage[gv] < gstage[gu]) {
+        gstage[gv] = gstage[gu];
+        changed = true;
+      }
+    }
+    if (iterations > schedule.num_stages + 2) {
+      // Can only happen if a group cycle demands equal stages; the
+      // max-relaxation above already equalizes them, so this is a guard.
+      break;
+    }
+  }
+
+  for (graph::NodeId v = 0; v < n; ++v) {
+    schedule.stage[v] = gstage[group[v]];
+  }
+  return iterations;
+}
+
+void FillEmptyStages(const graph::Dag& dag, Schedule& schedule) {
+  if (dag.NodeCount() < schedule.num_stages) {
+    throw std::logic_error("FillEmptyStages: fewer nodes than stages");
+  }
+  std::vector<int> count(schedule.num_stages, 0);
+  for (const int s : schedule.stage) ++count[s];
+  if (std::find(count.begin(), count.end(), 0) == count.end()) return;
+
+  // Repack the canonical sequence: the schedule is dependency-feasible at
+  // this point, so (stage, topo) order is a topological order, and packing a
+  // topological order into contiguous balanced segments is always feasible
+  // and leaves no stage empty.
+  const std::vector<graph::NodeId> seq = ScheduleToSequence(dag, schedule);
+  schedule = PackSequence(dag, seq, schedule.num_stages);
+}
+
+void PostProcess(const graph::Dag& dag, const PipelineConstraints& constraints,
+                 Schedule& schedule) {
+  if (schedule.num_stages != constraints.num_stages) {
+    throw std::invalid_argument("PostProcess: stage count mismatch");
+  }
+  RepairDependencies(dag, schedule);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (constraints.require_cochildren) {
+      EnforceCochildren(dag, schedule);
+    }
+    if (!constraints.allow_empty_stages) {
+      FillEmptyStages(dag, schedule);
+    }
+    const ValidationResult result =
+        ValidateSchedule(dag, schedule, constraints);
+    if (result.ok) return;
+  }
+  const ValidationResult result = ValidateSchedule(dag, schedule, constraints);
+  if (!result.ok) {
+    throw std::logic_error("PostProcess: could not reach a feasible schedule: " +
+                           result.reason);
+  }
+}
+
+}  // namespace respect::sched

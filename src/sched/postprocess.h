@@ -1,0 +1,39 @@
+// Post-inference processing (paper §III-B, last paragraph).
+//
+// The RL agent's output is a sequence with no feasibility guarantee.  After
+// ρ packs it into stages, two deterministic repairs make it deployable:
+//  1. dependency repair — "corrects the dependency violation by simply
+//     pushing the involved node forward";
+//  2. co-children repair — "Edge TPU hardware requires children nodes of any
+//     node to be in the same pipeline, where the post-inference procedure
+//     assigns these nodes to the earliest predicted stage".
+#pragma once
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::sched {
+
+/// Pushes every node forward to at least the maximum stage of its parents
+/// (single topological sweep; minimal change, preserves stage count).
+/// Returns the number of nodes moved.
+int RepairDependencies(const graph::Dag& dag, Schedule& schedule);
+
+/// Moves all children of every multi-fanout node to the earliest stage among
+/// them, then re-runs dependency repair, iterating to a fixpoint.  Returns
+/// the number of fixpoint iterations executed.
+int EnforceCochildren(const graph::Dag& dag, Schedule& schedule);
+
+/// If some stages ended up empty (packing very small graphs, or repairs
+/// collapsing stages), shifts boundary nodes to re-populate them so the
+/// schedule satisfies the no-empty-stage deployment rule.  Keeps dependency
+/// feasibility.  Throws std::logic_error when |V| < num_stages.
+void FillEmptyStages(const graph::Dag& dag, Schedule& schedule);
+
+/// Full deployment repair: dependency repair, optional co-children pass,
+/// then empty-stage filling.  The result always satisfies
+/// ValidateSchedule(dag, s, constraints).
+void PostProcess(const graph::Dag& dag, const PipelineConstraints& constraints,
+                 Schedule& schedule);
+
+}  // namespace respect::sched

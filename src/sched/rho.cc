@@ -1,0 +1,111 @@
+#include "sched/rho.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/topology.h"
+
+namespace respect::sched {
+namespace {
+
+/// Minimum number of segments with per-segment weight <= bound (greedy).
+int GreedySegments(const std::vector<std::int64_t>& weights,
+                   std::int64_t bound) {
+  int segments = 1;
+  std::int64_t load = 0;
+  for (const std::int64_t w : weights) {
+    if (w > bound) return static_cast<int>(weights.size()) + 1;
+    if (load + w > bound) {
+      ++segments;
+      load = w;
+    } else {
+      load += w;
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::int64_t MinBottleneckBound(const std::vector<std::int64_t>& weights,
+                                int num_segments) {
+  if (weights.empty() || num_segments < 1) {
+    throw std::invalid_argument("MinBottleneckBound: empty input");
+  }
+  std::int64_t lo = *std::max_element(weights.begin(), weights.end());
+  std::int64_t hi =
+      std::accumulate(weights.begin(), weights.end(), std::int64_t{0});
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (GreedySegments(weights, mid) <= num_segments) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Schedule PackSequence(const graph::Dag& dag,
+                      const std::vector<graph::NodeId>& sequence,
+                      int num_stages) {
+  if (num_stages < 1) {
+    throw std::invalid_argument("PackSequence: num_stages must be >= 1");
+  }
+  if (static_cast<int>(sequence.size()) != dag.NodeCount()) {
+    throw std::invalid_argument("PackSequence: sequence length " +
+                                std::to_string(sequence.size()) +
+                                " != |V| = " +
+                                std::to_string(dag.NodeCount()));
+  }
+
+  std::vector<std::int64_t> weights(sequence.size());
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    weights[i] = dag.Attr(sequence[i]).param_bytes;
+  }
+  const std::int64_t bound = MinBottleneckBound(weights, num_stages);
+
+  Schedule sched;
+  sched.num_stages = num_stages;
+  sched.stage.assign(dag.NodeCount(), 0);
+
+  // Greedy fill to the optimal bound; the tail guard keeps one node for each
+  // still-unfilled stage (every TPU needs a submodel), which only ever
+  // splits segments and so preserves the bound.
+  int stage = 0;
+  std::int64_t load = 0;
+  int remaining = dag.NodeCount();
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const std::int64_t w = weights[i];
+    const bool over_bound = load + w > bound && load > 0;
+    const bool must_advance = remaining <= (num_stages - 1 - stage);
+    if (stage < num_stages - 1 && (over_bound || must_advance)) {
+      ++stage;
+      load = 0;
+    }
+    sched.stage[sequence[i]] = stage;
+    load += w;
+    --remaining;
+  }
+  return sched;
+}
+
+std::vector<graph::NodeId> ScheduleToSequence(const graph::Dag& dag,
+                                              const Schedule& schedule) {
+  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  const std::vector<int> pos =
+      graph::OrderPositions(topo.order, dag.NodeCount());
+
+  std::vector<graph::NodeId> seq(dag.NodeCount());
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) seq[v] = v;
+  std::sort(seq.begin(), seq.end(), [&](graph::NodeId a, graph::NodeId b) {
+    if (schedule.stage[a] != schedule.stage[b]) {
+      return schedule.stage[a] < schedule.stage[b];
+    }
+    return pos[a] < pos[b];
+  });
+  return seq;
+}
+
+}  // namespace respect::sched

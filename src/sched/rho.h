@@ -1,0 +1,41 @@
+// ρ — the deterministic sequence-to-schedule mapper of the paper (Eq. 2).
+//
+// Both the RL policy π and the ground-truth exact method γ produce node
+// *sequences*; ρ maps a sequence to a stage assignment "w.r.t the specific
+// Edge TPU": it walks the sequence and packs nodes into stages so per-stage
+// parameter memory is balanced (cumulative-target packing).  The inverse
+// direction (schedule → canonical sequence) is what turns the exact
+// scheduler's solution into the imitation target γ.
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+
+namespace respect::sched {
+
+/// Smallest bound B such that `weights` can be cut into at most
+/// `num_segments` contiguous segments each weighing <= B (binary search +
+/// greedy feasibility; O(n log sum)).
+[[nodiscard]] std::int64_t MinBottleneckBound(
+    const std::vector<std::int64_t>& weights, int num_segments);
+
+/// Maps a node sequence to a stage assignment by optimal contiguous packing:
+/// the sequence is cut into exactly num_stages non-empty segments whose peak
+/// parameter bytes equal the min-bottleneck bound for this order.  The
+/// sequence may be any permutation; dependency feasibility is restored
+/// afterwards with RepairDependencies (see postprocess.h), mirroring the
+/// paper's post-inference processing.
+[[nodiscard]] Schedule PackSequence(const graph::Dag& dag,
+                                    const std::vector<graph::NodeId>& sequence,
+                                    int num_stages);
+
+/// Canonical sequence of a schedule: nodes sorted by (stage, topological
+/// position).  Applying PackSequence to this sequence and repairing yields a
+/// schedule close to the original; the sequence is the imitation target γ
+/// when the schedule comes from the exact method.
+[[nodiscard]] std::vector<graph::NodeId> ScheduleToSequence(
+    const graph::Dag& dag, const Schedule& schedule);
+
+}  // namespace respect::sched

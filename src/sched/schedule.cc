@@ -1,0 +1,112 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace respect::sched {
+
+ValidationResult ValidateSchedule(const graph::Dag& dag,
+                                  const Schedule& schedule,
+                                  const PipelineConstraints& constraints) {
+  const int n = dag.NodeCount();
+  if (schedule.num_stages != constraints.num_stages) {
+    return {false, "stage count mismatch: schedule has " +
+                       std::to_string(schedule.num_stages) + ", want " +
+                       std::to_string(constraints.num_stages)};
+  }
+  if (static_cast<int>(schedule.stage.size()) != n) {
+    return {false, "schedule covers " + std::to_string(schedule.stage.size()) +
+                       " nodes, graph has " + std::to_string(n)};
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const int s = schedule.stage[v];
+    if (s < 0 || s >= schedule.num_stages) {
+      return {false, "node " + std::to_string(v) + " assigned out-of-range stage " +
+                         std::to_string(s)};
+    }
+  }
+  for (const graph::Edge& e : dag.Edges()) {
+    if (schedule.stage[e.from] > schedule.stage[e.to]) {
+      return {false, "dependency violation: edge " + std::to_string(e.from) +
+                         "->" + std::to_string(e.to) + " goes from stage " +
+                         std::to_string(schedule.stage[e.from]) + " to " +
+                         std::to_string(schedule.stage[e.to])};
+    }
+  }
+  if (!constraints.allow_empty_stages) {
+    std::vector<bool> used(schedule.num_stages, false);
+    for (const int s : schedule.stage) used[s] = true;
+    for (int k = 0; k < schedule.num_stages; ++k) {
+      if (!used[k]) {
+        return {false, "stage " + std::to_string(k) + " is empty"};
+      }
+    }
+  }
+  if (constraints.require_cochildren) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const auto kids = dag.Children(v);
+      for (std::size_t i = 1; i < kids.size(); ++i) {
+        if (schedule.stage[kids[i]] != schedule.stage[kids[0]]) {
+          return {false, "children of node " + std::to_string(v) +
+                             " span stages " +
+                             std::to_string(schedule.stage[kids[0]]) + " and " +
+                             std::to_string(schedule.stage[kids[i]])};
+        }
+      }
+    }
+  }
+  return {true, ""};
+}
+
+ScheduleMetrics ComputeMetrics(const graph::Dag& dag,
+                               const Schedule& schedule) {
+  ScheduleMetrics m;
+  m.stage_param_bytes.assign(schedule.num_stages, 0);
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    m.stage_param_bytes[schedule.stage[v]] += dag.Attr(v).param_bytes;
+  }
+  m.peak_stage_param_bytes = 0;
+  for (const std::int64_t b : m.stage_param_bytes) {
+    m.peak_stage_param_bytes = std::max(m.peak_stage_param_bytes, b);
+  }
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    int last_consumer_stage = schedule.stage[v];
+    for (const graph::NodeId c : dag.Children(v)) {
+      last_consumer_stage = std::max(last_consumer_stage, schedule.stage[c]);
+    }
+    const int hops = last_consumer_stage - schedule.stage[v];
+    if (hops > 0) {
+      m.comm_bytes += dag.Attr(v).output_bytes * hops;
+      ++m.cut_tensor_count;
+    }
+  }
+  return m;
+}
+
+ObjectiveValue Evaluate(const graph::Dag& dag, const Schedule& schedule) {
+  const ScheduleMetrics m = ComputeMetrics(dag, schedule);
+  return ObjectiveValue{m.peak_stage_param_bytes, m.comm_bytes};
+}
+
+std::vector<double> StageVector(const Schedule& schedule) {
+  std::vector<double> v(schedule.stage.size());
+  for (std::size_t i = 0; i < schedule.stage.size(); ++i) {
+    v[i] = static_cast<double>(schedule.stage[i] + 1);
+  }
+  return v;
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  constexpr double kEpsilon = 1e-9;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return dot / std::max(std::sqrt(na) * std::sqrt(nb), kEpsilon);
+}
+
+}  // namespace respect::sched

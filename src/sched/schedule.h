@@ -1,0 +1,98 @@
+// Schedule representation, feasibility checks and cost metrics.
+//
+// A schedule assigns every operator of a computational graph to one of `n`
+// pipeline stages (stage k runs on Edge TPU k).  Feasibility means stage
+// assignments are monotone along every dataflow edge — data only flows
+// forward through the pipeline.  The optimization objective follows the
+// paper (§IV): balance per-stage parameter memory (peak stage memory is what
+// parameter caching cares about, Fig. 5) with communication bytes across
+// stage boundaries as the tie breaker.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace respect::sched {
+
+/// Assignment of every node to a pipeline stage in [0, num_stages).
+struct Schedule {
+  int num_stages = 0;
+  std::vector<int> stage;  // indexed by NodeId
+
+  [[nodiscard]] int StageOf(graph::NodeId v) const { return stage.at(v); }
+};
+
+/// Constraints a valid deployment schedule must satisfy.
+struct PipelineConstraints {
+  int num_stages = 4;
+
+  /// Whether a stage may end up with no operators.  Physical pipelines
+  /// require every Edge TPU to receive a submodel.
+  bool allow_empty_stages = false;
+
+  /// Edge TPU deployment rule from the paper's post-inference processing:
+  /// all children of any node must live in the same stage.  Off by default
+  /// (it is applied as a deployment repair, not a scheduling constraint).
+  bool require_cochildren = false;
+};
+
+/// Result of validating a schedule; `ok` plus a human-readable reason.
+struct ValidationResult {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Checks dependency monotonicity, stage ranges, assignment completeness,
+/// and the optional constraint flags.
+[[nodiscard]] ValidationResult ValidateSchedule(
+    const graph::Dag& dag, const Schedule& schedule,
+    const PipelineConstraints& constraints);
+
+/// Per-schedule cost metrics.
+struct ScheduleMetrics {
+  /// Parameter bytes resident on each stage (what must fit the 8 MiB cache).
+  std::vector<std::int64_t> stage_param_bytes;
+
+  /// max over stages of stage_param_bytes — the paper's Fig. 5 metric.
+  std::int64_t peak_stage_param_bytes = 0;
+
+  /// Activation bytes crossing stage boundaries, hop-weighted: a tensor
+  /// produced in stage s and last consumed in stage t travels t-s hops over
+  /// USB.
+  std::int64_t comm_bytes = 0;
+
+  /// Number of distinct tensors that cross at least one boundary.
+  int cut_tensor_count = 0;
+};
+
+[[nodiscard]] ScheduleMetrics ComputeMetrics(const graph::Dag& dag,
+                                             const Schedule& schedule);
+
+/// Lexicographic objective value: primary peak stage memory, secondary
+/// hop-weighted communication.  Smaller is better.
+struct ObjectiveValue {
+  std::int64_t peak_param_bytes = 0;
+  std::int64_t comm_bytes = 0;
+
+  friend std::strong_ordering operator<=>(const ObjectiveValue&,
+                                          const ObjectiveValue&) = default;
+};
+
+[[nodiscard]] ObjectiveValue Evaluate(const graph::Dag& dag,
+                                      const Schedule& schedule);
+
+/// Stage-label vector used by the paper's reward (Eq. 3): entry i is
+/// stage(node i) + 1 (1-based so an all-stage-0 schedule is not the zero
+/// vector).
+[[nodiscard]] std::vector<double> StageVector(const Schedule& schedule);
+
+/// Cosine similarity between two equally-sized vectors, with the paper's
+/// epsilon guard in the denominator (Eq. 1 / Eq. 3).
+[[nodiscard]] double CosineSimilarity(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+}  // namespace respect::sched

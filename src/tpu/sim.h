@@ -1,0 +1,54 @@
+// Discrete-event simulator of the pipelined Edge TPU system.
+//
+// Models the paper's testbed executing a stream of inferences: each device
+// runs its segment, forwards boundary activations downstream over USB, and
+// accepts the next inference as soon as it is free (software pipelining).
+// The DES is the measurement instrument behind Fig. 4; an analytic
+// steady-state recurrence (exact for linear pipelines) cross-checks it in
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tpu/device.h"
+
+namespace respect::tpu {
+
+struct SimConfig {
+  int num_inferences = 1000;
+  EdgeTpuModel device;
+  UsbLinkModel link;
+};
+
+struct SimResult {
+  /// Wall-clock time until the last inference leaves the pipeline.
+  double total_us = 0.0;
+
+  /// total_us / num_inferences — the paper's per-inference runtime metric.
+  double per_inference_us = 0.0;
+
+  /// First inference end-to-end latency (pipeline fill).
+  double first_latency_us = 0.0;
+
+  /// Per-stage busy time (utilization diagnostics).
+  std::vector<double> stage_busy_us;
+
+  /// Index of the slowest stage.
+  int bottleneck_stage = 0;
+
+  std::int64_t events_processed = 0;
+};
+
+/// Runs the event-driven simulation.
+[[nodiscard]] SimResult SimulatePipeline(const deploy::PipelinePackage& package,
+                                         const SimConfig& config = {});
+
+/// Closed-form pipeline recurrence:
+///   t[i][k] = max(t[i][k-1], t[i-1][k]) + stage_us[k]
+/// Exact for a linear pipeline with per-stage service times; used to verify
+/// the DES and for quick estimates.
+[[nodiscard]] double AnalyticPipelineUs(const std::vector<StageCost>& costs,
+                                        int num_inferences);
+
+}  // namespace respect::tpu

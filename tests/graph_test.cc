@@ -1,0 +1,135 @@
+// Unit tests for the Dag substrate: construction, validation, degrees,
+// sources/sinks, hashing, DOT export.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/dag.h"
+
+namespace respect::graph {
+namespace {
+
+Dag Diamond() {
+  // 0 -> {1,2} -> 3
+  Dag dag("diamond");
+  for (int i = 0; i < 4; ++i) {
+    dag.AddNode(OpAttr{"n" + std::to_string(i), OpType::kGeneric, 100, 10, 5});
+  }
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  return dag;
+}
+
+TEST(DagTest, AddNodeAssignsDenseIds) {
+  Dag dag;
+  EXPECT_EQ(dag.AddNode({}), 0);
+  EXPECT_EQ(dag.AddNode({}), 1);
+  EXPECT_EQ(dag.AddNode({}), 2);
+  EXPECT_EQ(dag.NodeCount(), 3);
+}
+
+TEST(DagTest, EdgesUpdateAdjacency) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(dag.EdgeCount(), 4);
+  ASSERT_EQ(dag.Children(0).size(), 2u);
+  EXPECT_EQ(dag.Children(0)[0], 1);
+  EXPECT_EQ(dag.Children(0)[1], 2);
+  ASSERT_EQ(dag.Parents(3).size(), 2u);
+  EXPECT_TRUE(dag.HasEdge(0, 1));
+  EXPECT_FALSE(dag.HasEdge(1, 0));
+}
+
+TEST(DagTest, RejectsSelfEdge) {
+  Dag dag;
+  dag.AddNode({});
+  EXPECT_THROW(dag.AddEdge(0, 0), std::invalid_argument);
+}
+
+TEST(DagTest, RejectsDuplicateEdge) {
+  Dag dag;
+  dag.AddNode({});
+  dag.AddNode({});
+  dag.AddEdge(0, 1);
+  EXPECT_THROW(dag.AddEdge(0, 1), std::invalid_argument);
+}
+
+TEST(DagTest, RejectsOutOfRangeEndpoints) {
+  Dag dag;
+  dag.AddNode({});
+  EXPECT_THROW(dag.AddEdge(0, 5), std::invalid_argument);
+  EXPECT_THROW(dag.AddEdge(-1, 0), std::invalid_argument);
+}
+
+TEST(DagTest, RejectsNegativeAttributes) {
+  Dag dag;
+  OpAttr attr;
+  attr.param_bytes = -1;
+  EXPECT_THROW(dag.AddNode(attr), std::invalid_argument);
+}
+
+TEST(DagTest, DetectsCycle) {
+  Dag dag;
+  for (int i = 0; i < 3; ++i) dag.AddNode({});
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  EXPECT_TRUE(dag.IsAcyclic());
+  dag.AddEdge(2, 0);
+  EXPECT_FALSE(dag.IsAcyclic());
+  EXPECT_THROW(dag.Validate(), std::logic_error);
+}
+
+TEST(DagTest, ValidateRejectsEmptyGraph) {
+  const Dag dag;
+  EXPECT_THROW(dag.Validate(), std::logic_error);
+}
+
+TEST(DagTest, MaxInDegree) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(dag.MaxInDegree(), 2);
+}
+
+TEST(DagTest, SourcesAndSinks) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(dag.Sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(dag.Sinks(), std::vector<NodeId>{3});
+}
+
+TEST(DagTest, TotalsAccumulate) {
+  const Dag dag = Diamond();
+  EXPECT_EQ(dag.TotalParamBytes(), 400);
+  EXPECT_EQ(dag.TotalMacs(), 20);
+}
+
+TEST(DagTest, HashOperatorNameIsStableAndSpreads) {
+  EXPECT_EQ(HashOperatorName("conv1"), HashOperatorName("conv1"));
+  EXPECT_NE(HashOperatorName("conv1"), HashOperatorName("conv2"));
+  EXPECT_NE(HashOperatorName(""), HashOperatorName("a"));
+}
+
+TEST(DagTest, DotExportContainsNodesAndEdges) {
+  const std::string dot = ToDot(Diamond());
+  EXPECT_NE(dot.find("digraph \"diamond\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+}
+
+TEST(DagTest, OpTypeNamesAreUnique) {
+  const OpType all[] = {OpType::kInput,    OpType::kConv2D,
+                        OpType::kDepthwiseConv2D, OpType::kSeparableConv2D,
+                        OpType::kDense,    OpType::kBatchNorm,
+                        OpType::kRelu,     OpType::kAdd,
+                        OpType::kConcat,   OpType::kMaxPool,
+                        OpType::kAvgPool,  OpType::kGlobalPool,
+                        OpType::kSoftmax,  OpType::kPad,
+                        OpType::kGeneric};
+  for (const OpType a : all) {
+    for (const OpType b : all) {
+      if (a != b) EXPECT_NE(OpTypeName(a), OpTypeName(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace respect::graph

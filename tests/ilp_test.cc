@@ -1,0 +1,174 @@
+// Mini-ILP tests: model construction, LP export, generic branch-and-bound on
+// knapsack-style programs, and agreement between the generic engine and the
+// structure-aware scheduler on small scheduling instances.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "graph/sampler.h"
+#include "ilp/model.h"
+#include "ilp/scheduling_ilp.h"
+#include "ilp/solver.h"
+
+namespace respect::ilp {
+namespace {
+
+TEST(ModelTest, VariableAndConstraintBookkeeping) {
+  Model m;
+  const VarId x = m.AddBinaryVar("x");
+  const VarId y = m.AddIntegerVar("y", 0, 5);
+  m.AddConstraint("c0", {{x, 1.0}, {y, 2.0}}, Sense::kLe, 7.0);
+  m.SetObjective({{y, -1.0}}, /*minimize=*/true);
+  EXPECT_EQ(m.NumVars(), 2);
+  EXPECT_EQ(m.NumConstraints(), 1);
+  EXPECT_TRUE(m.Var(x).IsBinary());
+  EXPECT_FALSE(m.Var(y).IsBinary());
+}
+
+TEST(ModelTest, RejectsUnknownVariables) {
+  Model m;
+  EXPECT_THROW(m.AddConstraint("bad", {{3, 1.0}}, Sense::kLe, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.SetObjective({{0, 1.0}}, true), std::invalid_argument);
+}
+
+TEST(ModelTest, RejectsInvertedBounds) {
+  Model m;
+  EXPECT_THROW(m.AddIntegerVar("y", 3, 1), std::invalid_argument);
+}
+
+TEST(ModelTest, LpExportRoundTripsStructure) {
+  Model m;
+  const VarId x = m.AddBinaryVar("x0");
+  const VarId z = m.AddIntegerVar("z", 0, 9);
+  m.AddConstraint("cap", {{x, 2.0}, {z, -1.0}}, Sense::kLe, 0.0);
+  m.SetObjective({{z, 1.0}}, true);
+  std::ostringstream os;
+  m.WriteLp(os);
+  const std::string lp = os.str();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("cap:"), std::string::npos);
+  EXPECT_NE(lp.find("Binaries"), std::string::npos);
+  EXPECT_NE(lp.find("x0"), std::string::npos);
+  EXPECT_NE(lp.find("0 <= z <= 9"), std::string::npos);
+}
+
+TEST(SolverTest, SolvesKnapsack) {
+  // max 10a + 6b + 4c  s.t.  5a + 4b + 3c <= 8  -> a + c (value 14).
+  Model m;
+  const VarId a = m.AddBinaryVar("a");
+  const VarId b = m.AddBinaryVar("b");
+  const VarId c = m.AddBinaryVar("c");
+  m.AddConstraint("w", {{a, 5}, {b, 4}, {c, 3}}, Sense::kLe, 8);
+  m.SetObjective({{a, 10}, {b, 6}, {c, 4}}, /*minimize=*/false);
+  const Solution s = SolveBranchAndBound(m);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_TRUE(s.proved_optimal);
+  EXPECT_DOUBLE_EQ(s.objective, 14.0);
+  EXPECT_EQ(s.values[a], 1);
+  EXPECT_EQ(s.values[b], 0);
+  EXPECT_EQ(s.values[c], 1);
+}
+
+TEST(SolverTest, DetectsInfeasibility) {
+  Model m;
+  const VarId a = m.AddBinaryVar("a");
+  m.AddConstraint("lo", {{a, 1}}, Sense::kGe, 2);  // impossible for binary
+  const Solution s = SolveBranchAndBound(m);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(SolverTest, HandlesEqualityConstraints) {
+  Model m;
+  const VarId a = m.AddBinaryVar("a");
+  const VarId b = m.AddBinaryVar("b");
+  m.AddConstraint("pick_one", {{a, 1}, {b, 1}}, Sense::kEq, 1);
+  m.SetObjective({{a, 3}, {b, 1}}, /*minimize=*/true);
+  const Solution s = SolveBranchAndBound(m);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.values[a], 0);
+  EXPECT_EQ(s.values[b], 1);
+}
+
+TEST(SolverTest, IntegerDomains) {
+  // min y s.t. y >= 3.5 (integer) -> 4.
+  Model m;
+  const VarId y = m.AddIntegerVar("y", 0, 10);
+  m.AddConstraint("lb", {{y, 1}}, Sense::kGe, 3.5);
+  m.SetObjective({{y, 1}}, true);
+  const Solution s = SolveBranchAndBound(m);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.values[y], 4);
+}
+
+TEST(SolverTest, IsFeasibleChecksFullAssignment) {
+  Model m;
+  const VarId a = m.AddBinaryVar("a");
+  m.AddConstraint("c", {{a, 1}}, Sense::kLe, 0);
+  EXPECT_TRUE(IsFeasible(m, {0}));
+  EXPECT_FALSE(IsFeasible(m, {1}));
+  EXPECT_FALSE(IsFeasible(m, {}));
+}
+
+TEST(SchedulingIlpTest, FormulationShape) {
+  std::mt19937_64 rng(2);
+  graph::SamplerConfig config;
+  config.num_nodes = 6;
+  const graph::Dag dag = graph::SampleDag(config, rng);
+  Model model;
+  const SchedulingVars vars = BuildSchedulingModel(dag, 3, model);
+  // x vars + z.
+  EXPECT_EQ(model.NumVars(), 6 * 3 + 1);
+  // assignment + precedence + peak + nonempty.
+  EXPECT_EQ(model.NumConstraints(), 6 + dag.EdgeCount() + 3 + 3);
+  EXPECT_EQ(vars.num_stages, 3);
+}
+
+TEST(SchedulingIlpTest, GenericEngineSolvesTinyInstanceOptimally) {
+  std::mt19937_64 rng(3);
+  graph::SamplerConfig config;
+  config.num_nodes = 6;
+  const graph::Dag dag = graph::SampleDag(config, rng);
+
+  IlpScheduleConfig ilp_config;
+  ilp_config.num_stages = 2;
+  ilp_config.generic_engine_var_limit = 1000;  // force generic engine
+  const IlpScheduleResult generic = SolveSchedulingIlp(dag, ilp_config);
+  EXPECT_TRUE(generic.used_generic_engine);
+  EXPECT_TRUE(generic.proved_optimal);
+
+  ilp_config.generic_engine_var_limit = 0;  // force specialized engine
+  const IlpScheduleResult specialized = SolveSchedulingIlp(dag, ilp_config);
+  EXPECT_FALSE(specialized.used_generic_engine);
+
+  // Both engines minimize peak memory; the generic model has no comm
+  // tie-break, so compare the primary objective only.
+  EXPECT_EQ(generic.objective.peak_param_bytes,
+            specialized.objective.peak_param_bytes);
+}
+
+class EngineAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineAgreementTest, GenericAndSpecializedAgreeOnPeak) {
+  std::mt19937_64 rng(GetParam() * 31);
+  graph::SamplerConfig config;
+  config.num_nodes = 7;
+  config.max_in_degree = 2 + GetParam() % 3;
+  const graph::Dag dag = graph::SampleDag(config, rng);
+
+  IlpScheduleConfig generic_cfg;
+  generic_cfg.num_stages = 2;
+  generic_cfg.generic_engine_var_limit = 1000;
+  IlpScheduleConfig special_cfg = generic_cfg;
+  special_cfg.generic_engine_var_limit = 0;
+
+  const auto a = SolveSchedulingIlp(dag, generic_cfg);
+  const auto b = SolveSchedulingIlp(dag, special_cfg);
+  EXPECT_EQ(a.objective.peak_param_bytes, b.objective.peak_param_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreementTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace respect::ilp

@@ -1,0 +1,122 @@
+// Verifies the model zoo reproduces the paper's Table I statistics exactly:
+// |V|, deg(V) and Depth for all ten evaluated models, plus sanity checks on
+// parameter footprints against the published architectures.
+#include <gtest/gtest.h>
+
+#include "graph/topology.h"
+#include "models/zoo.h"
+
+namespace respect::models {
+namespace {
+
+using graph::AnalyzeTopology;
+
+class TableIStatsTest : public ::testing::TestWithParam<ModelName> {};
+
+TEST_P(TableIStatsTest, NodeCountMatchesPaper) {
+  const graph::Dag dag = BuildModel(GetParam());
+  EXPECT_EQ(dag.NodeCount(), PaperStats(GetParam()).num_nodes)
+      << ModelNameString(GetParam());
+}
+
+TEST_P(TableIStatsTest, MaxInDegreeMatchesPaper) {
+  const graph::Dag dag = BuildModel(GetParam());
+  EXPECT_EQ(dag.MaxInDegree(), PaperStats(GetParam()).max_in_degree)
+      << ModelNameString(GetParam());
+}
+
+TEST_P(TableIStatsTest, DepthMatchesPaper) {
+  // Table I counts the longest path excluding the input placeholder, i.e.
+  // level-count minus one.
+  const graph::Dag dag = BuildModel(GetParam());
+  const auto topo = AnalyzeTopology(dag);
+  EXPECT_EQ(topo.depth - 1, PaperStats(GetParam()).depth)
+      << ModelNameString(GetParam());
+}
+
+TEST_P(TableIStatsTest, GraphIsValidSingleSourceDag) {
+  const graph::Dag dag = BuildModel(GetParam());
+  EXPECT_TRUE(dag.IsAcyclic());
+  EXPECT_EQ(dag.Sources().size(), 1u);
+  EXPECT_EQ(dag.Sinks().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTableIModels, TableIStatsTest, ::testing::ValuesIn(TableIModels()),
+    [](const ::testing::TestParamInfo<ModelName>& info) {
+      return std::string(ModelNameString(info.param));
+    });
+
+// Published parameter counts (keras.applications, include_top=true), in
+// millions.  Our builders must land within 3% — they use the true layer
+// shapes, so mismatches indicate structural bugs.
+struct ParamSpec {
+  ModelName model;
+  double millions;
+};
+
+class ParamCountTest : public ::testing::TestWithParam<ParamSpec> {};
+
+TEST_P(ParamCountTest, TotalParametersMatchPublishedModel) {
+  const graph::Dag dag = BuildModel(GetParam().model);
+  const double actual =
+      static_cast<double>(dag.TotalParamBytes()) / 4.0 / 1e6;  // float32
+  EXPECT_NEAR(actual, GetParam().millions, GetParam().millions * 0.03)
+      << ModelNameString(GetParam().model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedCounts, ParamCountTest,
+    ::testing::Values(ParamSpec{ModelName::kResNet50, 25.6},
+                      ParamSpec{ModelName::kResNet101, 44.7},
+                      ParamSpec{ModelName::kResNet152, 60.4},
+                      ParamSpec{ModelName::kResNet50V2, 25.6},
+                      ParamSpec{ModelName::kResNet101V2, 44.7},
+                      ParamSpec{ModelName::kResNet152V2, 60.4},
+                      ParamSpec{ModelName::kDenseNet121, 8.06},
+                      ParamSpec{ModelName::kDenseNet169, 14.3},
+                      ParamSpec{ModelName::kDenseNet201, 20.2},
+                      ParamSpec{ModelName::kXception, 22.9},
+                      ParamSpec{ModelName::kInceptionV3, 23.9},
+                      ParamSpec{ModelName::kInceptionResNetV2, 55.9}),
+    [](const ::testing::TestParamInfo<ParamSpec>& info) {
+      return std::string(ModelNameString(info.param.model));
+    });
+
+TEST(ZooTest, Fig5ListHasTwelveDistinctModels) {
+  const auto models = Fig5Models();
+  EXPECT_EQ(models.size(), 12u);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      EXPECT_NE(models[i], models[j]);
+    }
+  }
+}
+
+TEST(ZooTest, TableIListHasTenModels) {
+  EXPECT_EQ(TableIModels().size(), 10u);
+}
+
+TEST(ZooTest, EveryModelHasPositiveMemoryAttributes) {
+  for (const ModelName m : Fig5Models()) {
+    const graph::Dag dag = BuildModel(m);
+    EXPECT_GT(dag.TotalParamBytes(), 0) << ModelNameString(m);
+    EXPECT_GT(dag.TotalMacs(), 0) << ModelNameString(m);
+    for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+      EXPECT_GT(dag.Attr(v).output_bytes, 0)
+          << ModelNameString(m) << " node " << v;
+    }
+  }
+}
+
+TEST(ZooTest, ModelNamesAreUniqueStrings) {
+  const auto models = Fig5Models();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      EXPECT_NE(ModelNameString(models[i]), ModelNameString(models[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace respect::models

@@ -1,0 +1,250 @@
+// RL stack tests: embedding columns, PtrNet decoding invariants, rewards,
+// a short REINFORCE training run (reward must improve), and the scheduler
+// front end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+
+#include "graph/sampler.h"
+#include "graph/topology.h"
+#include "rl/embedding.h"
+#include "rl/ptrnet.h"
+#include "rl/reward.h"
+#include "rl/scheduler.h"
+#include "rl/trainer.h"
+
+namespace respect::rl {
+namespace {
+
+TEST(EmbeddingTest, ShapeAndSourceConventions) {
+  std::mt19937_64 rng(1);
+  const graph::Dag dag = graph::SampleTrainingDag(20, rng);
+  const nn::Tensor emb = EmbedGraph(dag, EmbeddingConfig{});
+  EXPECT_EQ(emb.Rows(), kFeatureDim);
+  EXPECT_EQ(emb.Cols(), 20);
+  // Source node: level 0, parent level 0, parent id -1 (paper convention).
+  EXPECT_FLOAT_EQ(emb.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(emb.At(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(emb.At(4, 0), -1.0f);
+}
+
+TEST(EmbeddingTest, AblationZeroesGroups) {
+  std::mt19937_64 rng(2);
+  const graph::Dag dag = graph::SampleTrainingDag(15, rng);
+  EmbeddingConfig no_ids;
+  no_ids.include_ids = false;
+  const nn::Tensor emb = EmbedGraph(dag, no_ids);
+  for (int v = 0; v < 15; ++v) {
+    EXPECT_FLOAT_EQ(emb.At(3, v), 0.0f);
+    EXPECT_FLOAT_EQ(emb.At(4, v), 0.0f);
+  }
+  EmbeddingConfig no_mem;
+  no_mem.include_memory = false;
+  const nn::Tensor emb2 = EmbedGraph(dag, no_mem);
+  for (int v = 0; v < 15; ++v) {
+    EXPECT_FLOAT_EQ(emb2.At(6, v), 0.0f);
+    EXPECT_FLOAT_EQ(emb2.At(7, v), 0.0f);
+  }
+}
+
+TEST(EmbeddingTest, MemoryColumnsNormalized) {
+  std::mt19937_64 rng(3);
+  const graph::Dag dag = graph::SampleTrainingDag(25, rng);
+  const nn::Tensor emb = EmbedGraph(dag, EmbeddingConfig{});
+  for (int v = 0; v < 25; ++v) {
+    EXPECT_GE(emb.At(6, v), 0.0f);
+    EXPECT_LE(emb.At(6, v), 1.0f);
+    EXPECT_GE(emb.At(7, v), 0.0f);
+    EXPECT_LE(emb.At(7, v), 1.0f);
+  }
+}
+
+PtrNetConfig SmallNet() {
+  PtrNetConfig config;
+  config.hidden_dim = 16;
+  return config;
+}
+
+TEST(PtrNetTest, GreedyDecodeIsPermutation) {
+  std::mt19937_64 rng(4);
+  const graph::Dag dag = graph::SampleTrainingDag(20, rng);
+  PtrNetAgent agent(SmallNet());
+  const auto seq = agent.DecodeGreedy(dag);
+  ASSERT_EQ(seq.size(), 20u);
+  std::vector<bool> seen(20, false);
+  for (const graph::NodeId v : seq) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 20);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(PtrNetTest, GreedyDecodeDeterministic) {
+  std::mt19937_64 rng(5);
+  const graph::Dag dag = graph::SampleTrainingDag(18, rng);
+  PtrNetAgent agent(SmallNet());
+  EXPECT_EQ(agent.DecodeGreedy(dag), agent.DecodeGreedy(dag));
+}
+
+TEST(PtrNetTest, ReadySetMaskingYieldsTopologicalSequences) {
+  std::mt19937_64 rng(6);
+  PtrNetConfig config = SmallNet();
+  config.masking = MaskingMode::kReadySet;
+  PtrNetAgent agent(config);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::Dag dag = graph::SampleTrainingDag(25, rng);
+    const auto seq = agent.DecodeGreedy(dag);
+    EXPECT_TRUE(graph::IsTopologicalOrder(dag, seq));
+  }
+}
+
+TEST(PtrNetTest, VisitedOnlyMaskingStillPermutes) {
+  std::mt19937_64 rng(7);
+  PtrNetConfig config = SmallNet();
+  config.masking = MaskingMode::kVisitedOnly;
+  PtrNetAgent agent(config);
+  const graph::Dag dag = graph::SampleTrainingDag(22, rng);
+  const auto seq = agent.DecodeGreedy(dag);
+  std::vector<graph::NodeId> sorted = seq;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 22; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PtrNetTest, SampleWithTapeLogProbMatchesDistribution) {
+  // The tape's summed log-prob must equal the log of the product of the
+  // per-step probabilities the inference path would assign to that sequence.
+  std::mt19937_64 rng(8);
+  const graph::Dag dag = graph::SampleTrainingDag(10, rng);
+  PtrNetAgent agent(SmallNet());
+  nn::Tape tape;
+  std::mt19937_64 sample_rng(99);
+  const auto sample = agent.SampleWithTape(dag, tape, sample_rng);
+  const float logp = tape.Value(sample.log_prob_sum).At(0, 0);
+  EXPECT_LE(logp, 0.0f);       // log of a probability
+  EXPECT_GT(logp, -60.0f);     // not degenerate for 10 nodes
+  EXPECT_EQ(sample.sequence.size(), 10u);
+}
+
+TEST(PtrNetTest, GeneralizesAcrossSizesWithoutRetraining) {
+  // Train-size 16, decode 60-node graphs: the architecture is size-free.
+  std::mt19937_64 rng(9);
+  PtrNetAgent agent(SmallNet());
+  const graph::Dag small = graph::SampleTrainingDag(16, rng);
+  const graph::Dag large = graph::SampleTrainingDag(60, rng);
+  EXPECT_EQ(agent.DecodeGreedy(small).size(), 16u);
+  EXPECT_EQ(agent.DecodeGreedy(large).size(), 60u);
+}
+
+TEST(PtrNetTest, SaveLoadPreservesPolicy) {
+  const std::string path = "/tmp/respect_ptrnet_test.bin";
+  std::mt19937_64 rng(10);
+  const graph::Dag dag = graph::SampleTrainingDag(15, rng);
+  PtrNetAgent a(SmallNet());
+  a.Save(path);
+  PtrNetConfig other = SmallNet();
+  other.init_seed = 999;  // different init...
+  PtrNetAgent b(other);
+  b.Load(path);            // ...replaced by the saved weights
+  EXPECT_EQ(a.DecodeGreedy(dag), b.DecodeGreedy(dag));
+  std::filesystem::remove(path);
+}
+
+TEST(RewardTest, PerfectImitationScoresOne) {
+  std::mt19937_64 rng(11);
+  const graph::Dag dag = graph::SampleTrainingDag(16, rng);
+  const ImitationTarget target = ComputeTarget(dag, 3);
+  const double r = ComputeReward(dag, target, target.gamma, 3,
+                                 RewardForm::kStageCosine);
+  EXPECT_GT(r, 0.98);  // packing γ reproduces S up to packing granularity
+}
+
+TEST(RewardTest, StageCosineWithinUnitInterval) {
+  std::mt19937_64 rng(12);
+  const graph::Dag dag = graph::SampleTrainingDag(16, rng);
+  const ImitationTarget target = ComputeTarget(dag, 4);
+  std::vector<graph::NodeId> perm(16);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    const double r =
+        ComputeReward(dag, target, perm, 4, RewardForm::kStageCosine);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+TEST(RewardTest, SequenceFormDistinguishesOrders) {
+  std::mt19937_64 rng(13);
+  const graph::Dag dag = graph::SampleTrainingDag(12, rng);
+  const ImitationTarget target = ComputeTarget(dag, 3);
+  const double match = ComputeReward(dag, target, target.gamma, 3,
+                                     RewardForm::kSequenceCosine);
+  std::vector<graph::NodeId> reversed(target.gamma.rbegin(),
+                                      target.gamma.rend());
+  const double mismatch =
+      ComputeReward(dag, target, reversed, 3, RewardForm::kSequenceCosine);
+  EXPECT_NEAR(match, 1.0, 1e-9);
+  EXPECT_LT(mismatch, match);
+}
+
+TEST(TrainerTest, RewardImprovesOverShortRun) {
+  // Use the paper's visited-only masking: there the policy must genuinely
+  // learn ordering (with ready-set masking the packer already saturates the
+  // reward on chain-like graphs and improvement is lost in noise).
+  PtrNetConfig net;
+  net.hidden_dim = 24;
+  net.masking = MaskingMode::kVisitedOnly;
+  PtrNetAgent agent(net);
+
+  TrainConfig config;
+  config.iterations = 24;
+  config.batch_size = 8;
+  config.graph_nodes = 16;
+  config.adam.learning_rate = 3e-3f;
+  const TrainStats stats = Train(agent, config);
+
+  ASSERT_EQ(stats.mean_reward.size(), 24u);
+  const double early = (stats.mean_reward[0] + stats.mean_reward[1] +
+                        stats.mean_reward[2]) / 3.0;
+  const double late =
+      (stats.mean_reward[21] + stats.mean_reward[22] + stats.mean_reward[23]) /
+      3.0;
+  EXPECT_GT(late, early);
+  EXPECT_GE(stats.baseline_refreshes, 1);
+}
+
+TEST(TrainerTest, DeterministicForFixedSeed) {
+  TrainConfig config;
+  config.iterations = 3;
+  config.batch_size = 4;
+  config.graph_nodes = 10;
+
+  PtrNetConfig net;
+  net.hidden_dim = 12;
+  PtrNetAgent a(net), b(net);
+  const TrainStats sa = Train(a, config);
+  const TrainStats sb = Train(b, config);
+  EXPECT_EQ(sa.mean_reward, sb.mean_reward);
+}
+
+TEST(RlSchedulerTest, ProducesDeployableSchedules) {
+  PtrNetConfig net;
+  net.hidden_dim = 16;
+  RlScheduler scheduler(net);
+  std::mt19937_64 rng(14);
+  for (const int stages : {2, 4, 6}) {
+    const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+    sched::PipelineConstraints c;
+    c.num_stages = stages;
+    const auto result = scheduler.Schedule(dag, c);
+    EXPECT_TRUE(ValidateSchedule(dag, result.schedule, c).ok);
+    EXPECT_GT(result.solve_seconds, 0.0);
+    EXPECT_EQ(result.sequence.size(), static_cast<std::size_t>(30));
+  }
+}
+
+}  // namespace
+}  // namespace respect::rl

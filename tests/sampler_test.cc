@@ -1,0 +1,121 @@
+// Synthetic DAG sampler tests: the paper's training distribution must be
+// valid, controllable and reproducible.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/sampler.h"
+#include "graph/topology.h"
+
+namespace respect::graph {
+namespace {
+
+TEST(SamplerTest, DeterministicForFixedSeed) {
+  SamplerConfig config;
+  std::mt19937_64 rng1(42), rng2(42);
+  const Dag a = SampleDag(config, rng1);
+  const Dag b = SampleDag(config, rng2);
+  ASSERT_EQ(a.NodeCount(), b.NodeCount());
+  ASSERT_EQ(a.EdgeCount(), b.EdgeCount());
+  for (int i = 0; i < a.EdgeCount(); ++i) {
+    EXPECT_EQ(a.Edges()[i], b.Edges()[i]);
+  }
+  for (NodeId v = 0; v < a.NodeCount(); ++v) {
+    EXPECT_EQ(a.Attr(v).param_bytes, b.Attr(v).param_bytes);
+  }
+}
+
+TEST(SamplerTest, DifferentSeedsDiffer) {
+  SamplerConfig config;
+  std::mt19937_64 rng1(1), rng2(2);
+  const Dag a = SampleDag(config, rng1);
+  const Dag b = SampleDag(config, rng2);
+  bool any_difference = a.EdgeCount() != b.EdgeCount();
+  for (int i = 0; !any_difference && i < a.EdgeCount(); ++i) {
+    any_difference = !(a.Edges()[i] == b.Edges()[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SamplerTest, RespectsNodeCount) {
+  SamplerConfig config;
+  config.num_nodes = 17;
+  std::mt19937_64 rng(3);
+  EXPECT_EQ(SampleDag(config, rng).NodeCount(), 17);
+}
+
+TEST(SamplerTest, RealizesRequestedDegreeClass) {
+  // The advertised complexity class must actually appear in the graph.
+  for (const int degree : {2, 3, 4, 5, 6}) {
+    SamplerConfig config;
+    config.num_nodes = 30;
+    config.max_in_degree = degree;
+    std::mt19937_64 rng(17 + degree);
+    const Dag dag = SampleDag(config, rng);
+    EXPECT_EQ(dag.MaxInDegree(), degree) << "degree " << degree;
+  }
+}
+
+TEST(SamplerTest, MemoryAttributesWithinConfiguredRanges) {
+  SamplerConfig config;
+  config.min_param_bytes = 1000;
+  config.max_param_bytes = 2000;
+  config.min_output_bytes = 500;
+  config.max_output_bytes = 600;
+  std::mt19937_64 rng(5);
+  const Dag dag = SampleDag(config, rng);
+  for (NodeId v = 1; v < dag.NodeCount(); ++v) {  // 0 is the input node
+    EXPECT_GE(dag.Attr(v).param_bytes, 1000);
+    EXPECT_LE(dag.Attr(v).param_bytes, 2001);  // log-uniform rounding slack
+    EXPECT_GE(dag.Attr(v).output_bytes, 500);
+    EXPECT_LE(dag.Attr(v).output_bytes, 601);
+  }
+}
+
+TEST(SamplerTest, InputNodeHasNoParams) {
+  std::mt19937_64 rng(7);
+  const Dag dag = SampleDag(SamplerConfig{}, rng);
+  EXPECT_EQ(dag.Attr(0).param_bytes, 0);
+  EXPECT_EQ(dag.Attr(0).type, OpType::kInput);
+}
+
+TEST(SamplerTest, RejectsDegenerateConfigs) {
+  std::mt19937_64 rng(9);
+  SamplerConfig tiny;
+  tiny.num_nodes = 1;
+  EXPECT_THROW(SampleDag(tiny, rng), std::invalid_argument);
+  SamplerConfig bad_degree;
+  bad_degree.max_in_degree = 0;
+  EXPECT_THROW(SampleDag(bad_degree, rng), std::invalid_argument);
+}
+
+TEST(SamplerTest, TrainingCurriculumCoversAllDegrees) {
+  // SampleTrainingDag draws deg(V) from {2..6}; over many draws every class
+  // must appear (the paper trains 200k graphs per class).
+  std::mt19937_64 rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    const Dag dag = SampleTrainingDag(30, rng);
+    seen.insert(dag.MaxInDegree());
+  }
+  EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5, 6}));
+}
+
+TEST(SamplerTest, JoinProbabilityControlsComplexity) {
+  // More joins => more edges on average.
+  SamplerConfig sparse;
+  sparse.join_probability = 0.0;
+  SamplerConfig dense;
+  dense.join_probability = 0.9;
+  dense.max_in_degree = 4;
+  int sparse_edges = 0, dense_edges = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::mt19937_64 r1(100 + i), r2(200 + i);
+    sparse_edges += SampleDag(sparse, r1).EdgeCount();
+    dense_edges += SampleDag(dense, r2).EdgeCount();
+  }
+  EXPECT_GT(dense_edges, sparse_edges);
+}
+
+}  // namespace
+}  // namespace respect::graph

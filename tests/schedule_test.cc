@@ -1,0 +1,145 @@
+// Schedule types: validation, metrics, objective ordering, stage vectors,
+// cosine similarity.
+#include <gtest/gtest.h>
+
+#include "sched/schedule.h"
+
+namespace respect::sched {
+namespace {
+
+graph::Dag Diamond() {
+  graph::Dag dag("diamond");
+  for (int i = 0; i < 4; ++i) {
+    graph::OpAttr attr;
+    attr.name = "n" + std::to_string(i);
+    attr.param_bytes = 100 * (i + 1);
+    attr.output_bytes = 10 * (i + 1);
+    dag.AddNode(std::move(attr));
+  }
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);
+  dag.AddEdge(1, 3);
+  dag.AddEdge(2, 3);
+  return dag;
+}
+
+PipelineConstraints TwoStages() {
+  PipelineConstraints c;
+  c.num_stages = 2;
+  return c;
+}
+
+TEST(ValidateScheduleTest, AcceptsFeasibleSchedule) {
+  const graph::Dag dag = Diamond();
+  const Schedule s{2, {0, 0, 1, 1}};
+  EXPECT_TRUE(ValidateSchedule(dag, s, TwoStages()).ok);
+}
+
+TEST(ValidateScheduleTest, RejectsDependencyViolation) {
+  const graph::Dag dag = Diamond();
+  const Schedule s{2, {1, 0, 1, 1}};  // parent on stage 1, child on 0
+  const ValidationResult r = ValidateSchedule(dag, s, TwoStages());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("dependency"), std::string::npos);
+}
+
+TEST(ValidateScheduleTest, RejectsOutOfRangeStage) {
+  const graph::Dag dag = Diamond();
+  const Schedule s{2, {0, 0, 1, 2}};
+  EXPECT_FALSE(ValidateSchedule(dag, s, TwoStages()).ok);
+}
+
+TEST(ValidateScheduleTest, RejectsWrongCoverage) {
+  const graph::Dag dag = Diamond();
+  const Schedule s{2, {0, 0, 1}};  // one node missing
+  EXPECT_FALSE(ValidateSchedule(dag, s, TwoStages()).ok);
+}
+
+TEST(ValidateScheduleTest, RejectsEmptyStageByDefault) {
+  const graph::Dag dag = Diamond();
+  const Schedule s{2, {0, 0, 0, 0}};
+  EXPECT_FALSE(ValidateSchedule(dag, s, TwoStages()).ok);
+  PipelineConstraints relaxed = TwoStages();
+  relaxed.allow_empty_stages = true;
+  EXPECT_TRUE(ValidateSchedule(dag, s, relaxed).ok);
+}
+
+TEST(ValidateScheduleTest, RejectsStageCountMismatch) {
+  const graph::Dag dag = Diamond();
+  const Schedule s{3, {0, 1, 1, 2}};
+  EXPECT_FALSE(ValidateSchedule(dag, s, TwoStages()).ok);
+}
+
+TEST(ValidateScheduleTest, CochildrenConstraint) {
+  const graph::Dag dag = Diamond();
+  PipelineConstraints c = TwoStages();
+  c.require_cochildren = true;
+  // Children of node 0 are {1,2}: same stage required.
+  EXPECT_TRUE(ValidateSchedule(dag, Schedule{2, {0, 0, 0, 1}}, c).ok);
+  EXPECT_FALSE(ValidateSchedule(dag, Schedule{2, {0, 0, 1, 1}}, c).ok);
+}
+
+TEST(MetricsTest, StageLoadsAndPeak) {
+  const graph::Dag dag = Diamond();
+  const ScheduleMetrics m = ComputeMetrics(dag, Schedule{2, {0, 0, 1, 1}});
+  EXPECT_EQ(m.stage_param_bytes[0], 300);  // nodes 0,1
+  EXPECT_EQ(m.stage_param_bytes[1], 700);  // nodes 2,3
+  EXPECT_EQ(m.peak_stage_param_bytes, 700);
+}
+
+TEST(MetricsTest, CommunicationHopWeighted) {
+  const graph::Dag dag = Diamond();
+  // Stage: 0->s0, 1->s0, 2->s1, 3->s1.
+  // Node 0 output (10B) consumed at stage 1 (node 2): 1 hop.
+  // Node 1 output (20B) consumed at stage 1 (node 3): 1 hop.
+  const ScheduleMetrics m = ComputeMetrics(dag, Schedule{2, {0, 0, 1, 1}});
+  EXPECT_EQ(m.comm_bytes, 10 + 20);
+  EXPECT_EQ(m.cut_tensor_count, 2);
+}
+
+TEST(MetricsTest, MultiHopTensorChargedPerHop) {
+  graph::Dag dag("chain");
+  for (int i = 0; i < 3; ++i) {
+    graph::OpAttr attr;
+    attr.output_bytes = 100;
+    dag.AddNode(std::move(attr));
+  }
+  dag.AddEdge(0, 1);
+  dag.AddEdge(0, 2);  // node 0 tensor needed at stage 2
+  dag.AddEdge(1, 2);
+  const ScheduleMetrics m =
+      ComputeMetrics(dag, Schedule{3, {0, 1, 2}});
+  // Node 0 -> last consumer stage 2: 2 hops; node 1 -> 1 hop.
+  EXPECT_EQ(m.comm_bytes, 200 + 100);
+}
+
+TEST(ObjectiveTest, LexicographicOrdering) {
+  EXPECT_LT((ObjectiveValue{100, 999}), (ObjectiveValue{101, 0}));
+  EXPECT_LT((ObjectiveValue{100, 5}), (ObjectiveValue{100, 6}));
+  EXPECT_EQ((ObjectiveValue{1, 2}), (ObjectiveValue{1, 2}));
+}
+
+TEST(StageVectorTest, OneBasedLabels) {
+  const std::vector<double> v = StageVector(Schedule{3, {0, 2, 1}});
+  EXPECT_EQ(v, (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(CosineTest, IdenticalVectorsScoreOne) {
+  const std::vector<double> a{1, 2, 3};
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CosineTest, ScaledVectorsScoreOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalVectorsScoreZero) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+}
+
+TEST(CosineTest, ZeroVectorGuardedByEpsilon) {
+  EXPECT_EQ(CosineSimilarity({0, 0}, {0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace respect::sched
