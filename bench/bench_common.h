@@ -64,8 +64,8 @@ inline PipelineCompiler MakeTrainedCompiler() {
       ArtifactDir() + (FastMode() ? "/respect_agent_fast.bin"
                                   : "/respect_agent.bin");
   PipelineCompiler compiler(BenchOptions());
-  rl::RlScheduler& rl = compiler.Rl();
-  const bool trained = EnsureTrainedAgent(rl, weights, BenchTrainConfig());
+  const std::shared_ptr<rl::RlScheduler> rl = compiler.Rl();
+  const bool trained = EnsureTrainedAgent(*rl, weights, BenchTrainConfig());
   if (trained) {
     std::printf("# trained benchmark agent and cached to %s\n",
                 weights.c_str());

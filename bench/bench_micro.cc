@@ -1,11 +1,17 @@
 // Micro-benchmarks (google-benchmark) for every substrate: graph analyses,
 // samplers, exact solvers, the backend compiler, NN forward/backward, PtrNet
-// decode and the pipeline simulator.
+// decode, the pipeline simulator, per-engine solve times enumerated from the
+// SchedulerEngine registry, and CompileBatch throughput across thread counts.
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
 
+#include "core/respect.h"
+#include "core/thread_pool.h"
 #include "deploy/package.h"
+#include "engines/registry.h"
 #include "exact/bnb_scheduler.h"
 #include "exact/dp_partitioner.h"
 #include "graph/sampler.h"
@@ -133,6 +139,98 @@ void BM_BuildResNet101(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildResNet101);
 
+CompilerOptions BatchBenchOptions() {
+  CompilerOptions options;
+  options.net.hidden_dim = 32;
+  options.exact_max_expansions = 50'000;
+  options.exact_time_limit_seconds = 0.2;
+  options.compiler.refinement_rounds = 4;
+  options.compiler.compile_passes = 2;
+  return options;
+}
+
+const std::vector<graph::Dag>& BatchDags() {
+  static const std::vector<graph::Dag>* dags = [] {
+    auto* sampled = new std::vector<graph::Dag>();
+    std::mt19937_64 rng(6);
+    for (int i = 0; i < 8; ++i) {
+      sampled->push_back(graph::SampleTrainingDag(40, rng));
+    }
+    return sampled;
+  }();
+  return *dags;
+}
+
+std::vector<const graph::Dag*> BatchPointers() {
+  std::vector<const graph::Dag*> pointers;
+  for (const graph::Dag& dag : BatchDags()) pointers.push_back(&dag);
+  return pointers;
+}
+
+/// The tentpole throughput benchmark: one batch of 8 sampled DAGs compiled
+/// with `state.range(0)` worker threads.  Arg(1) is the sequential baseline;
+/// Arg(4) must show the >= 2x wall-clock speedup the batch path exists for.
+/// The pool lives outside the timed loop (the serving-loop shape), so this
+/// measures steady-state throughput, not thread spawn/join.
+void BM_CompileBatchThroughput(benchmark::State& state) {
+  static const PipelineCompiler* compiler =
+      new PipelineCompiler(BatchBenchOptions());
+  const std::vector<const graph::Dag*> pointers = BatchPointers();
+  core::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compiler->CompileBatch(pointers, 4, Method::kAnnealing, pool));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pointers.size()));
+}
+BENCHMARK(BM_CompileBatchThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+/// One engine solve (SchedulerEngine::Schedule only — no post-processing or
+/// packaging, the Fig. 3 quantity) per registered engine on a 30-node
+/// training graph — registered dynamically so new engines show up here
+/// without editing this file.
+void EngineSolve(benchmark::State& state, const std::string& engine_name) {
+  static const PipelineCompiler* compiler =
+      new PipelineCompiler(BatchBenchOptions());
+  const auto engine = engines::EngineRegistry::Global().Create(
+      engine_name, compiler->MakeEngineContext());
+  std::mt19937_64 rng(8);
+  const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = 4;
+  engines::EngineBudget budget;
+  budget.max_expansions = 50'000;
+  budget.time_limit_seconds = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Schedule(dag, constraints, budget));
+  }
+}
+
+void RegisterEngineSolveBenchmarks() {
+  for (const engines::EngineRegistration& registration :
+       engines::EngineRegistry::Global().Registrations()) {
+    benchmark::RegisterBenchmark(
+        ("BM_EngineSolve/" + registration.name).c_str(),
+        [name = registration.name](benchmark::State& state) {
+          EngineSolve(state, name);
+        });
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RegisterEngineSolveBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

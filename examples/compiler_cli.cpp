@@ -6,8 +6,8 @@
 //   model:  Xception | ResNet50 | ResNet101 | ResNet152 | DenseNet121 |
 //           ResNet101v2 | ResNet152v2 | DenseNet169 | DenseNet201 |
 //           InceptionResNetv2 | ResNet50v2 | InceptionV3
-//   method: respect (default) | exact | compiler | list | hu | fds |
-//           anneal | greedy
+//   method: any engine name or alias from the registry (see --help);
+//           defaults to respect
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,35 +29,44 @@ std::optional<models::ModelName> ParseModel(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<Method> ParseMethod(const std::string& name) {
-  if (name == "respect") return Method::kRespectRl;
-  if (name == "exact") return Method::kExactIlp;
-  if (name == "compiler") return Method::kEdgeTpuCompiler;
-  if (name == "list") return Method::kListScheduling;
-  if (name == "hu") return Method::kHuLevel;
-  if (name == "fds") return Method::kForceDirected;
-  if (name == "anneal") return Method::kAnnealing;
-  if (name == "greedy") return Method::kGreedyBalance;
-  return std::nullopt;
+void PrintUsage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s <model> <num_stages> [method] [out.bin]\n"
+               "  e.g. %s ResNet101 4 respect resnet101_4.bin\n"
+               "\nregistered scheduling engines (alias | name):\n",
+               argv0, argv0);
+  for (const engines::EngineRegistration& registration :
+       engines::EngineRegistry::Global().Registrations()) {
+    std::fprintf(out, "  %-10s %-18s %s\n", registration.alias.c_str(),
+                 registration.name.c_str(), registration.description.c_str());
+  }
 }
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <model> <num_stages> [method] [out.bin]\n"
-               "  e.g. %s ResNet101 4 respect resnet101_4.bin\n",
-               argv0, argv0);
+  PrintUsage(stderr, argv0);
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    PrintUsage(stdout, argv[0]);  // requested help is a success
+    return 0;
+  }
   if (argc < 3) return Usage(argv[0]);
   const auto model = ParseModel(argv[1]);
   const int stages = std::atoi(argv[2]);
-  const auto method = ParseMethod(argc > 3 ? argv[3] : "respect");
+  const std::string method = argc > 3 ? argv[3] : "respect";
   const std::string out_path = argc > 4 ? argv[4] : "";
-  if (!model || !method || stages < 1 || stages > 16) return Usage(argv[0]);
+
+  // The registry is the single source of truth for method spellings.
+  const engines::EngineRegistration* engine =
+      engines::EngineRegistry::Global().Find(method);
+  if (!model || engine == nullptr || stages < 1 || stages > 16) {
+    return Usage(argv[0]);
+  }
 
   const graph::Dag dag = models::BuildModel(*model);
   std::printf("model %s: |V|=%d deg=%d, %.1f MB parameters (quantized)\n",
@@ -65,10 +74,9 @@ int main(int argc, char** argv) {
               dag.TotalParamBytes() / 4.0 / 1048576.0);
 
   PipelineCompiler compiler;
-  const CompileResult result = compiler.Compile(dag, stages, *method);
+  const CompileResult result = compiler.Compile(dag, stages, engine->name);
 
-  std::printf("method %s solved in %.1f ms%s\n",
-              std::string(MethodName(*method)).c_str(),
+  std::printf("method %s solved in %.1f ms%s\n", engine->name.c_str(),
               result.solve_seconds * 1e3,
               result.proved_optimal ? " (proved optimal)" : "");
   std::printf("%8s %10s %10s %8s %9s\n", "stage", "ops", "params MB",

@@ -1,5 +1,6 @@
 // Quickstart: build a small computational graph by hand, schedule it onto a
-// 3-stage Edge TPU pipeline with every engine, and simulate the deployment.
+// 3-stage Edge TPU pipeline with every registered engine, and simulate the
+// deployment.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
@@ -41,13 +42,11 @@ int main() {
   std::printf("%-16s %8s %14s %14s\n", "method", "solve ms", "peak stage KB",
               "per-inference us");
 
-  for (const Method method :
-       {Method::kRespectRl, Method::kExactIlp, Method::kEdgeTpuCompiler,
-        Method::kListScheduling, Method::kGreedyBalance}) {
-    const CompileResult result = compiler.Compile(dag, 3, method);
+  for (const engines::EngineRegistration& engine :
+       engines::EngineRegistry::Global().Registrations()) {
+    const CompileResult result = compiler.Compile(dag, 3, engine.name);
     const auto sim = tpu::SimulatePipeline(result.package, {});
-    std::printf("%-16s %8.2f %14.1f %14.1f\n",
-                std::string(MethodName(method)).c_str(),
+    std::printf("%-16s %8.2f %14.1f %14.1f\n", engine.name.c_str(),
                 result.solve_seconds * 1e3,
                 result.peak_stage_param_bytes / 1024.0,
                 sim.per_inference_us);

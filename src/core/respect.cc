@@ -1,98 +1,92 @@
 #include "core/respect.h"
 
-#include <chrono>
+#include <algorithm>
 #include <filesystem>
-#include <stdexcept>
+#include <utility>
 
-#include "exact/dp_partitioner.h"
-#include "graph/topology.h"
-#include "heuristics/annealing.h"
-#include "heuristics/force_directed.h"
-#include "heuristics/hu_scheduler.h"
-#include "heuristics/list_scheduler.h"
-#include "ilp/scheduling_ilp.h"
+#include "core/thread_pool.h"
 #include "sched/postprocess.h"
 
 namespace respect {
 
-std::string_view MethodName(Method method) {
-  switch (method) {
-    case Method::kRespectRl: return "RESPECT";
-    case Method::kExactIlp: return "ExactILP";
-    case Method::kEdgeTpuCompiler: return "EdgeTPUCompiler";
-    case Method::kListScheduling: return "ListScheduling";
-    case Method::kHuLevel: return "HuLevel";
-    case Method::kForceDirected: return "ForceDirected";
-    case Method::kAnnealing: return "Annealing";
-    case Method::kGreedyBalance: return "GreedyBalance";
-  }
-  return "Unknown";
+PipelineCompiler::PipelineCompiler(const CompilerOptions& options)
+    : options_(options), rl_slot_(std::make_shared<RlSlot>()) {
+  rl_slot_->scheduler = MakeConfiguredRl();
 }
 
-PipelineCompiler::PipelineCompiler(const CompilerOptions& options)
-    : options_(options), rl_(options.net) {
+std::shared_ptr<rl::RlScheduler> PipelineCompiler::MakeConfiguredRl() const {
+  auto rl = std::make_shared<rl::RlScheduler>(options_.net);
   if (!options_.weights_path.empty() &&
       std::filesystem::exists(options_.weights_path)) {
-    rl_.LoadWeights(options_.weights_path);
+    rl->LoadWeights(options_.weights_path);
   }
+  return rl;
+}
+
+std::shared_ptr<rl::RlScheduler> PipelineCompiler::Rl() {
+  const std::lock_guard<std::mutex> lock(rl_slot_->mutex);
+  return rl_slot_->scheduler;
+}
+
+std::shared_ptr<const rl::RlScheduler> PipelineCompiler::Rl() const {
+  const std::lock_guard<std::mutex> lock(rl_slot_->mutex);
+  return rl_slot_->scheduler;
+}
+
+void PipelineCompiler::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {
+  if (rl == nullptr) rl = MakeConfiguredRl();
+  const std::lock_guard<std::mutex> lock(rl_slot_->mutex);
+  rl_slot_->scheduler = std::move(rl);
+}
+
+engines::EngineContext PipelineCompiler::MakeEngineContext() const {
+  engines::EngineContext context;
+  {
+    // Shared immutable snapshot (const view): engines created from this
+    // context keep it alive even across a concurrent ReplaceRl.
+    const std::lock_guard<std::mutex> lock(rl_slot_->mutex);
+    context.rl = rl_slot_->scheduler;
+  }
+  context.compiler = options_.compiler;
+  return context;
 }
 
 CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
-                                        Method method) {
+                                        Method method) const {
+  const auto engine =
+      engines::EngineRegistry::Global().Create(method, MakeEngineContext());
+  return CompileWith(*engine, dag, num_stages);
+}
+
+CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
+                                        std::string_view engine_name) const {
+  const auto engine = engines::EngineRegistry::Global().Create(
+      engine_name, MakeEngineContext());
+  return CompileWith(*engine, dag, num_stages);
+}
+
+CompileResult PipelineCompiler::CompileWith(
+    const engines::SchedulerEngine& engine, const graph::Dag& dag,
+    int num_stages) const {
   dag.Validate();
   sched::PipelineConstraints constraints;
   constraints.num_stages = num_stages;
 
+  engines::EngineBudget budget;
+  budget.max_expansions = options_.exact_max_expansions;
+  budget.time_limit_seconds = options_.exact_time_limit_seconds;
+
+  engines::EngineResult engine_result =
+      engine.Schedule(dag, constraints, budget);
+
   CompileResult result;
-  const auto start = std::chrono::steady_clock::now();
+  result.schedule = std::move(engine_result.schedule);
+  result.solve_seconds = engine_result.solve_seconds;
+  result.proved_optimal = engine_result.proved_optimal;
 
-  switch (method) {
-    case Method::kRespectRl: {
-      const rl::RlScheduler::Result r = rl_.Schedule(dag, constraints);
-      result.schedule = r.schedule;
-      break;
-    }
-    case Method::kExactIlp: {
-      ilp::IlpScheduleConfig config;
-      config.num_stages = num_stages;
-      config.max_nodes = options_.exact_max_expansions;
-      config.time_limit_seconds = options_.exact_time_limit_seconds;
-      const ilp::IlpScheduleResult r = ilp::SolveSchedulingIlp(dag, config);
-      result.schedule = r.schedule;
-      result.proved_optimal = r.proved_optimal;
-      break;
-    }
-    case Method::kEdgeTpuCompiler: {
-      heuristics::EdgeTpuCompilerConfig config = options_.compiler;
-      config.num_stages = num_stages;
-      result.schedule = heuristics::CompileForPipeline(dag, config).schedule;
-      break;
-    }
-    case Method::kListScheduling:
-      result.schedule = heuristics::ListSchedule(dag, num_stages);
-      break;
-    case Method::kHuLevel:
-      result.schedule = heuristics::HuLevelSchedule(dag, num_stages);
-      break;
-    case Method::kForceDirected:
-      result.schedule = heuristics::ForceDirectedSchedule(dag, num_stages);
-      break;
-    case Method::kAnnealing: {
-      heuristics::AnnealingConfig config;
-      config.num_stages = num_stages;
-      result.schedule = heuristics::AnnealSchedule(dag, config);
-      break;
-    }
-    case Method::kGreedyBalance:
-      result.schedule = exact::PartitionDefaultOrder(dag, num_stages).schedule;
-      break;
-  }
-
-  // Every engine must hand back a deployable schedule.
+  // Every engine must hand back a deployable schedule; the repair and the
+  // packaging below are deliberately outside the reported solve time.
   sched::PostProcess(dag, constraints, result.schedule);
-  result.solve_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
 
   result.package = deploy::BuildPackage(dag, result.schedule, options_.quantize);
   for (const deploy::Segment& seg : result.package.segments) {
@@ -100,6 +94,58 @@ CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
         std::max(result.peak_stage_param_bytes, seg.param_bytes);
   }
   return result;
+}
+
+namespace {
+
+/// Never spawn more per-call workers than there are graphs to compile.
+int BatchThreadCount(int num_threads, std::size_t batch_size) {
+  if (num_threads < 1) num_threads = core::ThreadPool::DefaultThreadCount();
+  return static_cast<int>(
+      std::min<std::size_t>(num_threads, std::max<std::size_t>(1, batch_size)));
+}
+
+}  // namespace
+
+std::vector<CompileResult> PipelineCompiler::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages, Method method,
+    int num_threads) const {
+  core::ThreadPool pool(BatchThreadCount(num_threads, dags.size()));
+  return CompileBatch(dags, num_stages, method, pool);
+}
+
+std::vector<CompileResult> PipelineCompiler::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages,
+    std::string_view engine_name, int num_threads) const {
+  core::ThreadPool pool(BatchThreadCount(num_threads, dags.size()));
+  return CompileBatch(dags, num_stages, engine_name, pool);
+}
+
+std::vector<CompileResult> PipelineCompiler::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages, Method method,
+    core::ThreadPool& pool) const {
+  const auto engine =
+      engines::EngineRegistry::Global().Create(method, MakeEngineContext());
+  return CompileBatchWith(*engine, dags, num_stages, pool);
+}
+
+std::vector<CompileResult> PipelineCompiler::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages,
+    std::string_view engine_name, core::ThreadPool& pool) const {
+  const auto engine = engines::EngineRegistry::Global().Create(
+      engine_name, MakeEngineContext());
+  return CompileBatchWith(*engine, dags, num_stages, pool);
+}
+
+std::vector<CompileResult> PipelineCompiler::CompileBatchWith(
+    const engines::SchedulerEngine& engine,
+    std::span<const graph::Dag* const> dags, int num_stages,
+    core::ThreadPool& pool) const {
+  std::vector<CompileResult> results(dags.size());
+  core::ParallelFor(pool, dags.size(), [&](std::size_t i) {
+    results[i] = CompileWith(engine, *dags[i], num_stages);
+  });
+  return results;
 }
 
 bool EnsureTrainedAgent(rl::RlScheduler& scheduler, const std::string& path,

@@ -5,38 +5,39 @@
 //                                  respect::Method::kRespectRl);
 //   auto sim = respect::tpu::SimulatePipeline(result.package);
 //
-// Compile() runs the chosen scheduler (the RL agent, the exact ILP route,
-// the Edge TPU compiler substitute, or one of the classic heuristics),
-// validates/repairs the schedule, and packages it for deployment
-// (quantization + segment extraction).  EnsureTrainedAgent implements the
-// train-or-load weight cache used by the examples and benchmarks.
+// Compile() resolves the chosen engine through the SchedulerEngine registry
+// (engines/registry.h — the RL agent, the exact ILP route, the Edge TPU
+// compiler substitute, the classic heuristics, or anything registered at
+// runtime), validates/repairs the schedule, and packages it for deployment
+// (quantization + segment extraction).  Compile() is const and engines are
+// stateless, so one compiler may serve many threads; CompileBatch runs a
+// whole batch of graphs across a thread pool with results identical to the
+// sequential path.  EnsureTrainedAgent implements the train-or-load weight
+// cache used by the examples and benchmarks.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "deploy/package.h"
+#include "engines/method.h"
+#include "engines/registry.h"
 #include "graph/dag.h"
 #include "heuristics/edgetpu_compiler.h"
 #include "rl/scheduler.h"
 #include "rl/trainer.h"
 #include "sched/schedule.h"
 
+namespace respect::core {
+class ThreadPool;
+}  // namespace respect::core
+
 namespace respect {
-
-/// Scheduling engines available through the façade.
-enum class Method {
-  kRespectRl,        // the paper's contribution
-  kExactIlp,         // exact method (ILP route, CPLEX role)
-  kEdgeTpuCompiler,  // commercial-compiler substitute (count + profiling)
-  kListScheduling,
-  kHuLevel,
-  kForceDirected,
-  kAnnealing,
-  kGreedyBalance,    // balanced contiguous partition of the default order
-};
-
-[[nodiscard]] std::string_view MethodName(Method method);
 
 struct CompilerOptions {
   /// RL agent configuration (hidden size, masking, embedding).
@@ -59,6 +60,9 @@ struct CompilerOptions {
 struct CompileResult {
   sched::Schedule schedule;
   deploy::PipelinePackage package;
+
+  /// Engine solve time only (the Fig. 3 metric) — post-processing and
+  /// packaging/quantization are excluded.
   double solve_seconds = 0.0;
 
   /// Peak per-stage parameter bytes of the deployed (quantized) package —
@@ -73,14 +77,90 @@ class PipelineCompiler {
  public:
   explicit PipelineCompiler(const CompilerOptions& options = {});
 
-  [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
-                                      Method method);
+  // Movable but not copyable: a copy would alias the live RL slot, letting
+  // ReplaceRl / training on one copy silently change the other's weights.
+  // A moved-from compiler may only be destroyed or assigned to.
+  PipelineCompiler(PipelineCompiler&&) = default;
+  PipelineCompiler& operator=(PipelineCompiler&&) = default;
+  PipelineCompiler(const PipelineCompiler&) = delete;
+  PipelineCompiler& operator=(const PipelineCompiler&) = delete;
 
-  [[nodiscard]] rl::RlScheduler& Rl() { return rl_; }
+  /// Compiles with a built-in engine addressed by enum value.
+  [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
+                                      Method method) const;
+
+  /// Compiles with any registered engine addressed by name or CLI alias —
+  /// including engines registered at runtime that have no Method value.
+  [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
+                                      std::string_view engine) const;
+
+  /// Compiles every graph of the batch across `num_threads` worker threads
+  /// (values < 1 select ThreadPool::DefaultThreadCount()).  Engines are
+  /// stateless and the RL weights are a shared immutable snapshot, so the
+  /// results are element-wise identical to calling Compile() in a loop —
+  /// except when a wall-clock budget cuts a solve short (ExactILP with
+  /// exact_time_limit_seconds > 0): CPU contention changes how far such a
+  /// solve gets, so its incumbent may differ between runs.  Expansion caps
+  /// are deterministic; use those when bit-identical batches matter.
+  [[nodiscard]] std::vector<CompileResult> CompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages, Method method,
+      int num_threads) const;
+  [[nodiscard]] std::vector<CompileResult> CompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages,
+      std::string_view engine, int num_threads) const;
+
+  /// Same, on a caller-owned pool — serving loops issuing many batches
+  /// reuse one pool instead of paying thread spawn/join per call.
+  [[nodiscard]] std::vector<CompileResult> CompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages, Method method,
+      core::ThreadPool& pool) const;
+  [[nodiscard]] std::vector<CompileResult> CompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages,
+      std::string_view engine, core::ThreadPool& pool) const;
+
+  /// Snapshot of the current RL scheduler for training / weight loading
+  /// (the train-then-serve flow of the benches and examples).  The returned
+  /// shared_ptr keeps the object alive across a concurrent ReplaceRl, but
+  /// mutating it while Compile/CompileBatch calls are in flight is a data
+  /// race — to retrain under traffic, train a fresh scheduler and swap it
+  /// in with ReplaceRl().  Const access yields a const snapshot, so
+  /// const-only holders (the thread-safe serving interface) cannot mutate
+  /// the weights the in-flight engines read.
+  [[nodiscard]] std::shared_ptr<rl::RlScheduler> Rl();
+  [[nodiscard]] std::shared_ptr<const rl::RlScheduler> Rl() const;
+
+  /// Copy-on-write weight update: subsequent compiles snapshot `rl`;
+  /// in-flight compiles keep reading the snapshot they started with.  Safe
+  /// to call while Compile/CompileBatch calls are running.  Null resets to
+  /// the constructor's configured state (options.net + options.weights_path).
+  void ReplaceRl(std::shared_ptr<rl::RlScheduler> rl);
+
+  /// The read-only state handed to every engine this compiler creates.
+  [[nodiscard]] engines::EngineContext MakeEngineContext() const;
 
  private:
+  /// A scheduler in the constructor's configured state (options.net, with
+  /// options.weights_path loaded when present).
+  [[nodiscard]] std::shared_ptr<rl::RlScheduler> MakeConfiguredRl() const;
+
+  [[nodiscard]] CompileResult CompileWith(const engines::SchedulerEngine& engine,
+                                          const graph::Dag& dag,
+                                          int num_stages) const;
+  [[nodiscard]] std::vector<CompileResult> CompileBatchWith(
+      const engines::SchedulerEngine& engine,
+      std::span<const graph::Dag* const> dags, int num_stages,
+      core::ThreadPool& pool) const;
+
+  /// The current RL scheduler, behind a heap-allocated slot so the compiler
+  /// stays movable: ReplaceRl swaps the inner pointer under the slot mutex
+  /// while engine contexts hold their own shared_ptr snapshots.
+  struct RlSlot {
+    std::mutex mutex;
+    std::shared_ptr<rl::RlScheduler> scheduler;
+  };
+
   CompilerOptions options_;
-  rl::RlScheduler rl_;
+  std::shared_ptr<RlSlot> rl_slot_;
 };
 
 /// Loads agent weights from `path` if the file exists; otherwise trains with

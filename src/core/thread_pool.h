@@ -1,0 +1,64 @@
+// A small fixed-size worker pool for the batch compilation path.
+//
+// Deliberately minimal: FIFO queue, Submit + Wait, no futures.  ParallelFor
+// is the only shape CompileBatch needs — run fn(i) over an index range and
+// rethrow the first worker exception on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace respect::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it may start running before Submit returns.  A task
+  /// that throws is swallowed (there is no channel to report it) — use
+  /// ParallelFor when exceptions must reach the caller.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the pool is fully idle — i.e. every task from every
+  /// submitter has finished.  With multiple concurrent submitters prefer
+  /// ParallelFor, which tracks completion of its own tasks only.
+  void Wait();
+
+  [[nodiscard]] int NumThreads() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// hardware_concurrency with a floor of 1 (the value is 0 when unknown).
+  [[nodiscard]] static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: task queued / stop
+  std::condition_variable idle_cv_;  // signals Wait(): all work drained
+  std::size_t in_flight_ = 0;        // queued + currently running tasks
+  bool stop_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1) on the pool and waits for all of them.  When workers
+/// throw, the first exception (by index order) is rethrown on the caller.
+/// Safe with concurrent callers sharing one pool (completion is tracked per
+/// call), and safe to call from inside one of the pool's own tasks (the
+/// nested call runs inline rather than deadlocking on its worker slot).
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace respect::core

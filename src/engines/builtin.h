@@ -1,0 +1,12 @@
+// Registration of the eight engines that ship with the library.
+#pragma once
+
+namespace respect::engines {
+
+class EngineRegistry;
+
+/// Registers the built-in engines (one per Method enum value).  Called once
+/// by EngineRegistry::Global(); call it yourself only on a private registry.
+void RegisterBuiltinEngines(EngineRegistry& registry);
+
+}  // namespace respect::engines

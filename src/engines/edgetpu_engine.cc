@@ -1,0 +1,14 @@
+#include "engines/edgetpu_engine.h"
+
+namespace respect::engines {
+
+EngineResult EdgeTpuCompilerEngine::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    const EngineBudget& /*budget*/) const {
+  heuristics::EdgeTpuCompilerConfig config = config_;
+  config.num_stages = constraints.num_stages;
+  return TimedSolve(
+      [&] { return heuristics::CompileForPipeline(dag, config).schedule; });
+}
+
+}  // namespace respect::engines

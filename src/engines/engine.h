@@ -1,0 +1,90 @@
+// The SchedulerEngine interface — one interchangeable scheduling backend.
+//
+// Every engine is a stateless adapter: Schedule() is const, takes the graph,
+// the pipeline constraints and a per-call budget, and returns a schedule plus
+// the engine-only solve time.  Statelessness is what makes the batch
+// compilation path safe: one engine instance may serve many threads, and two
+// calls with the same inputs return the same schedule.
+//
+// Engines receive shared read-only state (trained RL weights, compiler
+// substitute tuning) through an EngineContext captured at construction.  The
+// RL weights are a shared immutable snapshot (shared_ptr<const RlScheduler>),
+// never copied per call and never mutated by an engine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "graph/dag.h"
+#include "heuristics/edgetpu_compiler.h"
+#include "rl/scheduler.h"
+#include "sched/schedule.h"
+
+namespace respect::engines {
+
+/// Per-call budget for engines that search (exact ILP / branch-and-bound).
+/// Engines without a search loop ignore it.  The façade always fills both
+/// fields from CompilerOptions; the defaults here are the neutral
+/// "unlimited" values for direct engine callers.
+struct EngineBudget {
+  /// Maximum search-tree expansions (0 = unlimited).
+  std::int64_t max_expansions = 0;
+
+  /// Wall-clock ceiling in seconds (0 = unlimited).
+  double time_limit_seconds = 0.0;
+};
+
+/// Read-only state shared by every engine created for one compiler.
+struct EngineContext {
+  /// Immutable snapshot of the trained RESPECT agent.  Null is allowed; the
+  /// RL engine then builds a fresh (untrained) agent of its own.
+  std::shared_ptr<const rl::RlScheduler> rl;
+
+  /// Tuning for the Edge TPU compiler substitute (num_stages is overridden
+  /// per call from the constraints).
+  heuristics::EdgeTpuCompilerConfig compiler;
+};
+
+/// What an engine hands back to the serving layer.
+struct EngineResult {
+  sched::Schedule schedule;
+
+  /// Engine solve time only — excludes the façade's post-processing and
+  /// packaging/quantization (the Fig. 3 metric).
+  double solve_seconds = 0.0;
+
+  /// True for exact engines that proved optimality within budget.
+  bool proved_optimal = false;
+};
+
+/// Runs `solve` and packs its schedule with the measured solve time —
+/// shared by every adapter whose backend does not report its own timing.
+template <typename Solve>
+EngineResult TimedSolve(Solve&& solve) {
+  const auto start = std::chrono::steady_clock::now();
+  EngineResult result;
+  result.schedule = std::forward<Solve>(solve)();
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+class SchedulerEngine {
+ public:
+  virtual ~SchedulerEngine() = default;
+
+  /// Canonical engine name; matches the registry entry it was created from.
+  [[nodiscard]] virtual std::string_view Name() const = 0;
+
+  /// Schedules `dag` onto `constraints.num_stages` pipeline stages.  Must be
+  /// deterministic for fixed inputs and safe to call concurrently.
+  [[nodiscard]] virtual EngineResult Schedule(
+      const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+      const EngineBudget& budget) const = 0;
+};
+
+}  // namespace respect::engines

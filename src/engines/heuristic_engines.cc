@@ -1,0 +1,51 @@
+#include "engines/heuristic_engines.h"
+
+#include "exact/dp_partitioner.h"
+#include "heuristics/annealing.h"
+#include "heuristics/force_directed.h"
+#include "heuristics/hu_scheduler.h"
+#include "heuristics/list_scheduler.h"
+
+namespace respect::engines {
+
+EngineResult ListSchedulingEngine::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    const EngineBudget& /*budget*/) const {
+  return TimedSolve(
+      [&] { return heuristics::ListSchedule(dag, constraints.num_stages); });
+}
+
+EngineResult HuLevelEngine::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    const EngineBudget& /*budget*/) const {
+  return TimedSolve(
+      [&] { return heuristics::HuLevelSchedule(dag, constraints.num_stages); });
+}
+
+EngineResult ForceDirectedEngine::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    const EngineBudget& /*budget*/) const {
+  return TimedSolve([&] {
+    return heuristics::ForceDirectedSchedule(dag, constraints.num_stages);
+  });
+}
+
+EngineResult AnnealingEngine::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    const EngineBudget& /*budget*/) const {
+  return TimedSolve([&] {
+    heuristics::AnnealingConfig config;
+    config.num_stages = constraints.num_stages;
+    return heuristics::AnnealSchedule(dag, config);
+  });
+}
+
+EngineResult GreedyBalanceEngine::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    const EngineBudget& /*budget*/) const {
+  return TimedSolve([&] {
+    return exact::PartitionDefaultOrder(dag, constraints.num_stages).schedule;
+  });
+}
+
+}  // namespace respect::engines

@@ -1,0 +1,23 @@
+#include "engines/ilp_engine.h"
+
+#include "ilp/scheduling_ilp.h"
+
+namespace respect::engines {
+
+EngineResult IlpEngine::Schedule(const graph::Dag& dag,
+                                 const sched::PipelineConstraints& constraints,
+                                 const EngineBudget& budget) const {
+  ilp::IlpScheduleConfig config;
+  config.num_stages = constraints.num_stages;
+  config.max_nodes = budget.max_expansions;
+  config.time_limit_seconds = budget.time_limit_seconds;
+
+  ilp::IlpScheduleResult r = ilp::SolveSchedulingIlp(dag, config);
+  EngineResult result;
+  result.schedule = std::move(r.schedule);
+  result.solve_seconds = r.solve_seconds;
+  result.proved_optimal = r.proved_optimal;
+  return result;
+}
+
+}  // namespace respect::engines

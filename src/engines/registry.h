@@ -1,0 +1,97 @@
+// Engine registry — the single source of truth mapping engine names, CLI
+// aliases and Method enum values to factories.
+//
+// Built-in engines are registered the first time Global() is called; user
+// code may register additional engines at startup:
+//
+//   engines::EngineRegistry::Global().Register({
+//       .name = "MyEngine", .alias = "mine", .description = "...",
+//       .method = std::nullopt,
+//       .factory = [](const engines::EngineContext&) { ... }});
+//   auto result = compiler.Compile(dag, 4, "MyEngine");
+//
+// Registration is not synchronized: register engines during startup, before
+// handing the registry to concurrent compile paths.  Lookups are const and
+// safe to run concurrently once registration is done.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engines/engine.h"
+#include "engines/method.h"
+
+namespace respect::engines {
+
+using EngineFactory =
+    std::function<std::unique_ptr<SchedulerEngine>(const EngineContext&)>;
+
+/// One registry entry.  `name` is the canonical spelling (what MethodName
+/// returns); `alias` is the short CLI spelling.  `method` is set for the
+/// built-in engines addressable through the Method enum and empty for
+/// engines registered at runtime.
+struct EngineRegistration {
+  std::string name;
+  std::string alias;
+  std::string description;
+  std::optional<Method> method;
+  EngineFactory factory;
+};
+
+class EngineRegistry {
+ public:
+  /// The process-wide registry, with the built-in engines pre-registered.
+  static EngineRegistry& Global();
+
+  /// Adds an engine.  Throws std::invalid_argument when the name or alias
+  /// collides with an existing entry, when the factory is empty, or when the
+  /// name is empty.
+  void Register(EngineRegistration registration);
+
+  [[nodiscard]] bool Contains(std::string_view name_or_alias) const;
+
+  /// Finds by canonical name or alias (exact match); null when absent.
+  [[nodiscard]] const EngineRegistration* Find(
+      std::string_view name_or_alias) const;
+  [[nodiscard]] const EngineRegistration* Find(Method method) const;
+
+  /// Instantiates an engine.  Throws std::invalid_argument on unknown
+  /// name/method.
+  [[nodiscard]] std::unique_ptr<SchedulerEngine> Create(
+      std::string_view name_or_alias, const EngineContext& context) const;
+  [[nodiscard]] std::unique_ptr<SchedulerEngine> Create(
+      Method method, const EngineContext& context) const;
+
+  /// All entries, in registration order (built-ins first).
+  [[nodiscard]] const std::deque<EngineRegistration>& Registrations() const {
+    return registrations_;
+  }
+
+  /// Canonical names, in registration order.
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+ private:
+  // Deque, not vector: Register() must never relocate existing entries, so
+  // pointers from Find() and string_views from MethodName() stay valid
+  // across later registrations.
+  std::deque<EngineRegistration> registrations_;
+};
+
+}  // namespace respect::engines
+
+namespace respect {
+
+/// Canonical name of a built-in method, resolved through the registry.
+[[nodiscard]] std::string_view MethodName(Method method);
+
+/// Inverse lookup accepting either the canonical name or the CLI alias;
+/// empty for unknown strings and for runtime-registered engines that have no
+/// enum value.
+[[nodiscard]] std::optional<Method> MethodFromName(std::string_view name);
+
+}  // namespace respect

@@ -1,0 +1,28 @@
+// SchedulerEngine adapter for the paper's RL scheduler (rl/scheduler.h).
+#pragma once
+
+#include <memory>
+
+#include "engines/engine.h"
+#include "rl/scheduler.h"
+
+namespace respect::engines {
+
+/// Wraps a shared immutable RlScheduler snapshot; decoding is const on the
+/// agent, so one snapshot serves any number of concurrent Schedule() calls.
+class RlEngine : public SchedulerEngine {
+ public:
+  /// A null `rl` builds a fresh default-configured (untrained) agent.
+  explicit RlEngine(std::shared_ptr<const rl::RlScheduler> rl);
+
+  [[nodiscard]] std::string_view Name() const override { return "RESPECT"; }
+
+  [[nodiscard]] EngineResult Schedule(
+      const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+      const EngineBudget& budget) const override;
+
+ private:
+  std::shared_ptr<const rl::RlScheduler> rl_;
+};
+
+}  // namespace respect::engines

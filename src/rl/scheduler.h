@@ -29,10 +29,17 @@ class RlScheduler {
   struct Result {
     sched::Schedule schedule;
     std::vector<graph::NodeId> sequence;  // raw π before packing
+
+    /// Wall-clock of the full standalone inference (decode + ρ packing +
+    /// post-inference repair).  The engine adapter serving the façade times
+    /// decode + packing itself (repair runs once, in the façade, untimed —
+    /// consistent with every other engine's CompileResult::solve_seconds).
     double solve_seconds = 0.0;
   };
 
-  /// End-to-end RESPECT inference: decode, pack, repair.
+  /// End-to-end RESPECT inference: decode, pack, repair.  Const and free of
+  /// shared mutable state, so one trained scheduler serves concurrent
+  /// callers (the batch compilation path relies on this).
   [[nodiscard]] Result Schedule(const graph::Dag& dag,
                                 const sched::PipelineConstraints& constraints) const;
 

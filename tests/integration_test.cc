@@ -23,7 +23,10 @@ CompilerOptions FastOptions() {
   return options;
 }
 
-class AllMethodsIntegrationTest : public ::testing::TestWithParam<Method> {};
+// Parameterized over the engine registry: every registered engine (not a
+// hard-coded Method list) must serve the full compile->simulate flow.
+class AllMethodsIntegrationTest
+    : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(AllMethodsIntegrationTest, CompileSimulateXception) {
   PipelineCompiler compiler(FastOptions());
@@ -45,12 +48,9 @@ TEST_P(AllMethodsIntegrationTest, CompileSimulateXception) {
 
 INSTANTIATE_TEST_SUITE_P(
     Methods, AllMethodsIntegrationTest,
-    ::testing::Values(Method::kRespectRl, Method::kExactIlp,
-                      Method::kEdgeTpuCompiler, Method::kListScheduling,
-                      Method::kHuLevel, Method::kForceDirected,
-                      Method::kAnnealing, Method::kGreedyBalance),
-    [](const ::testing::TestParamInfo<Method>& info) {
-      return std::string(MethodName(info.param));
+    ::testing::ValuesIn(engines::EngineRegistry::Global().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
     });
 
 TEST(IntegrationTest, ExactNeverWorseThanHeuristicsOnPeakMemory) {
@@ -112,18 +112,6 @@ TEST(IntegrationTest, SixStagePipelineFasterThanSingleTpuForBigModel) {
   sim.num_inferences = 200;
   EXPECT_LT(tpu::SimulatePipeline(six.package, sim).per_inference_us,
             tpu::SimulatePipeline(one.package, sim).per_inference_us);
-}
-
-TEST(IntegrationTest, MethodNamesAreUnique) {
-  const Method all[] = {Method::kRespectRl,      Method::kExactIlp,
-                        Method::kEdgeTpuCompiler, Method::kListScheduling,
-                        Method::kHuLevel,         Method::kForceDirected,
-                        Method::kAnnealing,       Method::kGreedyBalance};
-  for (const Method a : all) {
-    for (const Method b : all) {
-      if (a != b) EXPECT_NE(MethodName(a), MethodName(b));
-    }
-  }
 }
 
 }  // namespace
