@@ -21,6 +21,7 @@
 #include "nn/lstm.h"
 #include "nn/tape.h"
 #include "rl/ptrnet.h"
+#include "serve/compile_service.h"
 #include "tpu/sim.h"
 
 namespace {
@@ -191,6 +192,35 @@ BENCHMARK(BM_CompileBatchThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
+
+/// CompileService on a repeated-request stream, cold vs. warm.  Cold clears
+/// the cache every iteration, so each request pays the full engine solve;
+/// warm answers every iteration from the content-addressed cache (hash +
+/// shard lookup).  The serving acceptance bar is warm >= 10x cold
+/// throughput; in practice the gap is orders of magnitude.
+void BM_CompileServiceColdSolve(benchmark::State& state) {
+  static serve::CompileService* service =
+      new serve::CompileService(BatchBenchOptions());
+  const graph::Dag& dag = BatchDags()[0];
+  for (auto _ : state) {
+    service->ClearCache();  // negligible against the solve it forces
+    benchmark::DoNotOptimize(service->Compile(dag, 4, Method::kAnnealing));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileServiceColdSolve);
+
+void BM_CompileServiceWarmCache(benchmark::State& state) {
+  static serve::CompileService* service =
+      new serve::CompileService(BatchBenchOptions());
+  const graph::Dag& dag = BatchDags()[0];
+  benchmark::DoNotOptimize(service->Compile(dag, 4, Method::kAnnealing));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service->Compile(dag, 4, Method::kAnnealing));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileServiceWarmCache);
 
 /// One engine solve (SchedulerEngine::Schedule only — no post-processing or
 /// packaging, the Fig. 3 quantity) per registered engine on a 30-node

@@ -1,0 +1,23 @@
+// Small helpers shared by the example CLIs.
+#pragma once
+
+#include <charconv>
+#include <cstring>
+#include <system_error>
+
+namespace respect::examples {
+
+/// Deepest pipeline the example CLIs accept (the paper's hardware tops out
+/// well below this; it also keeps every sampled/zoo graph packable).
+inline constexpr int kMaxStages = 16;
+
+/// Strict integer parse: the whole argument must be a base-10 integer in
+/// [lo, hi].  std::atoi would silently yield 0 for "foo" (and accept
+/// trailing junk like "4x"), turning typos into nonsense pipelines.
+inline bool ParseIntInRange(const char* text, int lo, int hi, int& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text, text + std::strlen(text), out);
+  return ec == std::errc{} && *ptr == '\0' && out >= lo && out <= hi;
+}
+
+}  // namespace respect::examples

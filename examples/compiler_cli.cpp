@@ -9,11 +9,11 @@
 //   method: any engine name or alias from the registry (see --help);
 //           defaults to respect
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 
+#include "cli_util.h"
 #include "core/respect.h"
 #include "models/zoo.h"
 #include "tpu/sim.h"
@@ -47,6 +47,14 @@ int Usage(const char* argv0) {
   return 2;
 }
 
+std::optional<int> ParseStages(const char* text) {
+  int stages = 0;
+  if (!examples::ParseIntInRange(text, 1, examples::kMaxStages, stages)) {
+    return std::nullopt;
+  }
+  return stages;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,14 +65,26 @@ int main(int argc, char** argv) {
   }
   if (argc < 3) return Usage(argv[0]);
   const auto model = ParseModel(argv[1]);
-  const int stages = std::atoi(argv[2]);
+  const auto stages = ParseStages(argv[2]);
   const std::string method = argc > 3 ? argv[3] : "respect";
   const std::string out_path = argc > 4 ? argv[4] : "";
 
   // The registry is the single source of truth for method spellings.
   const engines::EngineRegistration* engine =
       engines::EngineRegistry::Global().Find(method);
-  if (!model || engine == nullptr || stages < 1 || stages > 16) {
+  if (!model) {
+    std::fprintf(stderr, "error: unknown model '%s'\n", argv[1]);
+    return Usage(argv[0]);
+  }
+  if (!stages) {
+    std::fprintf(stderr,
+                 "error: invalid <num_stages> '%s' (expected an integer in "
+                 "1..%d)\n",
+                 argv[2], examples::kMaxStages);
+    return Usage(argv[0]);
+  }
+  if (engine == nullptr) {
+    std::fprintf(stderr, "error: unknown engine '%s'\n", method.c_str());
     return Usage(argv[0]);
   }
 
@@ -74,7 +94,7 @@ int main(int argc, char** argv) {
               dag.TotalParamBytes() / 4.0 / 1048576.0);
 
   PipelineCompiler compiler;
-  const CompileResult result = compiler.Compile(dag, stages, engine->name);
+  const CompileResult result = compiler.Compile(dag, *stages, engine->name);
 
   std::printf("method %s solved in %.1f ms%s\n", engine->name.c_str(),
               result.solve_seconds * 1e3,

@@ -1,0 +1,131 @@
+// Domain example 5: `serve_cli` — CompileService under a synthetic request
+// stream, the serving shape of the ROADMAP's north star.
+//
+//   $ ./build/examples/serve_cli [requests] [models] [stages] [engine]
+//
+// Samples `models` distinct synthetic DAGs, then fires `requests` async
+// requests with a skewed popularity distribution (hot graphs repeat, as
+// model-serving traffic does).  Three of every four requests go to `engine`;
+// the rest exercise the RL engine, and halfway through the stream the RL
+// weights are swapped with ReplaceRl — so the final metrics show cache hits,
+// single-flight collapses, and the RL-only invalidation sweep in one run.
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cli_util.h"
+#include "engines/registry.h"
+#include "graph/sampler.h"
+#include "serve/compile_service.h"
+
+namespace {
+
+using namespace respect;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [requests=200] [models=6] [stages=4 (1..%d)] "
+               "[engine=anneal]\n",
+               argv0, examples::kMaxStages);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 200;
+  int num_models = 6;
+  int stages = 4;
+  std::string engine = "anneal";
+  constexpr int kMaxInt = std::numeric_limits<int>::max();
+  if (argc > 1 && !examples::ParseIntInRange(argv[1], 1, kMaxInt, requests)) {
+    return Usage(argv[0]);
+  }
+  if (argc > 2 &&
+      !examples::ParseIntInRange(argv[2], 1, kMaxInt, num_models)) {
+    return Usage(argv[0]);
+  }
+  // The sampled DAGs have 40 nodes; the stage cap keeps every request
+  // satisfiable (a stage count beyond kMaxStages would fail to pack).
+  if (argc > 3 &&
+      !examples::ParseIntInRange(argv[3], 1, examples::kMaxStages, stages)) {
+    return Usage(argv[0]);
+  }
+  if (argc > 4) engine = argv[4];
+  if (!engines::EngineRegistry::Global().Contains(engine)) {
+    std::fprintf(stderr, "error: unknown engine '%s' (see compiler_cli "
+                 "--help for the registry)\n",
+                 engine.c_str());
+    return Usage(argv[0]);
+  }
+
+  std::mt19937_64 rng(97);
+  std::vector<graph::Dag> zoo;
+  zoo.reserve(num_models);
+  for (int i = 0; i < num_models; ++i) {
+    zoo.push_back(graph::SampleTrainingDag(40, rng));
+    zoo.back().SetName("model-" + std::to_string(i));
+  }
+
+  CompilerOptions options;
+  options.net.hidden_dim = 32;
+  options.exact_max_expansions = 50'000;
+  options.exact_time_limit_seconds = 0.2;
+  serve::CompileService service(options);
+
+  std::printf("serving %d requests over %d models, %d stages, engine %s "
+              "(1 in 4 requests uses the RL engine)\n",
+              requests, num_models, stages, engine.c_str());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<serve::CompileService::Ticket> tickets;
+  tickets.reserve(requests);
+  try {
+    for (int r = 0; r < requests; ++r) {
+      if (r == requests / 2) {
+        // Mid-stream weight rollout: RL-engine entries invalidate, every
+        // deterministic-engine entry stays warm.
+        for (auto& ticket : tickets) (void)ticket.Wait();
+        service.ReplaceRl(std::make_shared<rl::RlScheduler>(options.net));
+        std::printf("  ... ReplaceRl at request %d (invalidations so far: "
+                    "%llu)\n",
+                    r,
+                    static_cast<unsigned long long>(
+                        service.Metrics().invalidations));
+      }
+      // Skewed popularity: the minimum of two uniform draws favours the
+      // first (hot) models, approximating serving traffic.
+      const std::size_t pick =
+          std::min(rng() % zoo.size(), rng() % zoo.size());
+      const std::string& target = (r % 4 == 3) ? "respect" : engine;
+      tickets.push_back(service.Submit(zoo[pick], stages, target));
+    }
+    for (auto& ticket : tickets) (void)ticket.Wait();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: compile request failed: %s\n", e.what());
+    return 1;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const serve::ServiceMetrics m = service.Metrics();
+  std::printf("done in %.3f s (%.0f requests/s)\n", seconds,
+              requests / seconds);
+  std::printf("  hits %llu  misses %llu  single-flight waits %llu\n",
+              static_cast<unsigned long long>(m.hits),
+              static_cast<unsigned long long>(m.misses),
+              static_cast<unsigned long long>(m.single_flight_waits));
+  std::printf("  evictions %llu  invalidations %llu  failures %llu  "
+              "resident %zu\n",
+              static_cast<unsigned long long>(m.evictions),
+              static_cast<unsigned long long>(m.invalidations),
+              static_cast<unsigned long long>(m.failures), m.cache_size);
+  std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
+              m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
+  return 0;
+}

@@ -37,6 +37,12 @@ void PipelineCompiler::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {
   if (rl == nullptr) rl = MakeConfiguredRl();
   const std::lock_guard<std::mutex> lock(rl_slot_->mutex);
   rl_slot_->scheduler = std::move(rl);
+  ++rl_slot_->version;
+}
+
+std::uint64_t PipelineCompiler::RlVersion() const {
+  const std::lock_guard<std::mutex> lock(rl_slot_->mutex);
+  return rl_slot_->version;
 }
 
 engines::EngineContext PipelineCompiler::MakeEngineContext() const {

@@ -133,7 +133,15 @@ class PipelineCompiler {
   /// in-flight compiles keep reading the snapshot they started with.  Safe
   /// to call while Compile/CompileBatch calls are running.  Null resets to
   /// the constructor's configured state (options.net + options.weights_path).
+  /// Every call bumps RlVersion().
   void ReplaceRl(std::shared_ptr<rl::RlScheduler> rl);
+
+  /// Monotone version of the RL weight snapshot: 0 for the constructor's
+  /// scheduler, +1 per ReplaceRl call.  Caching layers fold this into the
+  /// key of any result computed by an RL-dependent engine
+  /// (EngineRegistration::uses_rl), so stale weights can never answer a
+  /// post-swap request.
+  [[nodiscard]] std::uint64_t RlVersion() const;
 
   /// The read-only state handed to every engine this compiler creates.
   [[nodiscard]] engines::EngineContext MakeEngineContext() const;
@@ -157,6 +165,7 @@ class PipelineCompiler {
   struct RlSlot {
     std::mutex mutex;
     std::shared_ptr<rl::RlScheduler> scheduler;
+    std::uint64_t version = 0;  // bumped by every ReplaceRl
   };
 
   CompilerOptions options_;

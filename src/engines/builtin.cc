@@ -23,9 +23,11 @@ void RegisterBuiltinEngines(EngineRegistry& registry) {
   registry.Register(
       {"RESPECT", "respect",
        "RL pointer-network scheduler (the paper's contribution)",
-       Method::kRespectRl, [](const EngineContext& context) {
+       Method::kRespectRl,
+       [](const EngineContext& context) {
          return std::make_unique<RlEngine>(context.rl);
-       }});
+       },
+       /*uses_rl=*/true});
   registry.Register({"ExactILP", "exact",
                      "exact ILP / branch-and-bound route (CPLEX role)",
                      Method::kExactIlp, Stateless<IlpEngine>});

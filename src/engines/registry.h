@@ -41,6 +41,12 @@ struct EngineRegistration {
   std::string description;
   std::optional<Method> method;
   EngineFactory factory;
+
+  /// True when the engine reads EngineContext::rl — i.e. its output depends
+  /// on the current RL weight snapshot.  The serving layer keys its schedule
+  /// cache on the snapshot version for exactly these engines, so ReplaceRl
+  /// invalidates their cached results while deterministic engines stay warm.
+  bool uses_rl = false;
 };
 
 class EngineRegistry {

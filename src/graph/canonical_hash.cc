@@ -1,0 +1,89 @@
+#include "graph/canonical_hash.h"
+
+#include <cstdio>
+#include <ostream>
+#include <streambuf>
+
+#include "graph/serialize.h"
+
+namespace respect::graph {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::uint64_t kSecondPrime = 0xc6a4a7935bd1e995ULL;  // odd, distinct
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Forwards every byte written to the stream into a CanonicalHasher, so
+/// WriteDag defines the hashed byte stream without materializing the text.
+class HashingStreamBuf final : public std::streambuf {
+ public:
+  explicit HashingStreamBuf(CanonicalHasher& hasher) : hasher_(hasher) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      const char c = traits_type::to_char_type(ch);
+      hasher_.Update(std::string_view(&c, 1));
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    hasher_.Update(std::string_view(s, static_cast<std::size_t>(n)));
+    return n;
+  }
+
+ private:
+  CanonicalHasher& hasher_;
+};
+
+}  // namespace
+
+std::string CanonicalHash::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf, 32);
+}
+
+void CanonicalHasher::Update(std::string_view bytes) {
+  std::uint64_t a = a_;
+  std::uint64_t b = b_;
+  for (const char c : bytes) {
+    const auto byte = static_cast<unsigned char>(c);
+    a = (a ^ byte) * kFnvPrime;
+    b = (b ^ byte) * kSecondPrime;
+  }
+  a_ = a;
+  b_ = b;
+}
+
+void CanonicalHasher::Update(std::uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  Update(std::string_view(buf, sizeof(buf)));
+}
+
+CanonicalHash CanonicalHasher::Finish() const {
+  const std::uint64_t hi = SplitMix64(a_);
+  return CanonicalHash{hi, SplitMix64(b_ ^ hi)};
+}
+
+CanonicalHash HashDag(const Dag& dag) {
+  CanonicalHasher hasher;
+  HashingStreamBuf buf(hasher);
+  std::ostream os(&buf);
+  WriteDag(dag, os);
+  return hasher.Finish();
+}
+
+}  // namespace respect::graph

@@ -1,8 +1,9 @@
 #include "sched/rho.h"
 
 #include <algorithm>
-#include <numeric>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "graph/topology.h"
 
@@ -10,13 +11,16 @@ namespace respect::sched {
 namespace {
 
 /// Minimum number of segments with per-segment weight <= bound (greedy).
+/// Overflow-safe: `w > bound` is rejected first, so `bound - w` is
+/// non-negative and the fill test never computes `load + w`, which would
+/// overflow when a packed load approaches int64 max.
 int GreedySegments(const std::vector<std::int64_t>& weights,
                    std::int64_t bound) {
   int segments = 1;
   std::int64_t load = 0;
   for (const std::int64_t w : weights) {
     if (w > bound) return static_cast<int>(weights.size()) + 1;
-    if (load + w > bound) {
+    if (load > bound - w) {
       ++segments;
       load = w;
     } else {
@@ -26,16 +30,40 @@ int GreedySegments(const std::vector<std::int64_t>& weights,
   return segments;
 }
 
+/// Sum of non-negative weights, clamped to int64 max instead of overflowing.
+/// The clamp only widens the binary-search start interval; the search still
+/// converges to the smallest feasible bound representable in int64.
+std::int64_t SaturatingSum(const std::vector<std::int64_t>& weights) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  std::int64_t sum = 0;
+  for (const std::int64_t w : weights) {
+    if (sum > kMax - w) return kMax;
+    sum += w;
+  }
+  return sum;
+}
+
 }  // namespace
 
 std::int64_t MinBottleneckBound(const std::vector<std::int64_t>& weights,
                                 int num_segments) {
-  if (weights.empty() || num_segments < 1) {
-    throw std::invalid_argument("MinBottleneckBound: empty input");
+  if (weights.empty()) {
+    throw std::invalid_argument("MinBottleneckBound: empty weights");
+  }
+  if (num_segments < 1) {
+    throw std::invalid_argument(
+        "MinBottleneckBound: num_segments must be >= 1, got " +
+        std::to_string(num_segments));
+  }
+  for (const std::int64_t w : weights) {
+    if (w < 0) {
+      throw std::invalid_argument(
+          "MinBottleneckBound: negative weight " + std::to_string(w) +
+          " (weights are byte counts)");
+    }
   }
   std::int64_t lo = *std::max_element(weights.begin(), weights.end());
-  std::int64_t hi =
-      std::accumulate(weights.begin(), weights.end(), std::int64_t{0});
+  std::int64_t hi = SaturatingSum(weights);
   while (lo < hi) {
     const std::int64_t mid = lo + (hi - lo) / 2;
     if (GreedySegments(weights, mid) <= num_segments) {

@@ -17,7 +17,11 @@ namespace respect::sched {
 
 /// Smallest bound B such that `weights` can be cut into at most
 /// `num_segments` contiguous segments each weighing <= B (binary search +
-/// greedy feasibility; O(n log sum)).
+/// greedy feasibility; O(n log sum)).  Weights are byte counts and must be
+/// non-negative; empty weights, num_segments < 1, or a negative weight throw
+/// std::invalid_argument (each with its own message).  Safe up to weights
+/// whose sum exceeds int64 max (the search interval saturates instead of
+/// overflowing).
 [[nodiscard]] std::int64_t MinBottleneckBound(
     const std::vector<std::int64_t>& weights, int num_segments);
 

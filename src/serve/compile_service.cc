@@ -1,0 +1,259 @@
+#include "serve/compile_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.h"
+#include "engines/registry.h"
+
+namespace respect::serve {
+namespace {
+
+/// Stable fingerprint of everything in CompilerOptions that can change a
+/// CompileResult.  weights_path contributes as a path string: the key covers
+/// the compiler's configuration, not the bytes of the file — swap weights
+/// under traffic through ReplaceRl, which versions the snapshot.
+graph::CanonicalHash FingerprintOptions(const CompilerOptions& options) {
+  graph::CanonicalHasher h;
+  h.Update("respect-compiler-options-v1");
+  h.Update(options.net.hidden_dim);
+  h.Update(static_cast<int>(options.net.masking));
+  h.Update(options.net.init_seed);
+  h.Update(options.net.embedding.include_topology);
+  h.Update(options.net.embedding.include_ids);
+  h.Update(options.net.embedding.include_memory);
+  h.Update(options.weights_path);
+  h.Update(options.exact_max_expansions);
+  h.Update(std::bit_cast<std::uint64_t>(options.exact_time_limit_seconds));
+  h.Update(options.compiler.num_stages);
+  h.Update(options.compiler.refinement_rounds);
+  h.Update(options.compiler.compile_passes);
+  h.Update(options.quantize);
+  return h.Finish();
+}
+
+}  // namespace
+
+CompileService::CompileService(const CompilerOptions& compiler_options,
+                               const ServiceOptions& options)
+    : compiler_(compiler_options),
+      options_fingerprint_(FingerprintOptions(compiler_options)) {
+  const int num_shards = std::max(1, options.cache_shards);
+  per_shard_capacity_ =
+      (options.cache_capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  const int num_threads = options.num_threads < 1
+                              ? core::ThreadPool::DefaultThreadCount()
+                              : options.num_threads;
+  pool_ = std::make_unique<core::ThreadPool>(num_threads);
+  latencies_.resize(std::max<std::size_t>(1, options.latency_window), 0.0);
+}
+
+// The pool joins before the members the queued tasks reference are torn
+// down; every outstanding Ticket is resolved by then.
+CompileService::~CompileService() { pool_.reset(); }
+
+CompileService::RequestKey CompileService::MakeKey(
+    const graph::Dag& dag, int num_stages, std::string_view engine) const {
+  const engines::EngineRegistration* registration =
+      engines::EngineRegistry::Global().Find(engine);
+  if (registration == nullptr) {
+    throw std::invalid_argument("CompileService: unknown engine '" +
+                                std::string(engine) + "'");
+  }
+  graph::CanonicalHasher h;
+  h.Update("respect-serve-key-v1");
+  h.Update(registration->name);  // canonical, so alias and name share a key
+  h.Update(num_stages);
+  h.Update(options_fingerprint_.hi);
+  h.Update(options_fingerprint_.lo);
+  if (registration->uses_rl) h.Update(compiler_.RlVersion());
+  const graph::CanonicalHash dag_hash = graph::HashDag(dag);
+  h.Update(dag_hash.hi);
+  h.Update(dag_hash.lo);
+  return RequestKey{h.Finish(), registration->uses_rl, registration->name};
+}
+
+CompileService::Shard& CompileService::ShardFor(
+    const graph::CanonicalHash& hash) {
+  // Shard on hi: the per-shard maps hash on lo (CanonicalHash::Hasher), so
+  // sharding on lo too would leave every map with only 1/num_shards of its
+  // buckets reachable.
+  return *shards_[hash.hi % shards_.size()];
+}
+
+void CompileService::InsertLocked(Shard& shard, const RequestKey& key,
+                                  ResultPtr result) {
+  if (per_shard_capacity_ == 0) return;
+  if (const auto it = shard.entries.find(key.hash);
+      it != shard.entries.end()) {
+    // Only a flight owner inserts its key, so a live duplicate is
+    // impossible; refresh defensively rather than asserting.
+    it->second->result = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(
+      CacheEntry{key.hash, std::move(result), key.rl_dependent});
+  shard.entries.emplace(key.hash, shard.lru.begin());
+  while (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void CompileService::RecordSolveLatency(double seconds) {
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  latencies_[latency_next_] = seconds;
+  latency_next_ = (latency_next_ + 1) % latencies_.size();
+  if (latency_next_ == 0) latency_full_ = true;
+}
+
+CompileService::ResultPtr CompileService::Compile(const graph::Dag& dag,
+                                                  int num_stages,
+                                                  std::string_view engine) {
+  const RequestKey key = MakeKey(dag, num_stages, engine);
+  Shard& shard = ShardFor(key.hash);
+
+  std::shared_ptr<Flight> flight;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.entries.find(key.hash);
+        it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->result;
+    }
+    if (const auto it = shard.flights.find(key.hash);
+        it != shard.flights.end()) {
+      flight = it->second;
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->future = flight->promise.get_future().share();
+      shard.flights.emplace(key.hash, flight);
+      owner = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (!owner) return flight->future.get();  // rethrows the owner's failure
+
+  try {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = std::make_shared<const CompileResult>(
+        compiler_.Compile(dag, num_stages, key.engine_name));
+    RecordSolveLatency(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      InsertLocked(shard, key, result);
+      shard.flights.erase(key.hash);
+    }
+    flight->promise.set_value(result);
+    return result;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.flights.erase(key.hash);
+    }
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    flight->promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+CompileService::ResultPtr CompileService::Compile(const graph::Dag& dag,
+                                                  int num_stages,
+                                                  Method method) {
+  return Compile(dag, num_stages, MethodName(method));
+}
+
+CompileService::Ticket CompileService::Submit(graph::Dag dag, int num_stages,
+                                              std::string engine) {
+  // packaged_task owns the exception channel; the pool (which swallows
+  // throwing tasks) only ever sees a non-throwing wrapper.
+  auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
+      [this, dag = std::move(dag), num_stages, engine = std::move(engine)] {
+        return Compile(dag, num_stages, engine);
+      });
+  Ticket ticket(task->get_future().share());
+  pool_->Submit([task] { (*task)(); });
+  return ticket;
+}
+
+CompileService::Ticket CompileService::Submit(graph::Dag dag, int num_stages,
+                                              Method method) {
+  return Submit(std::move(dag), num_stages, std::string(MethodName(method)));
+}
+
+void CompileService::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {
+  // Bump the version first: every key computed from here on addresses the
+  // new snapshot.  An in-flight solve keyed against the old version may
+  // still insert after the sweep, but its key is unreachable (no future
+  // request recomputes it), so it can only occupy capacity, never serve.
+  compiler_.ReplaceRl(std::move(rl));
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->rl_dependent) {
+        shard->entries.erase(it->key);
+        it = shard->lru.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+ServiceMetrics CompileService::Metrics() const {
+  ServiceMetrics metrics;
+  metrics.hits = hits_.load(std::memory_order_relaxed);
+  metrics.misses = misses_.load(std::memory_order_relaxed);
+  metrics.evictions = evictions_.load(std::memory_order_relaxed);
+  metrics.invalidations = invalidations_.load(std::memory_order_relaxed);
+  metrics.single_flight_waits =
+      single_flight_waits_.load(std::memory_order_relaxed);
+  metrics.failures = failures_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    metrics.cache_size += shard->entries.size();
+  }
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    window.assign(latencies_.begin(),
+                  latency_full_ ? latencies_.end()
+                                : latencies_.begin() + latency_next_);
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    const auto rank = [&](double q) {
+      return window[std::min(window.size() - 1,
+                             static_cast<std::size_t>(q * window.size()))];
+    };
+    metrics.solve_p50_seconds = rank(0.50);
+    metrics.solve_p99_seconds = rank(0.99);
+  }
+  return metrics;
+}
+
+void CompileService::ClearCache() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace respect::serve

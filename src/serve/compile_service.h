@@ -1,0 +1,212 @@
+// CompileService — the serving front end over PipelineCompiler.
+//
+// Every Compile call is content-addressed: the request key is a
+// graph::CanonicalHash folding the full compile input — the graph's
+// serialized form, the engine's canonical name, num_stages, the compiler
+// options fingerprint, and (for RL-dependent engines only) the RL weight
+// snapshot version.  Repeat requests are answered from a sharded LRU cache
+// of shared immutable CompileResults, and concurrent identical requests are
+// collapsed by single-flight deduplication: one caller solves, everyone else
+// waits on that solve instead of re-running the engine.
+//
+//   respect::serve::CompileService service(compiler_options);
+//   auto r1 = service.Compile(dag, 4, "respect");   // cold: engine solve
+//   auto r2 = service.Compile(dag, 4, "RESPECT");   // warm: cache hit (alias
+//                                                   // and name share a key)
+//   assert(r1 == r2);                               // same shared result
+//
+// Async path: Submit enqueues the request on the service's core::ThreadPool
+// and returns a Ticket; Wait blocks for the shared result (or rethrows the
+// solve's exception).  ReplaceRl swaps the RL weights under live traffic and
+// invalidates exactly the RL-dependent cache entries — deterministic-engine
+// entries stay warm.  Failed solves are never cached: the failure reaches
+// every collapsed waiter and the next request retries.
+//
+// Thread safety: every public method is safe to call concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/respect.h"
+#include "engines/method.h"
+#include "graph/canonical_hash.h"
+#include "graph/dag.h"
+
+namespace respect::core {
+class ThreadPool;
+}  // namespace respect::core
+
+namespace respect::serve {
+
+struct ServiceOptions {
+  /// Total cached results across all shards (0 disables caching; single-
+  /// flight deduplication still applies).  Rounded up to a multiple of
+  /// cache_shards.
+  std::size_t cache_capacity = 1024;
+
+  /// Lock shards; more shards = less contention.  Clamped to >= 1.
+  int cache_shards = 8;
+
+  /// Workers behind Submit/Wait; values < 1 select
+  /// core::ThreadPool::DefaultThreadCount().
+  int num_threads = 0;
+
+  /// Cold-solve latencies kept for the p50/p99 metrics (sliding window).
+  std::size_t latency_window = 2048;
+};
+
+/// Point-in-time counters; Metrics() assembles a consistent-enough snapshot
+/// without stopping traffic.
+struct ServiceMetrics {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;           // cold solves started (cacheable or not)
+  std::uint64_t evictions = 0;        // LRU capacity evictions
+  std::uint64_t invalidations = 0;    // entries dropped by ReplaceRl
+  std::uint64_t single_flight_waits = 0;  // requests collapsed onto a solve
+  std::uint64_t failures = 0;         // solves that threw
+  double solve_p50_seconds = 0.0;     // over the recent cold-solve window
+  double solve_p99_seconds = 0.0;
+  std::size_t cache_size = 0;         // resident entries right now
+};
+
+class CompileService {
+ public:
+  /// Cached results are shared and immutable; holders may outlive the entry
+  /// (eviction and invalidation only drop the cache's reference).
+  using ResultPtr = std::shared_ptr<const CompileResult>;
+
+  explicit CompileService(const CompilerOptions& compiler_options = {},
+                          const ServiceOptions& options = {});
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Answers from cache, joins an in-flight identical solve, or solves cold
+  /// — in that order.  `engine` is a canonical name or CLI alias; unknown
+  /// names throw std::invalid_argument before touching the cache.  Solve
+  /// exceptions propagate to every caller collapsed onto the failing flight.
+  [[nodiscard]] ResultPtr Compile(const graph::Dag& dag, int num_stages,
+                                  std::string_view engine);
+  [[nodiscard]] ResultPtr Compile(const graph::Dag& dag, int num_stages,
+                                  Method method);
+
+  /// Handle to an async request; shareable (copies wait on the same solve).
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    /// Blocks until the request completes; rethrows its exception on
+    /// failure.  May be called repeatedly and from multiple threads.  A
+    /// default-constructed (or moved-from) Ticket throws future_error
+    /// (no_state) instead of hitting shared_future::get()'s UB.
+    [[nodiscard]] ResultPtr Wait() const {
+      if (!future_.valid()) {
+        throw std::future_error(std::future_errc::no_state);
+      }
+      return future_.get();
+    }
+
+    [[nodiscard]] bool Valid() const { return future_.valid(); }
+
+   private:
+    friend class CompileService;
+    explicit Ticket(std::shared_future<ResultPtr> future)
+        : future_(std::move(future)) {}
+
+    std::shared_future<ResultPtr> future_;
+  };
+
+  /// Enqueues the request on the service pool.  The dag is taken by value so
+  /// the caller's copy may die before the solve runs (move it in when the
+  /// caller is done with it).
+  [[nodiscard]] Ticket Submit(graph::Dag dag, int num_stages,
+                              std::string engine);
+  [[nodiscard]] Ticket Submit(graph::Dag dag, int num_stages, Method method);
+
+  /// Swaps the RL weight snapshot (null resets to the configured state),
+  /// bumps the snapshot version, and drops every RL-dependent cache entry.
+  /// Deterministic-engine entries are untouched.  In-flight RL solves finish
+  /// on the snapshot they started with; their results land under the old
+  /// version's keys, which no future request recomputes, so stale weights
+  /// can never answer a post-swap request.
+  void ReplaceRl(std::shared_ptr<rl::RlScheduler> rl);
+
+  [[nodiscard]] ServiceMetrics Metrics() const;
+
+  /// Drops every cached entry (counters are preserved).
+  void ClearCache();
+
+  /// The underlying compiler, e.g. for direct uncached batch compilation.
+  [[nodiscard]] PipelineCompiler& Compiler() { return compiler_; }
+  [[nodiscard]] const PipelineCompiler& Compiler() const { return compiler_; }
+
+ private:
+  struct CacheEntry {
+    graph::CanonicalHash key;
+    ResultPtr result;
+    bool rl_dependent = false;
+  };
+
+  /// One single-flight slot: the owner solves and resolves the future; every
+  /// concurrent identical request waits on it.
+  struct Flight {
+    std::promise<ResultPtr> promise;
+    std::shared_future<ResultPtr> future;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<CacheEntry> lru;  // front = most recently used
+    std::unordered_map<graph::CanonicalHash, std::list<CacheEntry>::iterator,
+                       graph::CanonicalHash::Hasher>
+        entries;
+    std::unordered_map<graph::CanonicalHash, std::shared_ptr<Flight>,
+                       graph::CanonicalHash::Hasher>
+        flights;
+  };
+
+  struct RequestKey {
+    graph::CanonicalHash hash;
+    bool rl_dependent = false;
+    std::string_view engine_name;  // canonical; borrowed from the registry
+  };
+
+  [[nodiscard]] RequestKey MakeKey(const graph::Dag& dag, int num_stages,
+                                   std::string_view engine) const;
+  [[nodiscard]] Shard& ShardFor(const graph::CanonicalHash& hash);
+  void InsertLocked(Shard& shard, const RequestKey& key, ResultPtr result);
+  void RecordSolveLatency(double seconds);
+
+  PipelineCompiler compiler_;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<core::ThreadPool> pool_;
+
+  /// Constant-per-service fingerprint of CompilerOptions, folded into every
+  /// key so results are only shared between identically configured services.
+  graph::CanonicalHash options_fingerprint_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::atomic<std::uint64_t> single_flight_waits_{0};
+  std::atomic<std::uint64_t> failures_{0};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latencies_;  // ring buffer of cold-solve seconds
+  std::size_t latency_next_ = 0;
+  bool latency_full_ = false;
+};
+
+}  // namespace respect::serve

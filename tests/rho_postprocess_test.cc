@@ -2,8 +2,10 @@
 // post-inference repair passes.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 #include <random>
+#include <string>
 
 #include "graph/sampler.h"
 #include "graph/topology.h"
@@ -65,6 +67,52 @@ TEST(PackSequenceTest, RejectsBadInputs) {
   const graph::Dag dag = UniformChain(4);
   EXPECT_THROW(PackSequence(dag, {0, 1}, 2), std::invalid_argument);
   EXPECT_THROW(PackSequence(dag, {0, 1, 2, 3}, 0), std::invalid_argument);
+}
+
+TEST(MinBottleneckBoundTest, DistinguishesItsErrorPaths) {
+  // Each invalid input names its actual problem — an empty weight vector
+  // must not be blamed for a bad segment count and vice versa.
+  try {
+    (void)MinBottleneckBound({}, 2);
+    FAIL() << "empty weights accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty weights"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)MinBottleneckBound({1, 2, 3}, 0);
+    FAIL() << "num_segments = 0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("num_segments"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)MinBottleneckBound({1, -2, 3}, 2);
+    FAIL() << "negative weight accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("negative weight"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MinBottleneckBoundTest, SurvivesWeightsNearInt64Max) {
+  // Three ~5e18 weights sum past int64 max; the greedy fill and the search
+  // interval must saturate instead of overflowing (UB before this guard).
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() / 2 + 7;
+  EXPECT_EQ(MinBottleneckBound({big, big}, 2), big);
+  EXPECT_EQ(MinBottleneckBound({big, big, big}, 3), big);
+  // Two segments for three huge weights: one segment must take two weights,
+  // whose exact sum exceeds int64 max, so the bound saturates at max.
+  EXPECT_EQ(MinBottleneckBound({big, big, big}, 2),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(MinBottleneckBoundTest, ExactBoundsOnSmallInputs) {
+  EXPECT_EQ(MinBottleneckBound({1, 2, 3, 4}, 1), 10);
+  EXPECT_EQ(MinBottleneckBound({1, 2, 3, 4}, 2), 6);  // best cut: {1,2,3}|{4}
+  EXPECT_EQ(MinBottleneckBound({1, 2, 3, 4}, 4), 4);
+  EXPECT_EQ(MinBottleneckBound({0, 0, 0}, 2), 0);
 }
 
 TEST(ScheduleToSequenceTest, SortsByStageThenTopo) {

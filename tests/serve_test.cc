@@ -1,0 +1,308 @@
+// CompileService cache correctness: content-addressed hits must be
+// bit-identical to cold solves for every registered engine, ReplaceRl must
+// invalidate exactly the RL-dependent entries, and single-flight must
+// collapse N concurrent identical requests into one engine solve.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/respect.h"
+#include "engines/registry.h"
+#include "graph/canonical_hash.h"
+#include "graph/sampler.h"
+#include "serve/compile_service.h"
+
+namespace respect {
+namespace {
+
+CompilerOptions FastOptions() {
+  CompilerOptions options;
+  options.net.hidden_dim = 12;
+  options.exact_max_expansions = 200'000;
+  // Expansion-capped only: a live wall-clock limit would make exact solves
+  // depend on CPU contention, breaking the hit==cold-solve assertions.
+  options.exact_time_limit_seconds = 0.0;
+  options.compiler.refinement_rounds = 2;
+  options.compiler.compile_passes = 1;
+  return options;
+}
+
+graph::Dag SampleDag(int nodes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return graph::SampleTrainingDag(nodes, rng);
+}
+
+/// Everything deterministic about a CompileResult (solve_seconds is wall
+/// clock and deliberately excluded).
+void ExpectSameResult(const CompileResult& a, const CompileResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.schedule.num_stages, b.schedule.num_stages) << label;
+  EXPECT_EQ(a.schedule.stage, b.schedule.stage) << label;
+  EXPECT_EQ(a.peak_stage_param_bytes, b.peak_stage_param_bytes) << label;
+  EXPECT_EQ(a.proved_optimal, b.proved_optimal) << label;
+  ASSERT_EQ(a.package.segments.size(), b.package.segments.size()) << label;
+  for (std::size_t s = 0; s < a.package.segments.size(); ++s) {
+    EXPECT_EQ(a.package.segments[s].ops, b.package.segments[s].ops)
+        << label << " stage " << s;
+    EXPECT_EQ(a.package.segments[s].param_bytes,
+              b.package.segments[s].param_bytes)
+        << label << " stage " << s;
+  }
+}
+
+TEST(CanonicalHashTest, EqualContentHashesEqual) {
+  const graph::Dag a = SampleDag(24, 5);
+  const graph::Dag b = SampleDag(24, 5);  // same seed, same content
+  EXPECT_EQ(graph::HashDag(a), graph::HashDag(b));
+  EXPECT_EQ(graph::HashDag(a).ToHex().size(), 32u);
+}
+
+TEST(CanonicalHashTest, ContentChangesChangeTheHash) {
+  const graph::Dag base = SampleDag(24, 5);
+  const graph::CanonicalHash h = graph::HashDag(base);
+
+  graph::Dag renamed = base;
+  renamed.SetName("something-else");
+  EXPECT_NE(graph::HashDag(renamed), h);
+
+  graph::Dag reattributed = base;
+  reattributed.MutableAttr(3).param_bytes += 1;
+  EXPECT_NE(graph::HashDag(reattributed), h);
+
+  graph::Dag other = SampleDag(24, 6);
+  EXPECT_NE(graph::HashDag(other), h);
+}
+
+TEST(CanonicalHashTest, HasherIsStreamingForBytesOnly) {
+  graph::CanonicalHasher one;
+  one.Update("abc");
+  graph::CanonicalHasher split;
+  split.Update("ab");
+  split.Update("c");
+  EXPECT_EQ(one.Finish(), split.Finish());
+
+  graph::CanonicalHasher number;
+  number.Update(std::uint64_t{0x616263});  // fixed-width, != the text "abc"
+  EXPECT_NE(number.Finish(), one.Finish());
+}
+
+TEST(CompileServiceTest, CacheHitMatchesColdSolveForEveryBuiltinEngine) {
+  serve::CompileService service(FastOptions());
+  PipelineCompiler cold(FastOptions());
+  const graph::Dag dag = SampleDag(24, 7);
+
+  for (const Method method : kAllMethods) {
+    const std::string name(MethodName(method));
+    const auto first = service.Compile(dag, 4, method);
+    const auto second = service.Compile(dag, 4, method);
+    // Pointer equality proves the second answer came from the cache.
+    EXPECT_EQ(first, second) << name;
+    ExpectSameResult(*first, cold.Compile(dag, 4, method), name);
+  }
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.misses, kAllMethods.size());
+  EXPECT_EQ(metrics.hits, kAllMethods.size());
+  EXPECT_EQ(metrics.cache_size, kAllMethods.size());
+}
+
+TEST(CompileServiceTest, AliasNameAndMethodShareOneEntry) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(20, 9);
+  const auto by_alias = service.Compile(dag, 4, "anneal");
+  const auto by_name = service.Compile(dag, 4, "Annealing");
+  const auto by_method = service.Compile(dag, 4, Method::kAnnealing);
+  EXPECT_EQ(by_alias, by_name);
+  EXPECT_EQ(by_alias, by_method);
+  EXPECT_EQ(service.Metrics().misses, 1u);
+  EXPECT_EQ(service.Metrics().hits, 2u);
+}
+
+TEST(CompileServiceTest, KeyCoversStagesAndGraphContent) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(20, 11);
+  (void)service.Compile(dag, 4, "list");
+  (void)service.Compile(dag, 5, "list");  // different stage count
+  graph::Dag renamed = dag;
+  renamed.SetName("renamed");  // name flows into the package -> own entry
+  (void)service.Compile(renamed, 4, "list");
+  EXPECT_EQ(service.Metrics().misses, 3u);
+  EXPECT_EQ(service.Metrics().hits, 0u);
+}
+
+TEST(CompileServiceTest, ReplaceRlInvalidatesOnlyRlEntries) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(24, 13);
+
+  EXPECT_EQ(service.Compiler().RlVersion(), 0u);
+  const auto rl_before = service.Compile(dag, 4, Method::kRespectRl);
+  const auto list_before = service.Compile(dag, 4, Method::kListScheduling);
+  const auto ilp_before = service.Compile(dag, 4, Method::kExactIlp);
+
+  service.ReplaceRl(std::make_shared<rl::RlScheduler>(FastOptions().net));
+  EXPECT_EQ(service.Compiler().RlVersion(), 1u);
+  EXPECT_EQ(service.Metrics().invalidations, 1u);
+
+  // Deterministic engines stay warm (same shared object), the RL entry is
+  // recomputed (fresh object, one extra miss).
+  EXPECT_EQ(service.Compile(dag, 4, Method::kListScheduling), list_before);
+  EXPECT_EQ(service.Compile(dag, 4, Method::kExactIlp), ilp_before);
+  const auto rl_after = service.Compile(dag, 4, Method::kRespectRl);
+  EXPECT_NE(rl_after, rl_before);
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.misses, 4u);
+  EXPECT_EQ(metrics.hits, 2u);
+
+  // A null swap resets to the configured weights and still versions.
+  service.ReplaceRl(nullptr);
+  EXPECT_EQ(service.Compiler().RlVersion(), 2u);
+  EXPECT_EQ(service.Metrics().invalidations, 2u);
+}
+
+/// Counts engine solves so the single-flight test can assert exactly one
+/// happened; sleeps long enough that concurrent requests really overlap.
+class CountingSlowEngine : public engines::SchedulerEngine {
+ public:
+  static std::atomic<int>& Solves() {
+    static std::atomic<int> solves{0};
+    return solves;
+  }
+
+  [[nodiscard]] std::string_view Name() const override {
+    return "CountingSlow";
+  }
+
+  [[nodiscard]] engines::EngineResult Schedule(
+      const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+      const engines::EngineBudget&) const override {
+    Solves().fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    engines::EngineResult result;
+    result.schedule.num_stages = constraints.num_stages;
+    result.schedule.stage.assign(dag.NodeCount(), 0);
+    return result;
+  }
+};
+
+TEST(CompileServiceTest, SingleFlightCollapsesConcurrentIdenticalRequests) {
+  engines::EngineRegistry& registry = engines::EngineRegistry::Global();
+  if (!registry.Contains("CountingSlow")) {
+    registry.Register({"CountingSlow", "", "test-only counting engine", {},
+                       [](const engines::EngineContext&) {
+                         return std::make_unique<CountingSlowEngine>();
+                       }});
+  }
+  CountingSlowEngine::Solves().store(0);
+
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(20, 17);
+  constexpr int kRequests = 8;
+
+  std::vector<serve::CompileService::ResultPtr> results(kRequests);
+  std::vector<std::thread> threads;
+  threads.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = service.Compile(dag, 4, "CountingSlow");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // One engine solve total; whether a given request collapsed onto the
+  // in-flight solve or arrived after it cached, it shares the one result.
+  EXPECT_EQ(CountingSlowEngine::Solves().load(), 1);
+  for (int i = 1; i < kRequests; ++i) EXPECT_EQ(results[i], results[0]);
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.misses, 1u);
+  EXPECT_EQ(metrics.hits + metrics.single_flight_waits, kRequests - 1u);
+}
+
+TEST(CompileServiceTest, LruEvictionRespectsCapacity) {
+  serve::ServiceOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  serve::CompileService service(FastOptions(), options);
+
+  const graph::Dag a = SampleDag(20, 19);
+  const graph::Dag b = SampleDag(20, 21);
+  const graph::Dag c = SampleDag(20, 23);
+  (void)service.Compile(a, 4, "list");
+  (void)service.Compile(b, 4, "list");
+  (void)service.Compile(c, 4, "list");  // evicts a (least recently used)
+  EXPECT_EQ(service.Metrics().evictions, 1u);
+  EXPECT_EQ(service.Metrics().cache_size, 2u);
+
+  (void)service.Compile(a, 4, "list");  // cold again
+  EXPECT_EQ(service.Metrics().misses, 4u);
+  EXPECT_EQ(service.Metrics().hits, 0u);
+}
+
+TEST(CompileServiceTest, SubmitWaitSharesTheSyncCache) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  serve::CompileService service(FastOptions(), options);
+  const graph::Dag dag = SampleDag(24, 25);
+
+  auto ticket_a = service.Submit(dag, 4, "greedy");
+  auto ticket_b = service.Submit(dag, 4, "GreedyBalance");
+  const auto async_a = ticket_a.Wait();
+  const auto async_b = ticket_b.Wait();
+  EXPECT_EQ(async_a, async_b);
+  // The sync path hits the entry the async path populated.
+  EXPECT_EQ(service.Compile(dag, 4, Method::kGreedyBalance), async_a);
+  EXPECT_EQ(service.Metrics().misses, 1u);
+
+  auto bad = service.Submit(dag, 4, "NoSuchEngine");
+  EXPECT_THROW((void)bad.Wait(), std::invalid_argument);
+  EXPECT_THROW((void)bad.Wait(), std::invalid_argument);  // repeatable
+
+  // A ticket that never held a request reports no_state, not UB.
+  const serve::CompileService::Ticket empty;
+  EXPECT_FALSE(empty.Valid());
+  EXPECT_THROW((void)empty.Wait(), std::future_error);
+}
+
+TEST(CompileServiceTest, FailedSolvesPropagateAndAreNotCached) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(10, 27);
+  // 10 nodes cannot fill 64 stages; the solve must fail both times (no
+  // negative caching) and the failure must not poison later requests.
+  EXPECT_THROW((void)service.Compile(dag, 64, "greedy"), std::exception);
+  EXPECT_THROW((void)service.Compile(dag, 64, "greedy"), std::exception);
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.failures, 2u);
+  EXPECT_EQ(metrics.misses, 2u);
+  EXPECT_EQ(metrics.cache_size, 0u);
+
+  EXPECT_NE(service.Compile(dag, 2, "greedy"), nullptr);
+}
+
+TEST(CompileServiceTest, MetricsReportSolveLatencyPercentiles) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(24, 29);
+  for (int stages = 2; stages <= 5; ++stages) {
+    (void)service.Compile(dag, stages, "list");
+  }
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_GT(metrics.solve_p50_seconds, 0.0);
+  EXPECT_GE(metrics.solve_p99_seconds, metrics.solve_p50_seconds);
+}
+
+TEST(CompileServiceTest, UnknownEngineThrowsBeforeTouchingTheCache) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(10, 31);
+  EXPECT_THROW((void)service.Compile(dag, 4, "NoSuchEngine"),
+               std::invalid_argument);
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.misses, 0u);
+  EXPECT_EQ(metrics.failures, 0u);
+}
+
+}  // namespace
+}  // namespace respect
