@@ -20,7 +20,9 @@
 #include "models/zoo.h"
 #include "nn/lstm.h"
 #include "nn/tape.h"
+#include "rl/decode_workspace.h"
 #include "rl/ptrnet.h"
+#include "rl/reference_decode.h"
 #include "serve/compile_service.h"
 #include "tpu/sim.h"
 
@@ -90,19 +92,59 @@ void BM_LstmStepForward(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmStepForward);
 
-void BM_PtrNetGreedyDecode(benchmark::State& state) {
+/// The decode-throughput trio (the tentpole metric).  All three decode the
+/// same graphs with the same weights and produce bit-identical sequences
+/// (tests/decode_parity_test.cc):
+///  * Reference — the frozen pre-optimization allocate-per-op path;
+///  * PtrNetGreedyDecode — the fused path through the compatibility entry
+///    point (fresh workspace per call);
+///  * Workspace — the fused path on a warm per-thread workspace, i.e. the
+///    steady-state serving hot path (zero heap allocations per decode).
+/// Acceptance bar: Workspace >= 3x Reference items/s on ~100-node graphs.
+rl::PtrNetAgent& DecodeBenchAgent() {
+  static rl::PtrNetAgent* agent = [] {
+    rl::PtrNetConfig config;
+    config.hidden_dim = 48;
+    return new rl::PtrNetAgent(config);
+  }();
+  return *agent;
+}
+
+graph::Dag DecodeBenchDag(int nodes) {
   std::mt19937_64 rng(4);
-  const graph::Dag dag =
-      graph::SampleTrainingDag(static_cast<int>(state.range(0)), rng);
-  rl::PtrNetConfig config;
-  config.hidden_dim = 48;
-  rl::PtrNetAgent agent(config);
+  return graph::SampleTrainingDag(nodes, rng);
+}
+
+void BM_DecodeGreedyReference(benchmark::State& state) {
+  const graph::Dag dag = DecodeBenchDag(static_cast<int>(state.range(0)));
+  const rl::PtrNetAgent& agent = DecodeBenchAgent();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rl::ReferenceDecodeGreedy(agent, dag));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeGreedyReference)->Arg(30)->Arg(100);
+
+void BM_PtrNetGreedyDecode(benchmark::State& state) {
+  const graph::Dag dag = DecodeBenchDag(static_cast<int>(state.range(0)));
+  const rl::PtrNetAgent& agent = DecodeBenchAgent();
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.DecodeGreedy(dag));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PtrNetGreedyDecode)->Arg(30)->Arg(100);
+
+void BM_DecodeGreedyWorkspace(benchmark::State& state) {
+  const graph::Dag dag = DecodeBenchDag(static_cast<int>(state.range(0)));
+  const rl::PtrNetAgent& agent = DecodeBenchAgent();
+  rl::DecodeWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.DecodeGreedy(dag, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeGreedyWorkspace)->Arg(30)->Arg(100);
 
 void BM_SampleWithTapeAndBackward(benchmark::State& state) {
   std::mt19937_64 rng(5);
@@ -221,6 +263,24 @@ void BM_CompileServiceWarmCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CompileServiceWarmCache);
+
+/// Batch-aware caching: a warm CompileBatch through the service answers the
+/// whole batch from the shared cache (cf. BM_CompileBatchThroughput, which
+/// re-solves every graph every time).
+void BM_CompileServiceBatchWarm(benchmark::State& state) {
+  static serve::CompileService* service =
+      new serve::CompileService(BatchBenchOptions());
+  const std::vector<const graph::Dag*> pointers = BatchPointers();
+  benchmark::DoNotOptimize(
+      service->CompileBatch(pointers, 4, Method::kAnnealing));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service->CompileBatch(pointers, 4, Method::kAnnealing));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pointers.size()));
+}
+BENCHMARK(BM_CompileServiceBatchWarm);
 
 /// One engine solve (SchedulerEngine::Schedule only — no post-processing or
 /// packaging, the Fig. 3 quantity) per registered engine on a 30-node

@@ -1,6 +1,8 @@
 #include "engines/rl_engine.h"
 
-#include "sched/rho.h"
+#include <utility>
+
+#include "rl/decode_workspace.h"
 
 namespace respect::engines {
 
@@ -12,15 +14,20 @@ RlEngine::RlEngine(std::shared_ptr<const rl::RlScheduler> rl)
 EngineResult RlEngine::Schedule(const graph::Dag& dag,
                                 const sched::PipelineConstraints& constraints,
                                 const EngineBudget& /*budget*/) const {
-  // Decode + ρ packing only — like every engine, the raw schedule is
-  // repaired once by the façade's PostProcess, outside the solve time.
-  // (RlScheduler::Schedule also repairs internally; calling it here would
-  // run the repair twice and fold it into RESPECT's Fig. 3 solve time while
-  // the baseline engines exclude it.)
-  return TimedSolve([&] {
-    return sched::PackSequence(dag, rl_->Agent().DecodeGreedy(dag),
-                               constraints.num_stages);
-  });
+  // One decode workspace per thread: CompileBatch workers and the
+  // CompileService pool each reuse their own buffers across requests, so
+  // concurrent serving decodes stay allocation-free without sharing state.
+  thread_local rl::DecodeWorkspace workspace;
+
+  // ScheduleRaw = decode + ρ packing only — like every engine, the raw
+  // schedule is repaired exactly once by the façade's PostProcess, outside
+  // the solve time (RESPECT's Fig. 3 metric stays comparable to the
+  // baseline engines).
+  rl::RlScheduler::Result raw = rl_->ScheduleRaw(dag, constraints, workspace);
+  EngineResult result;
+  result.schedule = std::move(raw.schedule);
+  result.solve_seconds = raw.solve_seconds;
+  return result;
 }
 
 }  // namespace respect::engines

@@ -1,35 +1,58 @@
 #include "graph/topology.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 #include <stdexcept>
 
 namespace respect::graph {
 
 TopoInfo AnalyzeTopology(const Dag& dag) {
   dag.Validate();
-  const int n = dag.NodeCount();
-
+  TopoScratch scratch;
   TopoInfo info;
+  AnalyzeTopologyInto(dag, scratch, info);
+  return info;
+}
+
+void AnalyzeTopologyInto(const Dag& dag, TopoScratch& scratch,
+                         TopoInfo& info) {
+  const int n = dag.NodeCount();
+  if (n == 0) throw std::logic_error("AnalyzeTopology: empty graph");
+
+  info.order.clear();
   info.order.reserve(n);
   info.asap_level.assign(n, 0);
 
-  std::vector<int> indeg(n);
-  // Min-heap on node id gives a deterministic order.
-  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  // Min-heap on node id gives a deterministic order (the same one
+  // priority_queue<greater> pops: the unique minimum each round).
+  scratch.indeg.assign(n, 0);
+  scratch.heap.clear();
+  scratch.heap.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    indeg[v] = static_cast<int>(dag.Parents(v).size());
-    if (indeg[v] == 0) ready.push(v);
+    scratch.indeg[v] = static_cast<int>(dag.Parents(v).size());
+    if (scratch.indeg[v] == 0) {
+      scratch.heap.push_back(v);
+      std::push_heap(scratch.heap.begin(), scratch.heap.end(),
+                     std::greater<>());
+    }
   }
-  while (!ready.empty()) {
-    const NodeId v = ready.top();
-    ready.pop();
+  while (!scratch.heap.empty()) {
+    std::pop_heap(scratch.heap.begin(), scratch.heap.end(), std::greater<>());
+    const NodeId v = scratch.heap.back();
+    scratch.heap.pop_back();
     info.order.push_back(v);
     for (const NodeId c : dag.Children(v)) {
       info.asap_level[c] =
           std::max(info.asap_level[c], info.asap_level[v] + 1);
-      if (--indeg[c] == 0) ready.push(c);
+      if (--scratch.indeg[c] == 0) {
+        scratch.heap.push_back(c);
+        std::push_heap(scratch.heap.begin(), scratch.heap.end(),
+                       std::greater<>());
+      }
     }
+  }
+  if (static_cast<int>(info.order.size()) != n) {
+    throw std::logic_error("AnalyzeTopology: graph is cyclic");
   }
 
   info.depth = 0;
@@ -48,7 +71,6 @@ TopoInfo AnalyzeTopology(const Dag& dag) {
   for (NodeId v = 0; v < n; ++v) {
     info.mobility[v] = info.alap_level[v] - info.asap_level[v];
   }
-  return info;
 }
 
 std::vector<int> OrderPositions(const std::vector<NodeId>& order,

@@ -40,6 +40,20 @@ struct TopoInfo {
 /// (via Dag::Validate) if the graph is cyclic or empty.
 [[nodiscard]] TopoInfo AnalyzeTopology(const Dag& dag);
 
+/// Reusable scratch for AnalyzeTopologyInto: the in-degree array and the
+/// ready min-heap Kahn's algorithm works on.
+struct TopoScratch {
+  std::vector<int> indeg;
+  std::vector<NodeId> heap;
+};
+
+/// Allocation-free re-analysis for hot loops: identical results to
+/// AnalyzeTopology, but every vector in `scratch` and `info` is reused, so
+/// repeat calls on graphs of steady-state size perform no heap allocation.
+/// Detects cyclic or empty graphs itself (throws std::logic_error) instead
+/// of paying for Dag::Validate.
+void AnalyzeTopologyInto(const Dag& dag, TopoScratch& scratch, TopoInfo& info);
+
 /// Position of each node inside `order` (inverse permutation).
 [[nodiscard]] std::vector<int> OrderPositions(const std::vector<NodeId>& order,
                                               int node_count);

@@ -8,15 +8,25 @@ namespace respect::nn {
 
 PointerAttention::PointerAttention(ParamStore& store, std::string prefix,
                                    int hidden_dim, std::mt19937_64& rng)
-    : store_(store), prefix_(std::move(prefix)), hidden_dim_(hidden_dim) {
-  store_.GetOrCreate(prefix_ + ".Wref_g", hidden_dim_, hidden_dim_, rng);
-  store_.GetOrCreate(prefix_ + ".Wq_g", hidden_dim_, hidden_dim_, rng);
-  store_.GetOrCreate(prefix_ + ".b_g", hidden_dim_, 1, rng);
-  store_.GetOrCreate(prefix_ + ".v_g", hidden_dim_, 1, rng);
-  store_.GetOrCreate(prefix_ + ".Wref_p", hidden_dim_, hidden_dim_, rng);
-  store_.GetOrCreate(prefix_ + ".Wq_p", hidden_dim_, hidden_dim_, rng);
-  store_.GetOrCreate(prefix_ + ".b_p", hidden_dim_, 1, rng);
-  store_.GetOrCreate(prefix_ + ".v_p", hidden_dim_, 1, rng);
+    : store_(store),
+      prefix_(std::move(prefix)),
+      wref_g_name_(prefix_ + ".Wref_g"),
+      wq_g_name_(prefix_ + ".Wq_g"),
+      bg_name_(prefix_ + ".b_g"),
+      vg_name_(prefix_ + ".v_g"),
+      wref_p_name_(prefix_ + ".Wref_p"),
+      wq_p_name_(prefix_ + ".Wq_p"),
+      bp_name_(prefix_ + ".b_p"),
+      vp_name_(prefix_ + ".v_p"),
+      hidden_dim_(hidden_dim) {
+  store_.GetOrCreate(wref_g_name_, hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(wq_g_name_, hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(bg_name_, hidden_dim_, 1, rng);
+  store_.GetOrCreate(vg_name_, hidden_dim_, 1, rng);
+  store_.GetOrCreate(wref_p_name_, hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(wq_p_name_, hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(bp_name_, hidden_dim_, 1, rng);
+  store_.GetOrCreate(vp_name_, hidden_dim_, 1, rng);
 }
 
 PointerAttention::CachedRefs PointerAttention::Precompute(
@@ -24,8 +34,19 @@ PointerAttention::CachedRefs PointerAttention::Precompute(
   if (contexts.Rows() != hidden_dim_) {
     throw std::invalid_argument("PointerAttention: contexts must be (d, V)");
   }
-  return CachedRefs{MatMul(store_.Value(prefix_ + ".Wref_g"), contexts),
-                    MatMul(store_.Value(prefix_ + ".Wref_p"), contexts)};
+  return CachedRefs{MatMul(store_.Value(wref_g_name_), contexts),
+                    MatMul(store_.Value(wref_p_name_), contexts)};
+}
+
+void PointerAttention::PrecomputeInto(const Tensor& contexts,
+                                      CachedRefs& refs) const {
+  if (contexts.Rows() != hidden_dim_) {
+    throw std::invalid_argument("PointerAttention: contexts must be (d, V)");
+  }
+  refs.glimpse_ref.Resize(hidden_dim_, contexts.Cols());
+  refs.pointer_ref.Resize(hidden_dim_, contexts.Cols());
+  MatMulInto(store_.Value(wref_g_name_), contexts, refs.glimpse_ref);
+  MatMulInto(store_.Value(wref_p_name_), contexts, refs.pointer_ref);
 }
 
 namespace {
@@ -49,6 +70,78 @@ void ScoreColumns(const Tensor& ref, const Tensor& q, const Tensor& v,
   }
 }
 
+/// q = W·h + b without temporaries; the GEMV accumulates like MatMul (k
+/// ascending, zero-weight skip), then adds b — matching Add(MatMul(W, h), b)
+/// bit-for-bit.
+void QueryInto(const Tensor& w, const Tensor& h, const Tensor& b, Tensor& q) {
+  const int d = w.Rows();
+  const int k_dim = w.Cols();
+  const float* __restrict wd = w.Data();
+  const float* __restrict hd = h.Data();
+  const float* __restrict bd = b.Data();
+  float* __restrict qd = q.Data();
+  for (int i = 0; i < d; ++i) {
+    const float* __restrict wrow = wd + static_cast<std::int64_t>(i) * k_dim;
+    float acc = 0.0f;
+    for (int k = 0; k < k_dim; ++k) {
+      const float wik = wrow[k];
+      if (wik == 0.0f) continue;
+      acc += wik * hd[k];
+    }
+    qd[i] = acc + bd[i];
+  }
+}
+
+/// glimpse = contexts · attnᵀ, row-dot form shared by both inference paths.
+void GlimpseInto(const Tensor& contexts, const Tensor& attn, Tensor& glimpse) {
+  const int d = contexts.Rows();
+  const int n = contexts.Cols();
+  for (int i = 0; i < d; ++i) {
+    const float* row = contexts.Data() + static_cast<std::int64_t>(i) * n;
+    float acc = 0.0f;
+    for (int j = 0; j < n; ++j) acc += row[j] * attn.At(0, j);
+    glimpse.At(i, 0) = acc;
+  }
+}
+
+/// ScoreColumns restricted to the valid columns: scores[idx] for idx in
+/// `valid_idx` only, masked entries untouched.  Per computed element the
+/// accumulation is i-ascending exactly like ScoreColumns, so every value
+/// the masked softmax reads is bit-identical.
+void ScoreColumnsMasked(const Tensor& ref, const Tensor& q, const Tensor& v,
+                        const std::vector<int>& valid_idx, Tensor& scores) {
+  const int d = ref.Rows();
+  const int n = ref.Cols();
+  const float* __restrict rd = ref.Data();
+  const float* __restrict qd = q.Data();
+  const float* __restrict vd = v.Data();
+  float* __restrict out = scores.Data();
+  for (const int j : valid_idx) {
+    float acc = 0.0f;
+    const float* col = rd + j;
+    for (int i = 0; i < d; ++i) {
+      acc += vd[i] * std::tanh(col[static_cast<std::int64_t>(i) * n] + qd[i]);
+    }
+    out[j] = acc;
+  }
+}
+
+/// GlimpseInto restricted to the valid columns.  Masked columns carry an
+/// attention weight of exactly ±0, whose addition cannot change the
+/// accumulated sum, so skipping them leaves the glimpse unchanged.
+void GlimpseIntoMasked(const Tensor& contexts, const Tensor& attn,
+                       const std::vector<int>& valid_idx, Tensor& glimpse) {
+  const int d = contexts.Rows();
+  const int n = contexts.Cols();
+  const float* __restrict ad = attn.Data();
+  for (int i = 0; i < d; ++i) {
+    const float* row = contexts.Data() + static_cast<std::int64_t>(i) * n;
+    float acc = 0.0f;
+    for (const int j : valid_idx) acc += row[j] * ad[j];
+    glimpse.At(i, 0) = acc;
+  }
+}
+
 }  // namespace
 
 Tensor PointerAttention::PointerLogits(const Tensor& contexts,
@@ -58,45 +151,84 @@ Tensor PointerAttention::PointerLogits(const Tensor& contexts,
   const int d = hidden_dim_;
 
   // Glimpse.
-  const Tensor q_g = Add(MatMul(store_.Value(prefix_ + ".Wq_g"), h),
-                         store_.Value(prefix_ + ".b_g"));
+  const Tensor q_g = Add(MatMul(store_.Value(wq_g_name_), h),
+                         store_.Value(bg_name_));
   Tensor scores_g(1, n);
-  ScoreColumns(refs.glimpse_ref, q_g, store_.Value(prefix_ + ".v_g"),
-               scores_g);
+  ScoreColumns(refs.glimpse_ref, q_g, store_.Value(vg_name_), scores_g);
   const Tensor attn = MaskedSoftmax(scores_g, valid);
   Tensor glimpse(d, 1);
-  for (int i = 0; i < d; ++i) {
-    const float* row = contexts.Data() + static_cast<std::int64_t>(i) * n;
-    float acc = 0.0f;
-    for (int j = 0; j < n; ++j) acc += row[j] * attn.At(0, j);
-    glimpse.At(i, 0) = acc;
-  }
+  GlimpseInto(contexts, attn, glimpse);
 
   // Pointer.
-  const Tensor q_p = Add(MatMul(store_.Value(prefix_ + ".Wq_p"), glimpse),
-                         store_.Value(prefix_ + ".b_p"));
+  const Tensor q_p = Add(MatMul(store_.Value(wq_p_name_), glimpse),
+                         store_.Value(bp_name_));
   Tensor u(1, n);
-  ScoreColumns(refs.pointer_ref, q_p, store_.Value(prefix_ + ".v_p"), u);
+  ScoreColumns(refs.pointer_ref, q_p, store_.Value(vp_name_), u);
   for (int j = 0; j < n; ++j) {
     u.At(0, j) = kLogitClip * std::tanh(u.At(0, j));
   }
   return u;
 }
 
+void PointerAttention::Scratch::Reserve(int hidden_dim, int nodes) {
+  q.Resize(hidden_dim, 1);
+  scores.Resize(1, nodes);
+  attn.Resize(1, nodes);
+  glimpse.Resize(hidden_dim, 1);
+  valid_idx.reserve(nodes);
+}
+
+void PointerAttention::PointerLogitsInto(
+    const Tensor& contexts, const CachedRefs& refs, const Tensor& h,
+    const std::vector<std::uint8_t>& valid, Scratch& scratch,
+    Tensor& logits) const {
+  const int n = contexts.Cols();
+  const int d = hidden_dim_;
+  if (logits.Rows() != 1 || logits.Cols() != n || scratch.q.Rows() != d ||
+      scratch.scores.Cols() != n || scratch.attn.Cols() != n ||
+      scratch.glimpse.Rows() != d ||
+      static_cast<int>(valid.size()) != n) {
+    throw std::invalid_argument(
+        "PointerAttention::PointerLogitsInto: bad buffer shape");
+  }
+  scratch.valid_idx.clear();
+  for (int j = 0; j < n; ++j) {
+    if (valid[j]) scratch.valid_idx.push_back(j);
+  }
+
+  // Glimpse.
+  QueryInto(store_.Value(wq_g_name_), h, store_.Value(bg_name_), scratch.q);
+  ScoreColumnsMasked(refs.glimpse_ref, scratch.q, store_.Value(vg_name_),
+                     scratch.valid_idx, scratch.scores);
+  MaskedSoftmaxInto(scratch.scores, valid, scratch.attn);
+  GlimpseIntoMasked(contexts, scratch.attn, scratch.valid_idx,
+                    scratch.glimpse);
+
+  // Pointer.
+  QueryInto(store_.Value(wq_p_name_), scratch.glimpse, store_.Value(bp_name_),
+            scratch.q);
+  ScoreColumnsMasked(refs.pointer_ref, scratch.q, store_.Value(vp_name_),
+                     scratch.valid_idx, logits);
+  float* u = logits.Data();
+  for (const int j : scratch.valid_idx) {
+    u[j] = kLogitClip * std::tanh(u[j]);
+  }
+}
+
 void PointerAttention::BindToTape(Tape& tape) {
   if (bound_tape_id_ == tape.Id()) return;
   bound_tape_id_ = tape.Id();
   const auto bind = [&](const std::string& name) {
-    return tape.Param(store_.Value(prefix_ + name), &store_.Grad(prefix_ + name));
+    return tape.Param(store_.Value(name), &store_.Grad(name));
   };
-  wref_g_ = bind(".Wref_g");
-  wq_g_ = bind(".Wq_g");
-  bg_ = bind(".b_g");
-  vg_ = bind(".v_g");
-  wref_p_ = bind(".Wref_p");
-  wq_p_ = bind(".Wq_p");
-  bp_ = bind(".b_p");
-  vp_ = bind(".v_p");
+  wref_g_ = bind(wref_g_name_);
+  wq_g_ = bind(wq_g_name_);
+  bg_ = bind(bg_name_);
+  vg_ = bind(vg_name_);
+  wref_p_ = bind(wref_p_name_);
+  wq_p_ = bind(wq_p_name_);
+  bp_ = bind(bp_name_);
+  vp_ = bind(vp_name_);
 }
 
 PointerAttention::TapeRefs PointerAttention::Precompute(Tape& tape,

@@ -10,6 +10,7 @@
 // in the solution π are set to −∞" (§III-B).
 #pragma once
 
+#include <cstdint>
 #include <random>
 #include <string>
 #include <vector>
@@ -38,10 +39,41 @@ class PointerAttention {
   };
   [[nodiscard]] CachedRefs Precompute(const Tensor& contexts) const;
 
+  /// Allocation-free Precompute: resizes and overwrites `refs`' tensors in
+  /// place (storage reused across calls).
+  void PrecomputeInto(const Tensor& contexts, CachedRefs& refs) const;
+
   /// Returns the masked pointer logits (1, V) for query h.
   [[nodiscard]] Tensor PointerLogits(const Tensor& contexts,
                                      const CachedRefs& refs, const Tensor& h,
                                      const std::vector<bool>& valid) const;
+
+  /// Caller-owned scratch for PointerLogitsInto; Reserve() sizes every
+  /// buffer (grow-only storage, so steady-state reuse never allocates).
+  struct Scratch {
+    Tensor q;                    // (d, 1) — glimpse then pointer query
+    Tensor scores;               // (1, V) — glimpse attention scores
+    Tensor attn;                 // (1, V) — glimpse attention weights
+    Tensor glimpse;              // (d, 1)
+    std::vector<int> valid_idx;  // indices of the step's valid columns
+    void Reserve(int hidden_dim, int nodes);
+  };
+
+  /// In-place inference path: writes the masked pointer logits into
+  /// `logits` ((1, V), pre-sized by the caller) using only `scratch`'s
+  /// buffers — no heap allocation.  `valid` uses 0/non-0 bytes (see
+  /// MaskedSoftmaxInto).
+  ///
+  /// Only the VALID columns of `logits` are computed (masked entries are
+  /// left stale): the masked softmax zeroes them regardless, so every
+  /// observable value — and the decoded sequence — is identical to
+  /// PointerLogits, while the per-step cost drops from O(d·V) to
+  /// O(d·|valid|).  With ready-set masking (the deployment default) that is
+  /// the difference between O(V) and O(deg) attention work per step.
+  void PointerLogitsInto(const Tensor& contexts, const CachedRefs& refs,
+                         const Tensor& h,
+                         const std::vector<std::uint8_t>& valid,
+                         Scratch& scratch, Tensor& logits) const;
 
   // ---- Training path (tape-recorded) ----
 
@@ -62,6 +94,11 @@ class PointerAttention {
 
   ParamStore& store_;
   std::string prefix_;
+  // Full parameter names, precomputed so hot-path lookups never concatenate
+  // strings (several exceed the SSO limit).  Tensors are re-looked-up per
+  // call rather than cached by address, so ParamStore::Load stays safe.
+  std::string wref_g_name_, wq_g_name_, bg_name_, vg_name_;
+  std::string wref_p_name_, wq_p_name_, bp_name_, vp_name_;
   int hidden_dim_ = 0;
 
   std::uint64_t bound_tape_id_ = 0;

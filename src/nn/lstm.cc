@@ -1,5 +1,6 @@
 #include "nn/lstm.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace respect::nn {
@@ -8,16 +9,21 @@ LstmCell::LstmCell(ParamStore& store, std::string prefix, int input_dim,
                    int hidden_dim, std::mt19937_64& rng)
     : store_(store),
       prefix_(std::move(prefix)),
+      wx_name_(prefix_ + ".Wx"),
+      wh_name_(prefix_ + ".Wh"),
+      b_name_(prefix_ + ".b"),
       input_dim_(input_dim),
       hidden_dim_(hidden_dim) {
-  store_.GetOrCreate(prefix_ + ".Wx", 4 * hidden_dim_, input_dim_, rng);
-  store_.GetOrCreate(prefix_ + ".Wh", 4 * hidden_dim_, hidden_dim_, rng);
-  store_.GetOrCreate(prefix_ + ".b", 4 * hidden_dim_, 1, rng);
+  store_.GetOrCreate(wx_name_, 4 * hidden_dim_, input_dim_, rng);
+  store_.GetOrCreate(wh_name_, 4 * hidden_dim_, hidden_dim_, rng);
+  store_.GetOrCreate(b_name_, 4 * hidden_dim_, 1, rng);
   // Bias convention: forget gate starts open (+1) so early training does not
   // wash out the recurrent state.
-  Tensor& b = store_.Value(prefix_ + ".b");
+  Tensor& b = store_.Value(b_name_);
   for (int i = hidden_dim_; i < 2 * hidden_dim_; ++i) b.At(i, 0) = 1.0f;
 }
+
+const Tensor& LstmCell::InputWeight() const { return store_.Value(wx_name_); }
 
 LstmCell::State LstmCell::InitialState() const {
   return State{Tensor::Zeros(hidden_dim_, 1), Tensor::Zeros(hidden_dim_, 1)};
@@ -32,9 +38,9 @@ LstmCell::State LstmCell::Step(const Tensor& x, const State& prev) const {
   if (x.Rows() != input_dim_ || x.Cols() != 1) {
     throw std::invalid_argument("LstmCell::Step: bad input shape");
   }
-  const Tensor z = Add(Add(MatMul(store_.Value(prefix_ + ".Wx"), x),
-                           MatMul(store_.Value(prefix_ + ".Wh"), prev.h)),
-                       store_.Value(prefix_ + ".b"));
+  const Tensor z = Add(Add(MatMul(store_.Value(wx_name_), x),
+                           MatMul(store_.Value(wh_name_), prev.h)),
+                       store_.Value(b_name_));
   const int d = hidden_dim_;
   const Tensor i = Sigmoid(SliceRows(z, 0, d));
   const Tensor f = Sigmoid(SliceRows(z, d, 2 * d));
@@ -46,12 +52,64 @@ LstmCell::State LstmCell::Step(const Tensor& x, const State& prev) const {
   return next;
 }
 
+void LstmCell::StepInto(const Tensor& zx, int zx_col, Tensor& gates,
+                        State& state) const {
+  const int d = hidden_dim_;
+  if (zx.Rows() != 4 * d || zx_col < 0 || zx_col >= zx.Cols()) {
+    throw std::invalid_argument("LstmCell::StepInto: bad zx column");
+  }
+  if (gates.Rows() != 4 * d || gates.Cols() != 1 || state.h.Rows() != d ||
+      state.h.Cols() != 1 || state.c.Rows() != d || state.c.Cols() != 1) {
+    throw std::invalid_argument("LstmCell::StepInto: bad buffer shape");
+  }
+  const Tensor& wh = store_.Value(wh_name_);
+  const Tensor& b = store_.Value(b_name_);
+  const float* __restrict zxd = zx.Data();
+  const float* __restrict whd = wh.Data();
+  const float* __restrict bd = b.Data();
+  // No __restrict on h: the state-update loop below writes the same
+  // storage through hc, and two restrict-qualified views of one object in
+  // one scope would be undefined behavior.
+  const float* h = state.h.Data();
+  float* __restrict zd = gates.Data();
+  const int zx_cols = zx.Cols();
+
+  // z = (Wx·x + Wh·h) + b, with the Wh·h GEMV accumulated like MatMul (k
+  // ascending, zero-weight skip) so the sum matches Step() bit-for-bit.
+  for (int i = 0; i < 4 * d; ++i) {
+    const float* __restrict wrow = whd + std::int64_t{i} * d;
+    float acc = 0.0f;
+    for (int k = 0; k < d; ++k) {
+      const float w = wrow[k];
+      if (w == 0.0f) continue;
+      acc += w * h[k];
+    }
+    zd[i] = (zxd[std::int64_t{i} * zx_cols + zx_col] + acc) + bd[i];
+  }
+
+  // Gate order [i f g o]; products are stored before the sum so the
+  // arithmetic matches the unfused Mul/Add chain exactly.
+  float* hc = state.h.Data();
+  float* __restrict cc = state.c.Data();
+  for (int r = 0; r < d; ++r) {
+    const float gi = 1.0f / (1.0f + std::exp(-zd[r]));
+    const float gf = 1.0f / (1.0f + std::exp(-zd[d + r]));
+    const float gg = std::tanh(zd[2 * d + r]);
+    const float go = 1.0f / (1.0f + std::exp(-zd[3 * d + r]));
+    const float fc = gf * cc[r];
+    const float ig = gi * gg;
+    const float c_next = fc + ig;
+    cc[r] = c_next;
+    hc[r] = go * std::tanh(c_next);
+  }
+}
+
 void LstmCell::BindToTape(Tape& tape) {
   if (bound_tape_id_ == tape.Id()) return;
   bound_tape_id_ = tape.Id();
-  wx_ = tape.Param(store_.Value(prefix_ + ".Wx"), &store_.Grad(prefix_ + ".Wx"));
-  wh_ = tape.Param(store_.Value(prefix_ + ".Wh"), &store_.Grad(prefix_ + ".Wh"));
-  b_ = tape.Param(store_.Value(prefix_ + ".b"), &store_.Grad(prefix_ + ".b"));
+  wx_ = tape.Param(store_.Value(wx_name_), &store_.Grad(wx_name_));
+  wh_ = tape.Param(store_.Value(wh_name_), &store_.Grad(wh_name_));
+  b_ = tape.Param(store_.Value(b_name_), &store_.Grad(b_name_));
 }
 
 LstmCell::TapeState LstmCell::Step(Tape& tape, Ref x, const TapeState& prev) {

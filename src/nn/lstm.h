@@ -43,6 +43,20 @@ class LstmCell {
   /// One step without gradient recording.
   [[nodiscard]] State Step(const Tensor& x, const State& prev) const;
 
+  /// Fused allocation-free step for the inference hot path: updates
+  /// `state.h` / `state.c` ((hidden, 1)) in place.  The input contribution
+  /// Wx·x must be precomputed — `zx` is a (4·hidden, *) matrix whose column
+  /// `zx_col` holds Wx·x for this step, so callers hoist the input
+  /// projection for a whole sequence into one GEMM and each step pays only
+  /// the Wh·h GEMV.  `gates` is a caller-owned (4·hidden, 1) scratch.
+  /// Bit-identical to Step() given zx_col == MatMul(Wx, x) column.
+  void StepInto(const Tensor& zx, int zx_col, Tensor& gates,
+                State& state) const;
+
+  /// The (4·hidden, input) input weight Wx, for hoisting Wx·X out of step
+  /// loops (see StepInto).
+  [[nodiscard]] const Tensor& InputWeight() const;
+
   /// One recorded step; `x` must already be a tape node of shape
   /// (input_dim, 1).  Parameters are bound into the tape on first use.
   [[nodiscard]] TapeState Step(Tape& tape, Ref x, const TapeState& prev);
@@ -54,6 +68,10 @@ class LstmCell {
  private:
   ParamStore& store_;
   std::string prefix_;
+  // Full parameter names, precomputed so the hot path never concatenates
+  // strings (lookups stay allocation-free and Load()-safe — the store's
+  // tensors are re-looked-up per call, never cached by address).
+  std::string wx_name_, wh_name_, b_name_;
   int input_dim_ = 0;
   int hidden_dim_ = 0;
 

@@ -19,6 +19,77 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   }
 }
 
+void CheckShape(const Tensor& t, int rows, int cols, const char* op) {
+  if (t.Rows() != rows || t.Cols() != cols) {
+    throw std::invalid_argument(std::string(op) + ": out must be " +
+                                std::to_string(rows) + "x" +
+                                std::to_string(cols) + ", got " +
+                                std::to_string(t.Rows()) + "x" +
+                                std::to_string(t.Cols()));
+  }
+}
+
+/// Shared GEMM kernel; `out` must be zero-filled.  k is blocked so the active
+/// slice of b stays cache-resident across rows of a, and the __restrict
+/// pointers let the inner j loop vectorize.  Per output element the
+/// additions still happen in ascending-k order with the aik==0 skip, so the
+/// result is bit-identical to the naive i/k/j triple loop.
+void MatMulKernel(const Tensor& a, const Tensor& b, Tensor& out) {
+  const int m = a.Rows();
+  const int kk = a.Cols();
+  const int n = b.Cols();
+  constexpr int kBlock = 64;
+  const float* __restrict ad = a.Data();
+  const float* __restrict bd = b.Data();
+  float* __restrict od = out.Data();
+  for (int k0 = 0; k0 < kk; k0 += kBlock) {
+    const int k1 = std::min(kk, k0 + kBlock);
+    for (int i = 0; i < m; ++i) {
+      const float* __restrict arow = ad + std::int64_t{i} * kk;
+      float* __restrict orow = od + std::int64_t{i} * n;
+      for (int k = k0; k < k1; ++k) {
+        const float aik = arow[k];
+        if (aik == 0.0f) continue;
+        const float* __restrict brow = bd + std::int64_t{k} * n;
+        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void CheckMatMulShapes(const Tensor& a, const Tensor& b) {
+  if (a.Cols() != b.Rows()) {
+    throw std::invalid_argument("MatMul: inner dimensions " +
+                                std::to_string(a.Cols()) + " vs " +
+                                std::to_string(b.Rows()));
+  }
+}
+
+template <typename Mask>
+void MaskedSoftmaxImpl(const Tensor& logits, const Mask& valid, Tensor& out) {
+  if (logits.Rows() != 1 ||
+      static_cast<int>(valid.size()) != logits.Cols()) {
+    throw std::invalid_argument("MaskedSoftmax: logits must be (1, n) with "
+                                "matching mask");
+  }
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (int j = 0; j < logits.Cols(); ++j) {
+    if (valid[j]) max_logit = std::max(max_logit, logits.At(0, j));
+  }
+  if (!std::isfinite(max_logit)) {
+    throw std::invalid_argument("MaskedSoftmax: all entries masked");
+  }
+  out.Fill(0.0f);
+  float denom = 0.0f;
+  for (int j = 0; j < logits.Cols(); ++j) {
+    if (valid[j]) {
+      out.At(0, j) = std::exp(logits.At(0, j) - max_logit);
+      denom += out.At(0, j);
+    }
+  }
+  for (int j = 0; j < logits.Cols(); ++j) out.At(0, j) /= denom;
+}
+
 }  // namespace
 
 Tensor Tensor::Xavier(int rows, int cols, std::mt19937_64& rng) {
@@ -35,22 +106,54 @@ void Tensor::Accumulate(const Tensor& other) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  if (a.Cols() != b.Rows()) {
-    throw std::invalid_argument("MatMul: inner dimensions " +
-                                std::to_string(a.Cols()) + " vs " +
-                                std::to_string(b.Rows()));
-  }
+  CheckMatMulShapes(a, b);
   Tensor out(a.Rows(), b.Cols());
-  for (int i = 0; i < a.Rows(); ++i) {
-    for (int k = 0; k < a.Cols(); ++k) {
-      const float aik = a.At(i, k);
-      if (aik == 0.0f) continue;
-      const float* brow = b.Data() + std::int64_t{k} * b.Cols();
-      float* orow = out.Data() + std::int64_t{i} * out.Cols();
-      for (int j = 0; j < b.Cols(); ++j) orow[j] += aik * brow[j];
-    }
-  }
+  MatMulKernel(a, b, out);
   return out;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor& out) {
+  CheckMatMulShapes(a, b);
+  CheckShape(out, a.Rows(), b.Cols(), "MatMulInto");
+  out.Fill(0.0f);
+  MatMulKernel(a, b, out);
+}
+
+void AddInto(const Tensor& a, const Tensor& b, Tensor& out) {
+  CheckSameShape(a, b, "AddInto");
+  CheckShape(out, a.Rows(), a.Cols(), "AddInto");
+  const float* __restrict ad = a.Data();
+  const float* __restrict bd = b.Data();
+  float* od = out.Data();
+  for (std::int64_t i = 0; i < a.Size(); ++i) od[i] = ad[i] + bd[i];
+}
+
+void TanhInto(const Tensor& a, Tensor& out) {
+  CheckShape(out, a.Rows(), a.Cols(), "TanhInto");
+  const float* ad = a.Data();
+  float* od = out.Data();
+  for (std::int64_t i = 0; i < a.Size(); ++i) od[i] = std::tanh(ad[i]);
+}
+
+void SigmoidInto(const Tensor& a, Tensor& out) {
+  CheckShape(out, a.Rows(), a.Cols(), "SigmoidInto");
+  const float* ad = a.Data();
+  float* od = out.Data();
+  for (std::int64_t i = 0; i < a.Size(); ++i) {
+    od[i] = 1.0f / (1.0f + std::exp(-ad[i]));
+  }
+}
+
+void AddBroadcastColInPlace(Tensor& a, const Tensor& col) {
+  if (col.Rows() != a.Rows() || col.Cols() != 1) {
+    throw std::invalid_argument(
+        "AddBroadcastColInPlace: col must be (rows, 1)");
+  }
+  for (int i = 0; i < a.Rows(); ++i) {
+    const float c = col.At(i, 0);
+    float* row = a.Data() + std::int64_t{i} * a.Cols();
+    for (int j = 0; j < a.Cols(); ++j) row[j] += c;
+  }
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -154,28 +257,15 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor MaskedSoftmax(const Tensor& logits, const std::vector<bool>& valid) {
-  if (logits.Rows() != 1 ||
-      static_cast<int>(valid.size()) != logits.Cols()) {
-    throw std::invalid_argument("MaskedSoftmax: logits must be (1, n) with "
-                                "matching mask");
-  }
-  float max_logit = -std::numeric_limits<float>::infinity();
-  for (int j = 0; j < logits.Cols(); ++j) {
-    if (valid[j]) max_logit = std::max(max_logit, logits.At(0, j));
-  }
-  if (!std::isfinite(max_logit)) {
-    throw std::invalid_argument("MaskedSoftmax: all entries masked");
-  }
   Tensor out(1, logits.Cols());
-  float denom = 0.0f;
-  for (int j = 0; j < logits.Cols(); ++j) {
-    if (valid[j]) {
-      out.At(0, j) = std::exp(logits.At(0, j) - max_logit);
-      denom += out.At(0, j);
-    }
-  }
-  for (int j = 0; j < logits.Cols(); ++j) out.At(0, j) /= denom;
+  MaskedSoftmaxImpl(logits, valid, out);
   return out;
+}
+
+void MaskedSoftmaxInto(const Tensor& logits,
+                       const std::vector<std::uint8_t>& valid, Tensor& out) {
+  CheckShape(out, 1, logits.Cols(), "MaskedSoftmaxInto");
+  MaskedSoftmaxImpl(logits, valid, out);
 }
 
 }  // namespace respect::nn

@@ -45,6 +45,16 @@ class Tensor {
 
   void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes to (rows, cols), reusing the existing storage.  Capacity never
+  /// shrinks, so a tensor cycled through the sizes of a workspace reaches a
+  /// steady state where Resize performs no heap allocation.  Contents are
+  /// unspecified after a Resize — callers overwrite (or Fill) before reading.
+  void Resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(Size());
+  }
+
   /// this += other (shapes must match).
   void Accumulate(const Tensor& other);
 
@@ -88,5 +98,34 @@ class Tensor {
 /// probability 0.  Throws when every entry is masked.
 [[nodiscard]] Tensor MaskedSoftmax(const Tensor& logits,
                                    const std::vector<bool>& valid);
+
+// ---- Destination-passing variants (the inference hot path). ----
+//
+// Each writes into a caller-owned `out` tensor that must already have the
+// result shape, and performs no heap allocation.  Results are bit-identical
+// to the allocating counterparts above: the kernels preserve the same
+// floating-point summation order.  `out` must not alias an input.
+
+/// out = a · b.  out must be (a.Rows(), b.Cols()).
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = a + b (elementwise).
+void AddInto(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out = tanh(a) (elementwise).  out == &a is allowed.
+void TanhInto(const Tensor& a, Tensor& out);
+
+/// out = sigmoid(a) (elementwise).  out == &a is allowed.
+void SigmoidInto(const Tensor& a, Tensor& out);
+
+/// a[:, j] += col[j-th row broadcast]: adds `col` ((rows, 1)) to every
+/// column of `a` in place.
+void AddBroadcastColInPlace(Tensor& a, const Tensor& col);
+
+/// MaskedSoftmax into `out` ((1, n)); `valid` uses 0/non-0 bytes so the
+/// mask itself can live in a reusable workspace buffer (std::vector<bool>
+/// cannot hand out stable storage).  Throws when every entry is masked.
+void MaskedSoftmaxInto(const Tensor& logits,
+                       const std::vector<std::uint8_t>& valid, Tensor& out);
 
 }  // namespace respect::nn

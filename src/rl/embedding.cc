@@ -8,6 +8,13 @@ namespace respect::rl {
 
 nn::Tensor EmbedGraph(const graph::Dag& dag, const EmbeddingConfig& config) {
   const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+  nn::Tensor emb;
+  EmbedGraphInto(dag, config, topo, emb);
+  return emb;
+}
+
+void EmbedGraphInto(const graph::Dag& dag, const EmbeddingConfig& config,
+                    const graph::TopoInfo& topo, nn::Tensor& out) {
   const int n = dag.NodeCount();
 
   std::int64_t max_param = 1;
@@ -23,7 +30,7 @@ nn::Tensor EmbedGraph(const graph::Dag& dag, const EmbeddingConfig& config) {
            4096.0f;
   };
 
-  nn::Tensor emb(kFeatureDim, n);
+  out.Resize(kFeatureDim, n);
   for (graph::NodeId v = 0; v < n; ++v) {
     const auto parents = dag.Parents(v);
     float max_parent_level = 0.0f;
@@ -46,31 +53,30 @@ nn::Tensor EmbedGraph(const graph::Dag& dag, const EmbeddingConfig& config) {
 
     int row = 0;
     // Absolute + relative coordinates.
-    emb.At(row++, v) = config.include_topology
+    out.At(row++, v) = config.include_topology
                            ? static_cast<float>(topo.asap_level[v]) / depth
                            : 0.0f;
-    emb.At(row++, v) = config.include_topology ? max_parent_level : 0.0f;
-    emb.At(row++, v) = config.include_topology ? mean_parent_level : 0.0f;
+    out.At(row++, v) = config.include_topology ? max_parent_level : 0.0f;
+    out.At(row++, v) = config.include_topology ? mean_parent_level : 0.0f;
     // IDs.
-    emb.At(row++, v) = config.include_ids ? id_hash(dag.Attr(v)) : 0.0f;
-    emb.At(row++, v) = config.include_ids ? mean_parent_id : 0.0f;
+    out.At(row++, v) = config.include_ids ? id_hash(dag.Attr(v)) : 0.0f;
+    out.At(row++, v) = config.include_ids ? mean_parent_id : 0.0f;
     // Degree (part of the dependency context).
-    emb.At(row++, v) = config.include_topology
+    out.At(row++, v) = config.include_topology
                            ? static_cast<float>(parents.size()) / 6.0f
                            : 0.0f;
     // Memory.
-    emb.At(row++, v) =
+    out.At(row++, v) =
         config.include_memory
             ? static_cast<float>(dag.Attr(v).param_bytes) /
                   static_cast<float>(max_param)
             : 0.0f;
-    emb.At(row++, v) =
+    out.At(row++, v) =
         config.include_memory
             ? static_cast<float>(dag.Attr(v).output_bytes) /
                   static_cast<float>(max_out)
             : 0.0f;
   }
-  return emb;
 }
 
 }  // namespace respect::rl

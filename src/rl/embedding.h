@@ -13,6 +13,7 @@
 #pragma once
 
 #include "graph/dag.h"
+#include "graph/topology.h"
 #include "nn/tensor.h"
 
 namespace respect::rl {
@@ -30,5 +31,11 @@ inline constexpr int kFeatureDim = 8;
 /// column v is node v's feature vector.
 [[nodiscard]] nn::Tensor EmbedGraph(const graph::Dag& dag,
                                     const EmbeddingConfig& config);
+
+/// Allocation-free variant for hot loops: writes into `out` (resized to
+/// (kFeatureDim, |V|), storage reused) and takes the caller's topology
+/// analysis instead of recomputing it.  Identical values to EmbedGraph.
+void EmbedGraphInto(const graph::Dag& dag, const EmbeddingConfig& config,
+                    const graph::TopoInfo& topo, nn::Tensor& out);
 
 }  // namespace respect::rl

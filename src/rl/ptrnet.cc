@@ -1,5 +1,6 @@
 #include "rl/ptrnet.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "graph/topology.h"
@@ -23,6 +24,20 @@ int SampleIndex(const nn::Tensor& probs, std::mt19937_64& rng) {
     throw std::logic_error("SampleIndex: degenerate distribution");
   }
   return last_valid;  // numeric slack lands on the last valid entry
+}
+
+/// Valid-node mask for the tape-recorded training path (the inference path
+/// uses the workspace's byte mask via StepMaskInto).
+std::vector<bool> StepMaskVec(MaskingMode masking,
+                              const std::vector<bool>& picked,
+                              const std::vector<int>& unpicked_parents) {
+  const int n = static_cast<int>(picked.size());
+  std::vector<bool> valid(n);
+  for (int j = 0; j < n; ++j) {
+    valid[j] = !picked[j] && (masking == MaskingMode::kVisitedOnly ||
+                              unpicked_parents[j] == 0);
+  }
+  return valid;
 }
 
 int ArgmaxIndex(const nn::Tensor& probs) {
@@ -52,78 +67,101 @@ PtrNetAgent::PtrNetAgent(const PtrNetConfig& config)
   store_.GetOrCreate("decoder.d0", config_.hidden_dim, 1, init_rng_);
 }
 
-std::vector<bool> PtrNetAgent::StepMask(
-    const std::vector<bool>& picked,
-    const std::vector<int>& unpicked_parents) const {
-  const int n = static_cast<int>(picked.size());
-  std::vector<bool> valid(n);
+void PtrNetAgent::StepMaskInto(DecodeWorkspace& ws) const {
+  const int n = static_cast<int>(ws.picked.size());
   for (int j = 0; j < n; ++j) {
-    valid[j] = !picked[j] && (config_.masking == MaskingMode::kVisitedOnly ||
-                              unpicked_parents[j] == 0);
+    ws.valid[j] =
+        !ws.picked[j] && (config_.masking == MaskingMode::kVisitedOnly ||
+                          ws.unpicked_parents[j] == 0)
+            ? 1
+            : 0;
   }
-  return valid;
 }
 
-std::vector<graph::NodeId> PtrNetAgent::DecodeImpl(const graph::Dag& dag,
-                                                   std::mt19937_64* rng) const {
-  const graph::TopoInfo topo = graph::AnalyzeTopology(dag);
+const std::vector<graph::NodeId>& PtrNetAgent::DecodeImpl(
+    const graph::Dag& dag, std::mt19937_64* rng, DecodeWorkspace& ws) const {
   const int n = dag.NodeCount();
-  const std::vector<int> pos = graph::OrderPositions(topo.order, n);
+  const int d = config_.hidden_dim;
+  ws.Reserve(d, n);
+
+  graph::AnalyzeTopologyInto(dag, ws.topo_scratch, ws.topo);
+  ws.pos.assign(n, -1);
+  for (int j = 0; j < n; ++j) ws.pos[ws.topo.order[j]] = j;
 
   // Input queue q follows the ASAP topological order (§III-A).
-  const nn::Tensor emb = EmbedGraph(dag, config_.embedding);
-  const nn::Tensor x_all = nn::AddBroadcastCol(
-      nn::MatMul(store_.Value("input.W"), emb), store_.Value("input.b"));
+  EmbedGraphInto(dag, config_.embedding, ws.topo, ws.emb);
+  nn::MatMulInto(store_.Value("input.W"), ws.emb, ws.x_all);
+  nn::AddBroadcastColInPlace(ws.x_all, store_.Value("input.b"));
 
-  // Encoder sweep.
-  nn::LstmCell::State enc = encoder_.InitialState();
-  std::vector<nn::Tensor> contexts;
-  contexts.reserve(n);
+  // Hoisted input projections: one GEMM per LSTM covers every step's Wx·x,
+  // so the recurrent loops below pay only the Wh·h GEMV per step.
+  nn::MatMulInto(encoder_.InputWeight(), ws.x_all, ws.zx_enc);
+  nn::MatMulInto(decoder_.InputWeight(), ws.x_all, ws.zx_dec);
+  nn::MatMulInto(decoder_.InputWeight(), store_.Value("decoder.d0"), ws.zx_d0);
+
+  // Encoder sweep, contexts written column-by-column into C.
+  ws.state.h.Fill(0.0f);
+  ws.state.c.Fill(0.0f);
+  float* ctx = ws.contexts.Data();
   for (int j = 0; j < n; ++j) {
-    const graph::NodeId v = topo.order[j];
-    enc = encoder_.Step(nn::SliceCols(x_all, v, v + 1), enc);
-    contexts.push_back(enc.h);
+    const graph::NodeId v = ws.topo.order[j];
+    encoder_.StepInto(ws.zx_enc, v, ws.gates, ws.state);
+    const float* h = ws.state.h.Data();
+    for (int i = 0; i < d; ++i) ctx[std::int64_t{i} * n + j] = h[i];
   }
-  const nn::Tensor C = nn::ConcatCols(contexts);
-  const nn::PointerAttention::CachedRefs refs = attention_.Precompute(C);
+  attention_.PrecomputeInto(ws.contexts, ws.refs);
 
-  // Decoder: position-indexed bookkeeping.
-  std::vector<bool> picked(n, false);
-  std::vector<int> unpicked_parents(n, 0);
+  // Decoder: position-indexed bookkeeping.  The encoder's final state
+  // carries over as the decoder's initial state in place.
+  std::fill(ws.picked.begin(), ws.picked.end(), std::uint8_t{0});
   for (int j = 0; j < n; ++j) {
-    unpicked_parents[j] =
-        static_cast<int>(dag.Parents(topo.order[j]).size());
+    ws.unpicked_parents[j] =
+        static_cast<int>(dag.Parents(ws.topo.order[j]).size());
   }
 
-  nn::LstmCell::State dec{enc.h, enc.c};
-  nn::Tensor d_input = store_.Value("decoder.d0");
-  std::vector<graph::NodeId> sequence;
-  sequence.reserve(n);
+  ws.sequence.clear();
+  const nn::Tensor* zx = &ws.zx_d0;  // first input: trainable d0 projection
+  int zx_col = 0;
   for (int t = 0; t < n; ++t) {
-    dec = decoder_.Step(d_input, dec);
-    const std::vector<bool> valid = StepMask(picked, unpicked_parents);
-    const nn::Tensor logits = attention_.PointerLogits(C, refs, dec.h, valid);
-    const nn::Tensor probs = nn::MaskedSoftmax(logits, valid);
-    const int j = rng == nullptr ? ArgmaxIndex(probs) : SampleIndex(probs, *rng);
-    const graph::NodeId v = topo.order[j];
-    picked[j] = true;
+    decoder_.StepInto(*zx, zx_col, ws.gates, ws.state);
+    StepMaskInto(ws);
+    attention_.PointerLogitsInto(ws.contexts, ws.refs, ws.state.h, ws.valid,
+                                 ws.attn, ws.logits);
+    nn::MaskedSoftmaxInto(ws.logits, ws.valid, ws.probs);
+    const int j =
+        rng == nullptr ? ArgmaxIndex(ws.probs) : SampleIndex(ws.probs, *rng);
+    const graph::NodeId v = ws.topo.order[j];
+    ws.picked[j] = 1;
     for (const graph::NodeId c : dag.Children(v)) {
-      --unpicked_parents[pos[c]];
+      --ws.unpicked_parents[ws.pos[c]];
     }
-    sequence.push_back(v);
-    d_input = nn::SliceCols(x_all, v, v + 1);
+    ws.sequence.push_back(v);
+    zx = &ws.zx_dec;
+    zx_col = v;
   }
-  return sequence;
+  return ws.sequence;
 }
 
 std::vector<graph::NodeId> PtrNetAgent::DecodeGreedy(
     const graph::Dag& dag) const {
-  return DecodeImpl(dag, nullptr);
+  DecodeWorkspace ws;
+  return DecodeImpl(dag, nullptr, ws);
 }
 
 std::vector<graph::NodeId> PtrNetAgent::DecodeSampled(
     const graph::Dag& dag, std::mt19937_64& rng) const {
-  return DecodeImpl(dag, &rng);
+  DecodeWorkspace ws;
+  return DecodeImpl(dag, &rng, ws);
+}
+
+const std::vector<graph::NodeId>& PtrNetAgent::DecodeGreedy(
+    const graph::Dag& dag, DecodeWorkspace& ws) const {
+  return DecodeImpl(dag, nullptr, ws);
+}
+
+const std::vector<graph::NodeId>& PtrNetAgent::DecodeSampled(
+    const graph::Dag& dag, std::mt19937_64& rng, DecodeWorkspace& ws) const {
+  return DecodeImpl(dag, &rng, ws);
 }
 
 PtrNetAgent::SampleResult PtrNetAgent::SampleWithTape(const graph::Dag& dag,
@@ -166,7 +204,8 @@ PtrNetAgent::SampleResult PtrNetAgent::SampleWithTape(const graph::Dag& dag,
   nn::Ref log_prob_sum = -1;
   for (int t = 0; t < n; ++t) {
     dec = decoder_.Step(tape, d_input, dec);
-    const std::vector<bool> valid = StepMask(picked, unpicked_parents);
+    const std::vector<bool> valid =
+        StepMaskVec(config_.masking, picked, unpicked_parents);
     const nn::Ref logits = attention_.PointerLogits(tape, refs, dec.h, valid);
     const nn::Tensor probs = nn::MaskedSoftmax(tape.Value(logits), valid);
     const int j = SampleIndex(probs, rng);

@@ -25,6 +25,7 @@
 #include "nn/lstm.h"
 #include "nn/params.h"
 #include "nn/tape.h"
+#include "rl/decode_workspace.h"
 #include "rl/embedding.h"
 
 namespace respect::rl {
@@ -64,6 +65,15 @@ class PtrNetAgent {
   [[nodiscard]] std::vector<graph::NodeId> DecodeSampled(
       const graph::Dag& dag, std::mt19937_64& rng) const;
 
+  // Workspace overloads — the serving hot path.  All decode buffers live in
+  // `ws` (one per thread; see decode_workspace.h), so a steady-state call
+  // performs zero heap allocations.  The returned reference aliases
+  // `ws.sequence` and is valid until the next decode on the same workspace.
+  [[nodiscard]] const std::vector<graph::NodeId>& DecodeGreedy(
+      const graph::Dag& dag, DecodeWorkspace& ws) const;
+  [[nodiscard]] const std::vector<graph::NodeId>& DecodeSampled(
+      const graph::Dag& dag, std::mt19937_64& rng, DecodeWorkspace& ws) const;
+
   /// Tape-recorded stochastic decode for training.
   struct SampleResult {
     std::vector<graph::NodeId> sequence;
@@ -74,20 +84,21 @@ class PtrNetAgent {
                                             std::mt19937_64& rng);
 
   [[nodiscard]] nn::ParamStore& Params() { return store_; }
+  [[nodiscard]] const nn::ParamStore& Params() const { return store_; }
   [[nodiscard]] const PtrNetConfig& Config() const { return config_; }
 
   void Save(const std::string& path) const { store_.Save(path); }
   void Load(const std::string& path) { store_.Load(path); }
 
  private:
-  /// Shared inference decode; `rng` null selects greedy argmax.
-  [[nodiscard]] std::vector<graph::NodeId> DecodeImpl(
-      const graph::Dag& dag, std::mt19937_64* rng) const;
+  /// Shared fused inference decode; `rng` null selects greedy argmax.
+  /// Returns a reference to ws.sequence.
+  [[nodiscard]] const std::vector<graph::NodeId>& DecodeImpl(
+      const graph::Dag& dag, std::mt19937_64* rng, DecodeWorkspace& ws) const;
 
-  /// Valid-node mask at one decode step (position-indexed).
-  [[nodiscard]] std::vector<bool> StepMask(
-      const std::vector<bool>& picked,
-      const std::vector<int>& unpicked_parents) const;
+  /// Valid-node mask at one decode step (position-indexed), written into
+  /// ws.valid.
+  void StepMaskInto(DecodeWorkspace& ws) const;
 
   PtrNetConfig config_;
   nn::ParamStore store_;

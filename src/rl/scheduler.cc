@@ -7,15 +7,41 @@
 
 namespace respect::rl {
 
+RlScheduler::Result RlScheduler::ScheduleRaw(
+    const graph::Dag& dag,
+    const sched::PipelineConstraints& constraints) const {
+  DecodeWorkspace ws;
+  return ScheduleRaw(dag, constraints, ws);
+}
+
+RlScheduler::Result RlScheduler::ScheduleRaw(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    DecodeWorkspace& ws) const {
+  const auto start = std::chrono::steady_clock::now();
+  Result result;
+  result.sequence = agent_.DecodeGreedy(dag, ws);
+  result.schedule =
+      sched::PackSequence(dag, result.sequence, constraints.num_stages);
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
 RlScheduler::Result RlScheduler::Schedule(
     const graph::Dag& dag,
     const sched::PipelineConstraints& constraints) const {
+  DecodeWorkspace ws;
+  return Schedule(dag, constraints, ws);
+}
+
+RlScheduler::Result RlScheduler::Schedule(
+    const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+    DecodeWorkspace& ws) const {
   const auto start = std::chrono::steady_clock::now();
-  Result result;
-  result.sequence = agent_.DecodeGreedy(dag);
-  result.schedule =
-      sched::PackSequence(dag, result.sequence, constraints.num_stages);
+  Result result = ScheduleRaw(dag, constraints, ws);
   sched::PostProcess(dag, constraints, result.schedule);
+  // Full standalone inference time, repair included (see Result docs).
   result.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

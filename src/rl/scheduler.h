@@ -30,18 +30,37 @@ class RlScheduler {
     sched::Schedule schedule;
     std::vector<graph::NodeId> sequence;  // raw π before packing
 
-    /// Wall-clock of the full standalone inference (decode + ρ packing +
-    /// post-inference repair).  The engine adapter serving the façade times
-    /// decode + packing itself (repair runs once, in the façade, untimed —
-    /// consistent with every other engine's CompileResult::solve_seconds).
+    /// Schedule(): wall-clock of the full standalone inference (decode + ρ
+    /// packing + post-inference repair).  ScheduleRaw(): decode + packing
+    /// only — the quantity the engine adapter reports as solve_seconds
+    /// (repair runs exactly once, in the façade, untimed — consistent with
+    /// every other engine).
     double solve_seconds = 0.0;
   };
 
   /// End-to-end RESPECT inference: decode, pack, repair.  Const and free of
   /// shared mutable state, so one trained scheduler serves concurrent
-  /// callers (the batch compilation path relies on this).
+  /// callers (the batch compilation path relies on this).  Repair runs
+  /// exactly once (here); callers must not PostProcess the result again.
   [[nodiscard]] Result Schedule(const graph::Dag& dag,
                                 const sched::PipelineConstraints& constraints) const;
+
+  /// Same, decoding through a caller-owned workspace (zero steady-state
+  /// allocations in the decode; see rl/decode_workspace.h for threading
+  /// rules).
+  [[nodiscard]] Result Schedule(const graph::Dag& dag,
+                                const sched::PipelineConstraints& constraints,
+                                DecodeWorkspace& ws) const;
+
+  /// Repair-free entry point for callers that run the repair themselves
+  /// (the engine adapter: the façade PostProcesses every engine's schedule
+  /// exactly once).  Returns the packed-but-unrepaired schedule;
+  /// solve_seconds covers decode + packing only.
+  [[nodiscard]] Result ScheduleRaw(const graph::Dag& dag,
+                                   const sched::PipelineConstraints& constraints) const;
+  [[nodiscard]] Result ScheduleRaw(const graph::Dag& dag,
+                                   const sched::PipelineConstraints& constraints,
+                                   DecodeWorkspace& ws) const;
 
  private:
   PtrNetAgent agent_;

@@ -15,6 +15,7 @@ TrainStats Train(PtrNetAgent& agent, const TrainConfig& config) {
   PtrNetAgent baseline(agent.Config());
   baseline.Params() = agent.Params();
   double baseline_best = -1.0;
+  DecodeWorkspace rollout_ws;  // reused across every baseline rollout
 
   TrainStats stats;
   stats.mean_reward.reserve(config.iterations);
@@ -38,7 +39,8 @@ TrainStats Train(PtrNetAgent& agent, const TrainConfig& config) {
 
       double baseline_reward = 0.0;
       if (config.use_rollout_baseline) {
-        const std::vector<graph::NodeId> rollout = baseline.DecodeGreedy(dag);
+        const std::vector<graph::NodeId>& rollout =
+            baseline.DecodeGreedy(dag, rollout_ws);
         baseline_reward = ComputeReward(dag, target, rollout,
                                         config.num_stages, config.reward_form);
       }

@@ -109,6 +109,16 @@ void CompileService::InsertLocked(Shard& shard, const RequestKey& key,
   }
 }
 
+CompileService::ResultPtr CompileService::TryCached(const RequestKey& key) {
+  Shard& shard = ShardFor(key.hash);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(key.hash);
+  if (it == shard.entries.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
 void CompileService::RecordSolveLatency(double seconds) {
   const std::lock_guard<std::mutex> lock(latency_mutex_);
   latencies_[latency_next_] = seconds;
@@ -119,7 +129,12 @@ void CompileService::RecordSolveLatency(double seconds) {
 CompileService::ResultPtr CompileService::Compile(const graph::Dag& dag,
                                                   int num_stages,
                                                   std::string_view engine) {
-  const RequestKey key = MakeKey(dag, num_stages, engine);
+  return CompileKeyed(dag, num_stages, MakeKey(dag, num_stages, engine));
+}
+
+CompileService::ResultPtr CompileService::CompileKeyed(const graph::Dag& dag,
+                                                       int num_stages,
+                                                       const RequestKey& key) {
   Shard& shard = ShardFor(key.hash);
 
   std::shared_ptr<Flight> flight;
@@ -194,6 +209,58 @@ CompileService::Ticket CompileService::Submit(graph::Dag dag, int num_stages,
 CompileService::Ticket CompileService::Submit(graph::Dag dag, int num_stages,
                                               Method method) {
   return Submit(std::move(dag), num_stages, std::string(MethodName(method)));
+}
+
+CompileService::Ticket CompileService::SubmitKeyed(graph::Dag dag,
+                                                   int num_stages,
+                                                   RequestKey key) {
+  // Safe to capture: the key's engine_name string_view borrows from the
+  // global registry, whose entries outlive the service.
+  auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
+      [this, dag = std::move(dag), num_stages, key] {
+        return CompileKeyed(dag, num_stages, key);
+      });
+  Ticket ticket(task->get_future().share());
+  pool_->Submit([task] { (*task)(); });
+  return ticket;
+}
+
+std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages,
+    std::string_view engine) {
+  // Warm entries answer in place — no Dag copy, no pool round-trip (an
+  // all-warm batch costs one key hash + shard lookup per graph, like the
+  // sync path).  Only misses fan out as ordinary async requests, so cold
+  // graphs get the full single-flight treatment; results gather in input
+  // order.  Waiters never deadlock the pool: a flight owner finishes
+  // without needing any other queued task (a queued duplicate that runs
+  // later simply hits the cache or the resolved flight).
+  std::vector<ResultPtr> results(dags.size());
+  std::vector<std::pair<std::size_t, Ticket>> pending;
+  for (std::size_t i = 0; i < dags.size(); ++i) {
+    RequestKey key = MakeKey(*dags[i], num_stages, engine);
+    if (ResultPtr cached = TryCached(key)) {
+      results[i] = std::move(cached);
+      continue;
+    }
+    pending.emplace_back(i,
+                         SubmitKeyed(*dags[i], num_stages, std::move(key)));
+  }
+  std::exception_ptr first_failure;
+  for (const auto& [i, ticket] : pending) {
+    try {
+      results[i] = ticket.Wait();
+    } catch (...) {
+      if (first_failure == nullptr) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure != nullptr) std::rethrow_exception(first_failure);
+  return results;
+}
+
+std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages, Method method) {
+  return CompileBatch(dags, num_stages, MethodName(method));
 }
 
 void CompileService::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {

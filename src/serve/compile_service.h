@@ -31,6 +31,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -133,6 +134,19 @@ class CompileService {
                               std::string engine);
   [[nodiscard]] Ticket Submit(graph::Dag dag, int num_stages, Method method);
 
+  /// Batch-aware caching: compiles every graph of the batch through the
+  /// same content-addressed cache as Compile — warm entries answer without
+  /// a solve, duplicate graphs inside one batch collapse via single-flight,
+  /// and every cold solve populates the cache for later requests (unlike
+  /// PipelineCompiler::CompileBatch, which always re-solves).  Graphs are
+  /// solved concurrently on the service pool; results come back in input
+  /// order.  The first solve failure rethrows after every flight finishes.
+  [[nodiscard]] std::vector<ResultPtr> CompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages,
+      std::string_view engine);
+  [[nodiscard]] std::vector<ResultPtr> CompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages, Method method);
+
   /// Swaps the RL weight snapshot (null resets to the configured state),
   /// bumps the snapshot version, and drops every RL-dependent cache entry.
   /// Deterministic-engine entries are untouched.  In-flight RL solves finish
@@ -184,6 +198,18 @@ class CompileService {
   [[nodiscard]] RequestKey MakeKey(const graph::Dag& dag, int num_stages,
                                    std::string_view engine) const;
   [[nodiscard]] Shard& ShardFor(const graph::CanonicalHash& hash);
+
+  /// Cache-only probe: returns the resident entry (counted as a hit, LRU
+  /// refreshed) or null without joining flights or solving.
+  [[nodiscard]] ResultPtr TryCached(const RequestKey& key);
+
+  /// Compile with a precomputed key (the batch path probes the cache with
+  /// the key first, then reuses it for the cold solve — one DAG
+  /// serialization+hash per graph, not two).
+  [[nodiscard]] ResultPtr CompileKeyed(const graph::Dag& dag, int num_stages,
+                                       const RequestKey& key);
+  [[nodiscard]] Ticket SubmitKeyed(graph::Dag dag, int num_stages,
+                                   RequestKey key);
   void InsertLocked(Shard& shard, const RequestKey& key, ResultPtr result);
   void RecordSolveLatency(double seconds);
 

@@ -294,6 +294,52 @@ TEST(CompileServiceTest, MetricsReportSolveLatencyPercentiles) {
   EXPECT_GE(metrics.solve_p99_seconds, metrics.solve_p50_seconds);
 }
 
+TEST(CompileServiceTest, CompileBatchPopulatesAndHitsTheSharedCache) {
+  serve::ServiceOptions options;
+  // One pool thread makes the duplicate-collapse accounting deterministic:
+  // the owner's insert always lands before the duplicate's task runs, so 2
+  // unique graphs cost exactly 2 cold solves.  (With more threads the
+  // collapse is via single-flight and the split between hits and waits —
+  // and, under adverse scheduling, even the miss count — depends on
+  // timing; SingleFlightCollapsesConcurrentIdenticalRequests covers the
+  // concurrent case.)
+  options.num_threads = 1;
+  serve::CompileService service(FastOptions(), options);
+
+  const graph::Dag a = SampleDag(24, 33);
+  const graph::Dag b = SampleDag(24, 35);
+  const std::vector<const graph::Dag*> batch = {&a, &b, &a, &b, &a};
+  const auto results = service.CompileBatch(batch, 4, "list");
+  ASSERT_EQ(results.size(), batch.size());
+  for (const auto& result : results) ASSERT_NE(result, nullptr);
+  EXPECT_EQ(results[0], results[2]);  // shared cache entry, same pointer
+  EXPECT_EQ(results[0], results[4]);
+  EXPECT_EQ(results[1], results[3]);
+  EXPECT_EQ(service.Metrics().misses, 2u);
+
+  // Batch results equal the sync path's, and a repeat batch is all-warm.
+  EXPECT_EQ(service.Compile(a, 4, "list"), results[0]);
+  const auto warm = service.CompileBatch(batch, 4, Method::kListScheduling);
+  EXPECT_EQ(warm[0], results[0]);
+  EXPECT_EQ(warm[1], results[1]);
+  EXPECT_EQ(service.Metrics().misses, 2u);  // still only the two cold solves
+
+  // Partial failure: at 16 stages `tiny` (10 nodes) cannot fill the
+  // pipeline and fails, while `a` (24 nodes) solves fine.  The batch
+  // rethrows after every flight finishes, the good graph's result is
+  // cached, and the failure is not.
+  const graph::Dag tiny = SampleDag(10, 37);
+  const std::vector<const graph::Dag*> mixed = {&a, &tiny};
+  EXPECT_THROW((void)service.CompileBatch(mixed, 16, "greedy"),
+               std::exception);
+  const auto misses_after_mixed = service.Metrics().misses;
+  EXPECT_NE(service.Compile(a, 16, "greedy"), nullptr);  // warm hit
+  EXPECT_EQ(service.Metrics().misses, misses_after_mixed);
+  EXPECT_THROW((void)service.Compile(tiny, 16, "greedy"),  // retried cold
+               std::exception);
+  EXPECT_EQ(service.Metrics().misses, misses_after_mixed + 1);
+}
+
 TEST(CompileServiceTest, UnknownEngineThrowsBeforeTouchingTheCache) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(10, 31);

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <random>
+#include <stdexcept>
 
 #include "nn/tensor.h"
 
@@ -115,6 +116,86 @@ TEST(TensorTest, XavierBoundsAndSpread) {
   EXPECT_LE(max, bound);
   EXPECT_LT(min, 0.0f);  // actually spreads
   EXPECT_GT(max, 0.0f);
+}
+
+TEST(TensorTest, IntoVariantsMatchAllocatingOps) {
+  // The destination-passing kernels must be bit-identical to their
+  // allocating counterparts (the inference path depends on it).
+  std::mt19937_64 rng(7);
+  const Tensor a = Tensor::Xavier(5, 7, rng);
+  const Tensor b = Tensor::Xavier(7, 4, rng);
+  const Tensor c = Tensor::Xavier(5, 7, rng);
+
+  Tensor mm(5, 4);
+  MatMulInto(a, b, mm);
+  const Tensor mm_ref = MatMul(a, b);
+  for (std::int64_t i = 0; i < mm.Size(); ++i) {
+    EXPECT_EQ(mm.Data()[i], mm_ref.Data()[i]);
+  }
+
+  Tensor sum(5, 7), th(5, 7), sg(5, 7);
+  AddInto(a, c, sum);
+  TanhInto(a, th);
+  SigmoidInto(a, sg);
+  const Tensor sum_ref = Add(a, c);
+  const Tensor th_ref = Tanh(a);
+  const Tensor sg_ref = Sigmoid(a);
+  for (std::int64_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(sum.Data()[i], sum_ref.Data()[i]);
+    EXPECT_EQ(th.Data()[i], th_ref.Data()[i]);
+    EXPECT_EQ(sg.Data()[i], sg_ref.Data()[i]);
+  }
+
+  // The elementwise kernels allow in-place operation (out == &a).
+  Tensor th_inplace = a;
+  TanhInto(th_inplace, th_inplace);
+  Tensor sg_inplace = a;
+  SigmoidInto(sg_inplace, sg_inplace);
+  for (std::int64_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(th_inplace.Data()[i], th_ref.Data()[i]);
+    EXPECT_EQ(sg_inplace.Data()[i], sg_ref.Data()[i]);
+  }
+
+  // Shape mismatches throw before touching out.
+  Tensor bad(4, 4);
+  EXPECT_THROW(MatMulInto(a, b, bad), std::invalid_argument);
+  EXPECT_THROW(AddInto(a, c, bad), std::invalid_argument);
+  EXPECT_THROW(TanhInto(a, bad), std::invalid_argument);
+
+  // AddBroadcastColInPlace matches AddBroadcastCol.
+  const Tensor col = Tensor::Xavier(5, 1, rng);
+  Tensor bc = a;
+  AddBroadcastColInPlace(bc, col);
+  const Tensor bc_ref = AddBroadcastCol(a, col);
+  for (std::int64_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(bc.Data()[i], bc_ref.Data()[i]);
+  }
+}
+
+TEST(TensorTest, MaskedSoftmaxIntoMatchesBoolMaskVariant) {
+  const Tensor logits = Fill(1, 4, {0.5f, -1.0f, 2.0f, 0.0f});
+  const std::vector<bool> mask_bool = {true, false, true, true};
+  const std::vector<std::uint8_t> mask_u8 = {1, 0, 1, 1};
+  const Tensor ref = MaskedSoftmax(logits, mask_bool);
+  Tensor out(1, 4);
+  out.Fill(9.0f);  // stale contents must not leak through
+  MaskedSoftmaxInto(logits, mask_u8, out);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(out.At(0, j), ref.At(0, j));
+  EXPECT_EQ(out.At(0, 1), 0.0f);
+
+  const std::vector<std::uint8_t> none = {0, 0, 0, 0};
+  EXPECT_THROW(MaskedSoftmaxInto(logits, none, out), std::invalid_argument);
+}
+
+TEST(TensorTest, ResizeReusesStorageGrowOnly) {
+  Tensor t(4, 8);
+  const float* data = t.Data();
+  t.Resize(2, 3);  // shrink: same storage
+  EXPECT_EQ(t.Rows(), 2);
+  EXPECT_EQ(t.Cols(), 3);
+  EXPECT_EQ(t.Data(), data);
+  t.Resize(4, 8);  // back to the high-water mark: still no reallocation
+  EXPECT_EQ(t.Data(), data);
 }
 
 TEST(TensorTest, AccumulateAddsInPlace) {
