@@ -4,6 +4,7 @@
 // SchedulerEngine registry, and CompileBatch throughput across thread counts.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "rl/ptrnet.h"
 #include "rl/reference_decode.h"
 #include "serve/compile_service.h"
+#include "serve/request.h"
 #include "tpu/sim.h"
 
 namespace {
@@ -239,14 +241,18 @@ BENCHMARK(BM_CompileBatchThroughput)
 /// the cache every iteration, so each request pays the full engine solve;
 /// warm answers every iteration from the content-addressed cache (hash +
 /// shard lookup).  The serving acceptance bar is warm >= 10x cold
-/// throughput; in practice the gap is orders of magnitude.
+/// throughput; in practice the gap is orders of magnitude.  The
+/// CompileRequest is built once outside the loop — the serving shape, and
+/// what keeps the warm path free of per-iteration Dag copies.
 void BM_CompileServiceColdSolve(benchmark::State& state) {
   static serve::CompileService* service =
       new serve::CompileService(BatchBenchOptions());
-  const graph::Dag& dag = BatchDags()[0];
+  const serve::CompileRequest request{.dag = BatchDags()[0],
+                                      .num_stages = 4,
+                                      .engine = Method::kAnnealing};
   for (auto _ : state) {
     service->ClearCache();  // negligible against the solve it forces
-    benchmark::DoNotOptimize(service->Compile(dag, 4, Method::kAnnealing));
+    benchmark::DoNotOptimize(service->Compile(request));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -255,14 +261,29 @@ BENCHMARK(BM_CompileServiceColdSolve);
 void BM_CompileServiceWarmCache(benchmark::State& state) {
   static serve::CompileService* service =
       new serve::CompileService(BatchBenchOptions());
-  const graph::Dag& dag = BatchDags()[0];
-  benchmark::DoNotOptimize(service->Compile(dag, 4, Method::kAnnealing));
+  const serve::CompileRequest request{.dag = BatchDags()[0],
+                                      .num_stages = 4,
+                                      .engine = Method::kAnnealing};
+  benchmark::DoNotOptimize(service->Compile(request));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(service->Compile(dag, 4, Method::kAnnealing));
+    benchmark::DoNotOptimize(service->Compile(request));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CompileServiceWarmCache);
+
+std::vector<serve::CompileRequest> BatchRequests(serve::Priority priority,
+                                                 serve::CachePolicy policy) {
+  std::vector<serve::CompileRequest> requests;
+  for (const graph::Dag& dag : BatchDags()) {
+    requests.push_back(serve::CompileRequest{.dag = dag,
+                                             .num_stages = 4,
+                                             .engine = Method::kAnnealing,
+                                             .priority = priority,
+                                             .cache_policy = policy});
+  }
+  return requests;
+}
 
 /// Batch-aware caching: a warm CompileBatch through the service answers the
 /// whole batch from the shared cache (cf. BM_CompileBatchThroughput, which
@@ -270,17 +291,66 @@ BENCHMARK(BM_CompileServiceWarmCache);
 void BM_CompileServiceBatchWarm(benchmark::State& state) {
   static serve::CompileService* service =
       new serve::CompileService(BatchBenchOptions());
-  const std::vector<const graph::Dag*> pointers = BatchPointers();
-  benchmark::DoNotOptimize(
-      service->CompileBatch(pointers, 4, Method::kAnnealing));
+  const std::vector<serve::CompileRequest> requests = BatchRequests(
+      serve::Priority::kBatch, serve::CachePolicy::kUse);
+  benchmark::DoNotOptimize(service->CompileBatch(requests));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        service->CompileBatch(pointers, 4, Method::kAnnealing));
+    benchmark::DoNotOptimize(service->CompileBatch(requests));
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(pointers.size()));
+                          static_cast<std::int64_t>(requests.size()));
 }
 BENCHMARK(BM_CompileServiceBatchWarm);
+
+/// Interactive latency under a batch flood: each iteration submits the full
+/// 8-graph batch on the batch lane with cache bypass (every one a real
+/// solve occupying the 2 workers), then one interactive request, and the
+/// manual time is submit-to-complete for the interactive request alone.
+/// Run with /fifo vs /lanes to see what the deadline-aware queue buys: on
+/// the FIFO baseline the interactive request waits out the whole flood; on
+/// the lane queue it overtakes everything still queued.
+void MixedPriorityLoad(benchmark::State& state, bool fifo_queue) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  options.fifo_queue = fifo_queue;
+  serve::CompileService service(BatchBenchOptions(), options);
+  const std::vector<serve::CompileRequest> flood = BatchRequests(
+      serve::Priority::kBatch, serve::CachePolicy::kBypass);
+  const serve::CompileRequest interactive{
+      .dag = BatchDags()[0],
+      .num_stages = 4,
+      .engine = Method::kAnnealing,
+      .priority = serve::Priority::kInteractive,
+      .cache_policy = serve::CachePolicy::kBypass};
+  for (auto _ : state) {
+    std::vector<serve::CompileService::Ticket> tickets;
+    tickets.reserve(flood.size());
+    for (const serve::CompileRequest& request : flood) {
+      tickets.push_back(service.Submit(request));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto urgent = service.Submit(interactive);
+    (void)urgent.Wait();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    for (auto& ticket : tickets) (void)ticket.Wait();  // drain, untimed
+  }
+}
+
+void BM_MixedPriorityLoad_Fifo(benchmark::State& state) {
+  MixedPriorityLoad(state, /*fifo_queue=*/true);
+}
+BENCHMARK(BM_MixedPriorityLoad_Fifo)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MixedPriorityLoad_Lanes(benchmark::State& state) {
+  MixedPriorityLoad(state, /*fifo_queue=*/false);
+}
+BENCHMARK(BM_MixedPriorityLoad_Lanes)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// One engine solve (SchedulerEngine::Schedule only — no post-processing or
 /// packaging, the Fig. 3 quantity) per registered engine on a 30-node

@@ -1,37 +1,107 @@
 // Domain example 5: `serve_cli` — CompileService under a synthetic request
 // stream, the serving shape of the ROADMAP's north star.
 //
-//   $ ./build/examples/serve_cli [requests] [models] [stages] [engine]
+//   $ ./build/examples/serve_cli [requests] [models] [stages] [engine] \
+//       [--priority=interactive|normal|batch] [--deadline-ms=N] \
+//       [--threads=N] [--mixed]
 //
-// Samples `models` distinct synthetic DAGs, then fires `requests` async
-// requests with a skewed popularity distribution (hot graphs repeat, as
-// model-serving traffic does).  Three of every four requests go to `engine`;
-// the rest exercise the RL engine, and halfway through the stream the RL
-// weights are swapped with ReplaceRl — so the final metrics show cache hits,
-// single-flight collapses, and the RL-only invalidation sweep in one run.
+// Default mode samples `models` distinct synthetic DAGs, then fires
+// `requests` async CompileRequests with a skewed popularity distribution
+// (hot graphs repeat, as model-serving traffic does) on the chosen priority
+// lane, with an optional per-request deadline.  Three of every four
+// requests go to `engine`; the rest exercise the RL engine, and halfway
+// through the stream the RL weights are swapped with ReplaceRl — so the
+// final metrics show cache hits, single-flight collapses, and the RL-only
+// invalidation sweep in one run.
+//
+// --mixed instead drives the priority queue the way real serving mixes
+// traffic: a batch flood (3 of 4 requests, batch lane, cache bypass so
+// every one solves) with interactive requests interleaved (1 of 4,
+// interactive lane, the --deadline-ms budget if given), then prints
+// per-lane queue-wait and completion-latency p50/p99 — the number that
+// shows interactive requests overtaking the flood.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli_util.h"
 #include "engines/registry.h"
 #include "graph/sampler.h"
 #include "serve/compile_service.h"
+#include "serve/request.h"
 
 namespace {
 
 using namespace respect;
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [requests=200] [models=6] [stages=4 (1..%d)] "
-               "[engine=anneal]\n",
-               argv0, examples::kMaxStages);
+  std::fprintf(
+      stderr,
+      "usage: %s [requests=200] [models=6] [stages=4 (1..%d)] "
+      "[engine=anneal]\n"
+      "          [--priority=interactive|normal|batch] [--deadline-ms=N]\n"
+      "          [--threads=N] [--mixed]\n",
+      argv0, examples::kMaxStages);
   return 2;
+}
+
+using serve::Percentile;
+
+struct LaneSamples {
+  std::vector<double> wait_seconds;
+  std::vector<double> total_seconds;  // queue wait + own solve
+  int completed = 0;
+  int expired = 0;
+};
+
+void PrintLane(const char* label, const LaneSamples& lane) {
+  std::printf(
+      "  %-11s %4d done  %3d expired  wait p50 %7.2f ms  p99 %7.2f ms  "
+      "latency p50 %7.2f ms  p99 %7.2f ms\n",
+      label, lane.completed, lane.expired,
+      Percentile(lane.wait_seconds, 0.50) * 1e3,
+      Percentile(lane.wait_seconds, 0.99) * 1e3,
+      Percentile(lane.total_seconds, 0.50) * 1e3,
+      Percentile(lane.total_seconds, 0.99) * 1e3);
+}
+
+void PrintServiceMetrics(const serve::CompileService& service) {
+  const serve::ServiceMetrics m = service.Metrics();
+  std::printf("  hits %llu  misses %llu  single-flight waits %llu  "
+              "bypasses %llu\n",
+              static_cast<unsigned long long>(m.hits),
+              static_cast<unsigned long long>(m.misses),
+              static_cast<unsigned long long>(m.single_flight_waits),
+              static_cast<unsigned long long>(m.bypasses));
+  std::printf("  evictions %llu  invalidations %llu  failures %llu  "
+              "deadline-expired %llu  resident %zu\n",
+              static_cast<unsigned long long>(m.evictions),
+              static_cast<unsigned long long>(m.invalidations),
+              static_cast<unsigned long long>(m.failures),
+              static_cast<unsigned long long>(m.deadline_expired),
+              m.cache_size);
+  std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
+              m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
+  for (std::size_t lane = 0; lane < serve::kNumPriorityLanes; ++lane) {
+    const serve::LaneMetrics& lm = m.lanes[lane];
+    if (lm.enqueued == 0) continue;
+    std::printf("  lane %-11s enqueued %llu  started %llu  expired %llu  "
+                "wait p50 %.2f ms  p99 %.2f ms\n",
+                std::string(
+                    PriorityName(static_cast<serve::Priority>(lane)))
+                    .c_str(),
+                static_cast<unsigned long long>(lm.enqueued),
+                static_cast<unsigned long long>(lm.started),
+                static_cast<unsigned long long>(lm.expired),
+                lm.wait_p50_seconds * 1e3, lm.wait_p99_seconds * 1e3);
+  }
 }
 
 }  // namespace
@@ -41,21 +111,63 @@ int main(int argc, char** argv) {
   int num_models = 6;
   int stages = 4;
   std::string engine = "anneal";
+  serve::Priority priority = serve::Priority::kNormal;
+  int deadline_ms = 0;  // 0 = no deadline
+  int threads = 0;      // 0 = ThreadPool::DefaultThreadCount
+  bool mixed = false;
   constexpr int kMaxInt = std::numeric_limits<int>::max();
-  if (argc > 1 && !examples::ParseIntInRange(argv[1], 1, kMaxInt, requests)) {
-    return Usage(argv[0]);
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--priority=", 11) == 0) {
+      const auto parsed = serve::ParsePriority(arg + 11);
+      if (!parsed) {
+        std::fprintf(stderr, "error: bad --priority '%s'\n", arg + 11);
+        return Usage(argv[0]);
+      }
+      priority = *parsed;
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      if (!examples::ParseIntInRange(arg + 14, 1, kMaxInt, deadline_ms)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      if (!examples::ParseIntInRange(arg + 10, 1, 1024, threads)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--mixed") == 0) {
+      mixed = true;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return Usage(argv[0]);
+    } else {
+      switch (positional++) {
+        case 0:
+          if (!examples::ParseIntInRange(arg, 1, kMaxInt, requests)) {
+            return Usage(argv[0]);
+          }
+          break;
+        case 1:
+          if (!examples::ParseIntInRange(arg, 1, kMaxInt, num_models)) {
+            return Usage(argv[0]);
+          }
+          break;
+        case 2:
+          // The sampled DAGs have 40 nodes; the stage cap keeps every
+          // request satisfiable (beyond kMaxStages it would fail to pack).
+          if (!examples::ParseIntInRange(arg, 1, examples::kMaxStages,
+                                         stages)) {
+            return Usage(argv[0]);
+          }
+          break;
+        case 3:
+          engine = arg;
+          break;
+        default:
+          return Usage(argv[0]);
+      }
+    }
   }
-  if (argc > 2 &&
-      !examples::ParseIntInRange(argv[2], 1, kMaxInt, num_models)) {
-    return Usage(argv[0]);
-  }
-  // The sampled DAGs have 40 nodes; the stage cap keeps every request
-  // satisfiable (a stage count beyond kMaxStages would fail to pack).
-  if (argc > 3 &&
-      !examples::ParseIntInRange(argv[3], 1, examples::kMaxStages, stages)) {
-    return Usage(argv[0]);
-  }
-  if (argc > 4) engine = argv[4];
   if (!engines::EngineRegistry::Global().Contains(engine)) {
     std::fprintf(stderr, "error: unknown engine '%s' (see compiler_cli "
                  "--help for the registry)\n",
@@ -75,21 +187,64 @@ int main(int argc, char** argv) {
   options.net.hidden_dim = 32;
   options.exact_max_expansions = 50'000;
   options.exact_time_limit_seconds = 0.2;
-  serve::CompileService service(options);
+  serve::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  serve::CompileService service(options, service_options);
 
-  std::printf("serving %d requests over %d models, %d stages, engine %s "
-              "(1 in 4 requests uses the RL engine)\n",
-              requests, num_models, stages, engine.c_str());
+  const auto deadline_for = [&](bool apply) {
+    return apply && deadline_ms > 0
+               ? std::optional<std::chrono::steady_clock::time_point>(
+                     serve::DeadlineIn(deadline_ms * 1e-3))
+               : std::nullopt;
+  };
 
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<serve::CompileService::Ticket> tickets;
+  std::vector<std::pair<serve::Priority, serve::CompileService::Ticket>>
+      tickets;
   tickets.reserve(requests);
-  try {
+  std::vector<LaneSamples> lanes(serve::kNumPriorityLanes);
+  const auto start = std::chrono::steady_clock::now();
+
+  const auto submit_mixed = [&] {
+    // Batch flood + interactive trickle.  The flood bypasses the cache so
+    // every batch request really occupies a worker — the interactive lane
+    // has a backlog to overtake.
+    std::printf("mixed traffic: %d requests over %d models, %d stages, "
+                "engine %s (3:1 batch:interactive%s)\n",
+                requests, num_models, stages, engine.c_str(),
+                deadline_ms > 0 ? ", interactive deadline applied" : "");
+    for (int r = 0; r < requests; ++r) {
+      const bool interactive = r % 4 == 3;
+      const std::size_t pick =
+          std::min(rng() % zoo.size(), rng() % zoo.size());
+      serve::CompileRequest request{
+          .dag = zoo[pick],
+          .num_stages = stages,
+          .engine = engine,
+          .priority = interactive ? serve::Priority::kInteractive
+                                  : serve::Priority::kBatch,
+          .deadline = deadline_for(interactive),
+          .cache_policy = interactive ? serve::CachePolicy::kUse
+                                      : serve::CachePolicy::kBypass};
+      tickets.emplace_back(request.priority,
+                           service.Submit(std::move(request)));
+    }
+  };
+
+  const auto submit_stream = [&] {
+    std::printf("serving %d requests over %d models, %d stages, engine %s, "
+                "%s lane (1 in 4 requests uses the RL engine)\n",
+                requests, num_models, stages, engine.c_str(),
+                std::string(PriorityName(priority)).c_str());
     for (int r = 0; r < requests; ++r) {
       if (r == requests / 2) {
         // Mid-stream weight rollout: RL-engine entries invalidate, every
         // deterministic-engine entry stays warm.
-        for (auto& ticket : tickets) (void)ticket.Wait();
+        for (auto& [lane, ticket] : tickets) {
+          try {
+            (void)ticket.Wait();
+          } catch (const serve::DeadlineExceeded&) {
+          }
+        }
         service.ReplaceRl(std::make_shared<rl::RlScheduler>(options.net));
         std::printf("  ... ReplaceRl at request %d (invalidations so far: "
                     "%llu)\n",
@@ -101,10 +256,39 @@ int main(int argc, char** argv) {
       // first (hot) models, approximating serving traffic.
       const std::size_t pick =
           std::min(rng() % zoo.size(), rng() % zoo.size());
-      const std::string& target = (r % 4 == 3) ? "respect" : engine;
-      tickets.push_back(service.Submit(zoo[pick], stages, target));
+      serve::CompileRequest request{
+          .dag = zoo[pick],
+          .num_stages = stages,
+          .engine = (r % 4 == 3) ? serve::EngineRef("respect")
+                                 : serve::EngineRef(engine),
+          .priority = priority,
+          .deadline = deadline_for(true)};
+      tickets.emplace_back(request.priority,
+                           service.Submit(std::move(request)));
     }
-    for (auto& ticket : tickets) (void)ticket.Wait();
+  };
+
+  // One try around submission and draining: a non-deadline failure anywhere
+  // in the stream (solve failure mid-rollout, unsatisfiable request) reports
+  // and exits instead of escaping main.
+  try {
+    if (mixed) {
+      submit_mixed();
+    } else {
+      submit_stream();
+    }
+    for (auto& [lane, ticket] : tickets) {
+      LaneSamples& samples = lanes[static_cast<std::size_t>(lane)];
+      try {
+        const serve::CompileResponse& response = ticket.WaitResponse();
+        samples.wait_seconds.push_back(response.queue_wait_seconds);
+        samples.total_seconds.push_back(response.queue_wait_seconds +
+                                        response.solve_seconds);
+        ++samples.completed;
+      } catch (const serve::DeadlineExceeded&) {
+        ++samples.expired;
+      }
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: compile request failed: %s\n", e.what());
     return 1;
@@ -113,19 +297,14 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  const serve::ServiceMetrics m = service.Metrics();
   std::printf("done in %.3f s (%.0f requests/s)\n", seconds,
               requests / seconds);
-  std::printf("  hits %llu  misses %llu  single-flight waits %llu\n",
-              static_cast<unsigned long long>(m.hits),
-              static_cast<unsigned long long>(m.misses),
-              static_cast<unsigned long long>(m.single_flight_waits));
-  std::printf("  evictions %llu  invalidations %llu  failures %llu  "
-              "resident %zu\n",
-              static_cast<unsigned long long>(m.evictions),
-              static_cast<unsigned long long>(m.invalidations),
-              static_cast<unsigned long long>(m.failures), m.cache_size);
-  std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
-              m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    if (lanes[lane].completed == 0 && lanes[lane].expired == 0) continue;
+    PrintLane(
+        std::string(PriorityName(static_cast<serve::Priority>(lane))).c_str(),
+        lanes[lane]);
+  }
+  PrintServiceMetrics(service);
   return 0;
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over google-benchmark JSON output.
+
+Compares the current BENCH_micro.json against a baseline artifact (the
+previous run's upload) and fails when a watched throughput metric regresses
+by more than --max-regression (a fraction; 0.15 = 15%).
+
+Watched by default:
+  * BM_DecodeGreedyWorkspace/100  — fused decode throughput (items/s),
+  * BM_CompileServiceWarmCache    — warm-cache serving throughput (items/s).
+
+Benchmarks present in only one of the two files are reported and skipped
+(renames and newly added benchmarks must not hard-fail the gate); a
+regression in any watched metric exits non-zero.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json \
+      [--max-regression 0.15] [--watch NAME ...]
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_WATCH = [
+    "BM_DecodeGreedyWorkspace/100",
+    "BM_CompileServiceWarmCache",
+]
+
+
+def load_items_per_second(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    metrics = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) carry the same name with a
+        # suffix; plain runs are what CI produces.
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate is not None:
+            metrics[bench["name"]] = float(rate)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=0.15,
+                        help="allowed fractional drop (default 0.15)")
+    parser.add_argument("--watch", nargs="*", default=DEFAULT_WATCH,
+                        help="benchmark names to gate on")
+    args = parser.parse_args()
+
+    baseline = load_items_per_second(args.baseline)
+    current = load_items_per_second(args.current)
+
+    failures = []
+    for name in args.watch:
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None or new is None:
+            where = "baseline" if old is None else "current run"
+            print(f"SKIP  {name}: not present in {where}")
+            continue
+        change = (new - old) / old
+        floor = old * (1.0 - args.max_regression)
+        verdict = "FAIL" if new < floor else "ok"
+        print(f"{verdict:4}  {name}: {old:,.1f} -> {new:,.1f} items/s "
+              f"({change:+.1%}, floor {floor:,.1f})")
+        if new < floor:
+            failures.append(name)
+
+    if failures:
+        print(f"\nregression gate failed for: {', '.join(failures)} "
+              f"(allowed drop: {args.max_regression:.0%})")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <deque>
 #include <exception>
 #include <utility>
 
@@ -12,9 +13,33 @@ namespace {
 /// instead of deadlocking on its own worker slot.
 thread_local const ThreadPool* current_worker_pool = nullptr;
 
+/// The default policy: strict submission order, attributes ignored.
+class FifoTaskQueue final : public ThreadPool::TaskQueue {
+ public:
+  void Push(ThreadPool::Task task, ThreadPool::TaskAttrs) override {
+    queue_.push_back(std::move(task));
+  }
+
+  [[nodiscard]] ThreadPool::Task Pop() override {
+    ThreadPool::Task task = std::move(queue_.front());
+    queue_.pop_front();
+    return task;
+  }
+
+  [[nodiscard]] std::size_t Size() const override { return queue_.size(); }
+
+ private:
+  std::deque<ThreadPool::Task> queue_;
+};
+
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads)
+    : ThreadPool(num_threads, nullptr) {}
+
+ThreadPool::ThreadPool(int num_threads, std::unique_ptr<TaskQueue> queue)
+    : queue_(queue != nullptr ? std::move(queue)
+                              : std::make_unique<FifoTaskQueue>()) {
   const int count = std::max(1, num_threads);
   workers_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -31,10 +56,12 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(Task task) { Submit(std::move(task), TaskAttrs{}); }
+
+void ThreadPool::Submit(Task task, TaskAttrs attrs) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_->Push(std::move(task), std::move(attrs));
     ++in_flight_;
   }
   work_cv_.notify_one();
@@ -52,13 +79,12 @@ int ThreadPool::DefaultThreadCount() {
 void ThreadPool::WorkerLoop() {
   current_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to run
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return stop_ || queue_->Size() > 0; });
+      if (queue_->Size() == 0) return;  // stop_ set and nothing left to run
+      task = queue_->Pop();
     }
     // A throwing task must not tear down the process (std::terminate) or
     // wedge Wait() by skipping the in_flight_ decrement.  Raw Submit offers

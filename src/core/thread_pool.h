@@ -1,14 +1,19 @@
-// A small fixed-size worker pool for the batch compilation path.
+// A small fixed-size worker pool for the batch compilation and serving
+// paths.
 //
-// Deliberately minimal: FIFO queue, Submit + Wait, no futures.  ParallelFor
-// is the only shape CompileBatch needs — run fn(i) over an index range and
-// rethrow the first worker exception on the calling thread.
+// The pool owns the workers and the hand-off machinery (mutex, condition
+// variables, in-flight accounting); the *ordering* of pending tasks is a
+// pluggable TaskQueue policy.  The default policy is plain FIFO — the shape
+// CompileBatch needs — and the serving layer plugs in a deadline-aware
+// multi-lane queue (serve::RequestQueue) without the pool knowing anything
+// about priorities.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,8 +22,59 @@ namespace respect::core {
 
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (values < 1 are clamped to 1).
+  using Task = std::function<void()>;
+
+  /// Scheduling metadata forwarded from Submit to the pool's TaskQueue.
+  /// The built-in FIFO queue ignores all of it; policy queues use `lane`
+  /// for ordering and `deadline`/`on_expired` for in-queue expiry.
+  struct TaskAttrs {
+    /// Ordering hint; smaller = more urgent.  Meaning is defined by the
+    /// TaskQueue implementation (the FIFO default has none).
+    int lane = 0;
+
+    /// Absolute expiry time, honored only when has_deadline is set and the
+    /// installed TaskQueue implements expiry.
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+
+    /// Runs on a worker *in place of* the task when the queue expires the
+    /// entry — the channel for failing the task's consumers fast.  May be
+    /// empty (the entry is then dropped silently).
+    Task on_expired;
+  };
+
+  /// Ordering policy for pending tasks.  The pool calls every method under
+  /// its internal mutex, so implementations need no synchronization of
+  /// their own for Push/Pop/Size — but they must not block and must not
+  /// call back into the pool.  Any state an implementation exposes to
+  /// other threads besides these three methods must be independently
+  /// synchronized (e.g. atomic counters).
+  class TaskQueue {
+   public:
+    virtual ~TaskQueue() = default;
+
+    /// Takes ownership of one pending entry.
+    virtual void Push(Task task, TaskAttrs attrs) = 0;
+
+    /// Pops the next task to run; called only when Size() > 0, and the
+    /// returned task is executed outside the pool mutex.  An expired
+    /// entry's on_expired callback may be returned in place of its task —
+    /// either way exactly one pushed entry is consumed and a non-empty
+    /// callable is returned.
+    [[nodiscard]] virtual Task Pop() = 0;
+
+    [[nodiscard]] virtual std::size_t Size() const = 0;
+  };
+
+  /// Spawns `num_threads` workers (values < 1 are clamped to 1) over the
+  /// default FIFO queue.
   explicit ThreadPool(int num_threads);
+
+  /// Same, pulling tasks through `queue` (null selects the FIFO default).
+  /// The pool owns the queue; callers that keep a non-owning pointer for
+  /// out-of-band reads (metrics) must not outlive the pool.
+  ThreadPool(int num_threads, std::unique_ptr<TaskQueue> queue);
+
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -27,7 +83,10 @@ class ThreadPool {
   /// Enqueues a task; it may start running before Submit returns.  A task
   /// that throws is swallowed (there is no channel to report it) — use
   /// ParallelFor when exceptions must reach the caller.
-  void Submit(std::function<void()> task);
+  void Submit(Task task);
+
+  /// Same, with scheduling attributes for the installed TaskQueue.
+  void Submit(Task task, TaskAttrs attrs);
 
   /// Blocks until the pool is fully idle — i.e. every task from every
   /// submitter has finished.  With multiple concurrent submitters prefer
@@ -45,7 +104,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::unique_ptr<TaskQueue> queue_;
   std::mutex mutex_;
   std::condition_variable work_cv_;  // signals workers: task queued / stop
   std::condition_variable idle_cv_;  // signals Wait(): all work drained

@@ -1,0 +1,48 @@
+// EngineRef — one value unifying the three spellings callers use to pick a
+// scheduling engine: the canonical registry name ("Annealing"), the CLI
+// alias ("anneal"), or the Method enum value (Method::kAnnealing).
+//
+// APIs that accept an EngineRef replace pairs of string_view/Method
+// overloads with a single entry point; the registry resolves all three
+// spellings to the same EngineRegistration (see EngineRegistry::Resolve).
+// The string form is owned, so a request carrying an EngineRef can outlive
+// the buffer it was parsed from.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "engines/method.h"
+
+namespace respect::engines {
+
+class EngineRef {
+ public:
+  /// Empty reference; EngineRegistry::Resolve rejects it with a clear error
+  /// (kept default-constructible so request structs stay aggregates).
+  EngineRef() = default;
+
+  // Implicit by design: call sites write Compile({.engine = "anneal"}) or
+  // Compile({.engine = Method::kAnnealing}) without naming this type.
+  EngineRef(Method method) : ref_(method) {}  // NOLINT(google-explicit-constructor)
+  EngineRef(std::string name) : ref_(std::move(name)) {}  // NOLINT
+  EngineRef(std::string_view name) : ref_(std::string(name)) {}  // NOLINT
+  EngineRef(const char* name) : ref_(std::string(name)) {}  // NOLINT
+
+  [[nodiscard]] bool IsEmpty() const {
+    return std::holds_alternative<std::monostate>(ref_);
+  }
+
+  /// How the caller spelled the engine — for error messages ("<unset>" when
+  /// empty; the canonical name for Method values).  Defined in registry.cc.
+  [[nodiscard]] std::string Spelling() const;
+
+ private:
+  friend class EngineRegistry;
+
+  std::variant<std::monostate, Method, std::string> ref_;
+};
+
+}  // namespace respect::engines

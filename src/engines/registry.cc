@@ -68,6 +68,25 @@ const EngineRegistration* EngineRegistry::Find(Method method) const {
   return nullptr;
 }
 
+const EngineRegistration& EngineRegistry::Resolve(const EngineRef& ref) const {
+  if (ref.IsEmpty()) {
+    throw std::invalid_argument(
+        "no engine specified (EngineRef is empty; set a name, alias, or "
+        "Method value)");
+  }
+  const EngineRegistration* registration = nullptr;
+  if (const auto* method = std::get_if<Method>(&ref.ref_)) {
+    registration = Find(*method);
+  } else if (const auto* name = std::get_if<std::string>(&ref.ref_)) {
+    registration = Find(std::string_view(*name));
+  }
+  if (registration == nullptr) {
+    throw std::invalid_argument("unknown scheduling engine '" +
+                                ref.Spelling() + "'");
+  }
+  return *registration;
+}
+
 namespace {
 
 std::unique_ptr<SchedulerEngine> RunFactory(
@@ -108,6 +127,14 @@ std::vector<std::string> EngineRegistry::Names() const {
     names.push_back(registration.name);
   }
   return names;
+}
+
+std::string EngineRef::Spelling() const {
+  if (const auto* name = std::get_if<std::string>(&ref_)) return *name;
+  if (const auto* method = std::get_if<Method>(&ref_)) {
+    return std::string(MethodName(*method));
+  }
+  return "<unset>";
 }
 
 }  // namespace respect::engines

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "engines/engine.h"
+#include "engines/engine_ref.h"
 #include "engines/method.h"
 
 namespace respect::engines {
@@ -65,6 +66,14 @@ class EngineRegistry {
   [[nodiscard]] const EngineRegistration* Find(
       std::string_view name_or_alias) const;
   [[nodiscard]] const EngineRegistration* Find(Method method) const;
+
+  /// Looks up whatever an EngineRef spells — canonical name, alias, or
+  /// Method value — and throws std::invalid_argument (naming the caller's
+  /// spelling) when the ref is empty or unknown.  Deliberately not a Find
+  /// overload: EngineRef converts implicitly from strings, which would make
+  /// Find(std::string) ambiguous.  The returned reference stays valid for
+  /// the process lifetime (entries are never relocated or removed).
+  [[nodiscard]] const EngineRegistration& Resolve(const EngineRef& ref) const;
 
   /// Instantiates an engine.  Throws std::invalid_argument on unknown
   /// name/method.

@@ -8,9 +8,12 @@
 
 #include "core/thread_pool.h"
 #include "engines/registry.h"
+#include "serve/request_queue.h"
 
 namespace respect::serve {
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
 
 /// Stable fingerprint of everything in CompilerOptions that can change a
 /// CompileResult.  weights_path contributes as a path string: the key covers
@@ -35,7 +38,49 @@ graph::CanonicalHash FingerprintOptions(const CompilerOptions& options) {
   return h.Finish();
 }
 
+std::unique_ptr<core::ThreadPool> MakeServicePool(
+    const ServiceOptions& options) {
+  const int num_threads = options.num_threads < 1
+                              ? core::ThreadPool::DefaultThreadCount()
+                              : options.num_threads;
+  if (options.fifo_queue) {
+    return std::make_unique<core::ThreadPool>(num_threads);
+  }
+  RequestQueue::Options queue_options;
+  queue_options.aging_seconds = options.queue_aging_seconds;
+  return std::make_unique<core::ThreadPool>(
+      num_threads, std::make_unique<RequestQueue>(queue_options));
+}
+
 }  // namespace
+
+void CompileService::LatencyWindow::Configure(std::size_t capacity) {
+  values_.reserve(std::max<std::size_t>(1, capacity));
+  capacity_limit_ = std::max<std::size_t>(1, capacity);
+}
+
+void CompileService::LatencyWindow::Record(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (values_.size() < capacity_limit_) {
+    values_.push_back(seconds);
+    next_ = values_.size() % capacity_limit_;
+    return;
+  }
+  values_[next_] = seconds;
+  next_ = (next_ + 1) % capacity_limit_;
+}
+
+void CompileService::LatencyWindow::Percentiles(double& p50,
+                                                double& p99) const {
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    window = values_;
+  }
+  std::sort(window.begin(), window.end());
+  p50 = PercentileSorted(window, 0.50);
+  p99 = PercentileSorted(window, 0.99);
+}
 
 CompileService::CompileService(const CompilerOptions& compiler_options,
                                const ServiceOptions& options)
@@ -48,36 +93,38 @@ CompileService::CompileService(const CompilerOptions& compiler_options,
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  const int num_threads = options.num_threads < 1
-                              ? core::ThreadPool::DefaultThreadCount()
-                              : options.num_threads;
-  pool_ = std::make_unique<core::ThreadPool>(num_threads);
-  latencies_.resize(std::max<std::size_t>(1, options.latency_window), 0.0);
+  pool_ = MakeServicePool(options);
+  solve_latency_.Configure(options.latency_window);
+  for (LatencyWindow& window : lane_wait_) {
+    window.Configure(options.latency_window);
+  }
 }
 
 // The pool joins before the members the queued tasks reference are torn
-// down; every outstanding Ticket is resolved by then.
+// down; every outstanding Ticket is resolved by then (queued entries run or
+// expire, never vanish).
 CompileService::~CompileService() { pool_.reset(); }
 
+std::size_t CompileService::LaneIndex(Priority priority) {
+  const auto index = static_cast<std::size_t>(static_cast<int>(priority));
+  return index < kNumPriorityLanes ? index : kNumPriorityLanes - 1;
+}
+
 CompileService::RequestKey CompileService::MakeKey(
-    const graph::Dag& dag, int num_stages, std::string_view engine) const {
-  const engines::EngineRegistration* registration =
-      engines::EngineRegistry::Global().Find(engine);
-  if (registration == nullptr) {
-    throw std::invalid_argument("CompileService: unknown engine '" +
-                                std::string(engine) + "'");
-  }
+    const graph::Dag& dag, int num_stages, const EngineRef& engine) const {
+  const engines::EngineRegistration& registration =
+      engines::EngineRegistry::Global().Resolve(engine);
   graph::CanonicalHasher h;
   h.Update("respect-serve-key-v1");
-  h.Update(registration->name);  // canonical, so alias and name share a key
+  h.Update(registration.name);  // canonical, so alias and name share a key
   h.Update(num_stages);
   h.Update(options_fingerprint_.hi);
   h.Update(options_fingerprint_.lo);
-  if (registration->uses_rl) h.Update(compiler_.RlVersion());
+  if (registration.uses_rl) h.Update(compiler_.RlVersion());
   const graph::CanonicalHash dag_hash = graph::HashDag(dag);
   h.Update(dag_hash.hi);
   h.Update(dag_hash.lo);
-  return RequestKey{h.Finish(), registration->uses_rl, registration->name};
+  return RequestKey{h.Finish(), registration.uses_rl, registration.name};
 }
 
 CompileService::Shard& CompileService::ShardFor(
@@ -93,8 +140,8 @@ void CompileService::InsertLocked(Shard& shard, const RequestKey& key,
   if (per_shard_capacity_ == 0) return;
   if (const auto it = shard.entries.find(key.hash);
       it != shard.entries.end()) {
-    // Only a flight owner inserts its key, so a live duplicate is
-    // impossible; refresh defensively rather than asserting.
+    // Reached by CachePolicy::kRefresh overwriting a resident entry, and
+    // defensively if a flight owner ever races an insert.
     it->second->result = std::move(result);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
@@ -119,22 +166,27 @@ CompileService::ResultPtr CompileService::TryCached(const RequestKey& key) {
   return it->second->result;
 }
 
-void CompileService::RecordSolveLatency(double seconds) {
-  const std::lock_guard<std::mutex> lock(latency_mutex_);
-  latencies_[latency_next_] = seconds;
-  latency_next_ = (latency_next_ + 1) % latencies_.size();
-  if (latency_next_ == 0) latency_full_ = true;
+CompileService::ResultPtr CompileService::SolveCold(const graph::Dag& dag,
+                                                    int num_stages,
+                                                    const RequestKey& key,
+                                                    double& solve_seconds) {
+  try {
+    const auto start = SteadyClock::now();
+    auto result = std::make_shared<const CompileResult>(
+        compiler_.Compile(dag, num_stages, key.engine_name));
+    solve_seconds =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    solve_latency_.Record(solve_seconds);
+    return result;
+  } catch (...) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
 }
 
-CompileService::ResultPtr CompileService::Compile(const graph::Dag& dag,
-                                                  int num_stages,
-                                                  std::string_view engine) {
-  return CompileKeyed(dag, num_stages, MakeKey(dag, num_stages, engine));
-}
-
-CompileService::ResultPtr CompileService::CompileKeyed(const graph::Dag& dag,
-                                                       int num_stages,
-                                                       const RequestKey& key) {
+void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
+                                   const RequestKey& key,
+                                   CompileResponse& response) {
   Shard& shard = ShardFor(key.hash);
 
   std::shared_ptr<Flight> flight;
@@ -145,7 +197,9 @@ CompileService::ResultPtr CompileService::CompileKeyed(const graph::Dag& dag,
         it != shard.entries.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second->result;
+      response.result = it->second->result;
+      response.outcome = CacheOutcome::kHit;
+      return;
     }
     if (const auto it = shard.flights.find(key.hash);
         it != shard.flights.end()) {
@@ -160,81 +214,241 @@ CompileService::ResultPtr CompileService::CompileKeyed(const graph::Dag& dag,
     }
   }
 
-  if (!owner) return flight->future.get();  // rethrows the owner's failure
+  if (!owner) {
+    response.result = flight->future.get();  // rethrows the owner's failure
+    response.outcome = CacheOutcome::kCollapsed;
+    return;
+  }
 
   try {
-    const auto start = std::chrono::steady_clock::now();
-    auto result = std::make_shared<const CompileResult>(
-        compiler_.Compile(dag, num_stages, key.engine_name));
-    RecordSolveLatency(std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count());
+    double solve_seconds = 0.0;
+    ResultPtr result = SolveCold(dag, num_stages, key, solve_seconds);
     {
       const std::lock_guard<std::mutex> lock(shard.mutex);
       InsertLocked(shard, key, result);
       shard.flights.erase(key.hash);
     }
     flight->promise.set_value(result);
-    return result;
+    response.result = std::move(result);
+    response.outcome = CacheOutcome::kMiss;
+    response.solve_seconds = solve_seconds;
   } catch (...) {
     {
       const std::lock_guard<std::mutex> lock(shard.mutex);
       shard.flights.erase(key.hash);
     }
-    failures_.fetch_add(1, std::memory_order_relaxed);
     flight->promise.set_exception(std::current_exception());
     throw;
   }
 }
 
+CompileResponse CompileService::Execute(
+    const graph::Dag& dag, const CompileRequest& params,
+    const std::optional<RequestKey>& precomputed) {
+  const RequestKey key =
+      precomputed ? *precomputed : MakeKey(dag, params.num_stages, params.engine);
+  CompileResponse response;
+  response.engine_name = key.engine_name;
+  response.key_hex = key.hash.ToHex();
+  switch (params.cache_policy) {
+    case CachePolicy::kUse:
+      ExecuteCached(dag, params.num_stages, key, response);
+      break;
+    case CachePolicy::kBypass:
+      // Forced fresh solve, cache untouched; not counted as a miss (misses
+      // are cache-lookup outcomes, and this never looked).
+      bypasses_.fetch_add(1, std::memory_order_relaxed);
+      response.result =
+          SolveCold(dag, params.num_stages, key, response.solve_seconds);
+      response.outcome = CacheOutcome::kBypass;
+      break;
+    case CachePolicy::kRefresh: {
+      refreshes_.fetch_add(1, std::memory_order_relaxed);
+      ResultPtr result =
+          SolveCold(dag, params.num_stages, key, response.solve_seconds);
+      {
+        Shard& shard = ShardFor(key.hash);
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        InsertLocked(shard, key, result);
+      }
+      response.result = std::move(result);
+      response.outcome = CacheOutcome::kRefresh;
+      break;
+    }
+  }
+  return response;
+}
+
+CompileResponse CompileService::CompileOn(const graph::Dag& dag,
+                                          const CompileRequest& params) {
+  if (params.deadline && SteadyClock::now() > *params.deadline) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceeded(
+        "compile request deadline expired before the solve started");
+  }
+  return Execute(dag, params, std::nullopt);
+}
+
+CompileResponse CompileService::Compile(const CompileRequest& request) {
+  return CompileOn(request.dag, request);
+}
+
+CompileService::Ticket CompileService::Submit(CompileRequest request) {
+  return SubmitInternal(std::move(request), std::nullopt);
+}
+
+CompileService::Ticket CompileService::SubmitInternal(
+    CompileRequest request, std::optional<RequestKey> key) {
+  // Everything a queued request needs, shared between the run task and the
+  // expiry callback — whichever the queue hands to a worker resolves the
+  // promise exactly once (an entry is popped exactly once).
+  struct Pending {
+    std::promise<CompileResponse> promise;
+    CompileRequest request;
+    std::optional<RequestKey> key;
+    SteadyClock::time_point enqueue_time;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  pending->key = std::move(key);
+  pending->enqueue_time = SteadyClock::now();
+
+  const std::size_t lane = LaneIndex(pending->request.priority);
+  lane_counters_[lane].enqueued.fetch_add(1, std::memory_order_relaxed);
+
+  Ticket ticket(pending->promise.get_future().share());
+
+  core::ThreadPool::TaskAttrs attrs;
+  attrs.lane = static_cast<int>(lane);
+  if (pending->request.deadline) {
+    attrs.has_deadline = true;
+    attrs.deadline = *pending->request.deadline;
+  }
+  attrs.on_expired = [this, pending, lane] {
+    lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    pending->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "compile request deadline expired while queued (lane " +
+        std::string(PriorityName(pending->request.priority)) + ")")));
+  };
+
+  pool_->Submit(
+      [this, pending, lane] {
+        const double wait = std::chrono::duration<double>(
+                                SteadyClock::now() - pending->enqueue_time)
+                                .count();
+        // Belt and braces: the lane queue fails expired entries at pop time,
+        // but the FIFO baseline doesn't, and a deadline can pass between the
+        // pop decision and this first instruction.
+        if (pending->request.deadline &&
+            SteadyClock::now() > *pending->request.deadline) {
+          lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
+          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          pending->promise.set_exception(std::make_exception_ptr(
+              DeadlineExceeded("compile request deadline expired after " +
+                               std::to_string(wait) + "s in queue")));
+          return;
+        }
+        lane_counters_[lane].started.fetch_add(1, std::memory_order_relaxed);
+        lane_wait_[lane].Record(wait);
+        try {
+          CompileResponse response =
+              Execute(pending->request.dag, pending->request, pending->key);
+          response.queue_wait_seconds = wait;
+          pending->promise.set_value(std::move(response));
+        } catch (...) {
+          pending->promise.set_exception(std::current_exception());
+        }
+      },
+      std::move(attrs));
+  return ticket;
+}
+
+std::vector<CompileResponse> CompileService::CompileBatch(
+    std::span<const CompileRequest> requests) {
+  // Warm kUse entries answer in place — no Dag copy, no pool round-trip (an
+  // all-warm batch costs one key hash + shard lookup per request, like the
+  // sync path).  Everything else fans out as ordinary async requests on its
+  // own lane, so cold graphs get the full single-flight treatment; results
+  // gather in input order.  Waiters never deadlock the pool: a flight owner
+  // finishes without needing any other queued task (a queued duplicate that
+  // runs later simply hits the cache or the resolved flight).
+  std::vector<CompileResponse> responses(requests.size());
+  std::vector<std::pair<std::size_t, Ticket>> pending;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const CompileRequest& request = requests[i];
+    if (request.cache_policy == CachePolicy::kUse) {
+      RequestKey key = MakeKey(request.dag, request.num_stages, request.engine);
+      if (ResultPtr cached = TryCached(key)) {
+        responses[i].result = std::move(cached);
+        responses[i].outcome = CacheOutcome::kHit;
+        responses[i].engine_name = key.engine_name;
+        responses[i].key_hex = key.hash.ToHex();
+        continue;
+      }
+      pending.emplace_back(i, SubmitInternal(request, std::move(key)));
+      continue;
+    }
+    pending.emplace_back(i, SubmitInternal(request, std::nullopt));
+  }
+  std::exception_ptr first_failure;
+  for (const auto& [i, ticket] : pending) {
+    try {
+      responses[i] = ticket.WaitResponse();
+    } catch (...) {
+      if (first_failure == nullptr) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure != nullptr) std::rethrow_exception(first_failure);
+  return responses;
+}
+
+// ── Deprecated shims ─────────────────────────────────────────────────────
+// Implemented against the internal paths (not each other) so building this
+// file emits no deprecation warnings.
+
+CompileService::ResultPtr CompileService::Compile(const graph::Dag& dag,
+                                                  int num_stages,
+                                                  std::string_view engine) {
+  CompileRequest params;  // dag-less: CompileOn reads the graph by reference
+  params.num_stages = num_stages;
+  params.engine = EngineRef(engine);
+  return CompileOn(dag, params).result;
+}
+
 CompileService::ResultPtr CompileService::Compile(const graph::Dag& dag,
                                                   int num_stages,
                                                   Method method) {
-  return Compile(dag, num_stages, MethodName(method));
+  CompileRequest params;
+  params.num_stages = num_stages;
+  params.engine = EngineRef(method);
+  return CompileOn(dag, params).result;
 }
 
 CompileService::Ticket CompileService::Submit(graph::Dag dag, int num_stages,
                                               std::string engine) {
-  // packaged_task owns the exception channel; the pool (which swallows
-  // throwing tasks) only ever sees a non-throwing wrapper.
-  auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
-      [this, dag = std::move(dag), num_stages, engine = std::move(engine)] {
-        return Compile(dag, num_stages, engine);
-      });
-  Ticket ticket(task->get_future().share());
-  pool_->Submit([task] { (*task)(); });
-  return ticket;
+  CompileRequest request;
+  request.dag = std::move(dag);
+  request.num_stages = num_stages;
+  request.engine = EngineRef(std::move(engine));
+  return SubmitInternal(std::move(request), std::nullopt);
 }
 
 CompileService::Ticket CompileService::Submit(graph::Dag dag, int num_stages,
                                               Method method) {
-  return Submit(std::move(dag), num_stages, std::string(MethodName(method)));
+  CompileRequest request;
+  request.dag = std::move(dag);
+  request.num_stages = num_stages;
+  request.engine = EngineRef(method);
+  return SubmitInternal(std::move(request), std::nullopt);
 }
 
-CompileService::Ticket CompileService::SubmitKeyed(graph::Dag dag,
-                                                   int num_stages,
-                                                   RequestKey key) {
-  // Safe to capture: the key's engine_name string_view borrows from the
-  // global registry, whose entries outlive the service.
-  auto task = std::make_shared<std::packaged_task<ResultPtr()>>(
-      [this, dag = std::move(dag), num_stages, key] {
-        return CompileKeyed(dag, num_stages, key);
-      });
-  Ticket ticket(task->get_future().share());
-  pool_->Submit([task] { (*task)(); });
-  return ticket;
-}
-
-std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
+std::vector<CompileService::ResultPtr> CompileService::LegacyCompileBatch(
     std::span<const graph::Dag* const> dags, int num_stages,
-    std::string_view engine) {
-  // Warm entries answer in place — no Dag copy, no pool round-trip (an
-  // all-warm batch costs one key hash + shard lookup per graph, like the
-  // sync path).  Only misses fan out as ordinary async requests, so cold
-  // graphs get the full single-flight treatment; results gather in input
-  // order.  Waiters never deadlock the pool: a flight owner finishes
-  // without needing any other queued task (a queued duplicate that runs
-  // later simply hits the cache or the resolved flight).
+    const EngineRef& engine) {
+  // Preserves the old batch contract exactly: warm entries answer through
+  // the pointer (no Dag copy at all), only cold graphs are copied into
+  // their async request.
   std::vector<ResultPtr> results(dags.size());
   std::vector<std::pair<std::size_t, Ticket>> pending;
   for (std::size_t i = 0; i < dags.size(); ++i) {
@@ -243,8 +457,12 @@ std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
       results[i] = std::move(cached);
       continue;
     }
+    CompileRequest request;
+    request.dag = *dags[i];
+    request.num_stages = num_stages;
+    request.engine = engine;
     pending.emplace_back(i,
-                         SubmitKeyed(*dags[i], num_stages, std::move(key)));
+                         SubmitInternal(std::move(request), std::move(key)));
   }
   std::exception_ptr first_failure;
   for (const auto& [i, ticket] : pending) {
@@ -259,9 +477,17 @@ std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
 }
 
 std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
-    std::span<const graph::Dag* const> dags, int num_stages, Method method) {
-  return CompileBatch(dags, num_stages, MethodName(method));
+    std::span<const graph::Dag* const> dags, int num_stages,
+    std::string_view engine) {
+  return LegacyCompileBatch(dags, num_stages, EngineRef(engine));
 }
+
+std::vector<CompileService::ResultPtr> CompileService::CompileBatch(
+    std::span<const graph::Dag* const> dags, int num_stages, Method method) {
+  return LegacyCompileBatch(dags, num_stages, EngineRef(method));
+}
+
+// ─────────────────────────────────────────────────────────────────────────
 
 void CompileService::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {
   // Bump the version first: every key computed from here on addresses the
@@ -292,25 +518,28 @@ ServiceMetrics CompileService::Metrics() const {
   metrics.single_flight_waits =
       single_flight_waits_.load(std::memory_order_relaxed);
   metrics.failures = failures_.load(std::memory_order_relaxed);
+  metrics.bypasses = bypasses_.load(std::memory_order_relaxed);
+  metrics.refreshes = refreshes_.load(std::memory_order_relaxed);
+  metrics.deadline_expired =
+      deadline_expired_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     metrics.cache_size += shard->entries.size();
   }
-  std::vector<double> window;
-  {
-    const std::lock_guard<std::mutex> lock(latency_mutex_);
-    window.assign(latencies_.begin(),
-                  latency_full_ ? latencies_.end()
-                                : latencies_.begin() + latency_next_);
-  }
-  if (!window.empty()) {
-    std::sort(window.begin(), window.end());
-    const auto rank = [&](double q) {
-      return window[std::min(window.size() - 1,
-                             static_cast<std::size_t>(q * window.size()))];
-    };
-    metrics.solve_p50_seconds = rank(0.50);
-    metrics.solve_p99_seconds = rank(0.99);
+  solve_latency_.Percentiles(metrics.solve_p50_seconds,
+                             metrics.solve_p99_seconds);
+  for (std::size_t lane = 0; lane < kNumPriorityLanes; ++lane) {
+    LaneMetrics& out = metrics.lanes[lane];
+    out.enqueued = lane_counters_[lane].enqueued.load(std::memory_order_relaxed);
+    out.started = lane_counters_[lane].started.load(std::memory_order_relaxed);
+    out.expired = lane_counters_[lane].expired.load(std::memory_order_relaxed);
+    // Monotone counters loaded independently; saturate rather than wrap on
+    // a transiently inconsistent snapshot.
+    const std::uint64_t settled = out.started + out.expired;
+    out.depth = out.enqueued > settled
+                    ? static_cast<std::size_t>(out.enqueued - settled)
+                    : 0;
+    lane_wait_[lane].Percentiles(out.wait_p50_seconds, out.wait_p99_seconds);
   }
   return metrics;
 }

@@ -1,36 +1,49 @@
 // CompileService — the serving front end over PipelineCompiler.
 //
-// Every Compile call is content-addressed: the request key is a
-// graph::CanonicalHash folding the full compile input — the graph's
-// serialized form, the engine's canonical name, num_stages, the compiler
-// options fingerprint, and (for RL-dependent engines only) the RL weight
-// snapshot version.  Repeat requests are answered from a sharded LRU cache
-// of shared immutable CompileResults, and concurrent identical requests are
-// collapsed by single-flight deduplication: one caller solves, everyone else
-// waits on that solve instead of re-running the engine.
+// The API is built around two first-class types (serve/request.h):
+// CompileRequest — dag, num_stages, engine (any spelling via EngineRef),
+// priority lane, optional absolute deadline, cache policy — and
+// CompileResponse — the shared result plus provenance (cache outcome,
+// queue-wait and solve seconds, canonical engine name, key hex).
 //
 //   respect::serve::CompileService service(compiler_options);
-//   auto r1 = service.Compile(dag, 4, "respect");   // cold: engine solve
-//   auto r2 = service.Compile(dag, 4, "RESPECT");   // warm: cache hit (alias
-//                                                   // and name share a key)
-//   assert(r1 == r2);                               // same shared result
+//   auto r1 = service.Compile({.dag = dag, .num_stages = 4,
+//                              .engine = "respect"});        // cold solve
+//   auto r2 = service.Compile({.dag = dag, .num_stages = 4,
+//                              .engine = "RESPECT"});        // cache hit
+//   assert(r1.result == r2.result);   // alias and name share one key
 //
-// Async path: Submit enqueues the request on the service's core::ThreadPool
-// and returns a Ticket; Wait blocks for the shared result (or rethrows the
-// solve's exception).  ReplaceRl swaps the RL weights under live traffic and
-// invalidates exactly the RL-dependent cache entries — deterministic-engine
-// entries stay warm.  Failed solves are never cached: the failure reaches
-// every collapsed waiter and the next request retries.
+// Every request is content-addressed: the key is a graph::CanonicalHash
+// folding the graph's serialized form, the engine's canonical name,
+// num_stages, the compiler options fingerprint, and (for RL-dependent
+// engines only) the RL weight snapshot version.  Repeat requests are
+// answered from a sharded LRU cache of shared immutable CompileResults, and
+// concurrent identical requests are collapsed by single-flight
+// deduplication: one caller solves, everyone else waits on that solve.
+//
+// Async path: Submit enqueues the request on a deadline-aware three-lane
+// queue (serve::RequestQueue) feeding the service's core::ThreadPool and
+// returns a Ticket.  Interactive requests overtake queued batch work
+// (batch ages so it cannot starve); a request whose deadline passes in the
+// queue fails fast with DeadlineExceeded instead of occupying a worker.
+// ReplaceRl swaps the RL weights under live traffic and invalidates exactly
+// the RL-dependent cache entries.  Failed solves are never cached.
+//
+// The pre-CompileRequest overloads (Compile/Submit/CompileBatch taking
+// dag + stages + engine) survive as [[deprecated]] shims over the new entry
+// points; migrate to CompileRequest.
 //
 // Thread safety: every public method is safe to call concurrently.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -41,6 +54,7 @@
 #include "engines/method.h"
 #include "graph/canonical_hash.h"
 #include "graph/dag.h"
+#include "serve/request.h"
 
 namespace respect::core {
 class ThreadPool;
@@ -57,12 +71,33 @@ struct ServiceOptions {
   /// Lock shards; more shards = less contention.  Clamped to >= 1.
   int cache_shards = 8;
 
-  /// Workers behind Submit/Wait; values < 1 select
+  /// Workers behind Submit; values < 1 select
   /// core::ThreadPool::DefaultThreadCount().
   int num_threads = 0;
 
-  /// Cold-solve latencies kept for the p50/p99 metrics (sliding window).
+  /// Samples kept per latency window (cold solves, and per-lane queue
+  /// waits) for the p50/p99 metrics.
   std::size_t latency_window = 2048;
+
+  /// Anti-starvation aging quantum of the priority queue (see
+  /// serve::RequestQueue); <= 0 means pure strict priority.
+  double queue_aging_seconds = 2.0;
+
+  /// Baseline/escape hatch: hand Submit tasks to the pool in plain FIFO
+  /// order — priority and aging are ignored, and deadlines only fail fast
+  /// when a worker picks the task up (not while it queues).
+  bool fifo_queue = false;
+};
+
+/// Per-lane queue statistics (async path only; synchronous Compile calls
+/// never enter a lane).
+struct LaneMetrics {
+  std::uint64_t enqueued = 0;  // Submits routed to this lane
+  std::uint64_t started = 0;   // began their compile on a worker
+  std::uint64_t expired = 0;   // failed fast with DeadlineExceeded
+  std::size_t depth = 0;       // waiting in queue right now (approximate)
+  double wait_p50_seconds = 0.0;  // queue wait of started requests
+  double wait_p99_seconds = 0.0;
 };
 
 /// Point-in-time counters; Metrics() assembles a consistent-enough snapshot
@@ -74,16 +109,18 @@ struct ServiceMetrics {
   std::uint64_t invalidations = 0;    // entries dropped by ReplaceRl
   std::uint64_t single_flight_waits = 0;  // requests collapsed onto a solve
   std::uint64_t failures = 0;         // solves that threw
+  std::uint64_t bypasses = 0;         // CachePolicy::kBypass solves
+  std::uint64_t refreshes = 0;        // CachePolicy::kRefresh solves
+  std::uint64_t deadline_expired = 0;  // DeadlineExceeded failures, all paths
   double solve_p50_seconds = 0.0;     // over the recent cold-solve window
   double solve_p99_seconds = 0.0;
   std::size_t cache_size = 0;         // resident entries right now
+  std::array<LaneMetrics, kNumPriorityLanes> lanes{};
 };
 
 class CompileService {
  public:
-  /// Cached results are shared and immutable; holders may outlive the entry
-  /// (eviction and invalidation only drop the cache's reference).
-  using ResultPtr = std::shared_ptr<const CompileResult>;
+  using ResultPtr = serve::ResultPtr;
 
   explicit CompileService(const CompilerOptions& compiler_options = {},
                           const ServiceOptions& options = {});
@@ -92,25 +129,30 @@ class CompileService {
   CompileService(const CompileService&) = delete;
   CompileService& operator=(const CompileService&) = delete;
 
-  /// Answers from cache, joins an in-flight identical solve, or solves cold
-  /// — in that order.  `engine` is a canonical name or CLI alias; unknown
-  /// names throw std::invalid_argument before touching the cache.  Solve
-  /// exceptions propagate to every caller collapsed onto the failing flight.
-  [[nodiscard]] ResultPtr Compile(const graph::Dag& dag, int num_stages,
-                                  std::string_view engine);
-  [[nodiscard]] ResultPtr Compile(const graph::Dag& dag, int num_stages,
-                                  Method method);
+  /// Synchronous compile on the caller's thread: answers per the request's
+  /// cache policy (cache hit, collapsed onto an in-flight identical solve,
+  /// or cold solve — see CacheOutcome).  An unknown or empty engine throws
+  /// std::invalid_argument before touching the cache; an already-expired
+  /// deadline throws DeadlineExceeded before solving; solve exceptions
+  /// propagate to every caller collapsed onto the failing flight.  The
+  /// request's priority is ignored (nothing queues).
+  [[nodiscard]] CompileResponse Compile(const CompileRequest& request);
 
   /// Handle to an async request; shareable (copies wait on the same solve).
   class Ticket {
    public:
     Ticket() = default;
 
-    /// Blocks until the request completes; rethrows its exception on
-    /// failure.  May be called repeatedly and from multiple threads.  A
-    /// default-constructed (or moved-from) Ticket throws future_error
-    /// (no_state) instead of hitting shared_future::get()'s UB.
-    [[nodiscard]] ResultPtr Wait() const {
+    /// Blocks until the request completes and returns the shared result;
+    /// rethrows its failure (DeadlineExceeded when it expired in queue).
+    /// May be called repeatedly and from multiple threads.  A default-
+    /// constructed (or moved-from) Ticket throws future_error (no_state)
+    /// instead of hitting shared_future::get()'s UB.
+    [[nodiscard]] ResultPtr Wait() const { return WaitResponse().result; }
+
+    /// Same, returning the full response with provenance.  The reference
+    /// stays valid while any copy of this Ticket is alive.
+    [[nodiscard]] const CompileResponse& WaitResponse() const {
       if (!future_.valid()) {
         throw std::future_error(std::future_errc::no_state);
       }
@@ -121,38 +163,62 @@ class CompileService {
 
    private:
     friend class CompileService;
-    explicit Ticket(std::shared_future<ResultPtr> future)
+    explicit Ticket(std::shared_future<CompileResponse> future)
         : future_(std::move(future)) {}
 
-    std::shared_future<ResultPtr> future_;
+    std::shared_future<CompileResponse> future_;
   };
 
-  /// Enqueues the request on the service pool.  The dag is taken by value so
-  /// the caller's copy may die before the solve runs (move it in when the
-  /// caller is done with it).
+  /// Enqueues the request on its priority lane.  The request is taken by
+  /// value so the caller's copy may die before the solve runs (move it in
+  /// when done with it).  Engine resolution happens on the worker: an
+  /// unknown engine surfaces through Ticket::Wait, not here.
+  [[nodiscard]] Ticket Submit(CompileRequest request);
+
+  /// Compiles every request of the batch through the shared cache: warm
+  /// kUse entries answer in place without a solve, the rest fan out as
+  /// ordinary async requests on their own priority lanes (duplicates
+  /// collapse via single-flight), and results come back in input order.
+  /// The first failure rethrows after every flight finishes.
+  [[nodiscard]] std::vector<CompileResponse> CompileBatch(
+      std::span<const CompileRequest> requests);
+
+  // ── Deprecated pre-CompileRequest overloads ────────────────────────────
+  // Thin shims over the request API: engine-spelling pairs collapse into
+  // EngineRef, priority is kNormal, no deadline, CachePolicy::kUse.
+
+  [[deprecated("build a serve::CompileRequest and call Compile(request)")]]
+  [[nodiscard]] ResultPtr Compile(const graph::Dag& dag, int num_stages,
+                                  std::string_view engine);
+  [[deprecated("build a serve::CompileRequest and call Compile(request)")]]
+  [[nodiscard]] ResultPtr Compile(const graph::Dag& dag, int num_stages,
+                                  Method method);
+
+  [[deprecated("build a serve::CompileRequest and call Submit(request)")]]
   [[nodiscard]] Ticket Submit(graph::Dag dag, int num_stages,
                               std::string engine);
+  [[deprecated("build a serve::CompileRequest and call Submit(request)")]]
   [[nodiscard]] Ticket Submit(graph::Dag dag, int num_stages, Method method);
 
-  /// Batch-aware caching: compiles every graph of the batch through the
-  /// same content-addressed cache as Compile — warm entries answer without
-  /// a solve, duplicate graphs inside one batch collapse via single-flight,
-  /// and every cold solve populates the cache for later requests (unlike
-  /// PipelineCompiler::CompileBatch, which always re-solves).  Graphs are
-  /// solved concurrently on the service pool; results come back in input
-  /// order.  The first solve failure rethrows after every flight finishes.
+  [[deprecated(
+      "build serve::CompileRequests and call CompileBatch(requests)")]]
   [[nodiscard]] std::vector<ResultPtr> CompileBatch(
       std::span<const graph::Dag* const> dags, int num_stages,
       std::string_view engine);
+  [[deprecated(
+      "build serve::CompileRequests and call CompileBatch(requests)")]]
   [[nodiscard]] std::vector<ResultPtr> CompileBatch(
       std::span<const graph::Dag* const> dags, int num_stages, Method method);
+
+  // ───────────────────────────────────────────────────────────────────────
 
   /// Swaps the RL weight snapshot (null resets to the configured state),
   /// bumps the snapshot version, and drops every RL-dependent cache entry.
   /// Deterministic-engine entries are untouched.  In-flight RL solves finish
   /// on the snapshot they started with; their results land under the old
   /// version's keys, which no future request recomputes, so stale weights
-  /// can never answer a post-swap request.
+  /// can never answer a post-swap request.  This is the only supported way
+  /// to change compiler state under live traffic.
   void ReplaceRl(std::shared_ptr<rl::RlScheduler> rl);
 
   [[nodiscard]] ServiceMetrics Metrics() const;
@@ -160,8 +226,10 @@ class CompileService {
   /// Drops every cached entry (counters are preserved).
   void ClearCache();
 
-  /// The underlying compiler, e.g. for direct uncached batch compilation.
-  [[nodiscard]] PipelineCompiler& Compiler() { return compiler_; }
+  /// Read-only view of the underlying compiler (e.g. RlVersion checks).
+  /// Deliberately const-only: mutating the compiler behind the cache's back
+  /// would desynchronize keys from results — weight swaps go through
+  /// ReplaceRl.
   [[nodiscard]] const PipelineCompiler& Compiler() const { return compiler_; }
 
  private:
@@ -195,23 +263,70 @@ class CompileService {
     std::string_view engine_name;  // canonical; borrowed from the registry
   };
 
+  /// Fixed-capacity ring of latency samples with mutex-guarded recording
+  /// and sort-on-read percentiles.  Once the ring wraps, the window holds
+  /// the most recent `capacity` samples.
+  class LatencyWindow {
+   public:
+    /// Call once before traffic (capacity is clamped to >= 1).
+    void Configure(std::size_t capacity);
+    void Record(double seconds);
+    /// Percentiles over the resident window; both 0.0 while empty.
+    void Percentiles(double& p50, double& p99) const;
+
+   private:
+    mutable std::mutex mutex_;
+    std::vector<double> values_;  // grows to capacity, then a ring
+    std::size_t next_ = 0;        // overwrite cursor once at capacity
+    std::size_t capacity_limit_ = 1;
+  };
+
   [[nodiscard]] RequestKey MakeKey(const graph::Dag& dag, int num_stages,
-                                   std::string_view engine) const;
+                                   const EngineRef& engine) const;
   [[nodiscard]] Shard& ShardFor(const graph::CanonicalHash& hash);
 
   /// Cache-only probe: returns the resident entry (counted as a hit, LRU
   /// refreshed) or null without joining flights or solving.
   [[nodiscard]] ResultPtr TryCached(const RequestKey& key);
 
-  /// Compile with a precomputed key (the batch path probes the cache with
-  /// the key first, then reuses it for the cold solve — one DAG
-  /// serialization+hash per graph, not two).
-  [[nodiscard]] ResultPtr CompileKeyed(const graph::Dag& dag, int num_stages,
-                                       const RequestKey& key);
-  [[nodiscard]] Ticket SubmitKeyed(graph::Dag dag, int num_stages,
-                                   RequestKey key);
+  /// Deadline pre-check + Execute — the synchronous request path shared by
+  /// Compile(request) and the deprecated sync shims.  `params.dag` is
+  /// ignored; the graph comes in by reference so shims avoid copying it.
+  [[nodiscard]] CompileResponse CompileOn(const graph::Dag& dag,
+                                          const CompileRequest& params);
+
+  /// Dispatch on cache policy; fills result/outcome/solve_seconds.
+  [[nodiscard]] CompileResponse Execute(
+      const graph::Dag& dag, const CompileRequest& params,
+      const std::optional<RequestKey>& precomputed);
+
+  /// The CachePolicy::kUse path: cache probe → single-flight join → cold
+  /// solve + insert, in that order.
+  void ExecuteCached(const graph::Dag& dag, int num_stages,
+                     const RequestKey& key, CompileResponse& response);
+
+  /// One cold engine solve; records the latency window and the failure
+  /// counter.
+  [[nodiscard]] ResultPtr SolveCold(const graph::Dag& dag, int num_stages,
+                                    const RequestKey& key,
+                                    double& solve_seconds);
+
+  /// Submit with an optionally precomputed key (the batch path probes the
+  /// cache with the key first, then reuses it — one DAG serialization+hash
+  /// per graph, not two).
+  [[nodiscard]] Ticket SubmitInternal(CompileRequest request,
+                                      std::optional<RequestKey> key);
+
+  /// Body of the deprecated batch shims: probes warm entries through the
+  /// caller's pointers (no Dag copy) and copies only cold graphs into
+  /// async requests, as the pre-request batch path did.
+  [[nodiscard]] std::vector<ResultPtr> LegacyCompileBatch(
+      std::span<const graph::Dag* const> dags, int num_stages,
+      const EngineRef& engine);
+
   void InsertLocked(Shard& shard, const RequestKey& key, ResultPtr result);
-  void RecordSolveLatency(double seconds);
+
+  [[nodiscard]] static std::size_t LaneIndex(Priority priority);
 
   PipelineCompiler compiler_;
   std::size_t per_shard_capacity_ = 0;
@@ -228,11 +343,19 @@ class CompileService {
   std::atomic<std::uint64_t> invalidations_{0};
   std::atomic<std::uint64_t> single_flight_waits_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+  std::atomic<std::uint64_t> refreshes_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
 
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latencies_;  // ring buffer of cold-solve seconds
-  std::size_t latency_next_ = 0;
-  bool latency_full_ = false;
+  struct LaneCounters {
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> started{0};
+    std::atomic<std::uint64_t> expired{0};
+  };
+  std::array<LaneCounters, kNumPriorityLanes> lane_counters_;
+  std::array<LatencyWindow, kNumPriorityLanes> lane_wait_;
+
+  LatencyWindow solve_latency_;
 };
 
 }  // namespace respect::serve

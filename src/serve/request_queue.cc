@@ -1,0 +1,100 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace respect::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Lane index for arbitrary Submit attrs: out-of-range hints land in the
+/// nearest lane instead of crashing (the pool contract says any int).
+std::size_t LaneIndex(int lane) {
+  return static_cast<std::size_t>(
+      std::clamp<int>(lane, 0, static_cast<int>(kNumPriorityLanes) - 1));
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue() : RequestQueue(Options{}) {}
+
+RequestQueue::RequestQueue(const Options& options) : options_(options) {}
+
+Clock::time_point RequestQueue::Now() const {
+  return options_.clock ? options_.clock() : Clock::now();
+}
+
+void RequestQueue::Push(core::ThreadPool::Task task,
+                        core::ThreadPool::TaskAttrs attrs) {
+  Lane& lane = lanes_[LaneIndex(attrs.lane)];
+  lane.entries.push_back(Entry{std::move(task), std::move(attrs.on_expired),
+                               Now(), attrs.deadline, attrs.has_deadline});
+  lane.depth.fetch_add(1, std::memory_order_relaxed);
+  ++size_;
+}
+
+core::ThreadPool::Task RequestQueue::TakeFront(Lane& lane, bool expired) {
+  Entry entry = std::move(lane.entries.front());
+  lane.entries.pop_front();
+  lane.depth.fetch_sub(1, std::memory_order_relaxed);
+  --size_;
+  if (!expired) return std::move(entry.run);
+  lane.expired.fetch_add(1, std::memory_order_relaxed);
+  if (entry.on_expired) return std::move(entry.on_expired);
+  return [] {};  // Pop must return a runnable callable
+}
+
+core::ThreadPool::Task RequestQueue::Pop() {
+  const Clock::time_point now = Now();
+
+  // Expired heads fail fast before any live work runs, most-urgent lane
+  // first.  One entry per Pop keeps the pool's push/pop accounting 1:1.
+  for (Lane& lane : lanes_) {
+    if (!lane.entries.empty() && lane.entries.front().has_deadline &&
+        lane.entries.front().deadline < now) {
+      return TakeFront(lane, /*expired=*/true);
+    }
+  }
+
+  // Aging disabled: strict priority, first non-empty lane wins.
+  if (options_.aging_seconds <= 0.0) {
+    for (Lane& lane : lanes_) {
+      if (!lane.entries.empty()) return TakeFront(lane, /*expired=*/false);
+    }
+    return [] {};  // unreachable under the Size() > 0 contract
+  }
+
+  const auto aging = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.aging_seconds));
+  Lane* best = nullptr;
+  Clock::time_point best_score{};
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    if (lane.entries.empty()) continue;
+    const Clock::time_point score =
+        lane.entries.front().enqueue + aging * static_cast<std::int64_t>(i);
+    // Strictly-less keeps ties on the more urgent lane.
+    if (best == nullptr || score < best_score) {
+      best = &lane;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) return [] {};  // unreachable under the contract
+  return TakeFront(*best, /*expired=*/false);
+}
+
+std::size_t RequestQueue::Size() const { return size_; }
+
+std::size_t RequestQueue::Depth(Priority lane) const {
+  return lanes_[LaneIndex(static_cast<int>(lane))].depth.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t RequestQueue::Expired(Priority lane) const {
+  return lanes_[LaneIndex(static_cast<int>(lane))].expired.load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace respect::serve

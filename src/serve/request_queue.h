@@ -1,0 +1,93 @@
+// RequestQueue — the deadline-aware, three-lane scheduling policy behind
+// CompileService's async path, plugged into core::ThreadPool as its
+// TaskQueue.
+//
+// Ordering.  Each lane (interactive / normal / batch, see serve::Priority)
+// is FIFO.  Across lanes a pop picks the entry with the smallest *score*
+//
+//     score = enqueue_time + lane_index * aging_seconds
+//
+// which is strict priority — interactive beats normal beats batch — for
+// entries younger than the aging horizon, and turns into
+// longest-waiting-first once a lower lane's head has waited `aging_seconds`
+// per lane step longer than a higher lane's head.  A batch flood therefore
+// never starves (its head's score keeps falling relative to fresh
+// interactive arrivals), yet a just-submitted interactive request overtakes
+// any young batch backlog.  aging_seconds <= 0 disables aging (pure strict
+// priority, batch may starve).
+//
+// Deadlines.  A pop first drains expired lane heads, most-urgent lane
+// first: the entry's on_expired callback is handed to the worker in place
+// of its task, so an expired request costs the worker a few microseconds
+// (failing the waiter with DeadlineExceeded) instead of a solve.  Expiry is
+// checked at lane heads only — an entry queued behind a live head fails
+// the moment it surfaces, not before.
+//
+// Threading.  Push/Pop/Size run under the owning ThreadPool's mutex (the
+// TaskQueue contract), so the lane deques need no locking of their own.
+// The depth/expired counters are atomics and may be read from any thread.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/thread_pool.h"
+#include "serve/request.h"
+
+namespace respect::serve {
+
+class RequestQueue final : public core::ThreadPool::TaskQueue {
+ public:
+  struct Options {
+    /// Lane-step aging quantum (see file comment); <= 0 disables aging.
+    double aging_seconds = 2.0;
+
+    /// Test seam: time source for enqueue stamps and expiry checks.
+    /// Defaults to std::chrono::steady_clock::now.
+    std::function<std::chrono::steady_clock::time_point()> clock;
+  };
+
+  RequestQueue();
+  explicit RequestQueue(const Options& options);
+
+  void Push(core::ThreadPool::Task task,
+            core::ThreadPool::TaskAttrs attrs) override;
+  [[nodiscard]] core::ThreadPool::Task Pop() override;
+  [[nodiscard]] std::size_t Size() const override;
+
+  /// Entries resident in `lane` right now (atomic; readable off-thread).
+  [[nodiscard]] std::size_t Depth(Priority lane) const;
+
+  /// Entries of `lane` expired in-queue so far (atomic; readable
+  /// off-thread).
+  [[nodiscard]] std::uint64_t Expired(Priority lane) const;
+
+ private:
+  struct Entry {
+    core::ThreadPool::Task run;
+    core::ThreadPool::Task on_expired;
+    std::chrono::steady_clock::time_point enqueue;
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  struct Lane {
+    std::deque<Entry> entries;
+    std::atomic<std::size_t> depth{0};
+    std::atomic<std::uint64_t> expired{0};
+  };
+
+  [[nodiscard]] std::chrono::steady_clock::time_point Now() const;
+  [[nodiscard]] core::ThreadPool::Task TakeFront(Lane& lane, bool expired);
+
+  Options options_;
+  std::array<Lane, kNumPriorityLanes> lanes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace respect::serve

@@ -1,12 +1,18 @@
-// CompileService cache correctness: content-addressed hits must be
-// bit-identical to cold solves for every registered engine, ReplaceRl must
-// invalidate exactly the RL-dependent entries, and single-flight must
-// collapse N concurrent identical requests into one engine solve.
+// CompileService correctness over the CompileRequest/CompileResponse API:
+// content-addressed hits must be bit-identical to cold solves for every
+// registered engine, ReplaceRl must invalidate exactly the RL-dependent
+// entries, single-flight must collapse N concurrent identical requests into
+// one engine solve, priority lanes must let interactive requests overtake
+// queued batch work, and deadlines must fail fast with DeadlineExceeded
+// before a solve ever runs.  The deprecated pre-request overloads are
+// exercised once at the bottom to prove the shims still serve.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -18,9 +24,17 @@
 #include "graph/canonical_hash.h"
 #include "graph/sampler.h"
 #include "serve/compile_service.h"
+#include "serve/request.h"
 
 namespace respect {
 namespace {
+
+using serve::CachePolicy;
+using serve::CacheOutcome;
+using serve::CompileRequest;
+using serve::CompileResponse;
+using serve::DeadlineExceeded;
+using serve::Priority;
 
 CompilerOptions FastOptions() {
   CompilerOptions options;
@@ -37,6 +51,16 @@ CompilerOptions FastOptions() {
 graph::Dag SampleDag(int nodes, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   return graph::SampleTrainingDag(nodes, rng);
+}
+
+/// Shorthand for the common synchronous request shape.
+CompileResponse Ask(serve::CompileService& service, const graph::Dag& dag,
+                    int num_stages, serve::EngineRef engine,
+                    CachePolicy policy = CachePolicy::kUse) {
+  return service.Compile(CompileRequest{.dag = dag,
+                                        .num_stages = num_stages,
+                                        .engine = std::move(engine),
+                                        .cache_policy = policy});
 }
 
 /// Everything deterministic about a CompileResult (solve_seconds is wall
@@ -93,6 +117,18 @@ TEST(CanonicalHashTest, HasherIsStreamingForBytesOnly) {
   EXPECT_NE(number.Finish(), one.Finish());
 }
 
+TEST(EngineRefTest, ResolvesEverySpellingToOneRegistration) {
+  const engines::EngineRegistry& registry = engines::EngineRegistry::Global();
+  const engines::EngineRegistration& by_name = registry.Resolve("Annealing");
+  EXPECT_EQ(&registry.Resolve("anneal"), &by_name);
+  EXPECT_EQ(&registry.Resolve(Method::kAnnealing), &by_name);
+  EXPECT_THROW((void)registry.Resolve("NoSuchEngine"), std::invalid_argument);
+  EXPECT_THROW((void)registry.Resolve(serve::EngineRef{}),
+               std::invalid_argument);
+  EXPECT_EQ(serve::EngineRef{}.Spelling(), "<unset>");
+  EXPECT_EQ(serve::EngineRef(Method::kAnnealing).Spelling(), "Annealing");
+}
+
 TEST(CompileServiceTest, CacheHitMatchesColdSolveForEveryBuiltinEngine) {
   serve::CompileService service(FastOptions());
   PipelineCompiler cold(FastOptions());
@@ -100,11 +136,18 @@ TEST(CompileServiceTest, CacheHitMatchesColdSolveForEveryBuiltinEngine) {
 
   for (const Method method : kAllMethods) {
     const std::string name(MethodName(method));
-    const auto first = service.Compile(dag, 4, method);
-    const auto second = service.Compile(dag, 4, method);
+    const CompileResponse first = Ask(service, dag, 4, method);
+    const CompileResponse second = Ask(service, dag, 4, method);
     // Pointer equality proves the second answer came from the cache.
-    EXPECT_EQ(first, second) << name;
-    ExpectSameResult(*first, cold.Compile(dag, 4, method), name);
+    EXPECT_EQ(first.result, second.result) << name;
+    EXPECT_EQ(first.outcome, CacheOutcome::kMiss) << name;
+    EXPECT_EQ(second.outcome, CacheOutcome::kHit) << name;
+    EXPECT_GT(first.solve_seconds, 0.0) << name;
+    EXPECT_EQ(second.solve_seconds, 0.0) << name;
+    EXPECT_EQ(first.engine_name, name);
+    EXPECT_EQ(first.key_hex.size(), 32u);
+    EXPECT_EQ(first.key_hex, second.key_hex);
+    ExpectSameResult(*first.result, cold.Compile(dag, 4, method), name);
   }
   const serve::ServiceMetrics metrics = service.Metrics();
   EXPECT_EQ(metrics.misses, kAllMethods.size());
@@ -115,11 +158,11 @@ TEST(CompileServiceTest, CacheHitMatchesColdSolveForEveryBuiltinEngine) {
 TEST(CompileServiceTest, AliasNameAndMethodShareOneEntry) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(20, 9);
-  const auto by_alias = service.Compile(dag, 4, "anneal");
-  const auto by_name = service.Compile(dag, 4, "Annealing");
-  const auto by_method = service.Compile(dag, 4, Method::kAnnealing);
-  EXPECT_EQ(by_alias, by_name);
-  EXPECT_EQ(by_alias, by_method);
+  const CompileResponse by_alias = Ask(service, dag, 4, "anneal");
+  const CompileResponse by_name = Ask(service, dag, 4, "Annealing");
+  const CompileResponse by_method = Ask(service, dag, 4, Method::kAnnealing);
+  EXPECT_EQ(by_alias.result, by_name.result);
+  EXPECT_EQ(by_alias.result, by_method.result);
   EXPECT_EQ(service.Metrics().misses, 1u);
   EXPECT_EQ(service.Metrics().hits, 2u);
 }
@@ -127,11 +170,11 @@ TEST(CompileServiceTest, AliasNameAndMethodShareOneEntry) {
 TEST(CompileServiceTest, KeyCoversStagesAndGraphContent) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(20, 11);
-  (void)service.Compile(dag, 4, "list");
-  (void)service.Compile(dag, 5, "list");  // different stage count
+  (void)Ask(service, dag, 4, "list");
+  (void)Ask(service, dag, 5, "list");  // different stage count
   graph::Dag renamed = dag;
   renamed.SetName("renamed");  // name flows into the package -> own entry
-  (void)service.Compile(renamed, 4, "list");
+  (void)Ask(service, renamed, 4, "list");
   EXPECT_EQ(service.Metrics().misses, 3u);
   EXPECT_EQ(service.Metrics().hits, 0u);
 }
@@ -141,9 +184,10 @@ TEST(CompileServiceTest, ReplaceRlInvalidatesOnlyRlEntries) {
   const graph::Dag dag = SampleDag(24, 13);
 
   EXPECT_EQ(service.Compiler().RlVersion(), 0u);
-  const auto rl_before = service.Compile(dag, 4, Method::kRespectRl);
-  const auto list_before = service.Compile(dag, 4, Method::kListScheduling);
-  const auto ilp_before = service.Compile(dag, 4, Method::kExactIlp);
+  const CompileResponse rl_before = Ask(service, dag, 4, Method::kRespectRl);
+  const CompileResponse list_before =
+      Ask(service, dag, 4, Method::kListScheduling);
+  const CompileResponse ilp_before = Ask(service, dag, 4, Method::kExactIlp);
 
   service.ReplaceRl(std::make_shared<rl::RlScheduler>(FastOptions().net));
   EXPECT_EQ(service.Compiler().RlVersion(), 1u);
@@ -151,10 +195,13 @@ TEST(CompileServiceTest, ReplaceRlInvalidatesOnlyRlEntries) {
 
   // Deterministic engines stay warm (same shared object), the RL entry is
   // recomputed (fresh object, one extra miss).
-  EXPECT_EQ(service.Compile(dag, 4, Method::kListScheduling), list_before);
-  EXPECT_EQ(service.Compile(dag, 4, Method::kExactIlp), ilp_before);
-  const auto rl_after = service.Compile(dag, 4, Method::kRespectRl);
-  EXPECT_NE(rl_after, rl_before);
+  EXPECT_EQ(Ask(service, dag, 4, Method::kListScheduling).result,
+            list_before.result);
+  EXPECT_EQ(Ask(service, dag, 4, Method::kExactIlp).result,
+            ilp_before.result);
+  const CompileResponse rl_after = Ask(service, dag, 4, Method::kRespectRl);
+  EXPECT_NE(rl_after.result, rl_before.result);
+  EXPECT_NE(rl_after.key_hex, rl_before.key_hex);  // version is in the key
   const serve::ServiceMetrics metrics = service.Metrics();
   EXPECT_EQ(metrics.misses, 4u);
   EXPECT_EQ(metrics.hits, 2u);
@@ -163,6 +210,36 @@ TEST(CompileServiceTest, ReplaceRlInvalidatesOnlyRlEntries) {
   service.ReplaceRl(nullptr);
   EXPECT_EQ(service.Compiler().RlVersion(), 2u);
   EXPECT_EQ(service.Metrics().invalidations, 2u);
+}
+
+TEST(CompileServiceTest, CachePolicyBypassAndRefresh) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(20, 15);
+
+  // Bypass solves fresh and leaves the cache empty behind it.
+  const CompileResponse bypass = Ask(service, dag, 4, "list",
+                                     CachePolicy::kBypass);
+  EXPECT_EQ(bypass.outcome, CacheOutcome::kBypass);
+  EXPECT_GT(bypass.solve_seconds, 0.0);
+  EXPECT_EQ(service.Metrics().cache_size, 0u);
+  EXPECT_EQ(service.Metrics().misses, 0u);
+  EXPECT_EQ(service.Metrics().bypasses, 1u);
+
+  // Populate, then refresh: a fresh result object replaces the entry.
+  const CompileResponse cold = Ask(service, dag, 4, "list");
+  EXPECT_EQ(cold.outcome, CacheOutcome::kMiss);
+  const CompileResponse refreshed = Ask(service, dag, 4, "list",
+                                        CachePolicy::kRefresh);
+  EXPECT_EQ(refreshed.outcome, CacheOutcome::kRefresh);
+  EXPECT_NE(refreshed.result, cold.result);  // fresh object
+  EXPECT_EQ(service.Metrics().refreshes, 1u);
+  ExpectSameResult(*refreshed.result, *cold.result, "refresh determinism");
+
+  // The refreshed object now answers hits.
+  const CompileResponse warm = Ask(service, dag, 4, "list");
+  EXPECT_EQ(warm.outcome, CacheOutcome::kHit);
+  EXPECT_EQ(warm.result, refreshed.result);
+  EXPECT_EQ(service.Metrics().cache_size, 1u);
 }
 
 /// Counts engine solves so the single-flight test can assert exactly one
@@ -204,12 +281,12 @@ TEST(CompileServiceTest, SingleFlightCollapsesConcurrentIdenticalRequests) {
   const graph::Dag dag = SampleDag(20, 17);
   constexpr int kRequests = 8;
 
-  std::vector<serve::CompileService::ResultPtr> results(kRequests);
+  std::vector<CompileResponse> responses(kRequests);
   std::vector<std::thread> threads;
   threads.reserve(kRequests);
   for (int i = 0; i < kRequests; ++i) {
     threads.emplace_back([&, i] {
-      results[i] = service.Compile(dag, 4, "CountingSlow");
+      responses[i] = Ask(service, dag, 4, "CountingSlow");
     });
   }
   for (std::thread& t : threads) t.join();
@@ -217,7 +294,12 @@ TEST(CompileServiceTest, SingleFlightCollapsesConcurrentIdenticalRequests) {
   // One engine solve total; whether a given request collapsed onto the
   // in-flight solve or arrived after it cached, it shares the one result.
   EXPECT_EQ(CountingSlowEngine::Solves().load(), 1);
-  for (int i = 1; i < kRequests; ++i) EXPECT_EQ(results[i], results[0]);
+  for (int i = 1; i < kRequests; ++i) {
+    EXPECT_EQ(responses[i].result, responses[0].result);
+    EXPECT_TRUE(responses[i].outcome == CacheOutcome::kHit ||
+                responses[i].outcome == CacheOutcome::kCollapsed ||
+                responses[i].outcome == CacheOutcome::kMiss);
+  }
   const serve::ServiceMetrics metrics = service.Metrics();
   EXPECT_EQ(metrics.misses, 1u);
   EXPECT_EQ(metrics.hits + metrics.single_flight_waits, kRequests - 1u);
@@ -232,13 +314,13 @@ TEST(CompileServiceTest, LruEvictionRespectsCapacity) {
   const graph::Dag a = SampleDag(20, 19);
   const graph::Dag b = SampleDag(20, 21);
   const graph::Dag c = SampleDag(20, 23);
-  (void)service.Compile(a, 4, "list");
-  (void)service.Compile(b, 4, "list");
-  (void)service.Compile(c, 4, "list");  // evicts a (least recently used)
+  (void)Ask(service, a, 4, "list");
+  (void)Ask(service, b, 4, "list");
+  (void)Ask(service, c, 4, "list");  // evicts a (least recently used)
   EXPECT_EQ(service.Metrics().evictions, 1u);
   EXPECT_EQ(service.Metrics().cache_size, 2u);
 
-  (void)service.Compile(a, 4, "list");  // cold again
+  (void)Ask(service, a, 4, "list");  // cold again
   EXPECT_EQ(service.Metrics().misses, 4u);
   EXPECT_EQ(service.Metrics().hits, 0u);
 }
@@ -249,16 +331,21 @@ TEST(CompileServiceTest, SubmitWaitSharesTheSyncCache) {
   serve::CompileService service(FastOptions(), options);
   const graph::Dag dag = SampleDag(24, 25);
 
-  auto ticket_a = service.Submit(dag, 4, "greedy");
-  auto ticket_b = service.Submit(dag, 4, "GreedyBalance");
-  const auto async_a = ticket_a.Wait();
-  const auto async_b = ticket_b.Wait();
-  EXPECT_EQ(async_a, async_b);
+  auto ticket_a = service.Submit(
+      CompileRequest{.dag = dag, .num_stages = 4, .engine = "greedy"});
+  auto ticket_b = service.Submit(
+      CompileRequest{.dag = dag, .num_stages = 4, .engine = "GreedyBalance"});
+  const CompileResponse& async_a = ticket_a.WaitResponse();
+  const CompileResponse& async_b = ticket_b.WaitResponse();
+  EXPECT_EQ(async_a.result, async_b.result);
+  EXPECT_GE(async_a.queue_wait_seconds, 0.0);
   // The sync path hits the entry the async path populated.
-  EXPECT_EQ(service.Compile(dag, 4, Method::kGreedyBalance), async_a);
+  EXPECT_EQ(Ask(service, dag, 4, Method::kGreedyBalance).result,
+            async_a.result);
   EXPECT_EQ(service.Metrics().misses, 1u);
 
-  auto bad = service.Submit(dag, 4, "NoSuchEngine");
+  auto bad = service.Submit(
+      CompileRequest{.dag = dag, .num_stages = 4, .engine = "NoSuchEngine"});
   EXPECT_THROW((void)bad.Wait(), std::invalid_argument);
   EXPECT_THROW((void)bad.Wait(), std::invalid_argument);  // repeatable
 
@@ -273,25 +360,41 @@ TEST(CompileServiceTest, FailedSolvesPropagateAndAreNotCached) {
   const graph::Dag dag = SampleDag(10, 27);
   // 10 nodes cannot fill 64 stages; the solve must fail both times (no
   // negative caching) and the failure must not poison later requests.
-  EXPECT_THROW((void)service.Compile(dag, 64, "greedy"), std::exception);
-  EXPECT_THROW((void)service.Compile(dag, 64, "greedy"), std::exception);
+  EXPECT_THROW((void)Ask(service, dag, 64, "greedy"), std::exception);
+  EXPECT_THROW((void)Ask(service, dag, 64, "greedy"), std::exception);
   const serve::ServiceMetrics metrics = service.Metrics();
   EXPECT_EQ(metrics.failures, 2u);
   EXPECT_EQ(metrics.misses, 2u);
   EXPECT_EQ(metrics.cache_size, 0u);
 
-  EXPECT_NE(service.Compile(dag, 2, "greedy"), nullptr);
+  EXPECT_NE(Ask(service, dag, 2, "greedy").result, nullptr);
 }
 
 TEST(CompileServiceTest, MetricsReportSolveLatencyPercentiles) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(24, 29);
   for (int stages = 2; stages <= 5; ++stages) {
-    (void)service.Compile(dag, stages, "list");
+    (void)Ask(service, dag, stages, "list");
   }
   const serve::ServiceMetrics metrics = service.Metrics();
   EXPECT_GT(metrics.solve_p50_seconds, 0.0);
   EXPECT_GE(metrics.solve_p99_seconds, metrics.solve_p50_seconds);
+}
+
+TEST(CompileServiceTest, LatencyWindowWrapsToTheMostRecentSamples) {
+  // Window of one: every solve overwrites the single slot, so after many
+  // solves p50 == p99 == the last solve's latency and nothing runs off the
+  // end of the ring.
+  serve::ServiceOptions options;
+  options.latency_window = 1;
+  serve::CompileService service(FastOptions(), options);
+  const graph::Dag dag = SampleDag(24, 29);
+  for (int stages = 2; stages <= 6; ++stages) {
+    (void)Ask(service, dag, stages, "list");
+  }
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_GT(metrics.solve_p50_seconds, 0.0);
+  EXPECT_EQ(metrics.solve_p50_seconds, metrics.solve_p99_seconds);
 }
 
 TEST(CompileServiceTest, CompileBatchPopulatesAndHitsTheSharedCache) {
@@ -308,20 +411,36 @@ TEST(CompileServiceTest, CompileBatchPopulatesAndHitsTheSharedCache) {
 
   const graph::Dag a = SampleDag(24, 33);
   const graph::Dag b = SampleDag(24, 35);
+  const auto batch_of = [](std::span<const graph::Dag* const> dags,
+                           int num_stages, serve::EngineRef engine) {
+    std::vector<CompileRequest> requests;
+    for (const graph::Dag* dag : dags) {
+      requests.push_back(CompileRequest{.dag = *dag,
+                                        .num_stages = num_stages,
+                                        .engine = engine,
+                                        .priority = Priority::kBatch});
+    }
+    return requests;
+  };
+
   const std::vector<const graph::Dag*> batch = {&a, &b, &a, &b, &a};
-  const auto results = service.CompileBatch(batch, 4, "list");
-  ASSERT_EQ(results.size(), batch.size());
-  for (const auto& result : results) ASSERT_NE(result, nullptr);
-  EXPECT_EQ(results[0], results[2]);  // shared cache entry, same pointer
-  EXPECT_EQ(results[0], results[4]);
-  EXPECT_EQ(results[1], results[3]);
+  const auto responses = service.CompileBatch(batch_of(batch, 4, "list"));
+  ASSERT_EQ(responses.size(), batch.size());
+  for (const auto& response : responses) ASSERT_NE(response.result, nullptr);
+  EXPECT_EQ(responses[0].result, responses[2].result);  // shared cache entry
+  EXPECT_EQ(responses[0].result, responses[4].result);
+  EXPECT_EQ(responses[1].result, responses[3].result);
   EXPECT_EQ(service.Metrics().misses, 2u);
 
   // Batch results equal the sync path's, and a repeat batch is all-warm.
-  EXPECT_EQ(service.Compile(a, 4, "list"), results[0]);
-  const auto warm = service.CompileBatch(batch, 4, Method::kListScheduling);
-  EXPECT_EQ(warm[0], results[0]);
-  EXPECT_EQ(warm[1], results[1]);
+  EXPECT_EQ(Ask(service, a, 4, "list").result, responses[0].result);
+  const auto warm =
+      service.CompileBatch(batch_of(batch, 4, Method::kListScheduling));
+  EXPECT_EQ(warm[0].result, responses[0].result);
+  EXPECT_EQ(warm[1].result, responses[1].result);
+  for (const auto& response : warm) {
+    EXPECT_EQ(response.outcome, CacheOutcome::kHit);
+  }
   EXPECT_EQ(service.Metrics().misses, 2u);  // still only the two cold solves
 
   // Partial failure: at 16 stages `tiny` (10 nodes) cannot fill the
@@ -330,12 +449,12 @@ TEST(CompileServiceTest, CompileBatchPopulatesAndHitsTheSharedCache) {
   // cached, and the failure is not.
   const graph::Dag tiny = SampleDag(10, 37);
   const std::vector<const graph::Dag*> mixed = {&a, &tiny};
-  EXPECT_THROW((void)service.CompileBatch(mixed, 16, "greedy"),
+  EXPECT_THROW((void)service.CompileBatch(batch_of(mixed, 16, "greedy")),
                std::exception);
   const auto misses_after_mixed = service.Metrics().misses;
-  EXPECT_NE(service.Compile(a, 16, "greedy"), nullptr);  // warm hit
+  EXPECT_NE(Ask(service, a, 16, "greedy").result, nullptr);  // warm hit
   EXPECT_EQ(service.Metrics().misses, misses_after_mixed);
-  EXPECT_THROW((void)service.Compile(tiny, 16, "greedy"),  // retried cold
+  EXPECT_THROW((void)Ask(service, tiny, 16, "greedy"),  // retried cold
                std::exception);
   EXPECT_EQ(service.Metrics().misses, misses_after_mixed + 1);
 }
@@ -343,12 +462,274 @@ TEST(CompileServiceTest, CompileBatchPopulatesAndHitsTheSharedCache) {
 TEST(CompileServiceTest, UnknownEngineThrowsBeforeTouchingTheCache) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(10, 31);
-  EXPECT_THROW((void)service.Compile(dag, 4, "NoSuchEngine"),
+  EXPECT_THROW((void)Ask(service, dag, 4, "NoSuchEngine"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Ask(service, dag, 4, serve::EngineRef{}),
                std::invalid_argument);
   const serve::ServiceMetrics metrics = service.Metrics();
   EXPECT_EQ(metrics.misses, 0u);
   EXPECT_EQ(metrics.failures, 0u);
 }
+
+// ── Queue semantics ──────────────────────────────────────────────────────
+
+/// Records solve order by dag name; dags named "hold-*" block until the
+/// test calls Release(), which is how a test pins the single worker while
+/// it stacks up queued requests.
+class RecordingEngine : public engines::SchedulerEngine {
+ public:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::string> order;
+    bool released = false;
+  };
+
+  static State& GetState() {
+    static State* state = new State();
+    return *state;
+  }
+
+  static void Reset() {
+    State& state = GetState();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.order.clear();
+    state.released = false;
+  }
+
+  static void Release() {
+    State& state = GetState();
+    {
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      state.released = true;
+    }
+    state.cv.notify_all();
+  }
+
+  static std::vector<std::string> Order() {
+    State& state = GetState();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    return state.order;
+  }
+
+  /// Spins until the recorded order reaches `n` entries (the worker is
+  /// then inside a solve or past it).
+  static void WaitForSolves(std::size_t n) {
+    while (Order().size() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  [[nodiscard]] std::string_view Name() const override { return "Recording"; }
+
+  [[nodiscard]] engines::EngineResult Schedule(
+      const graph::Dag& dag, const sched::PipelineConstraints& constraints,
+      const engines::EngineBudget&) const override {
+    State& state = GetState();
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.order.push_back(dag.Name());
+      if (dag.Name().rfind("hold", 0) == 0) {
+        state.cv.wait(lock, [&] { return state.released; });
+      }
+    }
+    engines::EngineResult result;
+    result.schedule.num_stages = constraints.num_stages;
+    result.schedule.stage.assign(dag.NodeCount(), 0);
+    return result;
+  }
+};
+
+void EnsureRecordingEngine() {
+  engines::EngineRegistry& registry = engines::EngineRegistry::Global();
+  if (!registry.Contains("Recording")) {
+    registry.Register({"Recording", "", "test-only order-recording engine",
+                       {},
+                       [](const engines::EngineContext&) {
+                         return std::make_unique<RecordingEngine>();
+                       }});
+  }
+  RecordingEngine::Reset();
+}
+
+graph::Dag NamedDag(std::uint64_t seed, const std::string& name) {
+  graph::Dag dag = SampleDag(20, seed);
+  dag.SetName(name);
+  return dag;
+}
+
+CompileRequest QueuedRequest(graph::Dag dag, Priority priority) {
+  return CompileRequest{.dag = std::move(dag),
+                        .num_stages = 2,
+                        .engine = "Recording",
+                        .priority = priority};
+}
+
+// The acceptance scenario: with the one-worker pool pinned by a running
+// solve and batch work already queued, a later-submitted interactive
+// request is solved before any of the queued batch requests.
+TEST(CompileServiceQueueTest, InteractiveOvertakesQueuedBatchWork) {
+  EnsureRecordingEngine();
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.queue_aging_seconds = 3600.0;  // no aging interference
+  serve::CompileService service(FastOptions(), options);
+
+  std::vector<serve::CompileService::Ticket> tickets;
+  tickets.push_back(service.Submit(
+      QueuedRequest(NamedDag(41, "hold-blocker"), Priority::kInteractive)));
+  RecordingEngine::WaitForSolves(1);  // worker is pinned inside the blocker
+
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(service.Submit(QueuedRequest(
+        NamedDag(43 + 2 * i, "batch-" + std::to_string(i)),
+        Priority::kBatch)));
+  }
+  tickets.push_back(service.Submit(
+      QueuedRequest(NamedDag(51, "interactive"), Priority::kInteractive)));
+
+  RecordingEngine::Release();
+  for (const auto& ticket : tickets) (void)ticket.Wait();
+
+  const std::vector<std::string> order = RecordingEngine::Order();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], "hold-blocker");
+  EXPECT_EQ(order[1], "interactive");  // submitted last, ran first
+  EXPECT_EQ(order[2], "batch-0");      // batch stays FIFO within its lane
+  EXPECT_EQ(order[3], "batch-1");
+  EXPECT_EQ(order[4], "batch-2");
+
+  const serve::ServiceMetrics metrics = service.Metrics();
+  const auto interactive =
+      static_cast<std::size_t>(Priority::kInteractive);
+  const auto batch = static_cast<std::size_t>(Priority::kBatch);
+  EXPECT_EQ(metrics.lanes[interactive].enqueued, 2u);
+  EXPECT_EQ(metrics.lanes[interactive].started, 2u);
+  EXPECT_EQ(metrics.lanes[batch].enqueued, 3u);
+  EXPECT_EQ(metrics.lanes[batch].started, 3u);
+  EXPECT_EQ(metrics.lanes[batch].depth, 0u);
+  EXPECT_EQ(metrics.deadline_expired, 0u);
+  EXPECT_GE(metrics.lanes[batch].wait_p99_seconds,
+            metrics.lanes[batch].wait_p50_seconds);
+}
+
+// A request whose deadline passes while it queues fails with
+// DeadlineExceeded and never reaches the engine.
+TEST(CompileServiceQueueTest, ExpiredDeadlineFailsFastWithoutASolve) {
+  EnsureRecordingEngine();
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::CompileService service(FastOptions(), options);
+
+  auto blocker = service.Submit(
+      QueuedRequest(NamedDag(61, "hold-blocker"), Priority::kNormal));
+  RecordingEngine::WaitForSolves(1);
+
+  CompileRequest doomed =
+      QueuedRequest(NamedDag(63, "doomed"), Priority::kInteractive);
+  doomed.deadline = serve::DeadlineIn(0.02);
+  auto doomed_ticket = service.Submit(std::move(doomed));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));  // let it lapse
+  RecordingEngine::Release();
+
+  EXPECT_THROW((void)doomed_ticket.Wait(), DeadlineExceeded);
+  (void)blocker.Wait();
+
+  const std::vector<std::string> order = RecordingEngine::Order();
+  for (const std::string& name : order) EXPECT_NE(name, "doomed");
+
+  const serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.deadline_expired, 1u);
+  const auto interactive = static_cast<std::size_t>(Priority::kInteractive);
+  EXPECT_EQ(metrics.lanes[interactive].expired, 1u);
+  EXPECT_EQ(metrics.lanes[interactive].started, 0u);
+  EXPECT_EQ(metrics.failures, 0u);  // an expiry is not a solve failure
+}
+
+// The synchronous path honors deadlines too: an already-lapsed deadline
+// fails before any engine work.
+TEST(CompileServiceQueueTest, SyncCompileRejectsLapsedDeadline) {
+  EnsureRecordingEngine();
+  serve::CompileService service(FastOptions());
+  CompileRequest request =
+      QueuedRequest(NamedDag(65, "sync-doomed"), Priority::kInteractive);
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_THROW((void)service.Compile(request), DeadlineExceeded);
+  EXPECT_TRUE(RecordingEngine::Order().empty());
+  EXPECT_EQ(service.Metrics().deadline_expired, 1u);
+  EXPECT_EQ(service.Metrics().misses, 0u);
+}
+
+// The FIFO baseline still fails lapsed deadlines (at task start rather
+// than at pop time) — the escape hatch must not silently drop the deadline
+// contract.
+TEST(CompileServiceQueueTest, FifoQueueStillFailsLapsedDeadlines) {
+  EnsureRecordingEngine();
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.fifo_queue = true;
+  serve::CompileService service(FastOptions(), options);
+
+  auto blocker = service.Submit(
+      QueuedRequest(NamedDag(67, "hold-blocker"), Priority::kNormal));
+  RecordingEngine::WaitForSolves(1);
+
+  CompileRequest doomed =
+      QueuedRequest(NamedDag(69, "doomed"), Priority::kInteractive);
+  doomed.deadline = serve::DeadlineIn(0.02);
+  auto doomed_ticket = service.Submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  RecordingEngine::Release();
+
+  EXPECT_THROW((void)doomed_ticket.Wait(), DeadlineExceeded);
+  (void)blocker.Wait();
+  for (const std::string& name : RecordingEngine::Order()) {
+    EXPECT_NE(name, "doomed");
+  }
+  EXPECT_EQ(service.Metrics().deadline_expired, 1u);
+}
+
+// ── Deprecated shim coverage ─────────────────────────────────────────────
+// The six pre-CompileRequest overloads must keep old call sites compiling
+// and serving through the same cache until they are removed.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(CompileServiceLegacyShimTest, OldOverloadsShareTheRequestApiCache) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::CompileService service(FastOptions(), options);
+  const graph::Dag dag = SampleDag(24, 71);
+
+  const auto by_name = service.Compile(dag, 4, "list");
+  const auto by_method = service.Compile(dag, 4, Method::kListScheduling);
+  EXPECT_EQ(by_name, by_method);  // shims share one cache entry
+
+  // The request API sees the shim-populated entry.
+  EXPECT_EQ(Ask(service, dag, 4, "list").result, by_name);
+
+  auto ticket = service.Submit(dag, 4, std::string("list"));
+  EXPECT_EQ(ticket.Wait(), by_name);
+  auto method_ticket = service.Submit(dag, 4, Method::kListScheduling);
+  EXPECT_EQ(method_ticket.Wait(), by_name);
+
+  const graph::Dag other = SampleDag(24, 73);
+  const std::vector<const graph::Dag*> batch = {&dag, &other, &dag};
+  const auto results = service.CompileBatch(batch, 4, "list");
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], by_name);
+  EXPECT_EQ(results[2], by_name);
+  const auto method_results =
+      service.CompileBatch(batch, 4, Method::kListScheduling);
+  EXPECT_EQ(method_results[1], results[1]);
+
+  EXPECT_EQ(service.Metrics().misses, 2u);  // dag + other, once each
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace respect
