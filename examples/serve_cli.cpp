@@ -3,7 +3,8 @@
 //
 //   $ ./build/examples/serve_cli [requests] [models] [stages] [engine] \
 //       [--priority=interactive|normal|batch] [--deadline-ms=N] \
-//       [--threads=N] [--mixed]
+//       [--threads=N] [--mixed] [--max-batch-inflight=N] \
+//       [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]
 //
 // Default mode samples `models` distinct synthetic DAGs, then fires
 // `requests` async CompileRequests with a skewed popularity distribution
@@ -20,6 +21,15 @@
 // interactive lane, the --deadline-ms budget if given), then prints
 // per-lane queue-wait and completion-latency p50/p99 — the number that
 // shows interactive requests overtaking the flood.
+// --max-batch-inflight=N additionally caps concurrent batch solves, so the
+// flood can never hold every worker.
+//
+// --cache-dir=DIR plugs in the persistent schedule store (spill files under
+// DIR, --cache-ttl-s bounds their age).  --restart-demo (requires
+// --cache-dir) shows what the store buys: it compiles a skewed stream
+// against an empty cache, tears the service down, builds a fresh one on the
+// same directory — the restart — and replays the exact stream, reporting
+// the disk-warm-start hit rate and latency against the cold run.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -47,7 +57,8 @@ int Usage(const char* argv0) {
       "usage: %s [requests=200] [models=6] [stages=4 (1..%d)] "
       "[engine=anneal]\n"
       "          [--priority=interactive|normal|batch] [--deadline-ms=N]\n"
-      "          [--threads=N] [--mixed]\n",
+      "          [--threads=N] [--mixed] [--max-batch-inflight=N]\n"
+      "          [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]\n",
       argv0, examples::kMaxStages);
   return 2;
 }
@@ -74,9 +85,10 @@ void PrintLane(const char* label, const LaneSamples& lane) {
 
 void PrintServiceMetrics(const serve::CompileService& service) {
   const serve::ServiceMetrics m = service.Metrics();
-  std::printf("  hits %llu  misses %llu  single-flight waits %llu  "
-              "bypasses %llu\n",
+  std::printf("  hits %llu  disk-hits %llu  misses %llu  "
+              "single-flight waits %llu  bypasses %llu\n",
               static_cast<unsigned long long>(m.hits),
+              static_cast<unsigned long long>(m.disk_hits),
               static_cast<unsigned long long>(m.misses),
               static_cast<unsigned long long>(m.single_flight_waits),
               static_cast<unsigned long long>(m.bypasses));
@@ -87,6 +99,21 @@ void PrintServiceMetrics(const serve::CompileService& service) {
               static_cast<unsigned long long>(m.failures),
               static_cast<unsigned long long>(m.deadline_expired),
               m.cache_size);
+  if (m.ttl_expired + m.admission_rejected > 0) {
+    std::printf("  ttl-expired %llu  admission-rejected %llu\n",
+                static_cast<unsigned long long>(m.ttl_expired),
+                static_cast<unsigned long long>(m.admission_rejected));
+  }
+  if (m.store.probes + m.store.writes > 0) {
+    std::printf("  store: probes %llu  hits %llu  writes %llu  "
+                "corrupt %llu  expired %llu  resident %zu\n",
+                static_cast<unsigned long long>(m.store.probes),
+                static_cast<unsigned long long>(m.store.hits),
+                static_cast<unsigned long long>(m.store.writes),
+                static_cast<unsigned long long>(m.store.corrupt_dropped),
+                static_cast<unsigned long long>(m.store.expired_dropped),
+                m.store.resident);
+  }
   std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
               m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
   for (std::size_t lane = 0; lane < serve::kNumPriorityLanes; ++lane) {
@@ -104,6 +131,100 @@ void PrintServiceMetrics(const serve::CompileService& service) {
   }
 }
 
+/// One synchronous pass over a fixed request stream; the measurable unit of
+/// the restart demo.
+struct StreamReport {
+  std::vector<double> latency_seconds;
+  int hits = 0;       // memory hits
+  int disk_hits = 0;  // persistent-tier hits
+  int misses = 0;     // engine solves
+  double wall_seconds = 0.0;
+};
+
+StreamReport ReplayStream(serve::CompileService& service,
+                          const std::vector<graph::Dag>& zoo,
+                          const std::vector<std::size_t>& picks, int stages,
+                          const std::string& engine) {
+  StreamReport report;
+  report.latency_seconds.reserve(picks.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::size_t pick : picks) {
+    const auto request_start = std::chrono::steady_clock::now();
+    const serve::CompileResponse response =
+        service.Compile(serve::CompileRequest{
+            .dag = zoo[pick], .num_stages = stages, .engine = engine});
+    report.latency_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      request_start)
+            .count());
+    switch (response.outcome) {
+      case serve::CacheOutcome::kHit: ++report.hits; break;
+      case serve::CacheOutcome::kDiskHit: ++report.disk_hits; break;
+      default: ++report.misses; break;
+    }
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+void PrintStreamReport(const char* label, const StreamReport& report) {
+  const auto n = static_cast<double>(report.latency_seconds.size());
+  std::printf(
+      "  %-18s %5.3f s (%.0f req/s)  mem-hits %d  disk-hits %d  solves %d\n"
+      "  %-18s latency p50 %.3f ms  p99 %.3f ms\n",
+      label, report.wall_seconds, n / report.wall_seconds, report.hits,
+      report.disk_hits, report.misses, "",
+      Percentile(report.latency_seconds, 0.50) * 1e3,
+      Percentile(report.latency_seconds, 0.99) * 1e3);
+}
+
+/// --restart-demo: cold stream -> service teardown -> fresh service on the
+/// same cache directory -> identical stream, answered from disk.
+int RunRestartDemo(const CompilerOptions& options,
+                   serve::ServiceOptions service_options,
+                   const std::vector<graph::Dag>& zoo, int requests,
+                   int stages, const std::string& engine,
+                   std::mt19937_64& rng) {
+  service_options.num_threads = 1;  // sync streams; keep the pool small
+  std::vector<std::size_t> picks(requests);
+  for (std::size_t& pick : picks) {
+    // Same skewed popularity as the async stream: min of two draws.
+    pick = std::min(rng() % zoo.size(), rng() % zoo.size());
+  }
+
+  std::printf("restart demo: %d requests over %zu models, %d stages, "
+              "engine %s, cache dir %s\n",
+              requests, zoo.size(), stages, engine.c_str(),
+              service_options.cache_dir.c_str());
+  StreamReport cold;
+  {
+    serve::CompileService service(options, service_options);
+    cold = ReplayStream(service, zoo, picks, stages, engine);
+    PrintStreamReport("cold process:", cold);
+    service.FlushStore();  // every solve is on disk before the "crash"
+    std::printf("  spilled %llu entries to disk\n",
+                static_cast<unsigned long long>(
+                    service.Metrics().store.writes));
+  }  // service destroyed: the restart
+
+  serve::CompileService restarted(options, service_options);
+  const StreamReport warm = ReplayStream(restarted, zoo, picks, stages,
+                                         engine);
+  PrintStreamReport("restarted process:", warm);
+
+  const auto n = static_cast<double>(picks.size());
+  std::printf(
+      "  disk warm-start: %d/%d requests served without an engine solve "
+      "(%.0f%% — %d straight from disk), %.1fx the cold wall clock\n",
+      warm.hits + warm.disk_hits, static_cast<int>(picks.size()),
+      100.0 * (warm.hits + warm.disk_hits) / n, warm.disk_hits,
+      cold.wall_seconds / warm.wall_seconds);
+  PrintServiceMetrics(restarted);
+  return warm.misses == 0 ? 0 : 1;  // a restarted stream must not re-solve
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +236,10 @@ int main(int argc, char** argv) {
   int deadline_ms = 0;  // 0 = no deadline
   int threads = 0;      // 0 = ThreadPool::DefaultThreadCount
   bool mixed = false;
+  int max_batch_inflight = 0;  // 0 = uncapped
+  std::string cache_dir;       // empty = no persistent tier
+  int cache_ttl_s = 0;         // 0 = no expiry
+  bool restart_demo = false;
   constexpr int kMaxInt = std::numeric_limits<int>::max();
 
   int positional = 0;
@@ -137,6 +262,23 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--mixed") == 0) {
       mixed = true;
+    } else if (std::strncmp(arg, "--max-batch-inflight=", 21) == 0) {
+      if (!examples::ParseIntInRange(arg + 21, 1, 1024,
+                                     max_batch_inflight)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+      cache_dir = arg + 12;
+      if (cache_dir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a path\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--cache-ttl-s=", 14) == 0) {
+      if (!examples::ParseIntInRange(arg + 14, 1, kMaxInt, cache_ttl_s)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--restart-demo") == 0) {
+      restart_demo = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
       return Usage(argv[0]);
@@ -189,7 +331,34 @@ int main(int argc, char** argv) {
   options.exact_time_limit_seconds = 0.2;
   serve::ServiceOptions service_options;
   service_options.num_threads = threads;
-  serve::CompileService service(options, service_options);
+  service_options.max_batch_inflight = max_batch_inflight;
+  service_options.cache_dir = cache_dir;
+  service_options.cache_ttl_seconds = cache_ttl_s;
+
+  if (restart_demo) {
+    if (cache_dir.empty()) {
+      std::fprintf(stderr, "error: --restart-demo requires --cache-dir\n");
+      return Usage(argv[0]);
+    }
+    try {
+      return RunRestartDemo(options, service_options, zoo, requests, stages,
+                            engine, rng);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: restart demo failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // Construction can fail when --cache-dir is unusable (DiskStore throws).
+  std::unique_ptr<serve::CompileService> service_holder;
+  try {
+    service_holder =
+        std::make_unique<serve::CompileService>(options, service_options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot start service: %s\n", e.what());
+    return 1;
+  }
+  serve::CompileService& service = *service_holder;
 
   const auto deadline_for = [&](bool apply) {
     return apply && deadline_ms > 0

@@ -6,8 +6,9 @@ previous run's upload) and fails when a watched throughput metric regresses
 by more than --max-regression (a fraction; 0.15 = 15%).
 
 Watched by default:
-  * BM_DecodeGreedyWorkspace/100  — fused decode throughput (items/s),
-  * BM_CompileServiceWarmCache    — warm-cache serving throughput (items/s).
+  * BM_DecodeGreedyWorkspace/100    — fused decode throughput (items/s),
+  * BM_CompileServiceWarmCache      — warm-cache serving throughput,
+  * BM_CompileServiceDiskWarmStart  — persistent-tier (disk) hit throughput.
 
 Benchmarks present in only one of the two files are reported and skipped
 (renames and newly added benchmarks must not hard-fail the gate); a
@@ -25,6 +26,7 @@ import sys
 DEFAULT_WATCH = [
     "BM_DecodeGreedyWorkspace/100",
     "BM_CompileServiceWarmCache",
+    "BM_CompileServiceDiskWarmStart",
 ]
 
 

@@ -63,6 +63,12 @@ class ThreadPool {
     /// callable is returned.
     [[nodiscard]] virtual Task Pop() = 0;
 
+    /// Entries poppable *right now* — a policy may report fewer than it
+    /// holds (e.g. a lane at its concurrency cap, see serve::RequestQueue)
+    /// and workers will sleep on the hidden remainder.  A policy that
+    /// hides entries must guarantee they become visible again through the
+    /// pool's own activity (a returned task's completion on a worker that
+    /// then re-reads Size(), or a later Push) — the pool never polls.
     [[nodiscard]] virtual std::size_t Size() const = 0;
   };
 

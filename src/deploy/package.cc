@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "deploy/pod_io.h"
 #include "deploy/quantize.h"
 #include "graph/topology.h"
 
@@ -81,17 +82,7 @@ PipelinePackage BuildPackage(const graph::Dag& dag,
 namespace {
 constexpr std::uint32_t kMagic = 0x52455350;  // "RESP"
 
-template <typename T>
-void WritePod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-void ReadPod(std::ifstream& is, T& value) {
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-}
-
-void WriteTensorList(std::ofstream& os,
+void WriteTensorList(std::ostream& os,
                      const std::vector<BoundaryTensor>& list) {
   WritePod(os, static_cast<std::uint32_t>(list.size()));
   for (const BoundaryTensor& t : list) {
@@ -102,9 +93,12 @@ void WriteTensorList(std::ofstream& os,
   }
 }
 
-void ReadTensorList(std::ifstream& is, std::vector<BoundaryTensor>& list) {
+void ReadTensorList(std::istream& is, std::vector<BoundaryTensor>& list) {
   std::uint32_t count = 0;
   ReadPod(is, count);
+  if (!is || count > (1u << 24)) {
+    throw std::runtime_error("ReadPackage: corrupt tensor count");
+  }
   list.resize(count);
   for (BoundaryTensor& t : list) {
     ReadPod(is, t.producer);
@@ -116,9 +110,7 @@ void ReadTensorList(std::ifstream& is, std::vector<BoundaryTensor>& list) {
 
 }  // namespace
 
-void SavePackage(const PipelinePackage& package, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("SavePackage: cannot open " + path);
+void WritePackage(const PipelinePackage& package, std::ostream& os) {
   WritePod(os, kMagic);
   const std::uint32_t name_len =
       static_cast<std::uint32_t>(package.model_name.size());
@@ -138,22 +130,19 @@ void SavePackage(const PipelinePackage& package, const std::string& path) {
     WriteTensorList(os, seg.inputs);
     WriteTensorList(os, seg.outputs);
   }
-  if (!os) throw std::runtime_error("SavePackage: write failed: " + path);
 }
 
-PipelinePackage LoadPackage(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("LoadPackage: cannot open " + path);
+PipelinePackage ReadPackage(std::istream& is) {
   std::uint32_t magic = 0;
   ReadPod(is, magic);
   if (!is || magic != kMagic) {
-    throw std::runtime_error("LoadPackage: bad header in " + path);
+    throw std::runtime_error("ReadPackage: bad header");
   }
   PipelinePackage package;
   std::uint32_t name_len = 0;
   ReadPod(is, name_len);
   if (!is || name_len > 4096) {
-    throw std::runtime_error("LoadPackage: corrupt name in " + path);
+    throw std::runtime_error("ReadPackage: corrupt name");
   }
   package.model_name.resize(name_len);
   is.read(package.model_name.data(), name_len);
@@ -164,7 +153,7 @@ PipelinePackage LoadPackage(const std::string& path) {
   std::uint32_t seg_count = 0;
   ReadPod(is, seg_count);
   if (!is || seg_count > 1024) {
-    throw std::runtime_error("LoadPackage: corrupt segment count in " + path);
+    throw std::runtime_error("ReadPackage: corrupt segment count");
   }
   package.segments.resize(seg_count);
   for (Segment& seg : package.segments) {
@@ -174,15 +163,32 @@ PipelinePackage LoadPackage(const std::string& path) {
     std::uint32_t op_count = 0;
     ReadPod(is, op_count);
     if (!is || op_count > (1u << 24)) {
-      throw std::runtime_error("LoadPackage: corrupt op count in " + path);
+      throw std::runtime_error("ReadPackage: corrupt op count");
     }
     seg.ops.resize(op_count);
     for (graph::NodeId& v : seg.ops) ReadPod(is, v);
     ReadTensorList(is, seg.inputs);
     ReadTensorList(is, seg.outputs);
   }
-  if (!is) throw std::runtime_error("LoadPackage: truncated " + path);
+  if (!is) throw std::runtime_error("ReadPackage: truncated input");
   return package;
+}
+
+void SavePackage(const PipelinePackage& package, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("SavePackage: cannot open " + path);
+  WritePackage(package, os);
+  if (!os) throw std::runtime_error("SavePackage: write failed: " + path);
+}
+
+PipelinePackage LoadPackage(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("LoadPackage: cannot open " + path);
+  try {
+    return ReadPackage(is);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " (" + path + ")");
+  }
 }
 
 }  // namespace respect::deploy

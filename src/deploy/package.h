@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -61,5 +62,15 @@ struct PipelinePackage {
 /// Binary round trip of a package.
 void SavePackage(const PipelinePackage& package, const std::string& path);
 [[nodiscard]] PipelinePackage LoadPackage(const std::string& path);
+
+/// Stream forms of the same binary format — what Save/LoadPackage run over
+/// their file streams, exposed so callers can embed a package inside a
+/// larger record (the serving layer's spill envelope, serve/store).  The
+/// bytes are host-native (a local artifact format, not a wire format).
+/// ReadPackage throws std::runtime_error on malformed or truncated input;
+/// its messages carry no path — wrap them with location context as
+/// LoadPackage does.
+void WritePackage(const PipelinePackage& package, std::ostream& os);
+[[nodiscard]] PipelinePackage ReadPackage(std::istream& is);
 
 }  // namespace respect::deploy

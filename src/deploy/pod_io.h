@@ -1,0 +1,23 @@
+// Host-native POD stream serialization — the one definition of the
+// fixed-width read/write primitives shared by the package format
+// (deploy/package.cc) and the serving layer's spill envelopes
+// (serve/store/disk_store.cc).  Bytes are memcpy'd in host order: these
+// are local artifact formats, not wire formats.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+namespace respect::deploy {
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void ReadPod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+}  // namespace respect::deploy

@@ -53,6 +53,28 @@ std::string CanonicalHash::ToHex() const {
   return std::string(buf, 32);
 }
 
+std::optional<CanonicalHash> CanonicalHash::FromHex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  std::uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(16 * w + i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+      words[w] = (words[w] << 4) | digit;
+    }
+  }
+  return CanonicalHash{words[0], words[1]};
+}
+
 void CanonicalHasher::Update(std::string_view bytes) {
   std::uint64_t a = a_;
   std::uint64_t b = b_;

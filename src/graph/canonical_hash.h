@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -31,6 +32,13 @@ struct CanonicalHash {
 
   /// 32 lowercase hex digits, hi first — the spelling used in logs/CLIs.
   [[nodiscard]] std::string ToHex() const;
+
+  /// Inverse of ToHex: exactly 32 hex digits (either case) parse back to
+  /// the digest; anything else is nullopt.  The persistent cache store
+  /// (serve/store) names spill files by ToHex and recovers keys from the
+  /// file names with this on its warm-start scan.
+  [[nodiscard]] static std::optional<CanonicalHash> FromHex(
+      std::string_view hex);
 
   struct Hasher {
     [[nodiscard]] std::size_t operator()(const CanonicalHash& h) const {

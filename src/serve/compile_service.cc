@@ -9,6 +9,8 @@
 #include "core/thread_pool.h"
 #include "engines/registry.h"
 #include "serve/request_queue.h"
+#include "serve/store/disk_store.h"
+#include "serve/store/tinylfu.h"
 
 namespace respect::serve {
 namespace {
@@ -48,6 +50,7 @@ std::unique_ptr<core::ThreadPool> MakeServicePool(
   }
   RequestQueue::Options queue_options;
   queue_options.aging_seconds = options.queue_aging_seconds;
+  queue_options.max_batch_inflight = options.max_batch_inflight;
   return std::make_unique<core::ThreadPool>(
       num_threads, std::make_unique<RequestQueue>(queue_options));
 }
@@ -93,6 +96,21 @@ CompileService::CompileService(const CompilerOptions& compiler_options,
   for (int i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (options.cache_ttl_seconds > 0.0) {
+    has_ttl_ = true;
+    memory_ttl_ = std::chrono::duration_cast<SteadyClock::duration>(
+        std::chrono::duration<double>(options.cache_ttl_seconds));
+  }
+  if (options.lfu_admission && options.cache_capacity > 0) {
+    admission_ =
+        std::make_unique<store::TinyLfuAdmission>(options.cache_capacity);
+  }
+  if (!options.cache_dir.empty()) {
+    store::DiskStoreOptions store_options;
+    store_options.directory = options.cache_dir;
+    store_options.ttl_seconds = options.cache_ttl_seconds;
+    store_ = std::make_unique<store::DiskStore>(store_options);
+  }
   pool_ = MakeServicePool(options);
   solve_latency_.Configure(options.latency_window);
   for (LatencyWindow& window : lane_wait_) {
@@ -120,11 +138,16 @@ CompileService::RequestKey CompileService::MakeKey(
   h.Update(num_stages);
   h.Update(options_fingerprint_.hi);
   h.Update(options_fingerprint_.lo);
-  if (registration.uses_rl) h.Update(compiler_.RlVersion());
+  std::uint64_t rl_version = 0;
+  if (registration.uses_rl) {
+    rl_version = compiler_.RlVersion();
+    h.Update(rl_version);
+  }
   const graph::CanonicalHash dag_hash = graph::HashDag(dag);
   h.Update(dag_hash.hi);
   h.Update(dag_hash.lo);
-  return RequestKey{h.Finish(), registration.uses_rl, registration.name};
+  return RequestKey{h.Finish(), registration.uses_rl, rl_version,
+                    registration.name};
 }
 
 CompileService::Shard& CompileService::ShardFor(
@@ -135,19 +158,43 @@ CompileService::Shard& CompileService::ShardFor(
   return *shards_[hash.hi % shards_.size()];
 }
 
-void CompileService::InsertLocked(Shard& shard, const RequestKey& key,
-                                  ResultPtr result) {
+void CompileService::InsertLocked(
+    Shard& shard, const RequestKey& key, ResultPtr result,
+    std::optional<std::chrono::steady_clock::time_point> expires_at) {
   if (per_shard_capacity_ == 0) return;
+  CacheEntry entry{key.hash, std::move(result), key.rl_dependent};
+  if (has_ttl_) {
+    entry.has_ttl = true;
+    entry.expires_at = SteadyClock::now() + memory_ttl_;
+    if (expires_at && *expires_at < entry.expires_at) {
+      entry.expires_at = *expires_at;
+    }
+  } else if (expires_at) {
+    // No service-wide TTL, but the entry itself carries one (a spill from
+    // a TTL-configured producer sharing the cache dir): honor it.
+    entry.has_ttl = true;
+    entry.expires_at = *expires_at;
+  }
   if (const auto it = shard.entries.find(key.hash);
       it != shard.entries.end()) {
     // Reached by CachePolicy::kRefresh overwriting a resident entry, and
-    // defensively if a flight owner ever races an insert.
-    it->second->result = std::move(result);
+    // defensively if a flight owner ever races an insert.  The TTL clock
+    // restarts: a refresh is a brand-new result.
+    *it->second = std::move(entry);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(
-      CacheEntry{key.hash, std::move(result), key.rl_dependent});
+  if (admission_ != nullptr && shard.entries.size() >= per_shard_capacity_) {
+    // TinyLFU admission: the cold key only displaces the LRU victim when
+    // it is at least as frequent — a one-hit-wonder scan bounces off a hot
+    // entry instead of flushing it.  (Ties admit, so an all-cold cache
+    // still behaves like plain LRU.)
+    if (!admission_->Admit(key.hash, shard.lru.back().key)) {
+      admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  shard.lru.push_front(std::move(entry));
   shard.entries.emplace(key.hash, shard.lru.begin());
   while (shard.entries.size() > per_shard_capacity_) {
     shard.entries.erase(shard.lru.back().key);
@@ -156,11 +203,22 @@ void CompileService::InsertLocked(Shard& shard, const RequestKey& key,
   }
 }
 
+bool CompileService::DropIfExpiredLocked(Shard& shard,
+                                         std::list<CacheEntry>::iterator it) {
+  if (!it->has_ttl || SteadyClock::now() <= it->expires_at) return false;
+  shard.entries.erase(it->key);
+  shard.lru.erase(it);
+  ttl_expired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 CompileService::ResultPtr CompileService::TryCached(const RequestKey& key) {
+  if (admission_ != nullptr) admission_->RecordAccess(key.hash);
   Shard& shard = ShardFor(key.hash);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.entries.find(key.hash);
   if (it == shard.entries.end()) return nullptr;
+  if (DropIfExpiredLocked(shard, it->second)) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->result;
@@ -185,8 +243,11 @@ CompileService::ResultPtr CompileService::SolveCold(const graph::Dag& dag,
 }
 
 void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
-                                   const RequestKey& key,
+                                   const RequestKey& key, bool record_access,
                                    CompileResponse& response) {
+  if (record_access && admission_ != nullptr) {
+    admission_->RecordAccess(key.hash);
+  }
   Shard& shard = ShardFor(key.hash);
 
   std::shared_ptr<Flight> flight;
@@ -195,11 +256,15 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
     const std::lock_guard<std::mutex> lock(shard.mutex);
     if (const auto it = shard.entries.find(key.hash);
         it != shard.entries.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      response.result = it->second->result;
-      response.outcome = CacheOutcome::kHit;
-      return;
+      if (!DropIfExpiredLocked(shard, it->second)) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        response.result = it->second->result;
+        response.outcome = CacheOutcome::kHit;
+        return;
+      }
+      // Expired: fall through as a miss (the disk copy, if any, carries
+      // the same TTL and will be dropped by the store's own check).
     }
     if (const auto it = shard.flights.find(key.hash);
         it != shard.flights.end()) {
@@ -210,7 +275,6 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
       flight->future = flight->promise.get_future().share();
       shard.flights.emplace(key.hash, flight);
       owner = true;
-      misses_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -220,6 +284,39 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
     return;
   }
 
+  // The flight owner probes the persistent tier before paying a solve —
+  // the one synchronous disk read on the request path.  Collapsed waiters
+  // share the disk hit exactly as they would a solve.
+  if (store_ != nullptr) {
+    std::int64_t disk_expiry_ms = 0;
+    if (ResultPtr from_disk = store_->Probe(key.hash, &disk_expiry_ms)) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      // Promote at the spill's *remaining* lifetime: re-arming a full TTL
+      // here would let the entry outlive the age bound by up to 2x.
+      std::optional<SteadyClock::time_point> promote_expiry;
+      if (disk_expiry_ms != 0) {
+        const auto remaining =
+            std::chrono::system_clock::time_point(
+                std::chrono::milliseconds(disk_expiry_ms)) -
+            std::chrono::system_clock::now();
+        promote_expiry =
+            SteadyClock::now() +
+            std::chrono::duration_cast<SteadyClock::duration>(remaining);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        InsertLocked(shard, key, from_disk,
+                     promote_expiry);  // promote, subject to admission
+        shard.flights.erase(key.hash);
+      }
+      flight->promise.set_value(from_disk);
+      response.result = std::move(from_disk);
+      response.outcome = CacheOutcome::kDiskHit;
+      return;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
   try {
     double solve_seconds = 0.0;
     ResultPtr result = SolveCold(dag, num_stages, key, solve_seconds);
@@ -229,6 +326,7 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
       shard.flights.erase(key.hash);
     }
     flight->promise.set_value(result);
+    EnqueueWriteback(key, result);
     response.result = std::move(result);
     response.outcome = CacheOutcome::kMiss;
     response.solve_seconds = solve_seconds;
@@ -252,7 +350,11 @@ CompileResponse CompileService::Execute(
   response.key_hex = key.hash.ToHex();
   switch (params.cache_policy) {
     case CachePolicy::kUse:
-      ExecuteCached(dag, params.num_stages, key, response);
+      // A precomputed key means the batch path probed (and recorded) this
+      // request in TryCached already — don't double-count it in the
+      // admission sketch.
+      ExecuteCached(dag, params.num_stages, key,
+                    /*record_access=*/!precomputed.has_value(), response);
       break;
     case CachePolicy::kBypass:
       // Forced fresh solve, cache untouched; not counted as a miss (misses
@@ -271,12 +373,51 @@ CompileResponse CompileService::Execute(
         const std::lock_guard<std::mutex> lock(shard.mutex);
         InsertLocked(shard, key, result);
       }
+      EnqueueWriteback(key, result);  // a refresh renews the disk copy too
       response.result = std::move(result);
       response.outcome = CacheOutcome::kRefresh;
       break;
     }
   }
   return response;
+}
+
+void CompileService::EnqueueWriteback(const RequestKey& key,
+                                      ResultPtr result) {
+  if (store_ == nullptr) return;
+  {
+    const std::lock_guard<std::mutex> lock(writeback_mutex_);
+    ++pending_writebacks_;
+  }
+  store::SpillMeta meta;
+  meta.key = key.hash;
+  meta.rl_dependent = key.rl_dependent;
+  meta.rl_version = key.rl_version;
+  meta.engine_name = std::string(key.engine_name);
+  // Normal lane: writeback must not wait out a capped batch flood, and
+  // must not delay interactive solves either.  Put never throws (failed
+  // writes are counted store-side), so the decrement always runs.
+  core::ThreadPool::TaskAttrs attrs;
+  attrs.lane = static_cast<int>(LaneIndex(Priority::kNormal));
+  pool_->Submit(
+      [this, meta = std::move(meta), result = std::move(result)] {
+        store_->Put(meta, result);
+        {
+          const std::lock_guard<std::mutex> lock(writeback_mutex_);
+          --pending_writebacks_;
+        }
+        writeback_cv_.notify_all();
+      },
+      std::move(attrs));
+}
+
+void CompileService::FlushStore() {
+  std::unique_lock<std::mutex> lock(writeback_mutex_);
+  writeback_cv_.wait(lock, [this] { return pending_writebacks_ == 0; });
+}
+
+std::size_t CompileService::CompactStore() {
+  return store_ != nullptr ? store_->Compact(compiler_.RlVersion()) : 0;
 }
 
 CompileResponse CompileService::CompileOn(const graph::Dag& dag,
@@ -494,6 +635,9 @@ void CompileService::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {
   // new snapshot.  An in-flight solve keyed against the old version may
   // still insert after the sweep, but its key is unreachable (no future
   // request recomputes it), so it can only occupy capacity, never serve.
+  // The same reasoning invalidates the persistent tier for free: old-
+  // version spill files answer keys no future request recomputes.  They
+  // only occupy disk — CompactStore() reclaims them.
   compiler_.ReplaceRl(std::move(rl));
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
@@ -522,6 +666,11 @@ ServiceMetrics CompileService::Metrics() const {
   metrics.refreshes = refreshes_.load(std::memory_order_relaxed);
   metrics.deadline_expired =
       deadline_expired_.load(std::memory_order_relaxed);
+  metrics.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  metrics.ttl_expired = ttl_expired_.load(std::memory_order_relaxed);
+  metrics.admission_rejected =
+      admission_rejected_.load(std::memory_order_relaxed);
+  if (store_ != nullptr) metrics.store = store_->Metrics();
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     metrics.cache_size += shard->entries.size();

@@ -24,10 +24,23 @@
 // Async path: Submit enqueues the request on a deadline-aware three-lane
 // queue (serve::RequestQueue) feeding the service's core::ThreadPool and
 // returns a Ticket.  Interactive requests overtake queued batch work
-// (batch ages so it cannot starve); a request whose deadline passes in the
-// queue fails fast with DeadlineExceeded instead of occupying a worker.
-// ReplaceRl swaps the RL weights under live traffic and invalidates exactly
-// the RL-dependent cache entries.  Failed solves are never cached.
+// (batch ages so it cannot starve; ServiceOptions::max_batch_inflight
+// additionally caps how many batch solves may run at once); a request
+// whose deadline passes in the queue fails fast with DeadlineExceeded
+// instead of occupying a worker.  ReplaceRl swaps the RL weights under
+// live traffic and invalidates exactly the RL-dependent cache entries.
+// Failed solves are never cached.
+//
+// Persistent tier: ServiceOptions::cache_dir plugs a store::DiskStore
+// behind the memory cache.  A memory miss probes the store before solving
+// (the only synchronous disk read on the request path); a hit is surfaced
+// as CacheOutcome::kDiskHit and promoted into memory subject to admission.
+// Successful solves spill to disk as background writeback tasks on the
+// service's pool, so a restart against the same directory warm-starts
+// without re-running a single engine solve.  TinyLFU admission (on by
+// default) keeps one-hit-wonder scans from flushing hot memory entries;
+// cache_ttl_seconds bounds the age of both tiers, enforced lazily on
+// probe.
 //
 // The pre-CompileRequest overloads (Compile/Submit/CompileBatch taking
 // dag + stages + engine) survive as [[deprecated]] shims over the new entry
@@ -38,6 +51,8 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -55,10 +70,15 @@
 #include "graph/canonical_hash.h"
 #include "graph/dag.h"
 #include "serve/request.h"
+#include "serve/store/cache_store.h"
 
 namespace respect::core {
 class ThreadPool;
 }  // namespace respect::core
+
+namespace respect::serve::store {
+class TinyLfuAdmission;
+}  // namespace respect::serve::store
 
 namespace respect::serve {
 
@@ -84,9 +104,34 @@ struct ServiceOptions {
   double queue_aging_seconds = 2.0;
 
   /// Baseline/escape hatch: hand Submit tasks to the pool in plain FIFO
-  /// order — priority and aging are ignored, and deadlines only fail fast
-  /// when a worker picks the task up (not while it queues).
+  /// order — priority and aging are ignored, deadlines only fail fast when
+  /// a worker picks the task up (not while it queues), and
+  /// max_batch_inflight is ignored.
   bool fifo_queue = false;
+
+  /// Max batch-lane solves running concurrently (<= 0 = unlimited).  With
+  /// a cap of N, an interactive request never waits behind more than N
+  /// batch solves even when a batch flood fills the queue — the remaining
+  /// workers stay available to the other lanes.
+  int max_batch_inflight = 0;
+
+  /// Directory for the persistent spill tier (store::DiskStore); empty
+  /// disables it.  On construction the directory is scanned, and a request
+  /// already solved by a previous process is answered from disk
+  /// (CacheOutcome::kDiskHit) instead of re-solving.
+  std::string cache_dir;
+
+  /// Time-to-live for cached entries in both tiers, enforced lazily on
+  /// probe; <= 0 means entries never expire.  Memory entries age on the
+  /// steady clock from insert; disk entries carry an absolute wall-clock
+  /// expiry so the TTL survives restarts.
+  double cache_ttl_seconds = 0.0;
+
+  /// Frequency-aware admission (store::TinyLfuAdmission): when the memory
+  /// cache is full, a cold insert only evicts the LRU victim if the new
+  /// key's estimated access frequency is at least the victim's, so scan
+  /// traffic cannot flush hot entries.  Disable for pure-LRU behavior.
+  bool lfu_admission = true;
 };
 
 /// Per-lane queue statistics (async path only; synchronous Compile calls
@@ -112,10 +157,16 @@ struct ServiceMetrics {
   std::uint64_t bypasses = 0;         // CachePolicy::kBypass solves
   std::uint64_t refreshes = 0;        // CachePolicy::kRefresh solves
   std::uint64_t deadline_expired = 0;  // DeadlineExceeded failures, all paths
+  std::uint64_t disk_hits = 0;        // memory misses answered by the store
+  std::uint64_t ttl_expired = 0;      // memory entries lazily expired
+  std::uint64_t admission_rejected = 0;  // inserts refused by TinyLFU
   double solve_p50_seconds = 0.0;     // over the recent cold-solve window
   double solve_p99_seconds = 0.0;
   std::size_t cache_size = 0;         // resident entries right now
   std::array<LaneMetrics, kNumPriorityLanes> lanes{};
+
+  /// Persistent-tier counters; all zero when no cache_dir is configured.
+  store::StoreMetrics store{};
 };
 
 class CompileService {
@@ -223,8 +274,23 @@ class CompileService {
 
   [[nodiscard]] ServiceMetrics Metrics() const;
 
-  /// Drops every cached entry (counters are preserved).
+  /// Drops every cached *memory* entry (counters are preserved; the
+  /// persistent tier is untouched, so subsequent requests may come back as
+  /// disk hits — which is exactly how the restart path behaves).
   void ClearCache();
+
+  /// Blocks until every queued background spill write has landed in the
+  /// store.  No-op without a cache_dir.  Call before dropping the process
+  /// (or handing the directory to another service) when the very last
+  /// solves must be on disk; the destructor drains the pool anyway.
+  void FlushStore();
+
+  /// Deletes unreachable store entries — RL-dependent spills from
+  /// superseded weight snapshots (their keys embed the old version, so no
+  /// future request recomputes them) and TTL-expired files.  Returns the
+  /// number of entries removed; 0 without a cache_dir.  Synchronous and
+  /// safe under live traffic.
+  std::size_t CompactStore();
 
   /// Read-only view of the underlying compiler (e.g. RlVersion checks).
   /// Deliberately const-only: mutating the compiler behind the cache's back
@@ -237,6 +303,8 @@ class CompileService {
     graph::CanonicalHash key;
     ResultPtr result;
     bool rl_dependent = false;
+    bool has_ttl = false;
+    std::chrono::steady_clock::time_point expires_at{};
   };
 
   /// One single-flight slot: the owner solves and resolves the future; every
@@ -260,6 +328,7 @@ class CompileService {
   struct RequestKey {
     graph::CanonicalHash hash;
     bool rl_dependent = false;
+    std::uint64_t rl_version = 0;  // snapshot folded into hash (RL only)
     std::string_view engine_name;  // canonical; borrowed from the registry
   };
 
@@ -300,10 +369,14 @@ class CompileService {
       const graph::Dag& dag, const CompileRequest& params,
       const std::optional<RequestKey>& precomputed);
 
-  /// The CachePolicy::kUse path: cache probe → single-flight join → cold
-  /// solve + insert, in that order.
+  /// The CachePolicy::kUse path: cache probe → single-flight join → disk
+  /// probe → cold solve + insert, in that order.  `record_access` feeds the
+  /// admission sketch; it is false when the batch path already recorded
+  /// this logical request in its TryCached probe (one access per request,
+  /// whatever the entry point).
   void ExecuteCached(const graph::Dag& dag, int num_stages,
-                     const RequestKey& key, CompileResponse& response);
+                     const RequestKey& key, bool record_access,
+                     CompileResponse& response);
 
   /// One cold engine solve; records the latency window and the failure
   /// counter.
@@ -324,13 +397,42 @@ class CompileService {
       std::span<const graph::Dag* const> dags, int num_stages,
       const EngineRef& engine);
 
-  void InsertLocked(Shard& shard, const RequestKey& key, ResultPtr result);
+  /// Inserts (or refreshes) an entry.  `expires_at` caps the entry's
+  /// lifetime below the default TTL — set on disk-hit promotion so a
+  /// promoted entry dies at the spill's absolute expiry instead of getting
+  /// a freshly re-armed TTL.
+  void InsertLocked(
+      Shard& shard, const RequestKey& key, ResultPtr result,
+      std::optional<std::chrono::steady_clock::time_point> expires_at =
+          std::nullopt);
+
+  /// Lazily drops `it` when its TTL lapsed; true means the entry is gone
+  /// and the lookup must proceed as a miss.  Call under the shard mutex.
+  [[nodiscard]] bool DropIfExpiredLocked(Shard& shard,
+                                         std::list<CacheEntry>::iterator it);
+
+  /// Enqueues a background spill of `result` on the pool (no-op without a
+  /// store).  Never blocks on I/O; FlushStore waits for all of these.
+  void EnqueueWriteback(const RequestKey& key, ResultPtr result);
 
   [[nodiscard]] static std::size_t LaneIndex(Priority priority);
 
   PipelineCompiler compiler_;
   std::size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// TTL for memory entries; zero duration = no expiry.
+  std::chrono::steady_clock::duration memory_ttl_{};
+  bool has_ttl_ = false;
+
+  /// Frequency sketch consulted on insert/promote; null = always admit.
+  std::unique_ptr<store::TinyLfuAdmission> admission_;
+
+  /// Persistent tier; null when no cache_dir is configured.  Declared
+  /// before pool_ so queued writeback tasks (which reference it) are
+  /// drained by the pool's destructor first.
+  std::unique_ptr<store::CacheStore> store_;
+
   std::unique_ptr<core::ThreadPool> pool_;
 
   /// Constant-per-service fingerprint of CompilerOptions, folded into every
@@ -346,6 +448,15 @@ class CompileService {
   std::atomic<std::uint64_t> bypasses_{0};
   std::atomic<std::uint64_t> refreshes_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> ttl_expired_{0};
+  std::atomic<std::uint64_t> admission_rejected_{0};
+
+  /// Spill writes queued on the pool but not yet landed (FlushStore waits
+  /// on this reaching zero).
+  std::mutex writeback_mutex_;
+  std::condition_variable writeback_cv_;
+  std::size_t pending_writebacks_ = 0;
 
   struct LaneCounters {
     std::atomic<std::uint64_t> enqueued{0};

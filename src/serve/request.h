@@ -93,6 +93,8 @@ enum class CacheOutcome {
   kCollapsed,  // waited on another request's identical in-flight solve
   kBypass,     // CachePolicy::kBypass solve, cache untouched
   kRefresh,    // CachePolicy::kRefresh solve, entry overwritten
+  kDiskHit,    // answered from the persistent store, no solve (promoted
+               // into memory subject to the admission policy)
 };
 
 [[nodiscard]] constexpr std::string_view CacheOutcomeName(
@@ -103,6 +105,7 @@ enum class CacheOutcome {
     case CacheOutcome::kCollapsed: return "collapsed";
     case CacheOutcome::kBypass: return "bypass";
     case CacheOutcome::kRefresh: return "refresh";
+    case CacheOutcome::kDiskHit: return "disk-hit";
   }
   return "unknown";
 }

@@ -35,12 +35,36 @@ void RequestQueue::Push(core::ThreadPool::Task task,
   ++size_;
 }
 
+bool RequestQueue::BatchCapped() const {
+  return options_.max_batch_inflight > 0 &&
+         batch_running_.load(std::memory_order_relaxed) >=
+             options_.max_batch_inflight;
+}
+
 core::ThreadPool::Task RequestQueue::TakeFront(Lane& lane, bool expired) {
   Entry entry = std::move(lane.entries.front());
   lane.entries.pop_front();
   lane.depth.fetch_sub(1, std::memory_order_relaxed);
   --size_;
-  if (!expired) return std::move(entry.run);
+  if (!expired) {
+    if (IsBatchLane(lane) && options_.max_batch_inflight > 0) {
+      // Claim a batch slot now (under the pool mutex) and release it when
+      // the task finishes on its worker — the release is an atomic store,
+      // visible to that worker's very next Size() check, which is what
+      // resumes a capped backlog.
+      batch_running_.fetch_add(1, std::memory_order_relaxed);
+      return [this, run = std::move(entry.run)] {
+        try {
+          run();
+        } catch (...) {
+          batch_running_.fetch_sub(1, std::memory_order_relaxed);
+          throw;
+        }
+        batch_running_.fetch_sub(1, std::memory_order_relaxed);
+      };
+    }
+    return std::move(entry.run);
+  }
   lane.expired.fetch_add(1, std::memory_order_relaxed);
   if (entry.on_expired) return std::move(entry.on_expired);
   return [] {};  // Pop must return a runnable callable
@@ -51,6 +75,7 @@ core::ThreadPool::Task RequestQueue::Pop() {
 
   // Expired heads fail fast before any live work runs, most-urgent lane
   // first.  One entry per Pop keeps the pool's push/pop accounting 1:1.
+  // Expiring costs no batch slot, so the cap does not gate this sweep.
   for (Lane& lane : lanes_) {
     if (!lane.entries.empty() && lane.entries.front().has_deadline &&
         lane.entries.front().deadline < now) {
@@ -58,9 +83,10 @@ core::ThreadPool::Task RequestQueue::Pop() {
     }
   }
 
-  // Aging disabled: strict priority, first non-empty lane wins.
+  // Aging disabled: strict priority, first non-empty runnable lane wins.
   if (options_.aging_seconds <= 0.0) {
     for (Lane& lane : lanes_) {
+      if (IsBatchLane(lane) && BatchCapped()) continue;
       if (!lane.entries.empty()) return TakeFront(lane, /*expired=*/false);
     }
     return [] {};  // unreachable under the Size() > 0 contract
@@ -73,6 +99,7 @@ core::ThreadPool::Task RequestQueue::Pop() {
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     Lane& lane = lanes_[i];
     if (lane.entries.empty()) continue;
+    if (IsBatchLane(lane) && BatchCapped()) continue;
     const Clock::time_point score =
         lane.entries.front().enqueue + aging * static_cast<std::int64_t>(i);
     // Strictly-less keeps ties on the more urgent lane.
@@ -85,7 +112,22 @@ core::ThreadPool::Task RequestQueue::Pop() {
   return TakeFront(*best, /*expired=*/false);
 }
 
-std::size_t RequestQueue::Size() const { return size_; }
+std::size_t RequestQueue::Size() const {
+  // A capped batch backlog is invisible: idle workers must sleep on it, not
+  // spin Pop against a lane Pop would skip.  It becomes visible again the
+  // moment a slot frees (the completing worker re-checks Size() before it
+  // sleeps), or immediately for its expired head, which costs no slot.
+  if (BatchCapped()) {
+    const auto& batch = lanes_.back();
+    std::size_t hidden = batch.entries.size();
+    if (hidden > 0 && batch.entries.front().has_deadline &&
+        batch.entries.front().deadline < Now()) {
+      --hidden;  // the expired head is poppable regardless of the cap
+    }
+    return size_ - hidden;
+  }
+  return size_;
+}
 
 std::size_t RequestQueue::Depth(Priority lane) const {
   return lanes_[LaneIndex(static_cast<int>(lane))].depth.load(
@@ -95,6 +137,10 @@ std::size_t RequestQueue::Depth(Priority lane) const {
 std::uint64_t RequestQueue::Expired(Priority lane) const {
   return lanes_[LaneIndex(static_cast<int>(lane))].expired.load(
       std::memory_order_relaxed);
+}
+
+int RequestQueue::BatchRunning() const {
+  return batch_running_.load(std::memory_order_relaxed);
 }
 
 }  // namespace respect::serve

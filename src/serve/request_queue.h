@@ -23,9 +23,23 @@
 // checked at lane heads only — an entry queued behind a live head fails
 // the moment it surfaces, not before.
 //
+// Batch concurrency cap.  Options::max_batch_inflight > 0 bounds how many
+// batch-lane tasks may *run* at once: while the cap is reached, Size()
+// stops reporting the batch backlog (so idle workers sleep instead of
+// popping it) and Pop() skips the batch lane.  A popped batch task is
+// wrapped to release its slot when it finishes; the worker that ran it
+// re-examines the queue right after, which is what resumes a capped
+// backlog — no pool cooperation needed.  The cap is what keeps a batch
+// flood from momentarily holding every worker: with a cap of N, an
+// interactive request never waits behind more than N batch solves.
+// Deadline expiry of entries hidden by the cap surfaces when a slot frees
+// (or any other pop happens), not at the instant the deadline passes.
+//
 // Threading.  Push/Pop/Size run under the owning ThreadPool's mutex (the
 // TaskQueue contract), so the lane deques need no locking of their own.
-// The depth/expired counters are atomics and may be read from any thread.
+// The depth/expired counters — and the batch-running count, which the
+// wrapped task decrements from a worker thread — are atomics and may be
+// read from any thread.
 #pragma once
 
 #include <array>
@@ -47,6 +61,10 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
     /// Lane-step aging quantum (see file comment); <= 0 disables aging.
     double aging_seconds = 2.0;
 
+    /// Max batch-lane tasks running concurrently (see file comment);
+    /// <= 0 means unlimited.
+    int max_batch_inflight = 0;
+
     /// Test seam: time source for enqueue stamps and expiry checks.
     /// Defaults to std::chrono::steady_clock::now.
     std::function<std::chrono::steady_clock::time_point()> clock;
@@ -67,6 +85,11 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   /// off-thread).
   [[nodiscard]] std::uint64_t Expired(Priority lane) const;
 
+  /// Batch-lane tasks running right now (atomic; readable off-thread).
+  /// Always 0 when no cap is configured — the count is only maintained
+  /// when it gates something.
+  [[nodiscard]] int BatchRunning() const;
+
  private:
   struct Entry {
     core::ThreadPool::Task run;
@@ -85,9 +108,18 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   [[nodiscard]] std::chrono::steady_clock::time_point Now() const;
   [[nodiscard]] core::ThreadPool::Task TakeFront(Lane& lane, bool expired);
 
+  /// True when the batch lane may not start another task right now.
+  [[nodiscard]] bool BatchCapped() const;
+
+  /// Whether `lane` is the capped batch lane.
+  [[nodiscard]] bool IsBatchLane(const Lane& lane) const {
+    return &lane == &lanes_.back();
+  }
+
   Options options_;
   std::array<Lane, kNumPriorityLanes> lanes_;
   std::size_t size_ = 0;
+  std::atomic<int> batch_running_{0};
 };
 
 }  // namespace respect::serve

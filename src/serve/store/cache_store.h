@@ -1,0 +1,94 @@
+// CacheStore — the pluggable persistent tier behind CompileService's sharded
+// in-memory schedule cache.
+//
+// The in-memory cache answers the hot set; a CacheStore keeps solved
+// schedules across process restarts.  The service consults it in exactly
+// three places:
+//
+//   * Probe  — on a memory miss (kUse policy only), before paying an engine
+//              solve.  This is the one synchronous store call on the request
+//              path; a hit is surfaced as CacheOutcome::kDiskHit and promoted
+//              into memory subject to the admission policy.
+//   * Put    — after a successful cold solve or refresh, enqueued as a
+//              background task on the service's thread pool so the request
+//              path never blocks on store I/O.  Put must not throw: a failed
+//              write is a counted non-event (the entry simply is not
+//              persisted), never a request failure.
+//   * Compact — housekeeping: drop entries no future request can reach
+//              (RL-dependent results from superseded weight snapshots — the
+//              snapshot version is folded into the request key, so they are
+//              unreachable the moment ReplaceRl bumps it) and entries past
+//              their TTL.
+//
+// Keys are the service's content-addressed request keys
+// (graph::CanonicalHash over the serialized DAG + canonical engine name +
+// num_stages + options fingerprint + RL snapshot version), so a store entry
+// answers exactly one request shape and restart warm-start needs no
+// re-keying.  Implementations must be safe to call from multiple threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/canonical_hash.h"
+#include "serve/request.h"
+
+namespace respect::serve::store {
+
+/// Self-description stored next to the serialized result: what Compact()
+/// and humans poking at a cache directory need without recomputing keys.
+struct SpillMeta {
+  /// The full content-addressed request key (also the file name, in hex).
+  graph::CanonicalHash key;
+
+  /// True when the result came from an RL-dependent engine; such entries
+  /// become unreachable when the RL snapshot version moves past rl_version.
+  bool rl_dependent = false;
+  std::uint64_t rl_version = 0;
+
+  /// Canonical engine name, for observability only (the key covers it).
+  std::string engine_name;
+};
+
+/// Point-in-time store counters (all monotone except resident).
+struct StoreMetrics {
+  std::uint64_t probes = 0;           // Probe calls
+  std::uint64_t hits = 0;             // probes answered with a result
+  std::uint64_t misses = 0;           // probes with no usable entry
+  std::uint64_t writes = 0;           // successful Put spills
+  std::uint64_t write_failures = 0;   // Put attempts that could not land
+  std::uint64_t corrupt_dropped = 0;  // malformed entries quarantined
+  std::uint64_t expired_dropped = 0;  // TTL-expired entries dropped lazily
+  std::uint64_t compacted = 0;        // entries removed by Compact
+  std::size_t resident = 0;           // entries indexed right now
+};
+
+class CacheStore {
+ public:
+  virtual ~CacheStore() = default;
+
+  /// Returns the stored result for `key`, or null on a miss.  Every failure
+  /// mode — absent, corrupt, truncated, expired, wrong envelope — is a
+  /// clean miss, never an exception or a wrong answer.  On a hit with
+  /// `expires_at_unix_ms` non-null, the entry's absolute wall-clock expiry
+  /// (unix milliseconds; 0 = never) is written through — the caller caps
+  /// any in-memory promotion at the entry's remaining lifetime instead of
+  /// re-arming a fresh TTL.
+  [[nodiscard]] virtual ResultPtr Probe(
+      const graph::CanonicalHash& key,
+      std::int64_t* expires_at_unix_ms = nullptr) = 0;
+
+  /// Persists one result under meta.key.  Must not throw; failures are
+  /// counted in StoreMetrics::write_failures.
+  virtual void Put(const SpillMeta& meta, const ResultPtr& result) = 0;
+
+  /// Deletes unreachable entries: RL-dependent results whose rl_version !=
+  /// live_rl_version, TTL-expired entries, and anything malformed.  Returns
+  /// the number of entries removed.
+  virtual std::size_t Compact(std::uint64_t live_rl_version) = 0;
+
+  [[nodiscard]] virtual StoreMetrics Metrics() const = 0;
+};
+
+}  // namespace respect::serve::store

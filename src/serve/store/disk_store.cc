@@ -1,0 +1,397 @@
+#include "serve/store/disk_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "core/respect.h"
+#include "deploy/package.h"
+#include "deploy/pod_io.h"
+
+namespace respect::serve::store {
+namespace {
+
+using deploy::ReadPod;
+using deploy::WritePod;
+
+constexpr std::uint32_t kMagic = 0x4c505352;  // "RSPL" little-endian
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr const char* kSpillExtension = ".spill";
+
+/// Everything above the package is small; this bounds resize attacks from a
+/// corrupt length field (the package reader has its own bounds).
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+constexpr std::uint32_t kMaxEngineNameBytes = 4096;
+constexpr std::uint64_t kMaxScheduleNodes = 1ull << 24;
+
+/// The self-description at the front of every payload — what Compact and
+/// TTL checks need without touching the package bytes.
+struct SpillPrefix {
+  SpillMeta meta;
+  std::int64_t expires_at_unix_ms = 0;  // 0 = never
+};
+
+struct LoadedSpill {
+  SpillMeta meta;
+  std::int64_t expires_at_unix_ms = 0;  // 0 = never
+  ResultPtr result;
+};
+
+std::string SerializePayload(const SpillMeta& meta,
+                             std::int64_t expires_at_unix_ms,
+                             const CompileResult& result) {
+  std::ostringstream os(std::ios::binary);
+  WritePod(os, meta.key.hi);
+  WritePod(os, meta.key.lo);
+  WritePod(os, static_cast<std::uint8_t>(meta.rl_dependent));
+  WritePod(os, meta.rl_version);
+  WritePod(os, static_cast<std::uint32_t>(meta.engine_name.size()));
+  os.write(meta.engine_name.data(),
+           static_cast<std::streamsize>(meta.engine_name.size()));
+  WritePod(os, expires_at_unix_ms);
+  WritePod(os, result.solve_seconds);
+  WritePod(os, result.peak_stage_param_bytes);
+  WritePod(os, static_cast<std::uint8_t>(result.proved_optimal));
+  WritePod(os, result.schedule.num_stages);
+  WritePod(os, static_cast<std::uint64_t>(result.schedule.stage.size()));
+  for (const int stage : result.schedule.stage) WritePod(os, stage);
+  deploy::WritePackage(result.package, os);
+  return std::move(os).str();
+}
+
+/// Parses the meta fields at the front of a payload stream.  Throws
+/// std::runtime_error on any structural problem.
+SpillPrefix ReadMetaFields(std::istream& is) {
+  SpillPrefix prefix;
+  ReadPod(is, prefix.meta.key.hi);
+  ReadPod(is, prefix.meta.key.lo);
+  std::uint8_t rl_dependent = 0;
+  ReadPod(is, rl_dependent);
+  prefix.meta.rl_dependent = rl_dependent != 0;
+  ReadPod(is, prefix.meta.rl_version);
+  std::uint32_t name_len = 0;
+  ReadPod(is, name_len);
+  if (!is || name_len > kMaxEngineNameBytes) {
+    throw std::runtime_error("spill: corrupt engine name");
+  }
+  prefix.meta.engine_name.resize(name_len);
+  is.read(prefix.meta.engine_name.data(), name_len);
+  ReadPod(is, prefix.expires_at_unix_ms);
+  if (!is) throw std::runtime_error("spill: truncated meta");
+  return prefix;
+}
+
+/// Parses a verified payload.  Throws std::runtime_error on any structural
+/// problem; the caller translates that into quarantine-and-miss.
+LoadedSpill ParsePayload(const std::string& payload) {
+  std::istringstream is(payload, std::ios::binary);
+  LoadedSpill loaded;
+  {
+    SpillPrefix prefix = ReadMetaFields(is);
+    loaded.meta = std::move(prefix.meta);
+    loaded.expires_at_unix_ms = prefix.expires_at_unix_ms;
+  }
+
+  auto result = std::make_shared<CompileResult>();
+  ReadPod(is, result->solve_seconds);
+  ReadPod(is, result->peak_stage_param_bytes);
+  std::uint8_t proved_optimal = 0;
+  ReadPod(is, proved_optimal);
+  result->proved_optimal = proved_optimal != 0;
+  ReadPod(is, result->schedule.num_stages);
+  std::uint64_t node_count = 0;
+  ReadPod(is, node_count);
+  if (!is || node_count > kMaxScheduleNodes) {
+    throw std::runtime_error("spill: corrupt schedule");
+  }
+  result->schedule.stage.resize(node_count);
+  for (int& stage : result->schedule.stage) ReadPod(is, stage);
+  if (!is) throw std::runtime_error("spill: truncated schedule");
+  result->package = deploy::ReadPackage(is);
+  // The package reader stops exactly at its last field; anything after it
+  // means the payload is not what the checksum was supposed to cover.
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("spill: trailing bytes");
+  }
+  loaded.result = std::move(result);
+  return loaded;
+}
+
+graph::CanonicalHash ChecksumOf(const std::string& payload) {
+  graph::CanonicalHasher hasher;
+  hasher.Update(std::string_view(payload));
+  return hasher.Finish();
+}
+
+/// Reads and fully verifies one spill file.  Throws std::runtime_error on
+/// any corruption; returns the parsed record otherwise.
+LoadedSpill LoadSpillFile(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("spill: cannot open");
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  graph::CanonicalHash checksum;
+  ReadPod(is, magic);
+  ReadPod(is, version);
+  ReadPod(is, payload_size);
+  ReadPod(is, checksum.hi);
+  ReadPod(is, checksum.lo);
+  if (!is || magic != kMagic) throw std::runtime_error("spill: bad magic");
+  if (version != kFormatVersion) {
+    throw std::runtime_error("spill: unsupported format version");
+  }
+  if (payload_size == 0 || payload_size > kMaxPayloadBytes) {
+    throw std::runtime_error("spill: implausible payload size");
+  }
+  std::string payload(static_cast<std::size_t>(payload_size), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_size ||
+      is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("spill: truncated or oversized payload");
+  }
+  if (ChecksumOf(payload) != checksum) {
+    throw std::runtime_error("spill: checksum mismatch");
+  }
+  return ParsePayload(payload);
+}
+
+/// Reads only the header and the meta prefix of a spill file — enough for
+/// compaction decisions without deserializing (or even reading) the
+/// package bytes.  Structural corruption throws; the prefix is NOT
+/// checksum-verified (Probe fully verifies before any byte is served).
+SpillPrefix LoadSpillPrefix(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("spill: cannot open");
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  graph::CanonicalHash checksum;
+  ReadPod(is, magic);
+  ReadPod(is, version);
+  ReadPod(is, payload_size);
+  ReadPod(is, checksum.hi);
+  ReadPod(is, checksum.lo);
+  if (!is || magic != kMagic) throw std::runtime_error("spill: bad magic");
+  if (version != kFormatVersion) {
+    throw std::runtime_error("spill: unsupported format version");
+  }
+  if (payload_size == 0 || payload_size > kMaxPayloadBytes) {
+    throw std::runtime_error("spill: implausible payload size");
+  }
+  return ReadMetaFields(is);
+}
+
+}  // namespace
+
+DiskStore::DiskStore(const DiskStoreOptions& options)
+    : options_(options), directory_(options.directory) {
+  if (directory_.empty()) {
+    throw std::runtime_error("DiskStore: empty cache directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw std::runtime_error("DiskStore: cannot create " +
+                             directory_.string() + ": " + ec.message());
+  }
+  // Warm-start scan: index by file name only (32 hex digits + ".spill");
+  // contents are verified at first probe.  Leftover temp files from a
+  // crashed writer are swept; foreign files are ignored.
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() == ".tmp") {
+      std::filesystem::remove(path, ec);
+      continue;
+    }
+    if (path.extension() != kSpillExtension) continue;
+    const std::string stem = path.stem().string();
+    const auto key = graph::CanonicalHash::FromHex(stem);
+    // Only the canonical (lowercase) spelling is indexed: PathFor always
+    // rebuilds that spelling, so an uppercase-named copy would be indexed
+    // yet unreachable — treat it as a foreign file instead.
+    if (!key || key->ToHex() != stem) continue;
+    index_.insert(*key);
+  }
+}
+
+std::chrono::system_clock::time_point DiskStore::Now() const {
+  return options_.clock ? options_.clock() : std::chrono::system_clock::now();
+}
+
+std::filesystem::path DiskStore::PathFor(
+    const graph::CanonicalHash& key) const {
+  return directory_ / (key.ToHex() + kSpillExtension);
+}
+
+bool DiskStore::Indexed(const graph::CanonicalHash& key) const {
+  const std::lock_guard<std::mutex> lock(index_mutex_);
+  return index_.contains(key);
+}
+
+void DiskStore::Index(const graph::CanonicalHash& key) {
+  const std::lock_guard<std::mutex> lock(index_mutex_);
+  index_.insert(key);
+}
+
+void DiskStore::Unindex(const graph::CanonicalHash& key) {
+  const std::lock_guard<std::mutex> lock(index_mutex_);
+  index_.erase(key);
+}
+
+void DiskStore::Drop(const graph::CanonicalHash& key,
+                     const std::filesystem::path& path,
+                     std::atomic<std::uint64_t>& counter) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // best effort; the index is the truth
+  Unindex(key);
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultPtr DiskStore::Probe(const graph::CanonicalHash& key,
+                           std::int64_t* expires_at_unix_ms) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  if (!Indexed(key)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const std::filesystem::path path = PathFor(key);
+  LoadedSpill loaded;
+  try {
+    loaded = LoadSpillFile(path);
+  } catch (const std::exception&) {
+    // Truncated, bit-flipped, wrong version, vanished — all the same clean
+    // miss: quarantine (delete) the file so it is never re-probed.
+    Drop(key, path, corrupt_dropped_);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (loaded.meta.key != key) {
+    // A file whose envelope answers a different request than its name
+    // claims (e.g. a renamed spill) must never be served.
+    Drop(key, path, corrupt_dropped_);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (loaded.expires_at_unix_ms != 0 &&
+      Now() > std::chrono::system_clock::time_point(
+                  std::chrono::milliseconds(loaded.expires_at_unix_ms))) {
+    Drop(key, path, expired_dropped_);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (expires_at_unix_ms != nullptr) {
+    *expires_at_unix_ms = loaded.expires_at_unix_ms;
+  }
+  return loaded.result;
+}
+
+void DiskStore::Put(const SpillMeta& meta, const ResultPtr& result) {
+  if (result == nullptr) return;
+  std::int64_t expires_at_unix_ms = 0;
+  if (options_.ttl_seconds > 0.0) {
+    expires_at_unix_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            (Now() + std::chrono::duration_cast<
+                         std::chrono::system_clock::duration>(
+                         std::chrono::duration<double>(options_.ttl_seconds)))
+                .time_since_epoch())
+            .count();
+  }
+  const std::filesystem::path final_path = PathFor(meta.key);
+  const std::filesystem::path temp_path =
+      final_path.string() + "." +
+      std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed)) +
+      ".tmp";
+  try {
+    const std::string payload =
+        SerializePayload(meta, expires_at_unix_ms, *result);
+    const graph::CanonicalHash checksum = ChecksumOf(payload);
+    {
+      std::ofstream os(temp_path, std::ios::binary | std::ios::trunc);
+      if (!os) throw std::runtime_error("cannot open temp file");
+      WritePod(os, kMagic);
+      WritePod(os, kFormatVersion);
+      WritePod(os, static_cast<std::uint64_t>(payload.size()));
+      WritePod(os, checksum.hi);
+      WritePod(os, checksum.lo);
+      os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+      os.flush();
+      if (!os) throw std::runtime_error("write failed");
+    }
+    // Atomic publish: readers see the old complete file or the new one,
+    // never a partial write.
+    std::filesystem::rename(temp_path, final_path);
+    Index(meta.key);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(temp_path, ec);
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t DiskStore::Compact(std::uint64_t live_rl_version) {
+  std::vector<graph::CanonicalHash> keys;
+  {
+    const std::lock_guard<std::mutex> lock(index_mutex_);
+    keys.assign(index_.begin(), index_.end());
+  }
+  std::size_t removed = 0;
+  for (const graph::CanonicalHash& key : keys) {
+    const std::filesystem::path path = PathFor(key);
+    SpillPrefix prefix;
+    try {
+      prefix = LoadSpillPrefix(path);
+    } catch (const std::exception&) {
+      Drop(key, path, corrupt_dropped_);
+      ++removed;
+      continue;
+    }
+    if (prefix.meta.key != key) {  // renamed/mismatched envelope
+      Drop(key, path, corrupt_dropped_);
+      ++removed;
+      continue;
+    }
+    if (prefix.meta.rl_dependent &&
+        prefix.meta.rl_version != live_rl_version) {
+      // The request key folds the snapshot version in, so no future request
+      // can reach this entry — reclaim the bytes.
+      Drop(key, path, compacted_);
+      ++removed;
+      continue;
+    }
+    if (prefix.expires_at_unix_ms != 0 &&
+        Now() > std::chrono::system_clock::time_point(
+                    std::chrono::milliseconds(prefix.expires_at_unix_ms))) {
+      Drop(key, path, expired_dropped_);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+StoreMetrics DiskStore::Metrics() const {
+  StoreMetrics metrics;
+  metrics.probes = probes_.load(std::memory_order_relaxed);
+  metrics.hits = hits_.load(std::memory_order_relaxed);
+  metrics.misses = misses_.load(std::memory_order_relaxed);
+  metrics.writes = writes_.load(std::memory_order_relaxed);
+  metrics.write_failures = write_failures_.load(std::memory_order_relaxed);
+  metrics.corrupt_dropped = corrupt_dropped_.load(std::memory_order_relaxed);
+  metrics.expired_dropped = expired_dropped_.load(std::memory_order_relaxed);
+  metrics.compacted = compacted_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(index_mutex_);
+    metrics.resident = index_.size();
+  }
+  return metrics;
+}
+
+}  // namespace respect::serve::store

@@ -1,0 +1,115 @@
+// DiskStore — the on-disk CacheStore: one self-describing spill file per
+// cached CompileResult, named `<key-hex>.spill` under a cache directory.
+//
+// File format (host-native bytes; a local cache artifact, not a wire
+// format):
+//
+//   header   u32 magic 'RSPL'   u32 format version   u64 payload bytes
+//            u64 checksum.hi    u64 checksum.lo      (checksum = the
+//            graph::CanonicalHasher digest of the payload bytes)
+//   payload  key.hi/key.lo      rl_dependent + rl_version
+//            engine name        expires_at (unix milliseconds, 0 = never)
+//            solve_seconds, peak_stage_param_bytes, proved_optimal
+//            schedule (num_stages + per-node stages)
+//            package  (deploy::WritePackage — the heavy part)
+//
+// A probe verifies magic, version, payload size, checksum, and that the
+// payload's embedded key equals the requested key before trusting a byte of
+// it, so a truncated, bit-flipped, or renamed file is a clean miss — the
+// offending file is deleted (quarantined) and counted, never served.
+// Writes go to a `.tmp` sibling first and rename into place, so readers
+// only ever see complete files and a crash mid-write leaves at most a
+// stale temp file (swept on the next construction).
+//
+// Construction scans the directory and indexes every well-named spill file
+// by the key parsed from its name (contents are verified lazily, at first
+// probe) — that index is what makes restart warm-start O(files) instead of
+// O(bytes), and makes a probe for an absent key cost zero I/O.
+//
+// TTL: when ttl_seconds > 0, each write stamps an absolute wall-clock
+// expiry (system_clock — it must survive restarts) and an expired entry is
+// dropped at probe time or by Compact().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "serve/store/cache_store.h"
+
+namespace respect::serve::store {
+
+struct DiskStoreOptions {
+  /// Cache directory; created (with parents) when missing.
+  std::string directory;
+
+  /// Per-entry time-to-live stamped on writes; <= 0 means entries never
+  /// expire.
+  double ttl_seconds = 0.0;
+
+  /// Test seam: wall-clock source for expiry stamps and checks.  Defaults
+  /// to std::chrono::system_clock::now.
+  std::function<std::chrono::system_clock::time_point()> clock;
+};
+
+class DiskStore final : public CacheStore {
+ public:
+  /// Scans `options.directory` (creating it when absent) and indexes the
+  /// resident spill files.  Throws std::runtime_error when the directory
+  /// cannot be created or read.
+  explicit DiskStore(const DiskStoreOptions& options);
+
+  [[nodiscard]] ResultPtr Probe(
+      const graph::CanonicalHash& key,
+      std::int64_t* expires_at_unix_ms = nullptr) override;
+  void Put(const SpillMeta& meta, const ResultPtr& result) override;
+
+  /// O(files * meta-prefix): decisions read only the envelope's meta
+  /// fields (key, RL version, expiry), never the package bytes — safe to
+  /// run synchronously under live traffic even for large stores.  A
+  /// structurally corrupt prefix quarantines the file; full checksum
+  /// verification stays where it matters, on the Probe path that serves
+  /// bytes to callers.
+  std::size_t Compact(std::uint64_t live_rl_version) override;
+  [[nodiscard]] StoreMetrics Metrics() const override;
+
+  /// The `<key-hex>.spill` path an entry lives at (exposed for tests that
+  /// corrupt real spill files).
+  [[nodiscard]] std::filesystem::path PathFor(
+      const graph::CanonicalHash& key) const;
+
+ private:
+  [[nodiscard]] std::chrono::system_clock::time_point Now() const;
+  [[nodiscard]] bool Indexed(const graph::CanonicalHash& key) const;
+  void Index(const graph::CanonicalHash& key);
+  void Unindex(const graph::CanonicalHash& key);
+
+  /// Deletes the file and drops it from the index, counting it against
+  /// `counter` (one of the atomic members below).
+  void Drop(const graph::CanonicalHash& key, const std::filesystem::path& path,
+            std::atomic<std::uint64_t>& counter);
+
+  DiskStoreOptions options_;
+  std::filesystem::path directory_;
+
+  mutable std::mutex index_mutex_;
+  std::unordered_set<graph::CanonicalHash, graph::CanonicalHash::Hasher>
+      index_;  // keys with a (believed) resident spill file
+
+  std::atomic<std::uint64_t> temp_counter_{0};  // unique temp-file suffixes
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+  std::atomic<std::uint64_t> corrupt_dropped_{0};
+  std::atomic<std::uint64_t> expired_dropped_{0};
+  std::atomic<std::uint64_t> compacted_{0};
+};
+
+}  // namespace respect::serve::store

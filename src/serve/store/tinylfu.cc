@@ -1,0 +1,96 @@
+#include "serve/store/tinylfu.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace respect::serve::store {
+namespace {
+
+/// Per-row seeds: large odd constants so the rows index independently.
+constexpr std::uint64_t kRowSeed[4] = {
+    0x9e3779b97f4a7c15ULL,
+    0xc2b2ae3d27d4eb4fULL,
+    0x165667b19e3779f9ULL,
+    0x27d4eb2f165667c5ULL,
+};
+
+std::uint64_t Mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(64, n));
+}
+
+}  // namespace
+
+TinyLfuAdmission::TinyLfuAdmission(std::size_t capacity_hint)
+    : TinyLfuAdmission(Options{.counters = capacity_hint}) {}
+
+TinyLfuAdmission::TinyLfuAdmission(const Options& options)
+    : counters_per_row_(NextPowerOfTwo(options.counters)),
+      sample_period_(options.sample_period != 0
+                         ? options.sample_period
+                         : 10 * static_cast<std::uint64_t>(counters_per_row_)),
+      table_(kDepth * counters_per_row_ / 2, 0) {}
+
+std::size_t TinyLfuAdmission::SlotIndex(const graph::CanonicalHash& key,
+                                        int row) const {
+  const std::uint64_t mixed = Mix(key.lo ^ key.hi ^ kRowSeed[row]);
+  return static_cast<std::size_t>(row) * counters_per_row_ +
+         (static_cast<std::size_t>(mixed) & (counters_per_row_ - 1));
+}
+
+std::uint8_t TinyLfuAdmission::ReadCounterLocked(std::size_t slot) const {
+  const std::uint8_t byte = table_[slot / 2];
+  return (slot % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+}
+
+void TinyLfuAdmission::HalveLocked() {
+  for (std::uint8_t& byte : table_) {
+    // Both nibbles halve in one shift; the mask clears the bit each high
+    // nibble would otherwise leak into its low neighbour.
+    byte = static_cast<std::uint8_t>((byte >> 1) & 0x77);
+  }
+  ++halvings_;
+  ops_ = 0;
+}
+
+void TinyLfuAdmission::RecordAccess(const graph::CanonicalHash& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (int row = 0; row < kDepth; ++row) {
+    const std::size_t slot = SlotIndex(key, row);
+    const std::uint8_t value = ReadCounterLocked(slot);
+    if (value >= 15) continue;  // saturate
+    const std::uint8_t next = static_cast<std::uint8_t>(value + 1);
+    std::uint8_t& byte = table_[slot / 2];
+    byte = (slot % 2 == 0)
+               ? static_cast<std::uint8_t>((byte & 0xf0) | next)
+               : static_cast<std::uint8_t>((byte & 0x0f) | (next << 4));
+  }
+  if (++ops_ >= sample_period_) HalveLocked();
+}
+
+std::uint64_t TinyLfuAdmission::Estimate(
+    const graph::CanonicalHash& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint8_t minimum = 15;
+  for (int row = 0; row < kDepth; ++row) {
+    minimum = std::min(minimum, ReadCounterLocked(SlotIndex(key, row)));
+  }
+  return minimum;
+}
+
+bool TinyLfuAdmission::Admit(const graph::CanonicalHash& candidate,
+                             const graph::CanonicalHash& victim) const {
+  return Estimate(candidate) >= Estimate(victim);
+}
+
+std::uint64_t TinyLfuAdmission::Halvings() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return halvings_;
+}
+
+}  // namespace respect::serve::store

@@ -1,0 +1,90 @@
+// TinyLfuAdmission — frequency-aware cache admission (the TinyLFU policy of
+// Einziger et al., "TinyLFU: A Highly Efficient Cache Admission Policy").
+//
+// An LRU-only cache lets a scan of one-hit-wonder requests flush entries
+// that are probed constantly: every cold insert evicts the LRU victim no
+// matter how hot the victim is.  TinyLFU fixes that with an approximate
+// frequency sketch over the *request stream*: every cache lookup records its
+// key; on insert, the candidate is admitted only if its estimated frequency
+// is at least the eviction victim's.  A one-hit wonder (estimate 1) can
+// never displace an entry that keeps getting probed; a genuinely hot new
+// key admits immediately (ties go to the candidate, so an all-cold cache
+// behaves exactly like plain LRU).
+//
+// The sketch is a 4-bit count-min: `depth` rows of `counters` saturating
+// 4-bit counters (two per byte), each row indexed by an independent mix of
+// the key.  Estimate = min over rows, so collisions only ever inflate.  To
+// keep the sketch fresh over long runs, every counter is halved once
+// `sample_period` accesses have been recorded ("aging"): old traffic decays
+// geometrically and the sketch keeps admitting new hot keys forever instead
+// of saturating.  With 4-bit counters the whole sketch costs
+// depth * counters / 2 bytes (the default configuration is ~8 KiB for a
+// 4096-entry cache).
+//
+// Thread safety: all methods are safe to call concurrently (one internal
+// mutex; every operation is a handful of array reads/writes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/canonical_hash.h"
+
+namespace respect::serve::store {
+
+class TinyLfuAdmission {
+ public:
+  struct Options {
+    /// Counters per row, rounded up to a power of two (min 64).  Size to
+    /// the cache capacity or a small multiple of it.
+    std::size_t counters = 4096;
+
+    /// Accesses between halvings; 0 selects 10 * counters (the paper's
+    /// sample-to-size ratio).
+    std::uint64_t sample_period = 0;
+  };
+
+  /// Sketch sized for a cache of `capacity_hint` entries.
+  explicit TinyLfuAdmission(std::size_t capacity_hint);
+  explicit TinyLfuAdmission(const Options& options);
+
+  TinyLfuAdmission(const TinyLfuAdmission&) = delete;
+  TinyLfuAdmission& operator=(const TinyLfuAdmission&) = delete;
+
+  /// Records one lookup of `key` (hit or miss — the frequency stream is the
+  /// request stream, not the hit stream).
+  void RecordAccess(const graph::CanonicalHash& key);
+
+  /// Approximate access count of `key` within the current sample window
+  /// (saturates at 15; halvings decay it).  Never under-estimates within
+  /// the window, may over-estimate on collisions.
+  [[nodiscard]] std::uint64_t Estimate(const graph::CanonicalHash& key) const;
+
+  /// Admission verdict for inserting `candidate` when the cache is full and
+  /// `victim` is the entry that would be evicted: admit iff the candidate's
+  /// estimated frequency is >= the victim's.
+  [[nodiscard]] bool Admit(const graph::CanonicalHash& candidate,
+                           const graph::CanonicalHash& victim) const;
+
+  /// Number of halvings so far (observability / tests).
+  [[nodiscard]] std::uint64_t Halvings() const;
+
+ private:
+  static constexpr int kDepth = 4;
+
+  [[nodiscard]] std::size_t SlotIndex(const graph::CanonicalHash& key,
+                                      int row) const;
+  [[nodiscard]] std::uint8_t ReadCounterLocked(std::size_t slot) const;
+  void HalveLocked();
+
+  mutable std::mutex mutex_;
+  std::size_t counters_per_row_ = 0;  // power of two
+  std::uint64_t sample_period_ = 0;
+  std::uint64_t ops_ = 0;        // accesses since the last halving
+  std::uint64_t halvings_ = 0;
+  std::vector<std::uint8_t> table_;  // two 4-bit counters per byte
+};
+
+}  // namespace respect::serve::store

@@ -36,9 +36,10 @@ struct FakeClock {
 
 class RequestQueueTest : public ::testing::Test {
  protected:
-  RequestQueue MakeQueue(double aging_seconds) {
+  RequestQueue MakeQueue(double aging_seconds, int max_batch_inflight = 0) {
     RequestQueue::Options options;
     options.aging_seconds = aging_seconds;
+    options.max_batch_inflight = max_batch_inflight;
     options.clock = [this] { return clock_.now; };
     return RequestQueue(options);
   }
@@ -172,6 +173,76 @@ TEST_F(RequestQueueTest, OutOfRangeLaneHintsClampToTheNearestLane) {
   EXPECT_EQ(queue.Depth(Priority::kBatch), 1u);
   PopAndRun(queue);
   EXPECT_EQ(ran_.back(), "clamped-low");
+}
+
+// ── Batch concurrency cap ────────────────────────────────────────────────
+
+TEST_F(RequestQueueTest, BatchCapHidesTheBacklogWhileASlotIsHeld) {
+  RequestQueue queue = MakeQueue(/*aging_seconds=*/100.0,
+                                 /*max_batch_inflight=*/1);
+  Push(queue, "batch-0", Priority::kBatch);
+  Push(queue, "batch-1", Priority::kBatch);
+  EXPECT_EQ(queue.Size(), 2u);  // nothing running yet: both poppable
+
+  // Popping batch-0 claims the one slot; until the returned task finishes,
+  // the rest of the batch backlog is invisible (workers sleep on it) and
+  // BatchRunning reports the held slot.
+  ThreadPool::Task first = queue.Pop();
+  EXPECT_EQ(queue.BatchRunning(), 1);
+  EXPECT_EQ(queue.Size(), 0u);
+  EXPECT_EQ(queue.Depth(Priority::kBatch), 1u);  // still queued, just hidden
+
+  // Other lanes are unaffected by the batch cap.
+  Push(queue, "interactive", Priority::kInteractive);
+  EXPECT_EQ(queue.Size(), 1u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "interactive");
+
+  // Finishing the batch task releases the slot; the backlog reappears.
+  first();
+  EXPECT_EQ(ran_.back(), "batch-0");
+  EXPECT_EQ(queue.BatchRunning(), 0);
+  EXPECT_EQ(queue.Size(), 1u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "batch-1");
+}
+
+TEST_F(RequestQueueTest, BatchCapAllowsUpToNConcurrentSlots) {
+  RequestQueue queue = MakeQueue(/*aging_seconds=*/100.0,
+                                 /*max_batch_inflight=*/2);
+  Push(queue, "batch-0", Priority::kBatch);
+  Push(queue, "batch-1", Priority::kBatch);
+  Push(queue, "batch-2", Priority::kBatch);
+  ThreadPool::Task a = queue.Pop();
+  ThreadPool::Task b = queue.Pop();
+  EXPECT_EQ(queue.BatchRunning(), 2);
+  EXPECT_EQ(queue.Size(), 0u);  // third entry hidden at the cap
+  b();
+  EXPECT_EQ(queue.BatchRunning(), 1);
+  EXPECT_EQ(queue.Size(), 1u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "batch-2");
+  a();
+  EXPECT_EQ(queue.BatchRunning(), 0);
+}
+
+TEST_F(RequestQueueTest, ExpiredCappedBatchHeadStillFailsFast) {
+  RequestQueue queue = MakeQueue(/*aging_seconds=*/100.0,
+                                 /*max_batch_inflight=*/1);
+  Push(queue, "batch-running", Priority::kBatch);
+  ThreadPool::Task running = queue.Pop();  // holds the only slot
+  Push(queue, "batch-doomed", Priority::kBatch, /*deadline_in_seconds=*/0.5);
+  EXPECT_EQ(queue.Size(), 0u);  // capped and unexpired: hidden
+  clock_.Advance(1.0);
+  // Once its deadline lapses the head surfaces despite the cap — expiring
+  // costs no batch slot, so a worker can fail it fast immediately.
+  EXPECT_EQ(queue.Size(), 1u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "batch-doomed!expired");
+  EXPECT_EQ(queue.Expired(Priority::kBatch), 1u);
+  EXPECT_EQ(queue.BatchRunning(), 1);  // the running task still holds its slot
+  running();
+  EXPECT_EQ(queue.BatchRunning(), 0);
 }
 
 // The queue as a live ThreadPool policy: every submitted task runs exactly

@@ -662,6 +662,54 @@ TEST(CompileServiceQueueTest, SyncCompileRejectsLapsedDeadline) {
   EXPECT_EQ(service.Metrics().misses, 0u);
 }
 
+// ServiceOptions::max_batch_inflight: with 2 workers and a batch cap of 1,
+// a batch flood holds at most one worker — the second worker stays free,
+// so an interactive request submitted behind three queued batch solves
+// never waits behind more than the one batch solve the cap admits.
+TEST(CompileServiceQueueTest, BatchCapKeepsAWorkerFreeForInteractive) {
+  EnsureRecordingEngine();
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  options.max_batch_inflight = 1;
+  options.queue_aging_seconds = 3600.0;  // no aging interference
+  serve::CompileService service(FastOptions(), options);
+
+  std::vector<serve::CompileService::Ticket> tickets;
+  // Three blocking batch solves.  Without the cap, b0 and b1 would claim
+  // both workers; with it, only b0 starts.
+  for (int i = 0; i < 3; ++i) {
+    tickets.push_back(service.Submit(QueuedRequest(
+        NamedDag(81 + 2 * i, "hold-batch-" + std::to_string(i)),
+        Priority::kBatch)));
+  }
+  RecordingEngine::WaitForSolves(1);  // b0 pinned inside its solve
+
+  auto interactive = service.Submit(
+      QueuedRequest(NamedDag(91, "interactive"), Priority::kInteractive));
+  // Completes on the free worker while every batch solve but b0 is still
+  // queued — this Wait would deadlock behind the flood without the cap.
+  (void)interactive.Wait();
+
+  {
+    const std::vector<std::string> order = RecordingEngine::Order();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "hold-batch-0");
+    EXPECT_EQ(order[1], "interactive");
+  }
+  const serve::ServiceMetrics mid = service.Metrics();
+  const auto batch = static_cast<std::size_t>(Priority::kBatch);
+  EXPECT_EQ(mid.lanes[batch].started, 1u);  // the cap admitted exactly one
+  EXPECT_EQ(mid.lanes[batch].depth, 2u);
+
+  RecordingEngine::Release();
+  for (const auto& ticket : tickets) (void)ticket.Wait();
+  const std::vector<std::string> order = RecordingEngine::Order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[2], "hold-batch-1");  // backlog resumes in FIFO order
+  EXPECT_EQ(order[3], "hold-batch-2");
+  EXPECT_EQ(service.Metrics().lanes[batch].started, 3u);
+}
+
 // The FIFO baseline still fails lapsed deadlines (at task start rather
 // than at pop time) — the escape hatch must not silently drop the deadline
 // contract.
