@@ -30,6 +30,14 @@
 // against an empty cache, tears the service down, builds a fresh one on the
 // same directory — the restart — and replays the exact stream, reporting
 // the disk-warm-start hit rate and latency against the cold run.
+//
+// --miss-storm shows what the grouped batch decode buys: a skewed stream of
+// RL-engine requests fills the cache, ReplaceRl invalidates every entry —
+// the miss storm — and the same stream refills through CompileBatch twice,
+// once with grouped lock-stepped decodes and once with batch_decode off,
+// comparing per-worker refill throughput.  Exits non-zero if the batched
+// variant never took the batch path.  --no-batch-decode disables grouped
+// miss solving in the other modes (A/B escape hatch).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -58,7 +66,8 @@ int Usage(const char* argv0) {
       "[engine=anneal]\n"
       "          [--priority=interactive|normal|batch] [--deadline-ms=N]\n"
       "          [--threads=N] [--mixed] [--max-batch-inflight=N]\n"
-      "          [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]\n",
+      "          [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]\n"
+      "          [--miss-storm] [--no-batch-decode]\n",
       argv0, examples::kMaxStages);
   return 2;
 }
@@ -225,6 +234,88 @@ int RunRestartDemo(const CompilerOptions& options,
   return warm.misses == 0 ? 0 : 1;  // a restarted stream must not re-solve
 }
 
+/// --miss-storm: the cold-refill path after a weight rollout.  Fill the
+/// cache through CompileBatch, invalidate every RL entry with ReplaceRl —
+/// the storm — then refill the identical stream and time it, once with
+/// grouped lock-stepped decodes and once with batch_decode off.  Thread
+/// count defaults to 1 so the comparison isolates per-worker decode
+/// throughput (GEMM across the group vs one GEMV decode at a time) rather
+/// than pool parallelism; pass --threads to compare loaded pools.
+int RunMissStorm(const CompilerOptions& options,
+                 serve::ServiceOptions service_options,
+                 const std::vector<graph::Dag>& zoo, int requests, int stages,
+                 int threads) {
+  service_options.num_threads = threads > 0 ? threads : 1;
+  std::mt19937_64 rng(131);
+  std::vector<serve::CompileRequest> stream;
+  stream.reserve(requests);
+  std::vector<bool> seen(zoo.size(), false);
+  int unique_models = 0;
+  for (int r = 0; r < requests; ++r) {
+    // The usual skewed popularity: hot models repeat, so the storm mixes
+    // duplicate keys (collapsed in-flight) with unique cold solves.
+    const std::size_t pick = std::min(rng() % zoo.size(), rng() % zoo.size());
+    if (!seen[pick]) {
+      seen[pick] = true;
+      ++unique_models;
+    }
+    stream.push_back(serve::CompileRequest{
+        .dag = zoo[pick], .num_stages = stages, .engine = "respect"});
+  }
+
+  struct Refill {
+    double wall_seconds = 0.0;
+    serve::ServiceMetrics metrics;
+  };
+  const auto run = [&](bool batch_decode) {
+    serve::ServiceOptions variant = service_options;
+    variant.batch_decode = batch_decode;
+    serve::CompileService service(options, variant);
+    (void)service.CompileBatch(stream);  // cold fill
+    // The rollout: every RL-dependent entry (here: all of them) drops.
+    service.ReplaceRl(std::make_shared<rl::RlScheduler>(options.net));
+    const auto start = std::chrono::steady_clock::now();
+    (void)service.CompileBatch(stream);  // the measured refill
+    Refill refill;
+    refill.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    refill.metrics = service.Metrics();
+    return refill;
+  };
+
+  std::printf("miss storm: %d requests over %zu models, %d stages, engine "
+              "respect, %d worker(s)\n",
+              requests, zoo.size(), stages, service_options.num_threads);
+  const Refill batched = run(/*batch_decode=*/true);
+  const Refill plain = run(/*batch_decode=*/false);
+
+  // Each run solves every unique picked model twice (fill + refill); the
+  // refill half is what the wall clock above measures.
+  const double solves = static_cast<double>(unique_models);
+  std::printf(
+      "  batched refill:   %7.3f s (%6.0f solves/s, %6.0f req/s)  "
+      "batch-solved %llu of %llu cold solves in %llu group(s)\n",
+      batched.wall_seconds, solves / batched.wall_seconds,
+      requests / batched.wall_seconds,
+      static_cast<unsigned long long>(batched.metrics.batch_solved),
+      static_cast<unsigned long long>(batched.metrics.misses),
+      static_cast<unsigned long long>(batched.metrics.batch_groups));
+  std::printf(
+      "  unbatched refill: %7.3f s (%6.0f solves/s, %6.0f req/s)\n",
+      plain.wall_seconds, solves / plain.wall_seconds,
+      requests / plain.wall_seconds);
+  std::printf("  grouped batch decode refilled at %.1fx the per-worker "
+              "unbatched throughput\n",
+              plain.wall_seconds / batched.wall_seconds);
+  if (batched.metrics.batch_solved == 0) {
+    std::fprintf(stderr,
+                 "error: the batched variant never took the batch path\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,6 +331,8 @@ int main(int argc, char** argv) {
   std::string cache_dir;       // empty = no persistent tier
   int cache_ttl_s = 0;         // 0 = no expiry
   bool restart_demo = false;
+  bool miss_storm = false;
+  bool batch_decode = true;
   constexpr int kMaxInt = std::numeric_limits<int>::max();
 
   int positional = 0;
@@ -279,6 +372,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--restart-demo") == 0) {
       restart_demo = true;
+    } else if (std::strcmp(arg, "--miss-storm") == 0) {
+      miss_storm = true;
+    } else if (std::strcmp(arg, "--no-batch-decode") == 0) {
+      batch_decode = false;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
       return Usage(argv[0]);
@@ -334,6 +431,17 @@ int main(int argc, char** argv) {
   service_options.max_batch_inflight = max_batch_inflight;
   service_options.cache_dir = cache_dir;
   service_options.cache_ttl_seconds = cache_ttl_s;
+  service_options.batch_decode = batch_decode;
+
+  if (miss_storm) {
+    try {
+      return RunMissStorm(options, service_options, zoo, requests, stages,
+                          threads);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: miss-storm demo failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (restart_demo) {
     if (cache_dir.empty()) {

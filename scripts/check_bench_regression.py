@@ -7,6 +7,8 @@ by more than --max-regression (a fraction; 0.15 = 15%).
 
 Watched by default:
   * BM_DecodeGreedyWorkspace/100    — fused decode throughput (items/s),
+  * BM_BatchedDecode/16             — batched multi-graph decode throughput,
+  * BM_MissStormRefill              — grouped cold-miss refill throughput,
   * BM_CompileServiceWarmCache      — warm-cache serving throughput,
   * BM_CompileServiceDiskWarmStart  — persistent-tier (disk) hit throughput.
 
@@ -25,6 +27,8 @@ import sys
 
 DEFAULT_WATCH = [
     "BM_DecodeGreedyWorkspace/100",
+    "BM_BatchedDecode/16",
+    "BM_MissStormRefill",
     "BM_CompileServiceWarmCache",
     "BM_CompileServiceDiskWarmStart",
 ]

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 #include <utility>
 
 #include "core/thread_pool.h"
+#include "rl/batch_decode_workspace.h"
 #include "sched/postprocess.h"
 
 namespace respect {
@@ -71,20 +73,16 @@ CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
   return CompileWith(*engine, dag, num_stages);
 }
 
-CompileResult PipelineCompiler::CompileWith(
-    const engines::SchedulerEngine& engine, const graph::Dag& dag,
-    int num_stages) const {
-  dag.Validate();
-  sched::PipelineConstraints constraints;
-  constraints.num_stages = num_stages;
-
+engines::EngineBudget PipelineCompiler::MakeBudget() const {
   engines::EngineBudget budget;
   budget.max_expansions = options_.exact_max_expansions;
   budget.time_limit_seconds = options_.exact_time_limit_seconds;
+  return budget;
+}
 
-  engines::EngineResult engine_result =
-      engine.Schedule(dag, constraints, budget);
-
+CompileResult PipelineCompiler::FinishCompile(
+    engines::EngineResult engine_result, const graph::Dag& dag,
+    const sched::PipelineConstraints& constraints) const {
   CompileResult result;
   result.schedule = std::move(engine_result.schedule);
   result.solve_seconds = engine_result.solve_seconds;
@@ -102,6 +100,35 @@ CompileResult PipelineCompiler::CompileWith(
   return result;
 }
 
+CompileResult PipelineCompiler::CompileWith(
+    const engines::SchedulerEngine& engine, const graph::Dag& dag,
+    int num_stages) const {
+  dag.Validate();
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = num_stages;
+  return FinishCompile(engine.Schedule(dag, constraints, MakeBudget()), dag,
+                       constraints);
+}
+
+std::vector<CompileResult> PipelineCompiler::CompileGroup(
+    std::span<const graph::Dag* const> dags, int num_stages,
+    std::string_view engine_name, engines::SolveStats* stats) const {
+  const auto engine = engines::EngineRegistry::Global().Create(
+      engine_name, MakeEngineContext());
+  for (const graph::Dag* dag : dags) dag->Validate();
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = num_stages;
+  std::vector<engines::EngineResult> engine_results =
+      engine->ScheduleBatch(dags, constraints, MakeBudget(), stats);
+  std::vector<CompileResult> results;
+  results.reserve(dags.size());
+  for (std::size_t i = 0; i < dags.size(); ++i) {
+    results.push_back(FinishCompile(std::move(engine_results[i]), *dags[i],
+                                    constraints));
+  }
+  return results;
+}
+
 namespace {
 
 /// Never spawn more per-call workers than there are graphs to compile.
@@ -115,42 +142,108 @@ int BatchThreadCount(int num_threads, std::size_t batch_size) {
 
 std::vector<CompileResult> PipelineCompiler::CompileBatch(
     std::span<const graph::Dag* const> dags, int num_stages, Method method,
-    int num_threads) const {
+    int num_threads, engines::SolveStats* stats) const {
   core::ThreadPool pool(BatchThreadCount(num_threads, dags.size()));
-  return CompileBatch(dags, num_stages, method, pool);
+  return CompileBatch(dags, num_stages, method, pool, stats);
 }
 
 std::vector<CompileResult> PipelineCompiler::CompileBatch(
     std::span<const graph::Dag* const> dags, int num_stages,
-    std::string_view engine_name, int num_threads) const {
+    std::string_view engine_name, int num_threads,
+    engines::SolveStats* stats) const {
   core::ThreadPool pool(BatchThreadCount(num_threads, dags.size()));
-  return CompileBatch(dags, num_stages, engine_name, pool);
+  return CompileBatch(dags, num_stages, engine_name, pool, stats);
 }
 
 std::vector<CompileResult> PipelineCompiler::CompileBatch(
     std::span<const graph::Dag* const> dags, int num_stages, Method method,
-    core::ThreadPool& pool) const {
+    core::ThreadPool& pool, engines::SolveStats* stats) const {
   const auto engine =
       engines::EngineRegistry::Global().Create(method, MakeEngineContext());
-  return CompileBatchWith(*engine, dags, num_stages, pool);
+  return CompileBatchWith(*engine, dags, num_stages, pool, stats);
 }
 
 std::vector<CompileResult> PipelineCompiler::CompileBatch(
     std::span<const graph::Dag* const> dags, int num_stages,
-    std::string_view engine_name, core::ThreadPool& pool) const {
+    std::string_view engine_name, core::ThreadPool& pool,
+    engines::SolveStats* stats) const {
   const auto engine = engines::EngineRegistry::Global().Create(
       engine_name, MakeEngineContext());
-  return CompileBatchWith(*engine, dags, num_stages, pool);
+  return CompileBatchWith(*engine, dags, num_stages, pool, stats);
 }
 
 std::vector<CompileResult> PipelineCompiler::CompileBatchWith(
     const engines::SchedulerEngine& engine,
     std::span<const graph::Dag* const> dags, int num_stages,
-    core::ThreadPool& pool) const {
+    core::ThreadPool& pool, engines::SolveStats* stats) const {
   std::vector<CompileResult> results(dags.size());
-  core::ParallelFor(pool, dags.size(), [&](std::size_t i) {
-    results[i] = CompileWith(engine, *dags[i], num_stages);
+  if (!engine.SupportsBatch() || dags.size() < 2) {
+    core::ParallelFor(pool, dags.size(), [&](std::size_t i) {
+      results[i] = CompileWith(engine, *dags[i], num_stages);
+    });
+    if (stats != nullptr) stats->single_solved += dags.size();
+    return results;
+  }
+
+  // Size-group the batch so same-node-count graphs share lock-stepped
+  // decodes, then fan the groups (not the graphs) across the pool: one
+  // task per batch chunk of <= rl::kMaxDecodeBatch plus one per straggler,
+  // so chunks of one storm still run concurrently on different workers.
+  // std::map keeps chunk boundaries deterministic for a given input order.
+  std::map<int, std::vector<std::size_t>> by_nodes;
+  for (std::size_t i = 0; i < dags.size(); ++i) {
+    by_nodes[dags[i]->NodeCount()].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> tasks;
+  for (const auto& [nodes, indices] : by_nodes) {
+    if (indices.size() < 2) {
+      for (const std::size_t i : indices) tasks.push_back({i});
+      continue;
+    }
+    // Balanced ceil-division chunking: sizes differ by at most one and
+    // every chunk keeps >= 2 graphs.
+    const std::size_t group = indices.size();
+    const std::size_t num_chunks =
+        (group + rl::kMaxDecodeBatch - 1) / rl::kMaxDecodeBatch;
+    const std::size_t base = group / num_chunks;
+    const std::size_t extra = group % num_chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t size = base + (c < extra ? 1 : 0);
+      tasks.emplace_back(indices.begin() + begin,
+                         indices.begin() + begin + size);
+      begin += size;
+    }
+  }
+
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = num_stages;
+  const engines::EngineBudget budget = MakeBudget();
+  std::vector<engines::SolveStats> task_stats(tasks.size());
+  core::ParallelFor(pool, tasks.size(), [&](std::size_t t) {
+    const std::vector<std::size_t>& indices = tasks[t];
+    if (indices.size() == 1) {
+      results[indices[0]] = CompileWith(engine, *dags[indices[0]], num_stages);
+      task_stats[t].single_solved = 1;
+      return;
+    }
+    std::vector<const graph::Dag*> group;
+    group.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      dags[i]->Validate();
+      group.push_back(dags[i]);
+    }
+    std::vector<engines::EngineResult> engine_results = engine.ScheduleBatch(
+        std::span<const graph::Dag* const>(group), constraints, budget,
+        &task_stats[t]);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      results[indices[k]] = FinishCompile(std::move(engine_results[k]),
+                                          *dags[indices[k]], constraints);
+    }
   });
+  if (stats != nullptr) {
+    for (const engines::SolveStats& s : task_stats) stats->Merge(s);
+  }
   return results;
 }
 

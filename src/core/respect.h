@@ -102,21 +102,40 @@ class PipelineCompiler {
   /// exact_time_limit_seconds > 0): CPU contention changes how far such a
   /// solve gets, so its incumbent may differ between runs.  Expansion caps
   /// are deterministic; use those when bit-identical batches matter.
+  /// When the chosen engine supports batched solving (RlEngine's
+  /// lock-stepped decode), CompileBatch additionally groups the graphs by
+  /// node count and routes every same-size group of >= 2 through the batch
+  /// path, so the per-step recurrences run as GEMMs across the group;
+  /// stragglers keep the per-graph path.  `stats` (optional, may be null)
+  /// accumulates the batch/single split.
   [[nodiscard]] std::vector<CompileResult> CompileBatch(
       std::span<const graph::Dag* const> dags, int num_stages, Method method,
-      int num_threads) const;
+      int num_threads, engines::SolveStats* stats = nullptr) const;
   [[nodiscard]] std::vector<CompileResult> CompileBatch(
       std::span<const graph::Dag* const> dags, int num_stages,
-      std::string_view engine, int num_threads) const;
+      std::string_view engine, int num_threads,
+      engines::SolveStats* stats = nullptr) const;
 
   /// Same, on a caller-owned pool — serving loops issuing many batches
   /// reuse one pool instead of paying thread spawn/join per call.
   [[nodiscard]] std::vector<CompileResult> CompileBatch(
       std::span<const graph::Dag* const> dags, int num_stages, Method method,
-      core::ThreadPool& pool) const;
+      core::ThreadPool& pool, engines::SolveStats* stats = nullptr) const;
   [[nodiscard]] std::vector<CompileResult> CompileBatch(
       std::span<const graph::Dag* const> dags, int num_stages,
-      std::string_view engine, core::ThreadPool& pool) const;
+      std::string_view engine, core::ThreadPool& pool,
+      engines::SolveStats* stats = nullptr) const;
+
+  /// Compiles a group of graphs INLINE on the calling thread through the
+  /// engine's ScheduleBatch — same-node-count groups of >= 2 take the
+  /// lock-stepped batch decode when the engine supports it.  This is the
+  /// entry point for callers that already run on a worker thread (the
+  /// serving layer's grouped miss handling must not nest pool submissions);
+  /// results are element-wise identical to per-graph Compile() calls on
+  /// the scalar path.
+  [[nodiscard]] std::vector<CompileResult> CompileGroup(
+      std::span<const graph::Dag* const> dags, int num_stages,
+      std::string_view engine, engines::SolveStats* stats = nullptr) const;
 
   /// Snapshot of the current RL scheduler for training / weight loading
   /// (the train-then-serve flow of the benches and examples).  The returned
@@ -151,13 +170,22 @@ class PipelineCompiler {
   /// options.weights_path loaded when present).
   [[nodiscard]] std::shared_ptr<rl::RlScheduler> MakeConfiguredRl() const;
 
+  [[nodiscard]] engines::EngineBudget MakeBudget() const;
+
+  /// Post-solve half of a compile: repair, packaging, peak-bytes — shared
+  /// by the single, batch, and group paths so every route finishes a solve
+  /// identically.
+  [[nodiscard]] CompileResult FinishCompile(
+      engines::EngineResult engine_result, const graph::Dag& dag,
+      const sched::PipelineConstraints& constraints) const;
+
   [[nodiscard]] CompileResult CompileWith(const engines::SchedulerEngine& engine,
                                           const graph::Dag& dag,
                                           int num_stages) const;
   [[nodiscard]] std::vector<CompileResult> CompileBatchWith(
       const engines::SchedulerEngine& engine,
       std::span<const graph::Dag* const> dags, int num_stages,
-      core::ThreadPool& pool) const;
+      core::ThreadPool& pool, engines::SolveStats* stats) const;
 
   /// The current RL scheduler, behind a heap-allocated slot so the compiler
   /// stays movable: ReplaceRl swaps the inner pointer under the slot mutex

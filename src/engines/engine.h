@@ -15,8 +15,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "graph/dag.h"
 #include "heuristics/edgetpu_compiler.h"
@@ -60,6 +62,35 @@ struct EngineResult {
   bool proved_optimal = false;
 };
 
+/// How a ScheduleBatch call split its work between the batched decode path
+/// and per-graph solves.  Counters are additive, so per-group stats merge
+/// into per-call and per-service totals (see serve::ServiceMetrics).
+struct SolveStats {
+  /// Graphs solved through a lock-stepped batch decode (group size >= 2).
+  std::uint64_t batch_solved = 0;
+
+  /// Graphs solved one at a time (stragglers, singleton size groups, or an
+  /// engine without batch support).
+  std::uint64_t single_solved = 0;
+
+  /// Number of lock-stepped groups the batch-solved graphs were split into.
+  std::uint64_t batch_groups = 0;
+
+  /// Fraction of graphs that went through the batch path; 0 when empty.
+  [[nodiscard]] double BatchUtilization() const {
+    const std::uint64_t total = batch_solved + single_solved;
+    return total == 0 ? 0.0
+                      : static_cast<double>(batch_solved) /
+                            static_cast<double>(total);
+  }
+
+  void Merge(const SolveStats& other) {
+    batch_solved += other.batch_solved;
+    single_solved += other.single_solved;
+    batch_groups += other.batch_groups;
+  }
+};
+
 /// Runs `solve` and packs its schedule with the measured solve time —
 /// shared by every adapter whose backend does not report its own timing.
 template <typename Solve>
@@ -85,6 +116,30 @@ class SchedulerEngine {
   [[nodiscard]] virtual EngineResult Schedule(
       const graph::Dag& dag, const sched::PipelineConstraints& constraints,
       const EngineBudget& budget) const = 0;
+
+  /// True when ScheduleBatch can amortize work across same-node-count
+  /// graphs (overridden by RlEngine's lock-stepped batch decode).  Callers
+  /// use this to decide whether size-grouping a batch is worth it.
+  [[nodiscard]] virtual bool SupportsBatch() const { return false; }
+
+  /// Schedules every graph in `dags` under the same constraints and budget,
+  /// returning results index-aligned with the input.  The default just
+  /// loops over Schedule(); engines with SupportsBatch() group same-sized
+  /// graphs into lock-stepped solves.  Deterministic and identical, graph
+  /// for graph, to per-graph Schedule() calls on the scalar path.  `stats`
+  /// (optional) accumulates how the work was split.
+  [[nodiscard]] virtual std::vector<EngineResult> ScheduleBatch(
+      std::span<const graph::Dag* const> dags,
+      const sched::PipelineConstraints& constraints,
+      const EngineBudget& budget, SolveStats* stats = nullptr) const {
+    std::vector<EngineResult> results;
+    results.reserve(dags.size());
+    for (const graph::Dag* dag : dags) {
+      results.push_back(Schedule(*dag, constraints, budget));
+    }
+    if (stats != nullptr) stats->single_solved += dags.size();
+    return results;
+  }
 };
 
 }  // namespace respect::engines

@@ -21,6 +21,19 @@ class RlEngine : public SchedulerEngine {
       const graph::Dag& dag, const sched::PipelineConstraints& constraints,
       const EngineBudget& budget) const override;
 
+  [[nodiscard]] bool SupportsBatch() const override { return true; }
+
+  /// Groups `dags` by node count (lock-stepped decodes need equal lengths),
+  /// routes every group of >= 2 through the batched decode path — chunked
+  /// into balanced pieces of at most rl::kMaxDecodeBatch — and falls back
+  /// to the single-graph path for singletons.  Scalar-path results are
+  /// bit-identical to per-graph Schedule() calls; `stats` reports the
+  /// batch/single split.
+  [[nodiscard]] std::vector<EngineResult> ScheduleBatch(
+      std::span<const graph::Dag* const> dags,
+      const sched::PipelineConstraints& constraints,
+      const EngineBudget& budget, SolveStats* stats = nullptr) const override;
+
  private:
   std::shared_ptr<const rl::RlScheduler> rl_;
 };

@@ -4,6 +4,9 @@
 
 #include <stdexcept>
 
+#include "nn/axpy.h"
+#include "nn/simd.h"
+
 namespace respect::nn {
 
 PointerAttention::PointerAttention(ParamStore& store, std::string prefix,
@@ -108,21 +111,203 @@ void GlimpseInto(const Tensor& contexts, const Tensor& attn, Tensor& glimpse) {
 /// `valid_idx` only, masked entries untouched.  Per computed element the
 /// accumulation is i-ascending exactly like ScoreColumns, so every value
 /// the masked softmax reads is bit-identical.
+/// SIMD fast path shared by the single and batched score kernels: scores
+/// for the valid columns `vidx[0..m)` of `ref` (row stride `row_stride`)
+/// against query elements `qd[i * q_stride]`.  Each row's valid entries are
+/// gathered into a packed (d, m) `tmp` buffer (with the query element
+/// folded in), FastTanh runs as ONE sweep over all d·m contiguous elements
+/// — with ready-set masking m is tiny (≈ the frontier size), so per-row
+/// tanh loops would spend more time in prologue/epilogue than in vector
+/// lanes; the fused sweep keeps the vector units saturated — and a final
+/// packed MAC reduces each column.  Per column the value sequence is still
+/// i-ascending with the same operation order as a column-at-a-time loop,
+/// so the packed form computes the exact same bits.  The kernel stays
+/// O(d·|valid|); the gather is the only irregular access.
+void ScoreColumnsFast(const float* __restrict rd, std::int64_t row_stride,
+                      const float* __restrict qd, std::int64_t q_stride,
+                      const float* __restrict vd, int d, const int* vidx,
+                      int m, float* __restrict tmp, float* __restrict acc,
+                      float* __restrict out) {
+  for (int i = 0; i < d; ++i) {
+    const float qi = qd[i * q_stride];
+    const float* __restrict row = rd + i * row_stride;
+    float* __restrict trow = tmp + static_cast<std::int64_t>(i) * m;
+    for (int p = 0; p < m; ++p) trow[p] = row[vidx[p]] + qi;
+  }
+  const std::int64_t total = static_cast<std::int64_t>(d) * m;
+  for (std::int64_t e = 0; e < total; ++e) tmp[e] = simd::FastTanh(tmp[e]);
+  for (int p = 0; p < m; ++p) acc[p] = 0.0f;
+  for (int i = 0; i < d; ++i) {
+    const float vi = vd[i];
+    const float* __restrict trow = tmp + static_cast<std::int64_t>(i) * m;
+    for (int p = 0; p < m; ++p) acc[p] += vi * trow[p];
+  }
+  for (int p = 0; p < m; ++p) out[vidx[p]] = acc[p];
+}
+
 void ScoreColumnsMasked(const Tensor& ref, const Tensor& q, const Tensor& v,
-                        const std::vector<int>& valid_idx, Tensor& scores) {
+                        const std::vector<int>& valid_idx, Tensor& tmp,
+                        Tensor& acc, Tensor& scores) {
   const int d = ref.Rows();
   const int n = ref.Cols();
   const float* __restrict rd = ref.Data();
   const float* __restrict qd = q.Data();
   const float* __restrict vd = v.Data();
   float* __restrict out = scores.Data();
+  if (simd::Enabled()) {
+    ScoreColumnsFast(rd, n, qd, 1, vd, d, valid_idx.data(),
+                     static_cast<int>(valid_idx.size()), tmp.Data(),
+                     acc.Data(), out);
+    return;
+  }
   for (const int j : valid_idx) {
-    float acc = 0.0f;
+    float acc_j = 0.0f;
     const float* col = rd + j;
     for (int i = 0; i < d; ++i) {
-      acc += vd[i] * std::tanh(col[static_cast<std::int64_t>(i) * n] + qd[i]);
+      acc_j +=
+          vd[i] * std::tanh(col[static_cast<std::int64_t>(i) * n] + qd[i]);
     }
-    out[j] = acc;
+    out[j] = acc_j;
+  }
+}
+
+/// QueryInto widened across the batch: q is (d, B) with q[i·B+g] the i-th
+/// element of graph g's query, h is (d, B) in the same layout
+/// (LstmCell::BatchState).  Per (i, g) the k-accumulation is ascending with
+/// the zero-weight skip — QueryInto's exact per-element order — while the
+/// inner g loop is contiguous.  Output rows go two at a time over fixed
+/// k-groups of four, like LstmCell::StepBatchInto: the partition into
+/// ordered sweeps keeps every element's addition chain (and bits) intact
+/// while giving the hardware two independent accumulation chains.
+void QueryBatchInto(const Tensor& w, const Tensor& h, const Tensor& b,
+                    int batch, Tensor& q) {
+  const int d = w.Rows();
+  const int k_dim = w.Cols();
+  const float* __restrict wd = w.Data();
+  const float* __restrict hd = h.Data();
+  const float* __restrict bd = b.Data();
+  float* __restrict qd = q.Data();
+  int i = 0;
+  for (; i + 2 <= d; i += 2) {
+    const float* __restrict wra = wd + static_cast<std::int64_t>(i) * k_dim;
+    const float* __restrict wrb = wra + k_dim;
+    float* __restrict acca = qd + static_cast<std::int64_t>(i) * batch;
+    float* __restrict accb = acca + batch;
+    for (int g = 0; g < batch; ++g) acca[g] = 0.0f;
+    for (int g = 0; g < batch; ++g) accb[g] = 0.0f;
+    int k = 0;
+    for (; k + 4 <= k_dim; k += 4) {
+      const float a0 = wra[k], a1 = wra[k + 1], a2 = wra[k + 2],
+                  a3 = wra[k + 3];
+      const float b0 = wrb[k], b1 = wrb[k + 1], b2 = wrb[k + 2],
+                  b3 = wrb[k + 3];
+      const float* hk = hd + static_cast<std::int64_t>(k) * batch;
+      if ((a0 != 0.0f) & (a1 != 0.0f) & (a2 != 0.0f) & (a3 != 0.0f) &
+          (b0 != 0.0f) & (b1 != 0.0f) & (b2 != 0.0f) & (b3 != 0.0f)) {
+        FusedAxpy4x2(hk, hk + batch, hk + 2 * batch, hk + 3 * batch, a0, a1,
+                     a2, a3, b0, b1, b2, b3, acca, accb, batch);
+      } else {
+        for (int t = 0; t < 4; ++t) {
+          if (wra[k + t] != 0.0f) {
+            Axpy(hk + static_cast<std::int64_t>(t) * batch, wra[k + t], acca,
+                 batch);
+          }
+        }
+        for (int t = 0; t < 4; ++t) {
+          if (wrb[k + t] != 0.0f) {
+            Axpy(hk + static_cast<std::int64_t>(t) * batch, wrb[k + t], accb,
+                 batch);
+          }
+        }
+      }
+    }
+    for (; k < k_dim; ++k) {
+      const float* hk = hd + static_cast<std::int64_t>(k) * batch;
+      if (wra[k] != 0.0f) Axpy(hk, wra[k], acca, batch);
+      if (wrb[k] != 0.0f) Axpy(hk, wrb[k], accb, batch);
+    }
+    const float bia = bd[i];
+    const float bib = bd[i + 1];
+    for (int g = 0; g < batch; ++g) acca[g] += bia;
+    for (int g = 0; g < batch; ++g) accb[g] += bib;
+  }
+  for (; i < d; ++i) {
+    const float* __restrict wrow = wd + static_cast<std::int64_t>(i) * k_dim;
+    float* __restrict acc = qd + static_cast<std::int64_t>(i) * batch;
+    for (int g = 0; g < batch; ++g) acc[g] = 0.0f;
+    for (int k = 0; k < k_dim; ++k) {
+      const float wik = wrow[k];
+      if (wik == 0.0f) continue;
+      Axpy(hd + static_cast<std::int64_t>(k) * batch, wik, acc, batch);
+    }
+    const float bi = bd[i];
+    for (int g = 0; g < batch; ++g) acc[g] += bi;
+  }
+}
+
+/// ScoreColumnsMasked over the packed batch: for graph g, every valid
+/// absolute column j gets scores[j] = v^T tanh(ref[:,j] + q[:,g]).  The
+/// i-accumulation per column matches ScoreColumnsMasked exactly.
+void ScoreColumnsMaskedBatch(const Tensor& ref, const Tensor& q,
+                             const Tensor& v,
+                             const std::vector<int>& valid_idx,
+                             const std::vector<int>& valid_begin, int batch,
+                             Tensor& tmp, Tensor& acc, Tensor& scores) {
+  const int d = ref.Rows();
+  const int total = ref.Cols();
+  const float* __restrict rd = ref.Data();
+  const float* __restrict qd = q.Data();
+  const float* __restrict vd = v.Data();
+  float* __restrict out = scores.Data();
+  if (simd::Enabled()) {
+    // Graph g's query element i lives at qd[i·B + g]; the absolute column
+    // indices in valid_idx address ref's packed rows directly, so each
+    // graph is one ScoreColumnsFast call — the per-column value sequence
+    // matches the single-graph fast path exactly.
+    for (int g = 0; g < batch; ++g) {
+      const int m = valid_begin[g + 1] - valid_begin[g];
+      ScoreColumnsFast(rd, total, qd + g, batch, vd, d,
+                       valid_idx.data() + valid_begin[g], m, tmp.Data(),
+                       acc.Data(), out);
+    }
+    return;
+  }
+  for (int g = 0; g < batch; ++g) {
+    for (int p = valid_begin[g]; p < valid_begin[g + 1]; ++p) {
+      const int j = valid_idx[p];
+      const float* col = rd + j;
+      float acc_j = 0.0f;
+      for (int i = 0; i < d; ++i) {
+        acc_j +=
+            vd[i] * std::tanh(col[static_cast<std::int64_t>(i) * total] +
+                              qd[static_cast<std::int64_t>(i) * batch + g]);
+      }
+      out[j] = acc_j;
+    }
+  }
+}
+
+/// GlimpseIntoMasked over the packed batch: glimpse[i·B+g] accumulates
+/// graph g's valid columns in ascending order — the single-path order.
+void GlimpseBatchIntoMasked(const Tensor& contexts, const Tensor& attn,
+                            const std::vector<int>& valid_idx,
+                            const std::vector<int>& valid_begin, int batch,
+                            Tensor& glimpse) {
+  const int d = contexts.Rows();
+  const int total = contexts.Cols();
+  const float* __restrict ad = attn.Data();
+  float* __restrict gd = glimpse.Data();
+  for (int i = 0; i < d; ++i) {
+    const float* row = contexts.Data() + static_cast<std::int64_t>(i) * total;
+    float* __restrict grow = gd + static_cast<std::int64_t>(i) * batch;
+    for (int g = 0; g < batch; ++g) {
+      float acc = 0.0f;
+      for (int p = valid_begin[g]; p < valid_begin[g + 1]; ++p) {
+        const int j = valid_idx[p];
+        acc += row[j] * ad[j];
+      }
+      grow[g] = acc;
+    }
   }
 }
 
@@ -176,6 +361,8 @@ void PointerAttention::Scratch::Reserve(int hidden_dim, int nodes) {
   attn.Resize(1, nodes);
   glimpse.Resize(hidden_dim, 1);
   valid_idx.reserve(nodes);
+  fast_tmp.Resize(hidden_dim, nodes);
+  fast_acc.Resize(1, nodes);
 }
 
 void PointerAttention::PointerLogitsInto(
@@ -199,7 +386,8 @@ void PointerAttention::PointerLogitsInto(
   // Glimpse.
   QueryInto(store_.Value(wq_g_name_), h, store_.Value(bg_name_), scratch.q);
   ScoreColumnsMasked(refs.glimpse_ref, scratch.q, store_.Value(vg_name_),
-                     scratch.valid_idx, scratch.scores);
+                     scratch.valid_idx, scratch.fast_tmp, scratch.fast_acc,
+                     scratch.scores);
   MaskedSoftmaxInto(scratch.scores, valid, scratch.attn);
   GlimpseIntoMasked(contexts, scratch.attn, scratch.valid_idx,
                     scratch.glimpse);
@@ -208,8 +396,85 @@ void PointerAttention::PointerLogitsInto(
   QueryInto(store_.Value(wq_p_name_), scratch.glimpse, store_.Value(bp_name_),
             scratch.q);
   ScoreColumnsMasked(refs.pointer_ref, scratch.q, store_.Value(vp_name_),
-                     scratch.valid_idx, logits);
+                     scratch.valid_idx, scratch.fast_tmp, scratch.fast_acc,
+                     logits);
   float* u = logits.Data();
+  if (simd::Enabled()) {
+    for (const int j : scratch.valid_idx) {
+      u[j] = kLogitClip * simd::FastTanh(u[j]);
+    }
+    return;
+  }
+  for (const int j : scratch.valid_idx) {
+    u[j] = kLogitClip * std::tanh(u[j]);
+  }
+}
+
+void PointerAttention::BatchScratch::Reserve(int hidden_dim, int nodes,
+                                             int batch) {
+  q.Resize(hidden_dim, batch);
+  scores.Resize(1, nodes * batch);
+  attn.Resize(1, nodes * batch);
+  glimpse.Resize(hidden_dim, batch);
+  valid_idx.reserve(static_cast<std::size_t>(nodes) * batch);
+  valid_begin.reserve(static_cast<std::size_t>(batch) + 1);
+  fast_tmp.Resize(hidden_dim, nodes);
+  fast_acc.Resize(1, nodes);
+}
+
+void PointerAttention::PointerLogitsBatchInto(
+    const Tensor& contexts, const CachedRefs& refs, const Tensor& h,
+    const std::vector<std::uint8_t>& valid, int nodes, int batch,
+    BatchScratch& scratch, Tensor& logits) const {
+  const int d = hidden_dim_;
+  const int total = nodes * batch;
+  if (nodes <= 0 || batch <= 0 || contexts.Cols() != total ||
+      contexts.Rows() != d || h.Rows() != d || h.Cols() != batch ||
+      logits.Rows() != 1 || logits.Cols() != total ||
+      scratch.q.Rows() != d || scratch.q.Cols() != batch ||
+      scratch.scores.Cols() != total || scratch.attn.Cols() != total ||
+      scratch.glimpse.Rows() != d || scratch.glimpse.Cols() != batch ||
+      static_cast<int>(valid.size()) != total) {
+    throw std::invalid_argument(
+        "PointerAttention::PointerLogitsBatchInto: bad buffer shape");
+  }
+  scratch.valid_idx.clear();
+  scratch.valid_begin.clear();
+  for (int g = 0; g < batch; ++g) {
+    scratch.valid_begin.push_back(static_cast<int>(scratch.valid_idx.size()));
+    const int c0 = g * nodes;
+    for (int j = 0; j < nodes; ++j) {
+      if (valid[c0 + j]) scratch.valid_idx.push_back(c0 + j);
+    }
+  }
+  scratch.valid_begin.push_back(static_cast<int>(scratch.valid_idx.size()));
+
+  // Glimpse.
+  QueryBatchInto(store_.Value(wq_g_name_), h, store_.Value(bg_name_), batch,
+                 scratch.q);
+  ScoreColumnsMaskedBatch(refs.glimpse_ref, scratch.q, store_.Value(vg_name_),
+                          scratch.valid_idx, scratch.valid_begin, batch,
+                          scratch.fast_tmp, scratch.fast_acc, scratch.scores);
+  for (int g = 0; g < batch; ++g) {
+    MaskedSoftmaxSliceInto(scratch.scores, valid, g * nodes, nodes,
+                           scratch.attn);
+  }
+  GlimpseBatchIntoMasked(contexts, scratch.attn, scratch.valid_idx,
+                         scratch.valid_begin, batch, scratch.glimpse);
+
+  // Pointer.
+  QueryBatchInto(store_.Value(wq_p_name_), scratch.glimpse,
+                 store_.Value(bp_name_), batch, scratch.q);
+  ScoreColumnsMaskedBatch(refs.pointer_ref, scratch.q, store_.Value(vp_name_),
+                          scratch.valid_idx, scratch.valid_begin, batch,
+                          scratch.fast_tmp, scratch.fast_acc, logits);
+  float* u = logits.Data();
+  if (simd::Enabled()) {
+    for (const int j : scratch.valid_idx) {
+      u[j] = kLogitClip * simd::FastTanh(u[j]);
+    }
+    return;
+  }
   for (const int j : scratch.valid_idx) {
     u[j] = kLogitClip * std::tanh(u[j]);
   }

@@ -56,6 +56,8 @@ class PointerAttention {
     Tensor attn;                 // (1, V) — glimpse attention weights
     Tensor glimpse;              // (d, 1)
     std::vector<int> valid_idx;  // indices of the step's valid columns
+    Tensor fast_tmp;             // (d, V) — SIMD path: gathered ref cols + q
+    Tensor fast_acc;             // (1, V) — SIMD path: packed score accum
     void Reserve(int hidden_dim, int nodes);
   };
 
@@ -74,6 +76,41 @@ class PointerAttention {
                          const Tensor& h,
                          const std::vector<std::uint8_t>& valid,
                          Scratch& scratch, Tensor& logits) const;
+
+  /// Caller-owned scratch for PointerLogitsBatchInto.  Same grow-only
+  /// contract as Scratch; `valid_idx` holds every valid ABSOLUTE column of
+  /// the packed layout, grouped by graph, with `valid_begin[g] ..
+  /// valid_begin[g+1]` delimiting graph g's slice.
+  struct BatchScratch {
+    Tensor q;                      // (d, B) — glimpse then pointer queries
+    Tensor scores;                 // (1, n·B) — glimpse attention scores
+    Tensor attn;                   // (1, n·B) — glimpse attention weights
+    Tensor glimpse;                // (d, B)
+    std::vector<int> valid_idx;    // packed valid columns, grouped by graph
+    std::vector<int> valid_begin;  // (B+1) offsets into valid_idx
+    Tensor fast_tmp;               // (d, n) — SIMD path: gathered ref cols + q
+    Tensor fast_acc;               // (1, n) — SIMD path: packed score accum
+    void Reserve(int hidden_dim, int nodes, int batch);
+  };
+
+  /// Batched PointerLogitsInto over B same-node-count graphs packed side by
+  /// side: `contexts` is (d, n·B) with column g·n+j = graph g's node j,
+  /// `refs` the PrecomputeInto of that packed matrix, `h` the (d, B)
+  /// lock-stepped decoder hidden state (LstmCell::BatchState layout), and
+  /// `valid` an n·B byte mask in the same packing.  Writes the masked
+  /// pointer logits into `logits` ((1, n·B)); like the single-graph path,
+  /// only valid columns are computed and masked entries are left stale.
+  ///
+  /// The (d, n·B) ref products come out of the SAME MatMul kernel that the
+  /// single path uses per graph, and every per-column accumulation here
+  /// replicates the single path's order — so each graph's logits (and the
+  /// per-graph softmax via MaskedSoftmaxSliceInto) are bit-identical to B
+  /// independent PointerLogitsInto calls on the scalar path.
+  void PointerLogitsBatchInto(const Tensor& contexts, const CachedRefs& refs,
+                              const Tensor& h,
+                              const std::vector<std::uint8_t>& valid,
+                              int nodes, int batch, BatchScratch& scratch,
+                              Tensor& logits) const;
 
   // ---- Training path (tape-recorded) ----
 

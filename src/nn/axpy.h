@@ -1,0 +1,53 @@
+// Bundled row-axpy helpers for the GEMM-shaped kernels (MatMulKernel,
+// QueryBatchInto, LstmCell::StepBatchInto).
+//
+// Those kernels accumulate `out[j] += coef_k · row_k[j]` one k at a time,
+// which costs a load and a store of the accumulator row per multiply-add
+// and leaves the kernels bound on memory ports rather than arithmetic.
+// Bundling four k-rows into one sweep quarters that traffic.  Crucially it
+// does NOT change the result: for every output element the four additions
+// are applied left-associated in ascending-k order —
+//   out[j] = (((out[j] + c0·r0[j]) + c1·r1[j]) + c2·r2[j]) + c3·r3[j]
+// — which is the exact addition sequence the one-k-at-a-time sweeps
+// perform, so callers keep their bit-identity contracts (the zero-weight
+// skip happens before bundling, in the caller's k scan).
+#pragma once
+
+namespace respect::nn {
+
+/// One bundled sweep: out[j] accumulates c0·r0[j] … c3·r3[j] in that order.
+/// `out` must not alias any of the rows (accumulators and operands live in
+/// distinct tensors in every caller).
+inline void FusedAxpy4(const float* r0, const float* r1, const float* r2,
+                       const float* r3, float c0, float c1, float c2,
+                       float c3, float* __restrict out, int n) {
+  for (int j = 0; j < n; ++j) {
+    out[j] = (((out[j] + c0 * r0[j]) + c1 * r1[j]) + c2 * r2[j]) + c3 * r3[j];
+  }
+}
+
+/// Single-row tail sweep for the up-to-three rows left over after bundling.
+inline void Axpy(const float* r, float c, float* __restrict out, int n) {
+  for (int j = 0; j < n; ++j) out[j] += c * r[j];
+}
+
+/// FusedAxpy4 over TWO accumulator rows that share the same operand rows.
+/// The bit-identity argument forces each output element's additions into
+/// one left-associated chain, which leaves the single-row sweep latency
+/// bound on that chain; a second independent accumulator row doubles the
+/// instruction-level parallelism without touching either row's addition
+/// order, and the shared r0..r3 loads come for free.
+inline void FusedAxpy4x2(const float* r0, const float* r1, const float* r2,
+                         const float* r3, float a0, float a1, float a2,
+                         float a3, float b0, float b1, float b2, float b3,
+                         float* __restrict outa, float* __restrict outb,
+                         int n) {
+  for (int j = 0; j < n; ++j) {
+    outa[j] =
+        (((outa[j] + a0 * r0[j]) + a1 * r1[j]) + a2 * r2[j]) + a3 * r3[j];
+    outb[j] =
+        (((outb[j] + b0 * r0[j]) + b1 * r1[j]) + b2 * r2[j]) + b3 * r3[j];
+  }
+}
+
+}  // namespace respect::nn

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/axpy.h"
+#include "nn/simd.h"
+
 namespace respect::nn {
 
 LstmCell::LstmCell(ParamStore& store, std::string prefix, int input_dim,
@@ -91,6 +94,18 @@ void LstmCell::StepInto(const Tensor& zx, int zx_col, Tensor& gates,
   // arithmetic matches the unfused Mul/Add chain exactly.
   float* hc = state.h.Data();
   float* __restrict cc = state.c.Data();
+  if (simd::Enabled()) {
+    for (int r = 0; r < d; ++r) {
+      const float gi = simd::FastSigmoid(zd[r]);
+      const float gf = simd::FastSigmoid(zd[d + r]);
+      const float gg = simd::FastTanh(zd[2 * d + r]);
+      const float go = simd::FastSigmoid(zd[3 * d + r]);
+      const float c_next = gf * cc[r] + gi * gg;
+      cc[r] = c_next;
+      hc[r] = go * simd::FastTanh(c_next);
+    }
+    return;
+  }
   for (int r = 0; r < d; ++r) {
     const float gi = 1.0f / (1.0f + std::exp(-zd[r]));
     const float gf = 1.0f / (1.0f + std::exp(-zd[d + r]));
@@ -101,6 +116,136 @@ void LstmCell::StepInto(const Tensor& zx, int zx_col, Tensor& gates,
     const float c_next = fc + ig;
     cc[r] = c_next;
     hc[r] = go * std::tanh(c_next);
+  }
+}
+
+void LstmCell::StepBatchInto(const Tensor& zx, const int* zx_cols, int batch,
+                             Tensor& gates, BatchState& state) const {
+  const int d = hidden_dim_;
+  if (batch <= 0 || zx.Rows() != 4 * d) {
+    throw std::invalid_argument("LstmCell::StepBatchInto: bad zx shape");
+  }
+  for (int g = 0; g < batch; ++g) {
+    if (zx_cols[g] < 0 || zx_cols[g] >= zx.Cols()) {
+      throw std::invalid_argument("LstmCell::StepBatchInto: bad zx column");
+    }
+  }
+  if (gates.Rows() != 4 * d || gates.Cols() != batch ||
+      state.h.Rows() != d || state.h.Cols() != batch ||
+      state.c.Rows() != d || state.c.Cols() != batch) {
+    throw std::invalid_argument("LstmCell::StepBatchInto: bad buffer shape");
+  }
+  const Tensor& wh = store_.Value(wh_name_);
+  const Tensor& b = store_.Value(b_name_);
+  const float* __restrict zxd = zx.Data();
+  const float* __restrict whd = wh.Data();
+  const float* __restrict bd = b.Data();
+  // No __restrict on h: the state-update loop below writes the same
+  // storage (see StepInto).
+  const float* h = state.h.Data();
+  float* __restrict zd = gates.Data();
+  const int zxn = zx.Cols();
+
+  // z[:, g] = (Wx·x_g + Wh·h_g) + b as a (4d, d)×(d, B) GEMM.  For each
+  // output element the k-accumulation is ascending with the w==0 skip —
+  // exactly StepInto's GEMV per column — while the inner g loop runs over
+  // contiguous storage (h is (d, B) row-major), which is where the batch
+  // speedup comes from: one weight load feeds B multiply-adds.  Output
+  // rows go two at a time over fixed groups of four k values (nn/axpy.h):
+  // any partition of the ascending nonzero-k sequence into ordered sweeps
+  // leaves each element's left-associated addition chain — and therefore
+  // the result bits — unchanged, while the row pair gives the hardware two
+  // independent accumulation chains instead of one latency-bound chain.
+  for (int i = 0; i < 4 * d; i += 2) {
+    const float* __restrict wra = whd + std::int64_t{i} * d;
+    const float* __restrict wrb = wra + d;
+    float* __restrict acca = zd + std::int64_t{i} * batch;
+    float* __restrict accb = acca + batch;
+    for (int g = 0; g < batch; ++g) acca[g] = 0.0f;
+    for (int g = 0; g < batch; ++g) accb[g] = 0.0f;
+    int k = 0;
+    for (; k + 4 <= d; k += 4) {
+      const float a0 = wra[k], a1 = wra[k + 1], a2 = wra[k + 2],
+                  a3 = wra[k + 3];
+      const float b0 = wrb[k], b1 = wrb[k + 1], b2 = wrb[k + 2],
+                  b3 = wrb[k + 3];
+      const float* hk = h + std::int64_t{k} * batch;
+      if ((a0 != 0.0f) & (a1 != 0.0f) & (a2 != 0.0f) & (a3 != 0.0f) &
+          (b0 != 0.0f) & (b1 != 0.0f) & (b2 != 0.0f) & (b3 != 0.0f)) {
+        FusedAxpy4x2(hk, hk + batch, hk + 2 * batch, hk + 3 * batch, a0, a1,
+                     a2, a3, b0, b1, b2, b3, acca, accb, batch);
+      } else {
+        // Rare zero weight in the group: one-row sweeps with the skip, the
+        // same per-element addition chain in the same order.
+        for (int t = 0; t < 4; ++t) {
+          if (wra[k + t] != 0.0f) {
+            Axpy(hk + std::int64_t{t} * batch, wra[k + t], acca, batch);
+          }
+        }
+        for (int t = 0; t < 4; ++t) {
+          if (wrb[k + t] != 0.0f) {
+            Axpy(hk + std::int64_t{t} * batch, wrb[k + t], accb, batch);
+          }
+        }
+      }
+    }
+    for (; k < d; ++k) {
+      const float* hk = h + std::int64_t{k} * batch;
+      if (wra[k] != 0.0f) Axpy(hk, wra[k], acca, batch);
+      if (wrb[k] != 0.0f) Axpy(hk, wrb[k], accb, batch);
+    }
+    const float bia = bd[i];
+    const float bib = bd[i + 1];
+    const float* __restrict zxra = zxd + std::int64_t{i} * zxn;
+    const float* __restrict zxrb = zxra + zxn;
+    for (int g = 0; g < batch; ++g) {
+      acca[g] = (zxra[zx_cols[g]] + acca[g]) + bia;
+      accb[g] = (zxrb[zx_cols[g]] + accb[g]) + bib;
+    }
+  }
+
+  // Same gate math as StepInto, per (r, g); the g loop is contiguous in
+  // every buffer.
+  float* hc = state.h.Data();
+  float* __restrict cc = state.c.Data();
+  if (simd::Enabled()) {
+    for (int r = 0; r < d; ++r) {
+      const float* __restrict zi = zd + std::int64_t{r} * batch;
+      const float* __restrict zf = zd + std::int64_t{d + r} * batch;
+      const float* __restrict zg = zd + std::int64_t{2 * d + r} * batch;
+      const float* __restrict zo = zd + std::int64_t{3 * d + r} * batch;
+      float* hrow = hc + std::int64_t{r} * batch;
+      float* __restrict crow = cc + std::int64_t{r} * batch;
+      for (int g = 0; g < batch; ++g) {
+        const float gi = simd::FastSigmoid(zi[g]);
+        const float gf = simd::FastSigmoid(zf[g]);
+        const float gg = simd::FastTanh(zg[g]);
+        const float go = simd::FastSigmoid(zo[g]);
+        const float c_next = gf * crow[g] + gi * gg;
+        crow[g] = c_next;
+        hrow[g] = go * simd::FastTanh(c_next);
+      }
+    }
+    return;
+  }
+  for (int r = 0; r < d; ++r) {
+    const float* __restrict zi = zd + std::int64_t{r} * batch;
+    const float* __restrict zf = zd + std::int64_t{d + r} * batch;
+    const float* __restrict zg = zd + std::int64_t{2 * d + r} * batch;
+    const float* __restrict zo = zd + std::int64_t{3 * d + r} * batch;
+    float* hrow = hc + std::int64_t{r} * batch;
+    float* __restrict crow = cc + std::int64_t{r} * batch;
+    for (int g = 0; g < batch; ++g) {
+      const float gi = 1.0f / (1.0f + std::exp(-zi[g]));
+      const float gf = 1.0f / (1.0f + std::exp(-zf[g]));
+      const float gg = std::tanh(zg[g]);
+      const float go = 1.0f / (1.0f + std::exp(-zo[g]));
+      const float fc = gf * crow[g];
+      const float ig = gi * gg;
+      const float c_next = fc + ig;
+      crow[g] = c_next;
+      hrow[g] = go * std::tanh(c_next);
+    }
   }
 }
 

@@ -40,6 +40,14 @@ class LstmCell {
   [[nodiscard]] State InitialState() const;
   [[nodiscard]] TapeState InitialState(Tape& tape) const;
 
+  /// Value-only state for B lock-stepped sequences (batched inference).
+  /// Row-major (hidden, B): h.Data()[k*B + g] is element k of graph g's
+  /// hidden state, so the per-k inner loop over the batch is contiguous.
+  struct BatchState {
+    Tensor h;  // (hidden, B)
+    Tensor c;  // (hidden, B)
+  };
+
   /// One step without gradient recording.
   [[nodiscard]] State Step(const Tensor& x, const State& prev) const;
 
@@ -56,6 +64,24 @@ class LstmCell {
   /// The (4·hidden, input) input weight Wx, for hoisting Wx·X out of step
   /// loops (see StepInto).
   [[nodiscard]] const Tensor& InputWeight() const;
+
+  /// Batched StepInto: advances `batch` independent sequences one step,
+  /// turning the per-step Wh·h GEMV into a (4d, d)×(d, B) GEMM whose inner
+  /// loop runs contiguously across the batch.  `zx_cols[g]` selects graph
+  /// g's precomputed Wx·x column in `zx` (columns may repeat — e.g. every
+  /// graph pointing at the shared decoder-start column).  `gates` is a
+  /// caller-owned (4·hidden, batch) scratch; `state.h`/`state.c` are
+  /// (hidden, batch) and updated in place.
+  ///
+  /// Column g of the result is bit-identical to a StepInto call on graph
+  /// g's own (hidden, 1) state: per output element the k-accumulation runs
+  /// in the same ascending order with the same zero-weight skip, and the
+  /// gate math stores the same intermediates.  (When the opt-in SIMD path
+  /// is enabled — nn/simd.h — activations switch to FastTanh/FastSigmoid
+  /// and bit-parity becomes tolerance-parity; both paths stay internally
+  /// consistent between StepInto and StepBatchInto.)
+  void StepBatchInto(const Tensor& zx, const int* zx_cols, int batch,
+                     Tensor& gates, BatchState& state) const;
 
   /// One recorded step; `x` must already be a tape node of shape
   /// (input_dim, 1).  Parameters are bound into the tape on first use.

@@ -1,0 +1,7 @@
+#include "nn/simd.h"
+
+// Everything is inline in the header; this TU exists so the build has one
+// home for the module (and a place for non-inline helpers if the fast path
+// grows target-specific dispatch later).
+
+namespace respect::nn::simd {}  // namespace respect::nn::simd

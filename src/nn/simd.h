@@ -1,0 +1,98 @@
+// Opt-in fast activation path for the decode kernels.
+//
+// The fused decode kernels are bit-identical to the frozen reference decode
+// because they call libm's tanh/exp in exactly the reference order.  libm
+// calls also stop the compiler from vectorizing the gate and score loops.
+// This module provides branch-free rational-polynomial approximations
+// (FastTanh / FastSigmoid) that auto-vectorize under -O3, behind TWO gates,
+// both off by default:
+//
+//   * compile time: the RESPECT_SIMD CMake option (-> Compiled()).  When it
+//     is off, the fast path is not built and SetEnabled(true) is a no-op.
+//   * run time: SetEnabled(true) (-> Enabled()).  Off by default even in a
+//     RESPECT_SIMD build, so a binary with the option compiled in still
+//     serves bit-exact results until a caller opts in.
+//
+// Contract: with the fast path enabled, decode sequences may differ from
+// the scalar path only where the decision was numerically marginal; logits
+// agree with the reference within a small absolute tolerance (enforced by
+// tests/batch_decode_test.cc).  Never enable it under a bit-parity test.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+
+namespace respect::nn::simd {
+
+/// True when the library was built with -DRESPECT_SIMD=ON.
+[[nodiscard]] constexpr bool Compiled() {
+#ifdef RESPECT_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace detail
+
+/// Requests the fast activation path on (true) or off (false) and returns
+/// the EFFECTIVE value: always false when the fast path is not compiled in.
+inline bool SetEnabled(bool enabled) {
+  const bool effective = enabled && Compiled();
+  detail::EnabledFlag().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+/// Whether decode kernels should take the fast activation branch.
+[[nodiscard]] inline bool Enabled() {
+  if constexpr (!Compiled()) return false;
+  return detail::EnabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Rational-polynomial float tanh (the classic cephes/Eigen ptanh form):
+/// clamp to ±7.90531110763549805 (where float tanh saturates), then
+/// p(x)/q(x) with p = x·(odd polynomial in x²), q = even polynomial in x².
+/// Max absolute error vs std::tanh is a few ULP (≈1e-7 absolute in [-1,1]).
+/// No libm call, no branches beyond the clamp — vectorizes cleanly.
+[[nodiscard]] inline float FastTanh(float x) {
+  constexpr float kClamp = 7.90531110763549805f;
+  constexpr float alpha_1 = 4.89352455891786e-03f;
+  constexpr float alpha_3 = 6.37261928875436e-04f;
+  constexpr float alpha_5 = 1.48572235717979e-05f;
+  constexpr float alpha_7 = 5.12229709037114e-08f;
+  constexpr float alpha_9 = -8.60467152213735e-11f;
+  constexpr float alpha_11 = 2.00018790482477e-13f;
+  constexpr float alpha_13 = -2.76076847742355e-16f;
+  constexpr float beta_0 = 4.89352518554385e-03f;
+  constexpr float beta_2 = 2.26843463243900e-03f;
+  constexpr float beta_4 = 1.18534705686654e-04f;
+  constexpr float beta_6 = 1.19825839466702e-06f;
+
+  const float cx = x < -kClamp ? -kClamp : (x > kClamp ? kClamp : x);
+  const float x2 = cx * cx;
+  float p = alpha_13;
+  p = x2 * p + alpha_11;
+  p = x2 * p + alpha_9;
+  p = x2 * p + alpha_7;
+  p = x2 * p + alpha_5;
+  p = x2 * p + alpha_3;
+  p = x2 * p + alpha_1;
+  p = cx * p;
+  float q = beta_6;
+  q = x2 * q + beta_4;
+  q = x2 * q + beta_2;
+  q = x2 * q + beta_0;
+  return p / q;
+}
+
+/// σ(x) = ½·tanh(x/2) + ½, sharing FastTanh's error bound.
+[[nodiscard]] inline float FastSigmoid(float x) {
+  return 0.5f * FastTanh(0.5f * x) + 0.5f;
+}
+
+}  // namespace respect::nn::simd

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/axpy.h"
+
 namespace respect::nn {
 namespace {
 
@@ -31,9 +33,11 @@ void CheckShape(const Tensor& t, int rows, int cols, const char* op) {
 
 /// Shared GEMM kernel; `out` must be zero-filled.  k is blocked so the active
 /// slice of b stays cache-resident across rows of a, and the __restrict
-/// pointers let the inner j loop vectorize.  Per output element the
-/// additions still happen in ascending-k order with the aik==0 skip, so the
-/// result is bit-identical to the naive i/k/j triple loop.
+/// pointers let the inner j loop vectorize.  Nonzero k-rows are bundled
+/// four at a time (nn/axpy.h) so each sweep of the accumulator row pays for
+/// four multiply-adds instead of one.  Per output element the additions
+/// still happen in ascending-k order with the aik==0 skip, so the result is
+/// bit-identical to the naive i/k/j triple loop.
 void MatMulKernel(const Tensor& a, const Tensor& b, Tensor& out) {
   const int m = a.Rows();
   const int kk = a.Cols();
@@ -47,12 +51,21 @@ void MatMulKernel(const Tensor& a, const Tensor& b, Tensor& out) {
     for (int i = 0; i < m; ++i) {
       const float* __restrict arow = ad + std::int64_t{i} * kk;
       float* __restrict orow = od + std::int64_t{i} * n;
+      const float* rows[4];
+      float coef[4];
+      int nb = 0;
       for (int k = k0; k < k1; ++k) {
         const float aik = arow[k];
         if (aik == 0.0f) continue;
-        const float* __restrict brow = bd + std::int64_t{k} * n;
-        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+        coef[nb] = aik;
+        rows[nb] = bd + std::int64_t{k} * n;
+        if (++nb == 4) {
+          FusedAxpy4(rows[0], rows[1], rows[2], rows[3], coef[0], coef[1],
+                     coef[2], coef[3], orow, n);
+          nb = 0;
+        }
       }
+      for (int r = 0; r < nb; ++r) Axpy(rows[r], coef[r], orow, n);
     }
   }
 }
@@ -266,6 +279,38 @@ void MaskedSoftmaxInto(const Tensor& logits,
                        const std::vector<std::uint8_t>& valid, Tensor& out) {
   CheckShape(out, 1, logits.Cols(), "MaskedSoftmaxInto");
   MaskedSoftmaxImpl(logits, valid, out);
+}
+
+void MaskedSoftmaxSliceInto(const Tensor& logits,
+                            const std::vector<std::uint8_t>& valid, int c0,
+                            int n, Tensor& out) {
+  if (logits.Rows() != 1 || c0 < 0 || n <= 0 || c0 + n > logits.Cols() ||
+      static_cast<int>(valid.size()) < c0 + n) {
+    throw std::invalid_argument("MaskedSoftmaxSliceInto: bad slice");
+  }
+  CheckShape(out, 1, logits.Cols(), "MaskedSoftmaxSliceInto");
+  // Mirror MaskedSoftmaxImpl exactly within the slice: max over valid, exp
+  // in ascending-j order, ascending-j denominator, then divide EVERY slice
+  // entry by the denominator (masked entries are 0/denom = 0).
+  const float* __restrict ld = logits.Data() + c0;
+  float* __restrict od = out.Data() + c0;
+  float max_logit = -std::numeric_limits<float>::infinity();
+  for (int j = 0; j < n; ++j) {
+    if (valid[c0 + j]) max_logit = std::max(max_logit, ld[j]);
+  }
+  if (!std::isfinite(max_logit)) {
+    throw std::invalid_argument("MaskedSoftmax: all entries masked");
+  }
+  float denom = 0.0f;
+  for (int j = 0; j < n; ++j) {
+    if (valid[c0 + j]) {
+      od[j] = std::exp(ld[j] - max_logit);
+      denom += od[j];
+    } else {
+      od[j] = 0.0f;
+    }
+  }
+  for (int j = 0; j < n; ++j) od[j] /= denom;
 }
 
 }  // namespace respect::nn

@@ -128,4 +128,15 @@ void AddBroadcastColInPlace(Tensor& a, const Tensor& col);
 void MaskedSoftmaxInto(const Tensor& logits,
                        const std::vector<std::uint8_t>& valid, Tensor& out);
 
+/// Masked softmax over the column slice [c0, c0+n) of a packed (1, total)
+/// logits row, writing the same slice of `out` (also (1, total)); entries
+/// outside the slice are untouched.  `valid` is indexed by absolute column
+/// (same packing as `logits`).  Bit-identical to MaskedSoftmaxInto run on
+/// the extracted slice — this is the per-graph softmax of the batched
+/// decode path, which packs B graphs' logits side by side.  Throws when
+/// every entry in the slice is masked.
+void MaskedSoftmaxSliceInto(const Tensor& logits,
+                            const std::vector<std::uint8_t>& valid, int c0,
+                            int n, Tensor& out);
+
 }  // namespace respect::nn

@@ -1,0 +1,85 @@
+// BatchDecodeWorkspace — every buffer a batched PtrNet decode of B
+// same-node-count graphs needs, owned in one place and reused across calls.
+//
+// The batched decode path (PtrNetAgent::DecodeGreedyBatch) lock-steps B
+// graphs through the encoder and decoder, packing their per-graph matrices
+// side by side — contexts and logits are (d, n·B) / (1, n·B) with column
+// g·n+j belonging to graph g, recurrent state is (d, B) — so every
+// per-step Wh·h recurrence is one (4d, d)×(d, B) GEMM instead of B GEMVs.
+//
+// Ownership / threading rules are the single-graph DecodeWorkspace's:
+//  * NOT thread-safe; one workspace belongs to one thread at a time
+//    (RlEngine keeps one per pool thread via a thread_local).
+//  * Grow-only: buffers expand to the largest (hidden_dim, nodes, batch)
+//    seen and never shrink, so steady-state decodes allocate nothing
+//    (tests/batch_decode_test.cc guards this).  The vector-of-vector
+//    members (per-graph topologies, positions, result sequences) only ever
+//    grow in outer size — shrinking would free the inner buffers.
+//  * The same workspace may serve agents of different hidden sizes and any
+//    (nodes, batch) combination — Reserve() re-shapes on entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/topology.h"
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "nn/tensor.h"
+
+namespace respect::rl {
+
+/// Upper bound on the lock-stepped batch width.  Beyond this the GEMM
+/// inner loops stop fitting the per-core cache comfortably and scheduling
+/// granularity suffers; callers (RlEngine) chunk larger groups into
+/// balanced pieces of at most this size.
+inline constexpr int kMaxDecodeBatch = 32;
+
+struct BatchDecodeWorkspace {
+  /// Re-shapes every buffer for a batched decode of `batch` graphs of
+  /// `nodes` nodes each at hidden size `hidden_dim`.  Grow-only storage:
+  /// steady-state calls never allocate.
+  void Reserve(int hidden_dim, int nodes, int batch);
+
+  // Per-graph analysis (outer vectors grow-only; entry g serves graph g).
+  graph::TopoScratch topo_scratch;
+  std::vector<graph::TopoInfo> topos;
+  std::vector<std::vector<int>> pos;  // inverse of topos[g].order
+
+  // Encoder inputs, packed (column g·n+v = graph g, node v).
+  nn::Tensor emb_one;  // (kFeatureDim, n) — one graph's embedding staging
+  nn::Tensor emb;      // (kFeatureDim, n·B)
+  nn::Tensor x_all;    // (d, n·B)
+  nn::Tensor zx_enc;   // (4d, n·B) — encoder Wx · x_all
+  nn::Tensor zx_dec;   // (4d, n·B) — decoder Wx · x_all
+  nn::Tensor zx_d0;    // (4d, 1) — decoder Wx · d0, shared by every graph
+
+  // Encoder outputs / attention state, packed (column g·n+j = graph g's
+  // position-j context).
+  nn::Tensor contexts;  // (d, n·B)
+  nn::PointerAttention::CachedRefs refs;
+  nn::PointerAttention::BatchScratch attn;
+
+  // Lock-stepped recurrent state and per-step scratch.
+  nn::LstmCell::BatchState state;  // h, c (d, B)
+  nn::Tensor gates;                // (4d, B)
+  nn::Tensor logits;               // (1, n·B)
+  nn::Tensor probs;                // (1, n·B)
+
+  // Decoder bookkeeping, packed position-indexed (entry g·n+j = graph g,
+  // position j of topos[g].order).
+  std::vector<std::uint8_t> valid;
+  std::vector<std::uint8_t> picked;
+  std::vector<int> unpicked_parents;
+
+  // Per-graph zx column selectors for the lock-stepped LSTM steps.
+  std::vector<int> zx_cols;
+
+  // Decode results: sequences[g] is graph g's order.  Only the first B
+  // entries are meaningful after a batch-B decode; later entries may hold
+  // stale data from a previous, larger batch (grow-only rule).
+  std::vector<std::vector<graph::NodeId>> sequences;
+};
+
+}  // namespace respect::rl

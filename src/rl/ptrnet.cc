@@ -52,6 +52,21 @@ int ArgmaxIndex(const nn::Tensor& probs) {
   return best;
 }
 
+/// ArgmaxIndex over the column slice [c0, c0+n), returning the index
+/// RELATIVE to c0.  Same ascending strictly-greater scan (first max wins),
+/// so the batched decode picks exactly what the single path would.
+int ArgmaxIndexRange(const nn::Tensor& probs, int c0, int n) {
+  int best = -1;
+  float best_p = -1.0f;
+  for (int j = 0; j < n; ++j) {
+    if (probs.At(0, c0 + j) > best_p) {
+      best_p = probs.At(0, c0 + j);
+      best = j;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 PtrNetAgent::PtrNetAgent(const PtrNetConfig& config)
@@ -157,6 +172,112 @@ std::vector<graph::NodeId> PtrNetAgent::DecodeSampled(
 const std::vector<graph::NodeId>& PtrNetAgent::DecodeGreedy(
     const graph::Dag& dag, DecodeWorkspace& ws) const {
   return DecodeImpl(dag, nullptr, ws);
+}
+
+const std::vector<std::vector<graph::NodeId>>& PtrNetAgent::DecodeGreedyBatch(
+    std::span<const graph::Dag* const> dags, BatchDecodeWorkspace& ws) const {
+  const int batch = static_cast<int>(dags.size());
+  if (batch <= 0) {
+    throw std::invalid_argument("DecodeGreedyBatch: empty batch");
+  }
+  const int n = dags[0]->NodeCount();
+  for (const graph::Dag* dag : dags) {
+    if (dag == nullptr || dag->NodeCount() != n) {
+      throw std::invalid_argument(
+          "DecodeGreedyBatch: all graphs must have the same node count");
+    }
+  }
+  const int d = config_.hidden_dim;
+  const int total = n * batch;
+  ws.Reserve(d, n, batch);
+
+  // Per-graph analysis and packed embedding: emb column g·n+v is graph g's
+  // node-v feature vector, so every downstream packed column g·n+v matches
+  // the single path's column v for graph g bit-for-bit (the shared MatMul
+  // kernel is column-independent).
+  float* embd = ws.emb.Data();
+  for (int g = 0; g < batch; ++g) {
+    graph::AnalyzeTopologyInto(*dags[g], ws.topo_scratch, ws.topos[g]);
+    ws.pos[g].assign(n, -1);
+    for (int j = 0; j < n; ++j) ws.pos[g][ws.topos[g].order[j]] = j;
+    EmbedGraphInto(*dags[g], config_.embedding, ws.topos[g], ws.emb_one);
+    const float* one = ws.emb_one.Data();
+    for (int i = 0; i < kFeatureDim; ++i) {
+      std::copy(one + std::int64_t{i} * n, one + std::int64_t{i} * n + n,
+                embd + std::int64_t{i} * total + std::int64_t{g} * n);
+    }
+  }
+  nn::MatMulInto(store_.Value("input.W"), ws.emb, ws.x_all);
+  nn::AddBroadcastColInPlace(ws.x_all, store_.Value("input.b"));
+
+  // Hoisted input projections over the whole packed batch.
+  nn::MatMulInto(encoder_.InputWeight(), ws.x_all, ws.zx_enc);
+  nn::MatMulInto(decoder_.InputWeight(), ws.x_all, ws.zx_dec);
+  nn::MatMulInto(decoder_.InputWeight(), store_.Value("decoder.d0"), ws.zx_d0);
+
+  // Lock-stepped encoder sweep: one StepBatchInto per position, contexts
+  // scattered to column g·n+j (graph g, position j).
+  ws.state.h.Fill(0.0f);
+  ws.state.c.Fill(0.0f);
+  float* ctx = ws.contexts.Data();
+  for (int j = 0; j < n; ++j) {
+    for (int g = 0; g < batch; ++g) {
+      ws.zx_cols[g] = g * n + ws.topos[g].order[j];
+    }
+    encoder_.StepBatchInto(ws.zx_enc, ws.zx_cols.data(), batch, ws.gates,
+                           ws.state);
+    const float* h = ws.state.h.Data();
+    for (int i = 0; i < d; ++i) {
+      const float* hrow = h + std::int64_t{i} * batch;
+      float* crow = ctx + std::int64_t{i} * total + j;
+      for (int g = 0; g < batch; ++g) crow[std::int64_t{g} * n] = hrow[g];
+    }
+  }
+  attention_.PrecomputeInto(ws.contexts, ws.refs);
+
+  // Decoder bookkeeping, packed position-indexed; the encoder's final
+  // (d, B) state carries over as the decoder's initial state in place.
+  std::fill(ws.picked.begin(), ws.picked.begin() + total, std::uint8_t{0});
+  for (int g = 0; g < batch; ++g) {
+    for (int j = 0; j < n; ++j) {
+      ws.unpicked_parents[g * n + j] =
+          static_cast<int>(dags[g]->Parents(ws.topos[g].order[j]).size());
+    }
+    ws.sequences[g].clear();
+  }
+
+  const nn::Tensor* zx = &ws.zx_d0;  // first input: shared d0 projection
+  for (int g = 0; g < batch; ++g) ws.zx_cols[g] = 0;
+  for (int t = 0; t < n; ++t) {
+    decoder_.StepBatchInto(*zx, ws.zx_cols.data(), batch, ws.gates, ws.state);
+    for (int g = 0; g < batch; ++g) {
+      const int c0 = g * n;
+      for (int j = 0; j < n; ++j) {
+        ws.valid[c0 + j] =
+            !ws.picked[c0 + j] &&
+                    (config_.masking == MaskingMode::kVisitedOnly ||
+                     ws.unpicked_parents[c0 + j] == 0)
+                ? 1
+                : 0;
+      }
+    }
+    attention_.PointerLogitsBatchInto(ws.contexts, ws.refs, ws.state.h,
+                                      ws.valid, n, batch, ws.attn, ws.logits);
+    for (int g = 0; g < batch; ++g) {
+      const int c0 = g * n;
+      nn::MaskedSoftmaxSliceInto(ws.logits, ws.valid, c0, n, ws.probs);
+      const int j = ArgmaxIndexRange(ws.probs, c0, n);
+      const graph::NodeId v = ws.topos[g].order[j];
+      ws.picked[c0 + j] = 1;
+      for (const graph::NodeId c : dags[g]->Children(v)) {
+        --ws.unpicked_parents[c0 + ws.pos[g][c]];
+      }
+      ws.sequences[g].push_back(v);
+      ws.zx_cols[g] = c0 + v;
+    }
+    zx = &ws.zx_dec;
+  }
+  return ws.sequences;
 }
 
 const std::vector<graph::NodeId>& PtrNetAgent::DecodeSampled(

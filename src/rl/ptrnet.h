@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "nn/lstm.h"
 #include "nn/params.h"
 #include "nn/tape.h"
+#include "rl/batch_decode_workspace.h"
 #include "rl/decode_workspace.h"
 #include "rl/embedding.h"
 
@@ -73,6 +75,26 @@ class PtrNetAgent {
       const graph::Dag& dag, DecodeWorkspace& ws) const;
   [[nodiscard]] const std::vector<graph::NodeId>& DecodeSampled(
       const graph::Dag& dag, std::mt19937_64& rng, DecodeWorkspace& ws) const;
+
+  /// Batched greedy decode: lock-steps every graph in `dags` — all of
+  /// which must have the SAME node count (std::invalid_argument otherwise;
+  /// group by size first, see RlEngine::ScheduleBatch) — so the per-step
+  /// recurrences run as one GEMM across the batch.  B = 1 degenerates to a
+  /// (slightly wider-buffered) single decode.
+  ///
+  /// On the scalar path the result is bit-identical to B independent
+  /// DecodeGreedy calls: every batched kernel replicates the single-graph
+  /// per-element accumulation order (see StepBatchInto /
+  /// PointerLogitsBatchInto).  With nn::simd enabled, sequences may differ
+  /// where a decision was numerically marginal (tolerance contract in
+  /// tests/batch_decode_test.cc).
+  ///
+  /// Returns a reference to ws.sequences; entries [0, dags.size()) hold
+  /// this call's results (later entries may be stale from a larger batch)
+  /// and stay valid until the next decode on the same workspace.
+  [[nodiscard]] const std::vector<std::vector<graph::NodeId>>&
+  DecodeGreedyBatch(std::span<const graph::Dag* const> dags,
+                    BatchDecodeWorkspace& ws) const;
 
   /// Tape-recorded stochastic decode for training.
   struct SampleResult {

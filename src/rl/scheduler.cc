@@ -28,6 +28,26 @@ RlScheduler::Result RlScheduler::ScheduleRaw(
   return result;
 }
 
+std::vector<RlScheduler::Result> RlScheduler::ScheduleRawBatch(
+    std::span<const graph::Dag* const> dags,
+    const sched::PipelineConstraints& constraints,
+    BatchDecodeWorkspace& ws) const {
+  const auto start = std::chrono::steady_clock::now();
+  const auto& sequences = agent_.DecodeGreedyBatch(dags, ws);
+  std::vector<Result> results(dags.size());
+  for (std::size_t g = 0; g < dags.size(); ++g) {
+    results[g].sequence = sequences[g];
+    results[g].schedule = sched::PackSequence(*dags[g], results[g].sequence,
+                                              constraints.num_stages);
+  }
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double amortized = total / static_cast<double>(dags.size());
+  for (Result& result : results) result.solve_seconds = amortized;
+  return results;
+}
+
 RlScheduler::Result RlScheduler::Schedule(
     const graph::Dag& dag,
     const sched::PipelineConstraints& constraints) const {

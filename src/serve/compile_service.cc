@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <map>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "core/thread_pool.h"
@@ -105,6 +107,7 @@ CompileService::CompileService(const CompilerOptions& compiler_options,
     admission_ =
         std::make_unique<store::TinyLfuAdmission>(options.cache_capacity);
   }
+  batch_decode_ = options.batch_decode;
   if (!options.cache_dir.empty()) {
     store::DiskStoreOptions store_options;
     store_options.directory = options.cache_dir;
@@ -505,17 +508,36 @@ CompileService::Ticket CompileService::SubmitInternal(
   return ticket;
 }
 
+bool CompileService::EngineSupportsBatch(std::string_view engine_name) const {
+  return engines::EngineRegistry::Global()
+      .Create(engine_name, compiler_.MakeEngineContext())
+      ->SupportsBatch();
+}
+
 std::vector<CompileResponse> CompileService::CompileBatch(
     std::span<const CompileRequest> requests) {
   // Warm kUse entries answer in place — no Dag copy, no pool round-trip (an
   // all-warm batch costs one key hash + shard lookup per request, like the
-  // sync path).  Everything else fans out as ordinary async requests on its
-  // own lane, so cold graphs get the full single-flight treatment; results
-  // gather in input order.  Waiters never deadlock the pool: a flight owner
-  // finishes without needing any other queued task (a queued duplicate that
-  // runs later simply hits the cache or the resolved flight).
+  // sync path).  Cold kUse misses on a batch-capable engine group by
+  // (engine, num_stages, node count): each group of >= 2 becomes ONE pool
+  // task that lock-steps the whole group through a batched decode
+  // (RunBatchGroup), so a post-ReplaceRl miss storm refills at GEMM speed.
+  // Everything else fans out as ordinary async requests on its own lane, so
+  // cold graphs get the full single-flight treatment; results gather in
+  // input order.  Waiters never deadlock the pool: a flight owner finishes
+  // without needing any other queued task (flights only ever belong to
+  // running code, so a queued duplicate that runs later simply hits the
+  // cache or the resolved flight).
   std::vector<CompileResponse> responses(requests.size());
   std::vector<std::pair<std::size_t, Ticket>> pending;
+
+  // Cold batch candidates, grouped by (canonical engine, stages, nodes) —
+  // only same-shape graphs can lock-step.  std::map keeps group order (and
+  // thus solve order) deterministic for a given input.
+  std::map<std::tuple<std::string_view, int, int>, std::vector<GroupMember>>
+      groups;
+  std::map<std::string_view, bool> supports_batch;
+
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const CompileRequest& request = requests[i];
     if (request.cache_policy == CachePolicy::kUse) {
@@ -527,11 +549,61 @@ std::vector<CompileResponse> CompileService::CompileBatch(
         responses[i].key_hex = key.hash.ToHex();
         continue;
       }
+      if (batch_decode_) {
+        // One SupportsBatch probe per distinct engine in the batch.
+        auto [probe, inserted] = supports_batch.try_emplace(key.engine_name);
+        if (inserted) probe->second = EngineSupportsBatch(key.engine_name);
+        if (probe->second) {
+          GroupMember member;
+          member.index = i;
+          member.enqueue_time = SteadyClock::now();
+          const auto group_key = std::make_tuple(
+              key.engine_name, request.num_stages, request.dag.NodeCount());
+          member.key = std::move(key);
+          groups[group_key].push_back(std::move(member));
+          continue;
+        }
+      }
       pending.emplace_back(i, SubmitInternal(request, std::move(key)));
       continue;
     }
     pending.emplace_back(i, SubmitInternal(request, std::nullopt));
   }
+
+  for (auto& [group_key, members] : groups) {
+    if (members.size() < 2) {
+      // Lone candidate: no batch to form — the ordinary async path.
+      for (GroupMember& m : members) {
+        pending.emplace_back(m.index,
+                             SubmitInternal(requests[m.index], std::move(m.key)));
+      }
+      continue;
+    }
+    const int num_stages = std::get<1>(group_key);
+    const std::string_view engine_name = std::get<0>(group_key);
+    // The group task runs on the most urgent member's lane so a grouped
+    // interactive miss is not demoted behind batch-lane floods; per-member
+    // lane counters still record each request under its own lane.
+    std::size_t task_lane = kNumPriorityLanes - 1;
+    for (GroupMember& m : members) {
+      const std::size_t lane = LaneIndex(requests[m.index].priority);
+      lane_counters_[lane].enqueued.fetch_add(1, std::memory_order_relaxed);
+      task_lane = std::min(task_lane, lane);
+      pending.emplace_back(m.index, Ticket(m.promise.get_future().share()));
+    }
+    // `requests` is captured by view: CompileBatch blocks on every ticket
+    // below before returning, so the span outlives the task.
+    auto shared_members =
+        std::make_shared<std::vector<GroupMember>>(std::move(members));
+    core::ThreadPool::TaskAttrs attrs;
+    attrs.lane = static_cast<int>(task_lane);
+    pool_->Submit(
+        [this, requests, num_stages, engine_name, shared_members] {
+          RunBatchGroup(requests, num_stages, engine_name, *shared_members);
+        },
+        std::move(attrs));
+  }
+
   std::exception_ptr first_failure;
   for (const auto& [i, ticket] : pending) {
     try {
@@ -542,6 +614,185 @@ std::vector<CompileResponse> CompileService::CompileBatch(
   }
   if (first_failure != nullptr) std::rethrow_exception(first_failure);
   return responses;
+}
+
+void CompileService::RunBatchGroup(std::span<const CompileRequest> requests,
+                                   int num_stages,
+                                   std::string_view engine_name,
+                                   std::vector<GroupMember>& members) {
+  struct Active {
+    GroupMember* member = nullptr;
+    std::shared_ptr<Flight> flight;
+    double wait_seconds = 0.0;
+  };
+  std::vector<Active> owners;
+  std::vector<Active> waiters;
+  owners.reserve(members.size());
+
+  const auto respond = [](GroupMember& m, CacheOutcome outcome,
+                          ResultPtr result, double wait, double solve) {
+    CompileResponse response;
+    response.result = std::move(result);
+    response.outcome = outcome;
+    response.queue_wait_seconds = wait;
+    response.solve_seconds = solve;
+    response.engine_name = m.key.engine_name;
+    response.key_hex = m.key.hash.ToHex();
+    m.promise.set_value(std::move(response));
+  };
+
+  // Phase 1 — per member: settle deadline expiries and late cache hits
+  // (another worker may have filled the entry since the probe), then
+  // acquire or join the single-flight slot.  Flights only ever belong to
+  // running code, so the waiter joins below can never block on a task
+  // still sitting in the queue.
+  for (GroupMember& m : members) {
+    const CompileRequest& request = requests[m.index];
+    const std::size_t lane = LaneIndex(request.priority);
+    const double wait = std::chrono::duration<double>(SteadyClock::now() -
+                                                      m.enqueue_time)
+                            .count();
+    if (request.deadline && SteadyClock::now() > *request.deadline) {
+      lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      m.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+          "compile request deadline expired after " + std::to_string(wait) +
+          "s in queue (batched group)")));
+      continue;
+    }
+    lane_counters_[lane].started.fetch_add(1, std::memory_order_relaxed);
+    lane_wait_[lane].Record(wait);
+
+    Shard& shard = ShardFor(m.key.hash);
+    std::shared_ptr<Flight> flight;
+    ResultPtr hit;
+    bool owner = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      if (const auto it = shard.entries.find(m.key.hash);
+          it != shard.entries.end() && !DropIfExpiredLocked(shard, it->second)) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        hit = it->second->result;
+      } else if (const auto fit = shard.flights.find(m.key.hash);
+                 fit != shard.flights.end()) {
+        flight = fit->second;
+        single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        flight = std::make_shared<Flight>();
+        flight->future = flight->promise.get_future().share();
+        shard.flights.emplace(m.key.hash, flight);
+        owner = true;
+      }
+    }
+    if (hit != nullptr) {
+      respond(m, CacheOutcome::kHit, std::move(hit), wait, 0.0);
+      continue;
+    }
+    if (!owner) {
+      waiters.push_back({&m, std::move(flight), wait});
+      continue;
+    }
+
+    // Owner: probe the persistent tier before paying a solve, exactly as
+    // the single-request path does.
+    if (store_ != nullptr) {
+      std::int64_t disk_expiry_ms = 0;
+      if (ResultPtr from_disk = store_->Probe(m.key.hash, &disk_expiry_ms)) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        std::optional<SteadyClock::time_point> promote_expiry;
+        if (disk_expiry_ms != 0) {
+          const auto remaining =
+              std::chrono::system_clock::time_point(
+                  std::chrono::milliseconds(disk_expiry_ms)) -
+              std::chrono::system_clock::now();
+          promote_expiry =
+              SteadyClock::now() +
+              std::chrono::duration_cast<SteadyClock::duration>(remaining);
+        }
+        {
+          const std::lock_guard<std::mutex> lock(shard.mutex);
+          InsertLocked(shard, m.key, from_disk, promote_expiry);
+          shard.flights.erase(m.key.hash);
+        }
+        flight->promise.set_value(from_disk);
+        respond(m, CacheOutcome::kDiskHit, std::move(from_disk), wait, 0.0);
+        continue;
+      }
+    }
+    owners.push_back({&m, std::move(flight), wait});
+  }
+
+  // Phase 2 — every surviving cold owner solves through ONE inline
+  // CompileGroup call on this worker (same-size groups of >= 2 take the
+  // lock-stepped batch decode; a lone survivor degrades to a per-graph
+  // solve inside the same call).  Solve latency is amortized: total / B is
+  // what each request effectively paid.
+  if (!owners.empty()) {
+    misses_.fetch_add(owners.size(), std::memory_order_relaxed);
+    try {
+      std::vector<const graph::Dag*> dags;
+      dags.reserve(owners.size());
+      for (const Active& a : owners) {
+        dags.push_back(&requests[a.member->index].dag);
+      }
+      engines::SolveStats stats;
+      const auto start = SteadyClock::now();
+      std::vector<CompileResult> results = compiler_.CompileGroup(
+          std::span<const graph::Dag* const>(dags), num_stages, engine_name,
+          &stats);
+      const double total =
+          std::chrono::duration<double>(SteadyClock::now() - start).count();
+      const double amortized = total / static_cast<double>(owners.size());
+      batch_solved_.fetch_add(stats.batch_solved, std::memory_order_relaxed);
+      batch_single_.fetch_add(stats.single_solved, std::memory_order_relaxed);
+      batch_groups_.fetch_add(stats.batch_groups, std::memory_order_relaxed);
+      for (std::size_t k = 0; k < owners.size(); ++k) {
+        Active& a = owners[k];
+        solve_latency_.Record(amortized);
+        ResultPtr result =
+            std::make_shared<const CompileResult>(std::move(results[k]));
+        Shard& shard = ShardFor(a.member->key.hash);
+        {
+          const std::lock_guard<std::mutex> lock(shard.mutex);
+          InsertLocked(shard, a.member->key, result);
+          shard.flights.erase(a.member->key.hash);
+        }
+        a.flight->promise.set_value(result);
+        EnqueueWriteback(a.member->key, result);
+        respond(*a.member, CacheOutcome::kMiss, std::move(result),
+                a.wait_seconds, amortized);
+      }
+    } catch (...) {
+      // One grouped solve, one failure: every owner's flight and ticket
+      // rethrow it (collapsed waiters inherit through the flights below).
+      failures_.fetch_add(owners.size(), std::memory_order_relaxed);
+      const std::exception_ptr failure = std::current_exception();
+      for (Active& a : owners) {
+        Shard& shard = ShardFor(a.member->key.hash);
+        {
+          const std::lock_guard<std::mutex> lock(shard.mutex);
+          shard.flights.erase(a.member->key.hash);
+        }
+        a.flight->promise.set_exception(failure);
+        a.member->promise.set_exception(failure);
+      }
+    }
+  }
+
+  // Phase 3 — waiters join whatever their flight's owner produced.  A
+  // duplicate key inside this group waits on a flight phase 2 already
+  // resolved; a flight owned by another worker is actively solving, so the
+  // get() blocks on running code, never on the queue.
+  for (Active& a : waiters) {
+    try {
+      ResultPtr result = a.flight->future.get();
+      respond(*a.member, CacheOutcome::kCollapsed, std::move(result),
+              a.wait_seconds, 0.0);
+    } catch (...) {
+      a.member->promise.set_exception(std::current_exception());
+    }
+  }
 }
 
 // ── Deprecated shims ─────────────────────────────────────────────────────
@@ -670,6 +921,9 @@ ServiceMetrics CompileService::Metrics() const {
   metrics.ttl_expired = ttl_expired_.load(std::memory_order_relaxed);
   metrics.admission_rejected =
       admission_rejected_.load(std::memory_order_relaxed);
+  metrics.batch_solved = batch_solved_.load(std::memory_order_relaxed);
+  metrics.batch_single = batch_single_.load(std::memory_order_relaxed);
+  metrics.batch_groups = batch_groups_.load(std::memory_order_relaxed);
   if (store_ != nullptr) metrics.store = store_->Metrics();
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);

@@ -132,6 +132,15 @@ struct ServiceOptions {
   /// key's estimated access frequency is at least the victim's, so scan
   /// traffic cannot flush hot entries.  Disable for pure-LRU behavior.
   bool lfu_admission = true;
+
+  /// Grouped miss solving for CompileBatch(requests): cold kUse requests on
+  /// a batch-capable engine (RlEngine's lock-stepped decode) are grouped by
+  /// (engine, num_stages, node count) and each group of >= 2 solves as one
+  /// batched GEMM decode on a single worker — a cold-cache miss storm
+  /// (e.g. right after ReplaceRl) refills at batch throughput instead of
+  /// one GEMV decode per worker.  Disable to fan every miss out as an
+  /// independent async request (the pre-batch behavior).
+  bool batch_decode = true;
 };
 
 /// Per-lane queue statistics (async path only; synchronous Compile calls
@@ -160,6 +169,10 @@ struct ServiceMetrics {
   std::uint64_t disk_hits = 0;        // memory misses answered by the store
   std::uint64_t ttl_expired = 0;      // memory entries lazily expired
   std::uint64_t admission_rejected = 0;  // inserts refused by TinyLFU
+  std::uint64_t batch_solved = 0;     // cold solves done by lock-stepped groups
+  std::uint64_t batch_single = 0;     // grouped-path solves that fell back to
+                                      // the per-graph decode (stragglers)
+  std::uint64_t batch_groups = 0;     // lock-stepped group decodes executed
   double solve_p50_seconds = 0.0;     // over the recent cold-solve window
   double solve_p99_seconds = 0.0;
   std::size_t cache_size = 0;         // resident entries right now
@@ -227,10 +240,14 @@ class CompileService {
   [[nodiscard]] Ticket Submit(CompileRequest request);
 
   /// Compiles every request of the batch through the shared cache: warm
-  /// kUse entries answer in place without a solve, the rest fan out as
-  /// ordinary async requests on their own priority lanes (duplicates
-  /// collapse via single-flight), and results come back in input order.
-  /// The first failure rethrows after every flight finishes.
+  /// kUse entries answer in place without a solve, and results come back in
+  /// input order.  Cold kUse requests on a batch-capable engine are grouped
+  /// by (engine, num_stages, node count) and every group of >= 2 solves as
+  /// one lock-stepped batched decode on a single worker (see
+  /// ServiceOptions::batch_decode); everything else fans out as ordinary
+  /// async requests on its own priority lane (duplicates collapse via
+  /// single-flight).  The first failure rethrows after every flight
+  /// finishes.
   [[nodiscard]] std::vector<CompileResponse> CompileBatch(
       std::span<const CompileRequest> requests);
 
@@ -390,6 +407,30 @@ class CompileService {
   [[nodiscard]] Ticket SubmitInternal(CompileRequest request,
                                       std::optional<RequestKey> key);
 
+  /// One member of a grouped cold-miss solve: index into the caller's
+  /// request span, the precomputed key, and the promise behind the
+  /// member's ticket.
+  struct GroupMember {
+    std::size_t index = 0;
+    RequestKey key;
+    std::promise<CompileResponse> promise;
+    std::chrono::steady_clock::time_point enqueue_time{};
+  };
+
+  /// True when the engine behind `engine_name` overrides ScheduleBatch
+  /// with a real lock-stepped path (SchedulerEngine::SupportsBatch).
+  [[nodiscard]] bool EngineSupportsBatch(std::string_view engine_name) const;
+
+  /// Body of one grouped solve task (runs on a worker): per member, settle
+  /// deadline expiries and late cache hits, acquire or join the
+  /// single-flight slot, disk-probe owners, then solve every surviving
+  /// cold owner through ONE inline PipelineCompiler::CompileGroup call —
+  /// never a nested pool submission, so a full queue cannot deadlock the
+  /// group.  Resolves every member's promise on all paths.
+  void RunBatchGroup(std::span<const CompileRequest> requests, int num_stages,
+                     std::string_view engine_name,
+                     std::vector<GroupMember>& members);
+
   /// Body of the deprecated batch shims: probes warm entries through the
   /// caller's pointers (no Dag copy) and copies only cold graphs into
   /// async requests, as the pre-request batch path did.
@@ -428,6 +469,9 @@ class CompileService {
   /// Frequency sketch consulted on insert/promote; null = always admit.
   std::unique_ptr<store::TinyLfuAdmission> admission_;
 
+  /// ServiceOptions::batch_decode — grouped miss solving in CompileBatch.
+  bool batch_decode_ = true;
+
   /// Persistent tier; null when no cache_dir is configured.  Declared
   /// before pool_ so queued writeback tasks (which reference it) are
   /// drained by the pool's destructor first.
@@ -451,6 +495,9 @@ class CompileService {
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> ttl_expired_{0};
   std::atomic<std::uint64_t> admission_rejected_{0};
+  std::atomic<std::uint64_t> batch_solved_{0};
+  std::atomic<std::uint64_t> batch_single_{0};
+  std::atomic<std::uint64_t> batch_groups_{0};
 
   /// Spill writes queued on the pool but not yet landed (FlushStore waits
   /// on this reaching zero).

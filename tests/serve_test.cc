@@ -459,6 +459,115 @@ TEST(CompileServiceTest, CompileBatchPopulatesAndHitsTheSharedCache) {
   EXPECT_EQ(service.Metrics().misses, misses_after_mixed + 1);
 }
 
+TEST(CompileServiceBatchDecodeTest, GroupedMissStormSolvesBatchedAndMatchesSync) {
+  serve::CompileService service(FastOptions());
+  PipelineCompiler reference(FastOptions());
+
+  // Four same-size cold graphs plus one duplicate → ONE group task: the
+  // four unique keys lock-step through a single batched decode and the
+  // duplicate collapses onto the first one's flight.
+  const graph::Dag g0 = SampleDag(30, 101);
+  const graph::Dag g1 = SampleDag(30, 102);
+  const graph::Dag g2 = SampleDag(30, 103);
+  const graph::Dag g3 = SampleDag(30, 104);
+  std::vector<CompileRequest> requests;
+  for (const graph::Dag* dag : {&g0, &g1, &g2, &g3, &g0}) {
+    requests.push_back(
+        CompileRequest{.dag = *dag, .num_stages = 4, .engine = "respect"});
+  }
+
+  const auto responses = service.CompileBatch(requests);
+  ASSERT_EQ(responses.size(), 5u);
+  serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.misses, 4u);
+  EXPECT_EQ(metrics.batch_solved, 4u);
+  EXPECT_EQ(metrics.batch_groups, 1u);
+  EXPECT_EQ(metrics.batch_single, 0u);
+  EXPECT_EQ(metrics.single_flight_waits, 1u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(responses[i].outcome, CacheOutcome::kMiss) << i;
+    EXPECT_GT(responses[i].solve_seconds, 0.0) << i;
+  }
+  EXPECT_EQ(responses[4].outcome, CacheOutcome::kCollapsed);
+  EXPECT_EQ(responses[4].result, responses[0].result);
+
+  // The scalar batch decode is bit-identical to the sync single-graph path.
+  const graph::Dag* const dags[] = {&g0, &g1, &g2, &g3};
+  for (int i = 0; i < 4; ++i) {
+    ExpectSameResult(*responses[i].result,
+                     reference.Compile(*dags[i], 4, "respect"),
+                     "batched vs sync graph " + std::to_string(i));
+  }
+
+  // Repeat batch: all warm, no new group.
+  const auto warm = service.CompileBatch(requests);
+  for (const auto& response : warm) {
+    EXPECT_EQ(response.outcome, CacheOutcome::kHit);
+  }
+  EXPECT_EQ(service.Metrics().batch_groups, 1u);
+
+  // The miss storm this path exists for: ReplaceRl cold-starts every RL
+  // key, and the refill goes back through one batched group with results
+  // identical to the first pass (same configured weights).
+  service.ReplaceRl(nullptr);
+  const auto refill = service.CompileBatch(requests);
+  metrics = service.Metrics();
+  EXPECT_EQ(metrics.batch_solved, 8u);
+  EXPECT_EQ(metrics.batch_groups, 2u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(refill[i].outcome, CacheOutcome::kMiss) << i;
+    ExpectSameResult(*refill[i].result, *responses[i].result,
+                     "refill graph " + std::to_string(i));
+  }
+}
+
+TEST(CompileServiceBatchDecodeTest, StragglersAndDisabledPathFallBackToSingles) {
+  const graph::Dag a = SampleDag(30, 111);
+  const graph::Dag b = SampleDag(30, 112);
+  const graph::Dag lone = SampleDag(20, 113);
+  std::vector<CompileRequest> requests;
+  for (const graph::Dag* dag : {&a, &b, &lone}) {
+    requests.push_back(
+        CompileRequest{.dag = *dag, .num_stages = 4, .engine = "respect"});
+  }
+
+  // {30, 30, 20}: the pair lock-steps, the 20-node straggler takes the
+  // ordinary async path — still a cold solve, just not a grouped one.
+  serve::CompileService service(FastOptions());
+  const auto responses = service.CompileBatch(requests);
+  for (const auto& response : responses) ASSERT_NE(response.result, nullptr);
+  serve::ServiceMetrics metrics = service.Metrics();
+  EXPECT_EQ(metrics.misses, 3u);
+  EXPECT_EQ(metrics.batch_solved, 2u);
+  EXPECT_EQ(metrics.batch_groups, 1u);
+
+  // A non-batch engine never groups, whatever the sizes.
+  std::vector<CompileRequest> list_requests;
+  for (const graph::Dag* dag : {&a, &b}) {
+    list_requests.push_back(
+        CompileRequest{.dag = *dag, .num_stages = 4, .engine = "list"});
+  }
+  (void)service.CompileBatch(list_requests);
+  EXPECT_EQ(service.Metrics().batch_groups, 1u);  // unchanged
+
+  // batch_decode = false: the same storm fans out as independent requests.
+  serve::ServiceOptions off;
+  off.batch_decode = false;
+  serve::CompileService plain(FastOptions(), off);
+  const auto plain_responses = plain.CompileBatch(requests);
+  for (const auto& response : plain_responses) {
+    ASSERT_NE(response.result, nullptr);
+  }
+  metrics = plain.Metrics();
+  EXPECT_EQ(metrics.misses, 3u);
+  EXPECT_EQ(metrics.batch_solved, 0u);
+  EXPECT_EQ(metrics.batch_groups, 0u);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameResult(*plain_responses[i].result, *responses[i].result,
+                     "grouped vs fanned-out graph " + std::to_string(i));
+  }
+}
+
 TEST(CompileServiceTest, UnknownEngineThrowsBeforeTouchingTheCache) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(10, 31);
