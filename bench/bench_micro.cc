@@ -492,6 +492,80 @@ BENCHMARK(BM_MixedPriorityLoad_Lanes)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Adversarial tenant mix through the weighted-fair queue: tenant "mallory"
+/// floods the single worker first, then "alice" (weight 2) and "bob" arrive
+/// — under FIFO the late tenants would wait out the whole flood.  Reports
+/// completed requests/s (the gated metric) plus two counters: Jain's
+/// fairness index over weight-normalized per-tenant service rates and the
+/// worst per-tenant p99 queue wait in milliseconds.
+void BM_TenantFairness(benchmark::State& state) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.tenant_weights = {{"alice", 2.0}};  // bob/mallory default to 1
+  serve::CompileService service(BatchBenchOptions(), options);
+  const std::vector<std::pair<std::string, double>> tenants = {
+      {"mallory", 1.0}, {"alice", 2.0}, {"bob", 1.0}};
+  constexpr int kPerTenant = 12;
+
+  double jain_min = 1.0;
+  double worst_p99_seconds = 0.0;
+  std::int64_t completed = 0;
+  for (auto _ : state) {
+    struct Pending {
+      std::size_t tenant;
+      serve::CompileService::Ticket ticket;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(tenants.size() * kPerTenant);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      for (int r = 0; r < kPerTenant; ++r) {
+        pending.push_back(
+            {t, service.Submit(serve::CompileRequest{
+                    .dag = BatchDags()[(t * kPerTenant + r) %
+                                       BatchDags().size()],
+                    .num_stages = 4,
+                    .engine = Method::kAnnealing,
+                    .priority = serve::Priority::kNormal,
+                    .cache_policy = serve::CachePolicy::kBypass,
+                    .tenant = tenants[t].first})});
+      }
+    }
+    std::vector<std::vector<double>> waits(tenants.size());
+    for (auto& [tenant, ticket] : pending) {
+      waits[tenant].push_back(ticket.WaitResponse().queue_wait_seconds);
+      ++completed;
+    }
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      double mean_wait = 0.0;
+      for (const double w : waits[t]) mean_wait += w;
+      mean_wait /= static_cast<double>(waits[t].size());
+      const double rate = 1.0 / (mean_wait * tenants[t].second);
+      sum += rate;
+      sum_sq += rate * rate;
+      worst_p99_seconds =
+          std::max(worst_p99_seconds, serve::Percentile(waits[t], 0.99));
+    }
+    const double jain =
+        sum_sq == 0.0
+            ? 1.0
+            : sum * sum / (static_cast<double>(tenants.size()) * sum_sq);
+    jain_min = std::min(jain_min, jain);
+  }
+  state.SetItemsProcessed(completed);
+  state.counters["jain"] = jain_min;
+  state.counters["tenant_wait_p99_ms"] = worst_p99_seconds * 1e3;
+}
+BENCHMARK(BM_TenantFairness)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// One engine solve (SchedulerEngine::Schedule only — no post-processing or
 /// packaging, the Fig. 3 quantity) per registered engine on a 30-node
 /// training graph — registered dynamically so new engines show up here

@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
                 seg.macs / 1e9);
   }
 
-  const auto sim = tpu::SimulatePipeline(result.package, {});
+  const auto sim = tpu::SimulatePipeline(result.package);
   std::printf("simulated: %.1f us/inference over 1000 inferences "
               "(first-inference latency %.1f us)\n",
               sim.per_inference_us, sim.first_latency_us);

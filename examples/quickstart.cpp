@@ -45,7 +45,7 @@ int main() {
   for (const engines::EngineRegistration& engine :
        engines::EngineRegistry::Global().Registrations()) {
     const CompileResult result = compiler.Compile(dag, 3, engine.name);
-    const auto sim = tpu::SimulatePipeline(result.package, {});
+    const auto sim = tpu::SimulatePipeline(result.package);
     std::printf("%-16s %8.2f %14.1f %14.1f\n", engine.name.c_str(),
                 result.solve_seconds * 1e3,
                 result.peak_stage_param_bytes / 1024.0,

@@ -42,7 +42,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
+#include <map>
 #include <memory>
 #include <random>
 #include <string>
@@ -50,10 +54,14 @@
 #include <vector>
 
 #include "cli_util.h"
+#include "deploy/pod_io.h"
 #include "engines/registry.h"
+#include "graph/canonical_hash.h"
 #include "graph/sampler.h"
 #include "serve/compile_service.h"
 #include "serve/request.h"
+#include "tpu/device_profile.h"
+#include "tpu/sim.h"
 
 namespace {
 
@@ -67,8 +75,21 @@ int Usage(const char* argv0) {
       "          [--priority=interactive|normal|batch] [--deadline-ms=N]\n"
       "          [--threads=N] [--mixed] [--max-batch-inflight=N]\n"
       "          [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]\n"
-      "          [--miss-storm] [--no-batch-decode]\n",
+      "          [--miss-storm] [--no-batch-decode]\n"
+      "          [--profile=NAME] [--tenant=NAME] [--fleet-demo]\n"
+      "  --profile targets a named device profile (",
       argv0, examples::kMaxStages);
+  bool first = true;
+  for (const std::string_view name : tpu::ProfileNames()) {
+    std::fprintf(stderr, "%s%.*s", first ? "" : ", ",
+                 static_cast<int>(name.size()), name.data());
+    first = false;
+  }
+  std::fprintf(stderr,
+               ")\n  --tenant tags requests for weighted-fair queueing; "
+               "--fleet-demo runs one\n  service over several profiles and "
+               "tenants and checks the fairness and\n  cache-separation "
+               "invariants\n");
   return 2;
 }
 
@@ -125,6 +146,13 @@ void PrintServiceMetrics(const serve::CompileService& service) {
   }
   std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
               m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
+  for (const auto& [tenant, tm] : m.tenants) {
+    std::printf("  tenant %-10s enqueued %llu  started %llu  expired %llu\n",
+                tenant.c_str(),
+                static_cast<unsigned long long>(tm.enqueued),
+                static_cast<unsigned long long>(tm.started),
+                static_cast<unsigned long long>(tm.expired));
+  }
   for (std::size_t lane = 0; lane < serve::kNumPriorityLanes; ++lane) {
     const serve::LaneMetrics& lm = m.lanes[lane];
     if (lm.enqueued == 0) continue;
@@ -316,6 +344,241 @@ int RunMissStorm(const CompilerOptions& options,
   return 0;
 }
 
+/// Jain's fairness index over per-tenant (weight-normalized) service rates:
+/// 1.0 = perfectly proportional, 1/n = one tenant starves the rest.
+double JainIndex(const std::vector<double>& rates) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double rate : rates) {
+    sum += rate;
+    sum_sq += rate * rate;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+/// A chain of identical compute-heavy ops: the shape where a faster front
+/// stage visibly attracts more work (no DAG parallelism to hide behind).
+graph::Dag ChainDag(int nodes) {
+  graph::Dag dag;
+  dag.SetName("fleet-chain");
+  for (int i = 0; i < nodes; ++i) {
+    graph::OpAttr attr;
+    attr.macs = 2'000'000;
+    attr.param_bytes = 1024;
+    attr.output_bytes = 256;
+    dag.AddNode(std::move(attr));
+    if (i > 0) dag.AddEdge(i - 1, i);
+  }
+  return dag;
+}
+
+/// Rewrites a v2 spill file as the v1 (pre-profile) format in place —
+/// strips the profile fields from the payload, recomputes the checksum, and
+/// stamps format version 1.  This is how the fleet demo proves a
+/// default-profile service warm-starts from spills written before profiles
+/// existed.
+bool DowngradeSpillToV1(const std::filesystem::path& path) {
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return false;
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  const auto read_u32 = [&](std::size_t offset) {
+    std::uint32_t value = 0;
+    std::memcpy(&value, bytes.data() + offset, sizeof(value));
+    return value;
+  };
+  if (bytes.size() < 64 || read_u32(0) != 0x4c505352u || read_u32(4) != 2u) {
+    return false;
+  }
+  std::string payload = bytes.substr(32);
+  // Payload prefix: key (16) + rl_dependent (1) + rl_version (8) = 25, then
+  // the engine name (u32 length + bytes), then the v2 profile fields.
+  const std::uint32_t engine_len = read_u32(32 + 25);
+  const std::size_t profile_offset = 25 + 4 + engine_len;
+  if (payload.size() < profile_offset + 4) return false;
+  const std::uint32_t profile_len = read_u32(32 + profile_offset);
+  if (payload.size() < profile_offset + 4 + profile_len + 16) return false;
+  payload.erase(profile_offset, 4 + static_cast<std::size_t>(profile_len) + 16);
+
+  graph::CanonicalHasher hasher;
+  hasher.Update(std::string_view(payload));
+  const graph::CanonicalHash checksum = hasher.Finish();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  deploy::WritePod(os, std::uint32_t{0x4c505352});
+  deploy::WritePod(os, std::uint32_t{1});
+  deploy::WritePod(os, static_cast<std::uint64_t>(payload.size()));
+  deploy::WritePod(os, checksum.hi);
+  deploy::WritePod(os, checksum.lo);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(os);
+}
+
+/// --fleet-demo: one service, several device profiles, several tenants.
+/// Checks, in one run, every serving-layer invariant the heterogeneity
+/// refactor added:
+///   1. the same DAG compiled for different fleets gets different cache
+///      keys (and "" == the default preset's name);
+///   2. the profile-adapted schedule beats the uniform-profile schedule
+///      when both are replayed on the heterogeneous simulator;
+///   3. under an adversarial arrival mix (one tenant floods first) the
+///      weighted-fair queue holds Jain's index >= 0.9;
+///   4. a default-profile restart warm-starts from v1 (pre-profile) spills.
+int RunFleetDemo(const CompilerOptions& options,
+                 serve::ServiceOptions service_options,
+                 const std::vector<graph::Dag>& zoo, int requests, int stages,
+                 const std::string& engine) {
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  if (service_options.cache_dir.empty()) {
+    service_options.cache_dir =
+        (std::filesystem::temp_directory_path() / "respect-fleet-cache")
+            .string();
+    std::filesystem::remove_all(service_options.cache_dir);
+  }
+  service_options.num_threads = 1;  // serialize solves: fairness is visible
+  service_options.tenant_weights = {{"alice", 2.0}};  // bob/mallory default 1
+  const std::vector<std::string> tenants = {"mallory", "alice", "bob"};
+  const std::vector<std::string> tenant_profiles = {"coral-usb2",
+                                                    "coral-x2fast", "coral"};
+  const std::map<std::string, double> weights = {
+      {"alice", 2.0}, {"bob", 1.0}, {"mallory", 1.0}};
+
+  std::printf("fleet demo: engine %s, %d stages, profiles "
+              "{coral, coral-x2fast, coral-usb2}, tenants {alice w=2, bob, "
+              "mallory}, cache dir %s\n",
+              engine.c_str(), stages, service_options.cache_dir.c_str());
+
+  std::string default_key_hex;
+  {
+    serve::CompileService service(options, service_options);
+
+    // Leg 1: per-profile cache keys for the same DAG never collide.
+    const auto key_for = [&](const std::string& profile) {
+      return service
+          .Compile(serve::CompileRequest{.dag = zoo[0],
+                                         .num_stages = stages,
+                                         .engine = engine,
+                                         .profile = profile})
+          .key_hex;
+    };
+    default_key_hex = key_for("");
+    const std::string named_default = key_for("coral");
+    const std::string fast_key = key_for("coral-x2fast");
+    const std::string usb2_key = key_for("coral-usb2");
+    std::printf("  keys for %s: default %s  coral-x2fast %s  coral-usb2 "
+                "%s\n",
+                zoo[0].Name().c_str(), default_key_hex.c_str(),
+                fast_key.c_str(), usb2_key.c_str());
+    check(default_key_hex == named_default,
+          "\"\" and \"coral\" share one cache entry");
+    check(fast_key != default_key_hex && usb2_key != default_key_hex &&
+              fast_key != usb2_key,
+          "each non-default profile has its own cache key");
+
+    // Leg 2: the adapted schedule wins on the heterogeneous simulator.
+    const graph::Dag chain = ChainDag(6 * stages);
+    const tpu::DeviceProfile hetero = *tpu::FindProfile("coral-x2fast");
+    const auto uniform =
+        service.Compile(serve::CompileRequest{.dag = chain,
+                                              .num_stages = stages,
+                                              .engine = engine});
+    const auto adapted =
+        service.Compile(serve::CompileRequest{.dag = chain,
+                                              .num_stages = stages,
+                                              .engine = engine,
+                                              .profile = "coral-x2fast"});
+    const double uniform_us =
+        tpu::SimulatePipeline(uniform.result->package, hetero).total_us;
+    const double adapted_us =
+        tpu::SimulatePipeline(adapted.result->package, hetero).total_us;
+    std::printf("  chain-%d on coral-x2fast: uniform schedule %.0f us, "
+                "adapted %.0f us (%.2fx)\n",
+                chain.NodeCount(), uniform_us, adapted_us,
+                uniform_us / adapted_us);
+    check(adapted_us < uniform_us,
+          "profile-adapted schedule beats the uniform one on the hetero sim");
+
+    // Leg 3: adversarial arrival mix.  mallory floods the queue first, then
+    // alice and bob arrive — FIFO would drain mallory before serving either.
+    // Every request bypasses the cache so each one occupies the worker, and
+    // each tenant targets its own fleet (three profiles in flight at once).
+    const int per_tenant = std::max(12, requests / 12);
+    struct Pending {
+      std::size_t tenant;
+      serve::CompileService::Ticket ticket;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(static_cast<std::size_t>(per_tenant) * tenants.size());
+    std::mt19937_64 mix_rng(7);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      for (int r = 0; r < per_tenant; ++r) {
+        const std::size_t pick =
+            std::min(mix_rng() % zoo.size(), mix_rng() % zoo.size());
+        pending.push_back(
+            {t, service.Submit(serve::CompileRequest{
+                    .dag = zoo[pick],
+                    .num_stages = stages,
+                    .engine = engine,
+                    .cache_policy = serve::CachePolicy::kBypass,
+                    .profile = tenant_profiles[t],
+                    .tenant = tenants[t]})});
+      }
+    }
+    std::vector<double> wait_sum(tenants.size(), 0.0);
+    for (auto& [tenant, ticket] : pending) {
+      wait_sum[tenant] += ticket.WaitResponse().queue_wait_seconds;
+    }
+    std::vector<double> rates;
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const double mean_wait = wait_sum[t] / per_tenant;
+      // Weight-normalized service rate: completions per second of queue
+      // wait, divided by the tenant's configured share.
+      rates.push_back(per_tenant / (mean_wait * weights.at(tenants[t])));
+      std::printf("  tenant %-8s mean wait %7.2f ms (weight %.0f)\n",
+                  tenants[t].c_str(), mean_wait * 1e3,
+                  weights.at(tenants[t]));
+    }
+    const double jain = JainIndex(rates);
+    std::printf("  Jain's fairness index (weight-normalized): %.3f\n", jain);
+    check(jain >= 0.9, "weighted-fair queue holds Jain's index >= 0.9");
+
+    service.FlushStore();
+    PrintServiceMetrics(service);
+  }  // service destroyed: the restart
+
+  // Leg 4: rewrite the default-profile spill as the v1 (pre-profile)
+  // format, then prove a fresh default-profile service still warm-starts
+  // from it.
+  const std::filesystem::path spill =
+      std::filesystem::path(service_options.cache_dir) /
+      (default_key_hex + ".spill");
+  if (!DowngradeSpillToV1(spill)) {
+    std::printf("  [FAIL] could not rewrite %s as a v1 spill\n",
+                spill.string().c_str());
+    return failures + 1;
+  }
+  serve::CompileService restarted(options, service_options);
+  const auto warm =
+      restarted.Compile(serve::CompileRequest{.dag = zoo[0],
+                                              .num_stages = stages,
+                                              .engine = engine});
+  check(warm.outcome == serve::CacheOutcome::kDiskHit &&
+            restarted.Metrics().misses == 0,
+        "default-profile restart warm-starts from a v1 (old-format) spill");
+
+  std::printf("fleet demo: %s\n", failures == 0 ? "all checks passed"
+                                                : "CHECKS FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +596,9 @@ int main(int argc, char** argv) {
   bool restart_demo = false;
   bool miss_storm = false;
   bool batch_decode = true;
+  bool fleet_demo = false;
+  std::string profile;  // empty = the default device profile
+  std::string tenant;   // empty = the shared default tenant
   constexpr int kMaxInt = std::numeric_limits<int>::max();
 
   int positional = 0;
@@ -372,6 +638,17 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--restart-demo") == 0) {
       restart_demo = true;
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      profile = arg + 10;
+      if (!tpu::FindProfile(profile)) {
+        std::fprintf(stderr, "error: unknown device profile '%s'\n",
+                     profile.c_str());
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--tenant=", 9) == 0) {
+      tenant = arg + 9;
+    } else if (std::strcmp(arg, "--fleet-demo") == 0) {
+      fleet_demo = true;
     } else if (std::strcmp(arg, "--miss-storm") == 0) {
       miss_storm = true;
     } else if (std::strcmp(arg, "--no-batch-decode") == 0) {
@@ -432,6 +709,16 @@ int main(int argc, char** argv) {
   service_options.cache_dir = cache_dir;
   service_options.cache_ttl_seconds = cache_ttl_s;
   service_options.batch_decode = batch_decode;
+
+  if (fleet_demo) {
+    try {
+      return RunFleetDemo(options, service_options, zoo, requests, stages,
+                          engine);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: fleet demo failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (miss_storm) {
     try {
@@ -501,7 +788,9 @@ int main(int argc, char** argv) {
                                   : serve::Priority::kBatch,
           .deadline = deadline_for(interactive),
           .cache_policy = interactive ? serve::CachePolicy::kUse
-                                      : serve::CachePolicy::kBypass};
+                                      : serve::CachePolicy::kBypass,
+          .profile = profile,
+          .tenant = tenant};
       tickets.emplace_back(request.priority,
                            service.Submit(std::move(request)));
     }
@@ -539,7 +828,9 @@ int main(int argc, char** argv) {
           .engine = (r % 4 == 3) ? serve::EngineRef("respect")
                                  : serve::EngineRef(engine),
           .priority = priority,
-          .deadline = deadline_for(true)};
+          .deadline = deadline_for(true),
+          .profile = profile,
+          .tenant = tenant};
       tickets.emplace_back(request.priority,
                            service.Submit(std::move(request)));
     }

@@ -10,7 +10,11 @@ Watched by default:
   * BM_BatchedDecode/16             — batched multi-graph decode throughput,
   * BM_MissStormRefill              — grouped cold-miss refill throughput,
   * BM_CompileServiceWarmCache      — warm-cache serving throughput,
-  * BM_CompileServiceDiskWarmStart  — persistent-tier (disk) hit throughput.
+  * BM_CompileServiceDiskWarmStart  — persistent-tier (disk) hit throughput,
+  * BM_TenantFairness               — weighted-fair queue throughput under an
+                                      adversarial tenant mix (its jain /
+                                      tenant_wait_p99_ms counters ride along
+                                      in the JSON for inspection).
 
 Benchmarks present in only one of the two files are reported and skipped
 (renames and newly added benchmarks must not hard-fail the gate); a
@@ -31,6 +35,7 @@ DEFAULT_WATCH = [
     "BM_MissStormRefill",
     "BM_CompileServiceWarmCache",
     "BM_CompileServiceDiskWarmStart",
+    "BM_TenantFairness",
 ]
 
 

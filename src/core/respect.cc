@@ -7,9 +7,21 @@
 
 #include "core/thread_pool.h"
 #include "rl/batch_decode_workspace.h"
+#include "sched/device_aware.h"
 #include "sched/postprocess.h"
 
 namespace respect {
+namespace {
+
+sched::PipelineConstraints ConstraintsFor(int num_stages,
+                                          const tpu::DeviceProfile* profile) {
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = num_stages;
+  if (profile != nullptr) constraints.profile = *profile;
+  return constraints;
+}
+
+}  // namespace
 
 PipelineCompiler::PipelineCompiler(const CompilerOptions& options)
     : options_(options), rl_slot_(std::make_shared<RlSlot>()) {
@@ -63,14 +75,22 @@ CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
                                         Method method) const {
   const auto engine =
       engines::EngineRegistry::Global().Create(method, MakeEngineContext());
-  return CompileWith(*engine, dag, num_stages);
+  return CompileWith(*engine, dag, ConstraintsFor(num_stages, nullptr));
 }
 
 CompileResult PipelineCompiler::Compile(const graph::Dag& dag, int num_stages,
                                         std::string_view engine_name) const {
   const auto engine = engines::EngineRegistry::Global().Create(
       engine_name, MakeEngineContext());
-  return CompileWith(*engine, dag, num_stages);
+  return CompileWith(*engine, dag, ConstraintsFor(num_stages, nullptr));
+}
+
+CompileResult PipelineCompiler::Compile(
+    const graph::Dag& dag, int num_stages, std::string_view engine_name,
+    const tpu::DeviceProfile& profile) const {
+  const auto engine = engines::EngineRegistry::Global().Create(
+      engine_name, MakeEngineContext());
+  return CompileWith(*engine, dag, ConstraintsFor(num_stages, &profile));
 }
 
 engines::EngineBudget PipelineCompiler::MakeBudget() const {
@@ -92,6 +112,12 @@ CompileResult PipelineCompiler::FinishCompile(
   // packaging below are deliberately outside the reported solve time.
   sched::PostProcess(dag, constraints, result.schedule);
 
+  // Non-default device profiles get the deterministic device-aware post-pass
+  // on top of whatever the engine produced, so every engine's output adapts
+  // to the hardware it will run on.  A no-op for the default profile.
+  sched::RebalanceForProfile(dag, constraints, result.schedule,
+                             options_.quantize ? 0.25 : 1.0);
+
   result.package = deploy::BuildPackage(dag, result.schedule, options_.quantize);
   for (const deploy::Segment& seg : result.package.segments) {
     result.peak_stage_param_bytes =
@@ -102,10 +128,8 @@ CompileResult PipelineCompiler::FinishCompile(
 
 CompileResult PipelineCompiler::CompileWith(
     const engines::SchedulerEngine& engine, const graph::Dag& dag,
-    int num_stages) const {
+    const sched::PipelineConstraints& constraints) const {
   dag.Validate();
-  sched::PipelineConstraints constraints;
-  constraints.num_stages = num_stages;
   return FinishCompile(engine.Schedule(dag, constraints, MakeBudget()), dag,
                        constraints);
 }
@@ -113,11 +137,19 @@ CompileResult PipelineCompiler::CompileWith(
 std::vector<CompileResult> PipelineCompiler::CompileGroup(
     std::span<const graph::Dag* const> dags, int num_stages,
     std::string_view engine_name, engines::SolveStats* stats) const {
+  return CompileGroup(dags, num_stages, engine_name, tpu::DefaultProfile(),
+                      stats);
+}
+
+std::vector<CompileResult> PipelineCompiler::CompileGroup(
+    std::span<const graph::Dag* const> dags, int num_stages,
+    std::string_view engine_name, const tpu::DeviceProfile& profile,
+    engines::SolveStats* stats) const {
   const auto engine = engines::EngineRegistry::Global().Create(
       engine_name, MakeEngineContext());
   for (const graph::Dag* dag : dags) dag->Validate();
-  sched::PipelineConstraints constraints;
-  constraints.num_stages = num_stages;
+  const sched::PipelineConstraints constraints =
+      ConstraintsFor(num_stages, &profile);
   std::vector<engines::EngineResult> engine_results =
       engine->ScheduleBatch(dags, constraints, MakeBudget(), stats);
   std::vector<CompileResult> results;
@@ -179,7 +211,8 @@ std::vector<CompileResult> PipelineCompiler::CompileBatchWith(
   std::vector<CompileResult> results(dags.size());
   if (!engine.SupportsBatch() || dags.size() < 2) {
     core::ParallelFor(pool, dags.size(), [&](std::size_t i) {
-      results[i] = CompileWith(engine, *dags[i], num_stages);
+      results[i] = CompileWith(engine, *dags[i],
+                               ConstraintsFor(num_stages, nullptr));
     });
     if (stats != nullptr) stats->single_solved += dags.size();
     return results;
@@ -223,7 +256,8 @@ std::vector<CompileResult> PipelineCompiler::CompileBatchWith(
   core::ParallelFor(pool, tasks.size(), [&](std::size_t t) {
     const std::vector<std::size_t>& indices = tasks[t];
     if (indices.size() == 1) {
-      results[indices[0]] = CompileWith(engine, *dags[indices[0]], num_stages);
+      results[indices[0]] =
+          CompileWith(engine, *dags[indices[0]], constraints);
       task_stats[t].single_solved = 1;
       return;
     }

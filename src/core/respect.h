@@ -94,6 +94,16 @@ class PipelineCompiler {
   [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
                                       std::string_view engine) const;
 
+  /// Same, targeting an explicit device profile: the engine receives the
+  /// profile through sched::PipelineConstraints, and for non-default
+  /// profiles the repaired schedule additionally runs the deterministic
+  /// device-aware rebalance (sched::RebalanceForProfile) before packaging.
+  /// With tpu::DefaultProfile() this is byte-identical to the two-argument
+  /// overload.
+  [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
+                                      std::string_view engine,
+                                      const tpu::DeviceProfile& profile) const;
+
   /// Compiles every graph of the batch across `num_threads` worker threads
   /// (values < 1 select ThreadPool::DefaultThreadCount()).  Engines are
   /// stateless and the RL weights are a shared immutable snapshot, so the
@@ -136,6 +146,13 @@ class PipelineCompiler {
   [[nodiscard]] std::vector<CompileResult> CompileGroup(
       std::span<const graph::Dag* const> dags, int num_stages,
       std::string_view engine, engines::SolveStats* stats = nullptr) const;
+
+  /// Profile-targeted group compile (every graph of the group shares the
+  /// profile; the serving layer groups by profile fingerprint).
+  [[nodiscard]] std::vector<CompileResult> CompileGroup(
+      std::span<const graph::Dag* const> dags, int num_stages,
+      std::string_view engine, const tpu::DeviceProfile& profile,
+      engines::SolveStats* stats = nullptr) const;
 
   /// Snapshot of the current RL scheduler for training / weight loading
   /// (the train-then-serve flow of the benches and examples).  The returned
@@ -181,7 +198,8 @@ class PipelineCompiler {
 
   [[nodiscard]] CompileResult CompileWith(const engines::SchedulerEngine& engine,
                                           const graph::Dag& dag,
-                                          int num_stages) const;
+                                          const sched::PipelineConstraints&
+                                              constraints) const;
   [[nodiscard]] std::vector<CompileResult> CompileBatchWith(
       const engines::SchedulerEngine& engine,
       std::span<const graph::Dag* const> dags, int num_stages,

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -41,6 +42,13 @@ class ThreadPool {
     /// entry — the channel for failing the task's consumers fast.  May be
     /// empty (the entry is then dropped silently).
     Task on_expired;
+
+    /// Fair-queueing flow this task belongs to (the serving layer passes
+    /// the tenant id).  Policy queues may schedule flows weighted-fair
+    /// inside a lane and enforce per-flow concurrency quotas; the FIFO
+    /// default and empty flows ("" = the shared default flow) behave as if
+    /// the field did not exist.
+    std::string flow;
   };
 
   /// Ordering policy for pending tasks.  The pool calls every method under

@@ -36,6 +36,9 @@ EngineResult AnnealingEngine::Schedule(
   return TimedSolve([&] {
     heuristics::AnnealingConfig config;
     config.num_stages = constraints.num_stages;
+    // Non-default profiles flip the annealer's cost to the device-aware
+    // service-time bottleneck; the default keeps the paper's byte objective.
+    config.profile = constraints.profile;
     return heuristics::AnnealSchedule(dag, config);
   });
 }

@@ -7,15 +7,25 @@
 #include <vector>
 
 #include "exact/dp_partitioner.h"
+#include "sched/device_aware.h"
 
 namespace respect::heuristics {
 namespace {
 
-/// Scalarized cost: peak parameter bytes dominate, communication breaks
-/// ties (weighted far below one byte of peak).
-double Cost(const sched::ScheduleMetrics& m) {
+/// Scalarized byte cost: peak parameter bytes dominate, communication
+/// breaks ties (weighted far below one byte of peak).
+double ByteCost(const sched::ScheduleMetrics& m) {
   return static_cast<double>(m.peak_stage_param_bytes) +
          1e-6 * static_cast<double>(m.comm_bytes);
+}
+
+/// Device-aware cost: estimated service-time bottleneck dominates, the sum
+/// of stage service times (fill latency) breaks ties.
+double DeviceCost(const graph::Dag& dag, const sched::Schedule& schedule,
+                  const AnnealingConfig& config) {
+  const sched::StageServiceEstimate estimate = sched::EstimateStageService(
+      dag, schedule, config.profile, config.bytes_scale);
+  return estimate.bottleneck_us + 1e-6 * estimate.total_us;
 }
 
 }  // namespace
@@ -27,11 +37,15 @@ sched::Schedule AnnealSchedule(const graph::Dag& dag,
   if (n < config.num_stages) {
     throw std::invalid_argument("AnnealSchedule: |V| < num_stages");
   }
+  const bool device_aware = !config.profile.IsDefault();
+  const auto cost_of = [&](const sched::Schedule& schedule) {
+    return device_aware ? DeviceCost(dag, schedule, config)
+                        : ByteCost(sched::ComputeMetrics(dag, schedule));
+  };
 
   sched::Schedule current =
       exact::PartitionDefaultOrder(dag, config.num_stages).schedule;
-  sched::ScheduleMetrics metrics = sched::ComputeMetrics(dag, current);
-  double current_cost = Cost(metrics);
+  double current_cost = cost_of(current);
 
   sched::Schedule best = current;
   double best_cost = current_cost;
@@ -43,8 +57,13 @@ sched::Schedule AnnealSchedule(const graph::Dag& dag,
   std::vector<int> stage_count(config.num_stages, 0);
   for (const int s : current.stage) ++stage_count[s];
 
-  double temperature = config.initial_temperature *
-                       static_cast<double>(dag.TotalParamBytes());
+  // Temperature is relative to the cost scale: total parameter bytes for
+  // the byte objective, the seed schedule's cost for the device-aware one
+  // (microseconds live on a very different scale than bytes).
+  double temperature =
+      config.initial_temperature *
+      (device_aware ? std::max(current_cost, 1.0)
+                    : static_cast<double>(dag.TotalParamBytes()));
 
   for (int it = 0; it < config.iterations; ++it, temperature *= config.cooling) {
     const graph::NodeId v = pick_node(rng);
@@ -67,9 +86,7 @@ sched::Schedule AnnealSchedule(const graph::Dag& dag,
     if (stage_count[old_stage] == 1) continue;  // would empty the stage
 
     current.stage[v] = new_stage;
-    const sched::ScheduleMetrics new_metrics =
-        sched::ComputeMetrics(dag, current);
-    const double new_cost = Cost(new_metrics);
+    const double new_cost = cost_of(current);
 
     const double delta = new_cost - current_cost;
     if (delta <= 0 ||

@@ -12,15 +12,27 @@
 
 #include "graph/dag.h"
 #include "sched/schedule.h"
+#include "tpu/device_profile.h"
 
 namespace respect::heuristics {
 
 struct AnnealingConfig {
   int num_stages = 4;
   int iterations = 20000;
-  double initial_temperature = 0.35;  // relative to total parameter bytes
+  double initial_temperature = 0.35;  // relative to the initial cost scale
   double cooling = 0.9995;
   std::uint64_t seed = 0x5eed;
+
+  /// Target hardware.  With the default profile the cost is the paper's
+  /// byte objective (bit-identical to the pre-profile annealer); any other
+  /// profile switches the cost to the estimated per-stage service-time
+  /// bottleneck (sched::EstimateStageService), so the annealer loads faster
+  /// stages harder instead of flattening bytes.
+  tpu::DeviceProfile profile;
+
+  /// Byte-width scale applied to graph byte attributes when evaluating the
+  /// device-aware cost (0.25 when deployment will quantize float32->uint8).
+  double bytes_scale = 1.0;
 };
 
 [[nodiscard]] sched::Schedule AnnealSchedule(const graph::Dag& dag,

@@ -1,0 +1,166 @@
+#include "sched/device_aware.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace respect::sched {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double XferUs(const tpu::UsbLinkModel& link, double bytes) {
+  return bytes <= 0.0 ? 0.0 : link.latency_us + bytes / link.bytes_per_us;
+}
+
+}  // namespace
+
+StageServiceEstimate EstimateStageService(const graph::Dag& dag,
+                                          const Schedule& schedule,
+                                          const tpu::DeviceProfile& profile,
+                                          double bytes_scale) {
+  const int n = schedule.num_stages;
+  if (n <= 0 ||
+      schedule.stage.size() != static_cast<std::size_t>(dag.NodeCount())) {
+    throw std::invalid_argument(
+        "EstimateStageService: schedule does not cover the graph");
+  }
+
+  std::vector<double> macs(n, 0.0);
+  std::vector<double> param_bytes(n, 0.0);
+  std::vector<double> in_bytes(n, 0.0);
+  std::vector<double> out_bytes(n, 0.0);
+
+  const auto stage_of = [&](graph::NodeId v) {
+    return std::clamp(schedule.stage[v], 0, n - 1);
+  };
+
+  std::vector<int> consumer_stages;
+  for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+    const graph::OpAttr& attr = dag.Attr(v);
+    const int s = stage_of(v);
+    macs[s] += static_cast<double>(attr.macs);
+    param_bytes[s] += static_cast<double>(attr.param_bytes) * bytes_scale;
+
+    // A tensor leaving stage s ships once from the producer and lands on
+    // each distinct later consuming stage (host-mediated star transfer —
+    // an estimate of the packaged boundary-tensor accounting).
+    consumer_stages.clear();
+    for (const graph::NodeId child : dag.Children(v)) {
+      const int t = stage_of(child);
+      if (t > s) consumer_stages.push_back(t);
+    }
+    if (consumer_stages.empty()) continue;
+    std::sort(consumer_stages.begin(), consumer_stages.end());
+    consumer_stages.erase(
+        std::unique(consumer_stages.begin(), consumer_stages.end()),
+        consumer_stages.end());
+    const double bytes = static_cast<double>(attr.output_bytes) * bytes_scale;
+    out_bytes[s] += bytes;
+    for (const int t : consumer_stages) in_bytes[t] += bytes;
+  }
+
+  // Host transfers, mirroring deploy::BuildPackage: the model input lands on
+  // stage 0 and the logits leave the last stage.  Without these the end
+  // stages look one link hop cheaper than the simulator charges them, and a
+  // rebalance would pile work there.
+  for (const graph::NodeId s : dag.Sources()) {
+    in_bytes[0] += static_cast<double>(dag.Attr(s).output_bytes) * bytes_scale;
+  }
+  for (const graph::NodeId s : dag.Sinks()) {
+    out_bytes[n - 1] +=
+        static_cast<double>(dag.Attr(s).output_bytes) * bytes_scale;
+  }
+
+  StageServiceEstimate estimate;
+  estimate.stage_us.resize(n);
+  for (int k = 0; k < n; ++k) {
+    const tpu::EdgeTpuModel& device = profile.DeviceAt(k);
+    const double compute_us =
+        macs[k] / device.macs_per_us + device.dispatch_us;
+    const double overflow =
+        param_bytes[k] - static_cast<double>(device.cache_bytes);
+    const double stream_us = XferUs(profile.link, overflow);
+    const double service = std::max(compute_us, stream_us) +
+                           XferUs(profile.link, in_bytes[k]) +
+                           XferUs(profile.link, out_bytes[k]);
+    estimate.stage_us[k] = service;
+    estimate.bottleneck_us = std::max(estimate.bottleneck_us, service);
+    estimate.total_us += service;
+  }
+  return estimate;
+}
+
+double EstimateBottleneckUs(const graph::Dag& dag, const Schedule& schedule,
+                            const tpu::DeviceProfile& profile,
+                            double bytes_scale) {
+  return EstimateStageService(dag, schedule, profile, bytes_scale)
+      .bottleneck_us;
+}
+
+bool RebalanceForProfile(const graph::Dag& dag,
+                         const PipelineConstraints& constraints,
+                         Schedule& schedule, double bytes_scale) {
+  const tpu::DeviceProfile& profile = constraints.profile;
+  if (profile.IsDefault() || constraints.require_cochildren) return false;
+  const int n = schedule.num_stages;
+  if (n <= 1 || dag.NodeCount() == 0) return false;
+
+  std::vector<int> stage_count(n, 0);
+  for (const int s : schedule.stage) {
+    if (s < 0 || s >= n) return false;  // leave invalid schedules alone
+    ++stage_count[s];
+  }
+
+  StageServiceEstimate estimate =
+      EstimateStageService(dag, schedule, profile, bytes_scale);
+  bool changed = false;
+  const int max_moves = std::max(64, 4 * dag.NodeCount());
+  for (int move = 0; move < max_moves; ++move) {
+    const int b = static_cast<int>(
+        std::max_element(estimate.stage_us.begin(), estimate.stage_us.end()) -
+        estimate.stage_us.begin());
+    if (stage_count[b] <= 1 && !constraints.allow_empty_stages) break;
+
+    graph::NodeId best_node = graph::kInvalidNode;
+    int best_target = -1;
+    double best_bottleneck = estimate.bottleneck_us;
+    double best_total = estimate.total_us;
+    for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+      if (schedule.stage[v] != b) continue;
+      int lo = 0;
+      for (const graph::NodeId p : dag.Parents(v)) {
+        lo = std::max(lo, schedule.stage[p]);
+      }
+      int hi = n - 1;
+      for (const graph::NodeId c : dag.Children(v)) {
+        hi = std::min(hi, schedule.stage[c]);
+      }
+      for (const int target : {b - 1, b + 1}) {
+        if (target < lo || target > hi || target < 0 || target >= n) continue;
+        schedule.stage[v] = target;
+        const StageServiceEstimate candidate =
+            EstimateStageService(dag, schedule, profile, bytes_scale);
+        schedule.stage[v] = b;
+        const bool better =
+            candidate.bottleneck_us < best_bottleneck - kEps ||
+            (candidate.bottleneck_us < best_bottleneck + kEps &&
+             candidate.total_us < best_total - kEps);
+        if (better) {
+          best_node = v;
+          best_target = target;
+          best_bottleneck = candidate.bottleneck_us;
+          best_total = candidate.total_us;
+        }
+      }
+    }
+    if (best_node == graph::kInvalidNode) break;
+    --stage_count[b];
+    ++stage_count[best_target];
+    schedule.stage[best_node] = best_target;
+    estimate = EstimateStageService(dag, schedule, profile, bytes_scale);
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace respect::sched

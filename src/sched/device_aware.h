@@ -1,0 +1,59 @@
+// Device-profile-aware schedule cost estimation and rebalancing.
+//
+// The byte objective (schedule.h) is hardware-blind: it balances parameter
+// bytes because on identical devices that is what bounds the pipeline.  On a
+// heterogeneous profile the bottleneck is the *service time* of the slowest
+// stage, which depends on each stage's MAC rate, cache size and dispatch
+// overhead.  EstimateStageService mirrors tpu::StageCost::TotalUs at the
+// (dag, schedule) level — before packaging — so engines can evaluate
+// candidate schedules against the profile they will run on, and
+// RebalanceForProfile is a deterministic post-pass that shifts boundary
+// nodes toward faster stages, adapting *any* engine's schedule to the
+// profile without touching the engine.
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.h"
+#include "sched/schedule.h"
+#include "tpu/device_profile.h"
+
+namespace respect::sched {
+
+/// Estimated steady-state per-stage service time of a schedule on a profile.
+struct StageServiceEstimate {
+  std::vector<double> stage_us;  // indexed by stage
+  double bottleneck_us = 0.0;    // max over stages — the pipeline rate limit
+  double total_us = 0.0;         // sum over stages — fill latency proxy
+};
+
+/// Mirrors the packaged cost model per stage:
+///   compute  = stage MACs / rate(k) + dispatch(k)
+///   stream   = link transfer of parameter bytes beyond cache(k)
+///   transfer = link transfer of boundary activations in and out
+///   service  = max(compute, stream) + in + out
+/// `bytes_scale` rescales graph byte attributes to the deployed width
+/// (0.25 when the package will be uint8-quantized from float32 — see
+/// deploy::QuantizeGraph); host input/output transfers are omitted because
+/// they are schedule-independent.
+[[nodiscard]] StageServiceEstimate EstimateStageService(
+    const graph::Dag& dag, const Schedule& schedule,
+    const tpu::DeviceProfile& profile, double bytes_scale = 1.0);
+
+/// Convenience: EstimateStageService(...).bottleneck_us.
+[[nodiscard]] double EstimateBottleneckUs(const graph::Dag& dag,
+                                          const Schedule& schedule,
+                                          const tpu::DeviceProfile& profile,
+                                          double bytes_scale = 1.0);
+
+/// Deterministic hill-climb that moves single nodes across adjacent stage
+/// boundaries (within their dependency window, never emptying a stage
+/// unless allowed) while the estimated bottleneck improves.  A no-op for
+/// the default profile and under require_cochildren (moves could split
+/// co-child groups).  Returns true iff the schedule changed; the result is
+/// always valid if the input was.
+bool RebalanceForProfile(const graph::Dag& dag,
+                         const PipelineConstraints& constraints,
+                         Schedule& schedule, double bytes_scale = 1.0);
+
+}  // namespace respect::sched

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/dag.h"
+#include "tpu/device_profile.h"
 
 namespace respect::sched {
 
@@ -38,6 +39,12 @@ struct PipelineConstraints {
   /// all children of any node must live in the same stage.  Off by default
   /// (it is applied as a deployment repair, not a scheduling constraint).
   bool require_cochildren = false;
+
+  /// Hardware the schedule will run on.  Engines consult it through
+  /// sched::EstimateStageService (device_aware.h); the default profile
+  /// (uniform stock Corals) preserves the paper's pure byte objective
+  /// bit-for-bit.
+  tpu::DeviceProfile profile;
 };
 
 /// Result of validating a schedule; `ok` plus a human-readable reason.

@@ -53,6 +53,10 @@ std::unique_ptr<core::ThreadPool> MakeServicePool(
   RequestQueue::Options queue_options;
   queue_options.aging_seconds = options.queue_aging_seconds;
   queue_options.max_batch_inflight = options.max_batch_inflight;
+  queue_options.default_tenant_weight = options.default_tenant_weight;
+  queue_options.tenant_weights = options.tenant_weights;
+  queue_options.default_tenant_quota = options.default_tenant_quota;
+  queue_options.tenant_quotas = options.tenant_quotas;
   return std::make_unique<core::ThreadPool>(
       num_threads, std::make_unique<RequestQueue>(queue_options));
 }
@@ -132,9 +136,15 @@ std::size_t CompileService::LaneIndex(Priority priority) {
 }
 
 CompileService::RequestKey CompileService::MakeKey(
-    const graph::Dag& dag, int num_stages, const EngineRef& engine) const {
+    const graph::Dag& dag, int num_stages, const EngineRef& engine,
+    std::string_view profile_name) const {
   const engines::EngineRegistration& registration =
       engines::EngineRegistry::Global().Resolve(engine);
+  std::optional<tpu::DeviceProfile> profile = tpu::FindProfile(profile_name);
+  if (!profile) {
+    throw std::invalid_argument("unknown device profile: \"" +
+                                std::string(profile_name) + "\"");
+  }
   graph::CanonicalHasher h;
   h.Update("respect-serve-key-v1");
   h.Update(registration.name);  // canonical, so alias and name share a key
@@ -146,11 +156,21 @@ CompileService::RequestKey CompileService::MakeKey(
     rl_version = compiler_.RlVersion();
     h.Update(rl_version);
   }
+  // The default profile folds NOTHING in — keys (and thus spill files)
+  // from before profiles existed stay reachable.  Any other profile's
+  // fingerprint splits the key space: the same DAG compiled for two fleets
+  // is two cache entries.
+  const graph::CanonicalHash profile_fp = profile->Fingerprint();
+  if (!profile->IsDefault()) {
+    h.Update("profile");
+    h.Update(profile_fp.hi);
+    h.Update(profile_fp.lo);
+  }
   const graph::CanonicalHash dag_hash = graph::HashDag(dag);
   h.Update(dag_hash.hi);
   h.Update(dag_hash.lo);
   return RequestKey{h.Finish(), registration.uses_rl, rl_version,
-                    registration.name};
+                    registration.name, *std::move(profile), profile_fp};
 }
 
 CompileService::Shard& CompileService::ShardFor(
@@ -234,7 +254,7 @@ CompileService::ResultPtr CompileService::SolveCold(const graph::Dag& dag,
   try {
     const auto start = SteadyClock::now();
     auto result = std::make_shared<const CompileResult>(
-        compiler_.Compile(dag, num_stages, key.engine_name));
+        compiler_.Compile(dag, num_stages, key.engine_name, key.profile));
     solve_seconds =
         std::chrono::duration<double>(SteadyClock::now() - start).count();
     solve_latency_.Record(solve_seconds);
@@ -346,8 +366,9 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
 CompileResponse CompileService::Execute(
     const graph::Dag& dag, const CompileRequest& params,
     const std::optional<RequestKey>& precomputed) {
-  const RequestKey key =
-      precomputed ? *precomputed : MakeKey(dag, params.num_stages, params.engine);
+  const RequestKey key = precomputed ? *precomputed
+                                     : MakeKey(dag, params.num_stages,
+                                               params.engine, params.profile);
   CompileResponse response;
   response.engine_name = key.engine_name;
   response.key_hex = key.hash.ToHex();
@@ -397,6 +418,8 @@ void CompileService::EnqueueWriteback(const RequestKey& key,
   meta.rl_dependent = key.rl_dependent;
   meta.rl_version = key.rl_version;
   meta.engine_name = std::string(key.engine_name);
+  meta.profile_name = key.profile.name;
+  meta.profile_fingerprint = key.profile_fingerprint;
   // Normal lane: writeback must not wait out a capped batch flood, and
   // must not delay interactive solves either.  Put never throws (failed
   // writes are counted store-side), so the decrement always runs.
@@ -459,17 +482,20 @@ CompileService::Ticket CompileService::SubmitInternal(
 
   const std::size_t lane = LaneIndex(pending->request.priority);
   lane_counters_[lane].enqueued.fetch_add(1, std::memory_order_relaxed);
+  BumpTenant(pending->request.tenant, &TenantMetrics::enqueued);
 
   Ticket ticket(pending->promise.get_future().share());
 
   core::ThreadPool::TaskAttrs attrs;
   attrs.lane = static_cast<int>(lane);
+  attrs.flow = pending->request.tenant;  // weighted-fair queueing + quotas
   if (pending->request.deadline) {
     attrs.has_deadline = true;
     attrs.deadline = *pending->request.deadline;
   }
   attrs.on_expired = [this, pending, lane] {
     lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
+    BumpTenant(pending->request.tenant, &TenantMetrics::expired);
     deadline_expired_.fetch_add(1, std::memory_order_relaxed);
     pending->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
         "compile request deadline expired while queued (lane " +
@@ -487,6 +513,7 @@ CompileService::Ticket CompileService::SubmitInternal(
         if (pending->request.deadline &&
             SteadyClock::now() > *pending->request.deadline) {
           lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
+          BumpTenant(pending->request.tenant, &TenantMetrics::expired);
           deadline_expired_.fetch_add(1, std::memory_order_relaxed);
           pending->promise.set_exception(std::make_exception_ptr(
               DeadlineExceeded("compile request deadline expired after " +
@@ -494,6 +521,7 @@ CompileService::Ticket CompileService::SubmitInternal(
           return;
         }
         lane_counters_[lane].started.fetch_add(1, std::memory_order_relaxed);
+        BumpTenant(pending->request.tenant, &TenantMetrics::started);
         lane_wait_[lane].Record(wait);
         try {
           CompileResponse response =
@@ -531,17 +559,21 @@ std::vector<CompileResponse> CompileService::CompileBatch(
   std::vector<CompileResponse> responses(requests.size());
   std::vector<std::pair<std::size_t, Ticket>> pending;
 
-  // Cold batch candidates, grouped by (canonical engine, stages, nodes) —
-  // only same-shape graphs can lock-step.  std::map keeps group order (and
-  // thus solve order) deterministic for a given input.
-  std::map<std::tuple<std::string_view, int, int>, std::vector<GroupMember>>
+  // Cold batch candidates, grouped by (canonical engine, stages, nodes,
+  // profile fingerprint) — only same-shape graphs targeting the same
+  // hardware can lock-step.  std::map keeps group order (and thus solve
+  // order) deterministic for a given input.
+  std::map<std::tuple<std::string_view, int, int, std::uint64_t,
+                      std::uint64_t>,
+           std::vector<GroupMember>>
       groups;
   std::map<std::string_view, bool> supports_batch;
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const CompileRequest& request = requests[i];
     if (request.cache_policy == CachePolicy::kUse) {
-      RequestKey key = MakeKey(request.dag, request.num_stages, request.engine);
+      RequestKey key = MakeKey(request.dag, request.num_stages, request.engine,
+                               request.profile);
       if (ResultPtr cached = TryCached(key)) {
         responses[i].result = std::move(cached);
         responses[i].outcome = CacheOutcome::kHit;
@@ -558,7 +590,8 @@ std::vector<CompileResponse> CompileService::CompileBatch(
           member.index = i;
           member.enqueue_time = SteadyClock::now();
           const auto group_key = std::make_tuple(
-              key.engine_name, request.num_stages, request.dag.NodeCount());
+              key.engine_name, request.num_stages, request.dag.NodeCount(),
+              key.profile_fingerprint.hi, key.profile_fingerprint.lo);
           member.key = std::move(key);
           groups[group_key].push_back(std::move(member));
           continue;
@@ -588,15 +621,20 @@ std::vector<CompileResponse> CompileService::CompileBatch(
     for (GroupMember& m : members) {
       const std::size_t lane = LaneIndex(requests[m.index].priority);
       lane_counters_[lane].enqueued.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(requests[m.index].tenant, &TenantMetrics::enqueued);
       task_lane = std::min(task_lane, lane);
       pending.emplace_back(m.index, Ticket(m.promise.get_future().share()));
     }
     // `requests` is captured by view: CompileBatch blocks on every ticket
-    // below before returning, so the span outlives the task.
+    // below before returning, so the span outlives the task.  The group
+    // task queues under the first member's tenant flow — one grouped solve
+    // is one unit of service however many members share it.
+    std::string task_flow = requests[members.front().index].tenant;
     auto shared_members =
         std::make_shared<std::vector<GroupMember>>(std::move(members));
     core::ThreadPool::TaskAttrs attrs;
     attrs.lane = static_cast<int>(task_lane);
+    attrs.flow = std::move(task_flow);
     pool_->Submit(
         [this, requests, num_stages, engine_name, shared_members] {
           RunBatchGroup(requests, num_stages, engine_name, *shared_members);
@@ -654,6 +692,7 @@ void CompileService::RunBatchGroup(std::span<const CompileRequest> requests,
                             .count();
     if (request.deadline && SteadyClock::now() > *request.deadline) {
       lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(request.tenant, &TenantMetrics::expired);
       deadline_expired_.fetch_add(1, std::memory_order_relaxed);
       m.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
           "compile request deadline expired after " + std::to_string(wait) +
@@ -661,6 +700,7 @@ void CompileService::RunBatchGroup(std::span<const CompileRequest> requests,
       continue;
     }
     lane_counters_[lane].started.fetch_add(1, std::memory_order_relaxed);
+    BumpTenant(request.tenant, &TenantMetrics::started);
     lane_wait_[lane].Record(wait);
 
     Shard& shard = ShardFor(m.key.hash);
@@ -738,9 +778,11 @@ void CompileService::RunBatchGroup(std::span<const CompileRequest> requests,
       }
       engines::SolveStats stats;
       const auto start = SteadyClock::now();
+      // Every owner shares one profile (the group key includes its
+      // fingerprint), so the group solve targets the first owner's.
       std::vector<CompileResult> results = compiler_.CompileGroup(
           std::span<const graph::Dag* const>(dags), num_stages, engine_name,
-          &stats);
+          owners.front().member->key.profile, &stats);
       const double total =
           std::chrono::duration<double>(SteadyClock::now() - start).count();
       const double amortized = total / static_cast<double>(owners.size());
@@ -844,7 +886,7 @@ std::vector<CompileService::ResultPtr> CompileService::LegacyCompileBatch(
   std::vector<ResultPtr> results(dags.size());
   std::vector<std::pair<std::size_t, Ticket>> pending;
   for (std::size_t i = 0; i < dags.size(); ++i) {
-    RequestKey key = MakeKey(*dags[i], num_stages, engine);
+    RequestKey key = MakeKey(*dags[i], num_stages, engine, /*profile_name=*/"");
     if (ResultPtr cached = TryCached(key)) {
       results[i] = std::move(cached);
       continue;
@@ -904,6 +946,12 @@ void CompileService::ReplaceRl(std::shared_ptr<rl::RlScheduler> rl) {
   }
 }
 
+void CompileService::BumpTenant(const std::string& tenant,
+                                std::uint64_t TenantMetrics::*field) {
+  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  tenant_counters_[tenant].*field += 1;
+}
+
 ServiceMetrics CompileService::Metrics() const {
   ServiceMetrics metrics;
   metrics.hits = hits_.load(std::memory_order_relaxed);
@@ -925,6 +973,10 @@ ServiceMetrics CompileService::Metrics() const {
   metrics.batch_single = batch_single_.load(std::memory_order_relaxed);
   metrics.batch_groups = batch_groups_.load(std::memory_order_relaxed);
   if (store_ != nullptr) metrics.store = store_->Metrics();
+  {
+    const std::lock_guard<std::mutex> lock(tenant_mutex_);
+    metrics.tenants = tenant_counters_;
+  }
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mutex);
     metrics.cache_size += shard->entries.size();

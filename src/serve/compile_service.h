@@ -56,6 +56,7 @@
 #include <cstdint>
 #include <future>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -71,6 +72,7 @@
 #include "graph/dag.h"
 #include "serve/request.h"
 #include "serve/store/cache_store.h"
+#include "tpu/device_profile.h"
 
 namespace respect::core {
 class ThreadPool;
@@ -141,6 +143,31 @@ struct ServiceOptions {
   /// one GEMV decode per worker.  Disable to fan every miss out as an
   /// independent async request (the pre-batch behavior).
   bool batch_decode = true;
+
+  /// Fair-queueing weight of tenants absent from tenant_weights (see
+  /// serve::RequestQueue): inside each priority lane, backlogged tenants
+  /// receive service proportional to their weight, so one tenant's flood
+  /// deepens its own sub-queue instead of starving the others.  Ignored by
+  /// the fifo_queue baseline.
+  double default_tenant_weight = 1.0;
+
+  /// Per-tenant fair-queueing weights ("" is the shared default tenant).
+  std::map<std::string, double> tenant_weights;
+
+  /// Concurrency quota of tenants absent from tenant_quotas: how many of
+  /// one tenant's requests may *run* at once across all lanes; <= 0 means
+  /// unlimited.  Ignored by the fifo_queue baseline.
+  int default_tenant_quota = 0;
+
+  /// Per-tenant concurrency quotas (<= 0 entries mean unlimited).
+  std::map<std::string, int> tenant_quotas;
+};
+
+/// Per-tenant async-path counters ("" is the shared default tenant).
+struct TenantMetrics {
+  std::uint64_t enqueued = 0;  // Submits carrying this tenant id
+  std::uint64_t started = 0;   // began their compile on a worker
+  std::uint64_t expired = 0;   // failed fast with DeadlineExceeded
 };
 
 /// Per-lane queue statistics (async path only; synchronous Compile calls
@@ -177,6 +204,10 @@ struct ServiceMetrics {
   double solve_p99_seconds = 0.0;
   std::size_t cache_size = 0;         // resident entries right now
   std::array<LaneMetrics, kNumPriorityLanes> lanes{};
+
+  /// Async-path counters by tenant id; empty until a Submit carries a
+  /// non-empty tenant (the "" default tenant is tracked once it appears).
+  std::map<std::string, TenantMetrics> tenants;
 
   /// Persistent-tier counters; all zero when no cache_dir is configured.
   store::StoreMetrics store{};
@@ -347,6 +378,12 @@ class CompileService {
     bool rl_dependent = false;
     std::uint64_t rl_version = 0;  // snapshot folded into hash (RL only)
     std::string_view engine_name;  // canonical; borrowed from the registry
+
+    /// Resolved device profile the solve targets.  The default profile
+    /// folds nothing into the hash (pre-profile keys and spill files stay
+    /// reachable); any other profile folds its fingerprint in.
+    tpu::DeviceProfile profile;
+    graph::CanonicalHash profile_fingerprint{};
   };
 
   /// Fixed-capacity ring of latency samples with mutex-guarded recording
@@ -367,8 +404,12 @@ class CompileService {
     std::size_t capacity_limit_ = 1;
   };
 
+  /// Resolves the engine and the named device profile and builds the
+  /// content-addressed key.  An unknown profile name throws
+  /// std::invalid_argument (same contract as an unknown engine).
   [[nodiscard]] RequestKey MakeKey(const graph::Dag& dag, int num_stages,
-                                   const EngineRef& engine) const;
+                                   const EngineRef& engine,
+                                   std::string_view profile_name) const;
   [[nodiscard]] Shard& ShardFor(const graph::CanonicalHash& hash);
 
   /// Cache-only probe: returns the resident entry (counted as a hit, LRU
@@ -512,6 +553,14 @@ class CompileService {
   };
   std::array<LaneCounters, kNumPriorityLanes> lane_counters_;
   std::array<LatencyWindow, kNumPriorityLanes> lane_wait_;
+
+  /// Per-tenant async-path counters, keyed by tenant id.  A small map under
+  /// its own mutex (not atomics): tenant cardinality is low and the updates
+  /// are off the solve's critical path.
+  void BumpTenant(const std::string& tenant,
+                  std::uint64_t TenantMetrics::*field);
+  mutable std::mutex tenant_mutex_;
+  std::map<std::string, TenantMetrics> tenant_counters_;
 
   LatencyWindow solve_latency_;
 };

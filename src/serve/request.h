@@ -159,6 +159,20 @@ struct CompileRequest {
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
   CachePolicy cache_policy = CachePolicy::kUse;
+
+  /// Named device profile to schedule for (tpu::FindProfile).  Empty means
+  /// the default profile (the paper's uniform Corals), which folds nothing
+  /// into the cache key — old cache entries and spill files stay valid.
+  /// Any non-default profile's fingerprint becomes part of the key, so the
+  /// same DAG compiled for two fleets yields two cache entries.  Unknown
+  /// names fail with std::invalid_argument.
+  std::string profile;
+
+  /// Tenant id for weighted-fair queueing and per-tenant quotas ("" = the
+  /// shared default tenant).  The tenant never enters the cache key —
+  /// identical work is shared across tenants; fairness applies to queueing,
+  /// not to cached answers.
+  std::string tenant;
 };
 
 struct CompileResponse {

@@ -26,11 +26,45 @@ Clock::time_point RequestQueue::Now() const {
   return options_.clock ? options_.clock() : Clock::now();
 }
 
+double RequestQueue::WeightFor(const std::string& flow) const {
+  const auto it = options_.tenant_weights.find(flow);
+  const double weight =
+      it != options_.tenant_weights.end() ? it->second
+                                          : options_.default_tenant_weight;
+  return std::max(weight, 1e-6);
+}
+
+int RequestQueue::QuotaFor(const std::string& flow) const {
+  const auto it = options_.tenant_quotas.find(flow);
+  const int quota = it != options_.tenant_quotas.end()
+                        ? it->second
+                        : options_.default_tenant_quota;
+  return std::max(quota, 0);  // <= 0 means unlimited
+}
+
+bool RequestQueue::HasQuotas() const {
+  return options_.default_tenant_quota > 0 ||
+         !options_.tenant_quotas.empty();
+}
+
+bool RequestQueue::FlowBlocked(const std::string& flow) const {
+  const int quota = QuotaFor(flow);
+  if (quota <= 0) return false;
+  const std::lock_guard<std::mutex> lock(running_mutex_);
+  const auto it = running_.find(flow);
+  return it != running_.end() && it->second >= quota;
+}
+
 void RequestQueue::Push(core::ThreadPool::Task task,
                         core::ThreadPool::TaskAttrs attrs) {
   Lane& lane = lanes_[LaneIndex(attrs.lane)];
-  lane.entries.push_back(Entry{std::move(task), std::move(attrs.on_expired),
-                               Now(), attrs.deadline, attrs.has_deadline});
+  Flow& flow = lane.flows[attrs.flow];
+  const double tag = std::max(lane.virtual_time, flow.last_tag) +
+                     1.0 / WeightFor(attrs.flow);
+  flow.last_tag = tag;
+  flow.entries.push_back(Entry{std::move(task), std::move(attrs.on_expired),
+                               Now(), attrs.deadline, attrs.has_deadline,
+                               tag});
   lane.depth.fetch_add(1, std::memory_order_relaxed);
   ++size_;
 }
@@ -41,33 +75,72 @@ bool RequestQueue::BatchCapped() const {
              options_.max_batch_inflight;
 }
 
-core::ThreadPool::Task RequestQueue::TakeFront(Lane& lane, bool expired) {
-  Entry entry = std::move(lane.entries.front());
-  lane.entries.pop_front();
+core::ThreadPool::Task RequestQueue::TakeEntry(Lane& lane, FlowIter it,
+                                               bool expired) {
+  Flow& flow = it->second;
+  Entry entry = std::move(flow.entries.front());
+  flow.entries.pop_front();
+  const std::string flow_name = it->first;
+  if (flow.entries.empty()) lane.flows.erase(it);
   lane.depth.fetch_sub(1, std::memory_order_relaxed);
   --size_;
-  if (!expired) {
-    if (IsBatchLane(lane) && options_.max_batch_inflight > 0) {
-      // Claim a batch slot now (under the pool mutex) and release it when
-      // the task finishes on its worker — the release is an atomic store,
-      // visible to that worker's very next Size() check, which is what
-      // resumes a capped backlog.
-      batch_running_.fetch_add(1, std::memory_order_relaxed);
-      return [this, run = std::move(entry.run)] {
-        try {
-          run();
-        } catch (...) {
-          batch_running_.fetch_sub(1, std::memory_order_relaxed);
-          throw;
-        }
-        batch_running_.fetch_sub(1, std::memory_order_relaxed);
-      };
-    }
-    return std::move(entry.run);
+
+  if (expired) {
+    lane.expired.fetch_add(1, std::memory_order_relaxed);
+    if (entry.on_expired) return std::move(entry.on_expired);
+    return [] {};  // Pop must return a runnable callable
   }
-  lane.expired.fetch_add(1, std::memory_order_relaxed);
-  if (entry.on_expired) return std::move(entry.on_expired);
-  return [] {};  // Pop must return a runnable callable
+
+  // The popped tag advances the lane's virtual time (monotonically — a
+  // quota-unblocked flow may surface an older tag).
+  lane.virtual_time = std::max(lane.virtual_time, entry.tag);
+
+  // Claim slots now (under the pool mutex) and release them when the task
+  // finishes on its worker — the release is visible to that worker's very
+  // next Size() check, which is what resumes a capped/quota'd backlog.
+  const bool batch_slot =
+      IsBatchLane(lane) && options_.max_batch_inflight > 0;
+  if (batch_slot) batch_running_.fetch_add(1, std::memory_order_relaxed);
+  std::optional<std::string> quota_slot;
+  if (QuotaFor(flow_name) > 0) {
+    const std::lock_guard<std::mutex> lock(running_mutex_);
+    ++running_[flow_name];
+    quota_slot = flow_name;
+  }
+  if (!batch_slot && !quota_slot.has_value()) return std::move(entry.run);
+
+  auto release = [this, batch_slot, quota_slot = std::move(quota_slot)] {
+    if (batch_slot) batch_running_.fetch_sub(1, std::memory_order_relaxed);
+    if (quota_slot.has_value()) {
+      const std::lock_guard<std::mutex> lock(running_mutex_);
+      const auto running = running_.find(*quota_slot);
+      if (running != running_.end() && --running->second <= 0) {
+        running_.erase(running);
+      }
+    }
+  };
+  return [run = std::move(entry.run), release = std::move(release)] {
+    try {
+      run();
+    } catch (...) {
+      release();
+      throw;
+    }
+    release();
+  };
+}
+
+RequestQueue::FlowIter RequestQueue::EligibleHead(Lane& lane) {
+  FlowIter best = lane.flows.end();
+  for (FlowIter it = lane.flows.begin(); it != lane.flows.end(); ++it) {
+    if (FlowBlocked(it->first)) continue;
+    // Strictly-less keeps tag ties on the lexicographically first tenant.
+    if (best == lane.flows.end() ||
+        it->second.entries.front().tag < best->second.entries.front().tag) {
+      best = it;
+    }
+  }
+  return best;
 }
 
 core::ThreadPool::Task RequestQueue::Pop() {
@@ -75,58 +148,73 @@ core::ThreadPool::Task RequestQueue::Pop() {
 
   // Expired heads fail fast before any live work runs, most-urgent lane
   // first.  One entry per Pop keeps the pool's push/pop accounting 1:1.
-  // Expiring costs no batch slot, so the cap does not gate this sweep.
+  // Expiring costs neither a batch slot nor a quota slot, so neither cap
+  // gates this sweep.
   for (Lane& lane : lanes_) {
-    if (!lane.entries.empty() && lane.entries.front().has_deadline &&
-        lane.entries.front().deadline < now) {
-      return TakeFront(lane, /*expired=*/true);
+    for (FlowIter it = lane.flows.begin(); it != lane.flows.end(); ++it) {
+      const Entry& head = it->second.entries.front();
+      if (head.has_deadline && head.deadline < now) {
+        return TakeEntry(lane, it, /*expired=*/true);
+      }
     }
   }
 
-  // Aging disabled: strict priority, first non-empty runnable lane wins.
+  // Aging disabled: strict priority, first lane with an eligible flow wins.
   if (options_.aging_seconds <= 0.0) {
     for (Lane& lane : lanes_) {
       if (IsBatchLane(lane) && BatchCapped()) continue;
-      if (!lane.entries.empty()) return TakeFront(lane, /*expired=*/false);
+      const FlowIter it = EligibleHead(lane);
+      if (it != lane.flows.end()) return TakeEntry(lane, it, /*expired=*/false);
     }
     return [] {};  // unreachable under the Size() > 0 contract
   }
 
   const auto aging = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(options_.aging_seconds));
-  Lane* best = nullptr;
+  Lane* best_lane = nullptr;
+  FlowIter best_flow;
   Clock::time_point best_score{};
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     Lane& lane = lanes_[i];
-    if (lane.entries.empty()) continue;
     if (IsBatchLane(lane) && BatchCapped()) continue;
-    const Clock::time_point score =
-        lane.entries.front().enqueue + aging * static_cast<std::int64_t>(i);
+    const FlowIter it = EligibleHead(lane);
+    if (it == lane.flows.end()) continue;
+    const Clock::time_point score = it->second.entries.front().enqueue +
+                                    aging * static_cast<std::int64_t>(i);
     // Strictly-less keeps ties on the more urgent lane.
-    if (best == nullptr || score < best_score) {
-      best = &lane;
+    if (best_lane == nullptr || score < best_score) {
+      best_lane = &lane;
+      best_flow = it;
       best_score = score;
     }
   }
-  if (best == nullptr) return [] {};  // unreachable under the contract
-  return TakeFront(*best, /*expired=*/false);
+  if (best_lane == nullptr) return [] {};  // unreachable under the contract
+  return TakeEntry(*best_lane, best_flow, /*expired=*/false);
 }
 
 std::size_t RequestQueue::Size() const {
-  // A capped batch backlog is invisible: idle workers must sleep on it, not
-  // spin Pop against a lane Pop would skip.  It becomes visible again the
-  // moment a slot frees (the completing worker re-checks Size() before it
-  // sleeps), or immediately for its expired head, which costs no slot.
-  if (BatchCapped()) {
-    const auto& batch = lanes_.back();
-    std::size_t hidden = batch.entries.size();
-    if (hidden > 0 && batch.entries.front().has_deadline &&
-        batch.entries.front().deadline < Now()) {
-      --hidden;  // the expired head is poppable regardless of the cap
+  // Backlogs hidden by the batch cap or a tenant quota are invisible: idle
+  // workers must sleep on them, not spin Pop against entries Pop would
+  // skip.  They become visible again the moment a slot frees (the
+  // completing worker re-checks Size() before it sleeps) — except expired
+  // flow heads, which are poppable regardless because expiry costs no slot.
+  const bool capped = BatchCapped();
+  if (!capped && !HasQuotas()) return size_;
+
+  const Clock::time_point now = Now();
+  std::size_t visible = 0;
+  for (const Lane& lane : lanes_) {
+    const bool lane_capped = capped && IsBatchLane(lane);
+    for (const auto& [name, flow] : lane.flows) {
+      if (!lane_capped && !FlowBlocked(name)) {
+        visible += flow.entries.size();
+        continue;
+      }
+      const Entry& head = flow.entries.front();
+      if (head.has_deadline && head.deadline < now) ++visible;
     }
-    return size_ - hidden;
   }
-  return size_;
+  return visible;
 }
 
 std::size_t RequestQueue::Depth(Priority lane) const {
@@ -141,6 +229,12 @@ std::uint64_t RequestQueue::Expired(Priority lane) const {
 
 int RequestQueue::BatchRunning() const {
   return batch_running_.load(std::memory_order_relaxed);
+}
+
+int RequestQueue::TenantRunning(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(running_mutex_);
+  const auto it = running_.find(tenant);
+  return it == running_.end() ? 0 : it->second;
 }
 
 }  // namespace respect::serve

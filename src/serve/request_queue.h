@@ -1,9 +1,22 @@
-// RequestQueue — the deadline-aware, three-lane scheduling policy behind
-// CompileService's async path, plugged into core::ThreadPool as its
-// TaskQueue.
+// RequestQueue — the deadline-aware, three-lane, tenant-fair scheduling
+// policy behind CompileService's async path, plugged into core::ThreadPool
+// as its TaskQueue.
 //
 // Ordering.  Each lane (interactive / normal / batch, see serve::Priority)
-// is FIFO.  Across lanes a pop picks the entry with the smallest *score*
+// holds one FIFO sub-queue per *flow* (the serving layer passes the tenant
+// id as TaskAttrs::flow; "" is the shared default flow).  Inside a lane,
+// flows are scheduled by start-time fair queueing: entry tags are
+//
+//     tag = max(lane_virtual_time, flow_last_tag) + 1 / weight(flow)
+//
+// and a pop takes the smallest-tagged eligible head, so over any backlogged
+// interval each tenant receives service proportional to its configured
+// weight — a tenant flooding 10x the requests cannot crowd out the others'
+// turn, it just deepens its own sub-queue.  With a single flow the tag
+// order is exactly arrival order, preserving the original per-lane FIFO.
+//
+// Across lanes a pop picks the lane whose eligible head has the smallest
+// *score*
 //
 //     score = enqueue_time + lane_index * aging_seconds
 //
@@ -11,17 +24,17 @@
 // entries younger than the aging horizon, and turns into
 // longest-waiting-first once a lower lane's head has waited `aging_seconds`
 // per lane step longer than a higher lane's head.  A batch flood therefore
-// never starves (its head's score keeps falling relative to fresh
-// interactive arrivals), yet a just-submitted interactive request overtakes
-// any young batch backlog.  aging_seconds <= 0 disables aging (pure strict
+// never starves, yet a just-submitted interactive request overtakes any
+// young batch backlog.  aging_seconds <= 0 disables aging (pure strict
 // priority, batch may starve).
 //
-// Deadlines.  A pop first drains expired lane heads, most-urgent lane
+// Deadlines.  A pop first drains expired flow heads, most-urgent lane
 // first: the entry's on_expired callback is handed to the worker in place
 // of its task, so an expired request costs the worker a few microseconds
 // (failing the waiter with DeadlineExceeded) instead of a solve.  Expiry is
-// checked at lane heads only — an entry queued behind a live head fails
-// the moment it surfaces, not before.
+// checked at sub-queue heads only — an entry queued behind a live head
+// fails the moment it surfaces, not before.  Expiry costs neither a batch
+// slot nor a tenant quota slot.
 //
 // Batch concurrency cap.  Options::max_batch_inflight > 0 bounds how many
 // batch-lane tasks may *run* at once: while the cap is reached, Size()
@@ -29,17 +42,22 @@
 // popping it) and Pop() skips the batch lane.  A popped batch task is
 // wrapped to release its slot when it finishes; the worker that ran it
 // re-examines the queue right after, which is what resumes a capped
-// backlog — no pool cooperation needed.  The cap is what keeps a batch
-// flood from momentarily holding every worker: with a cap of N, an
-// interactive request never waits behind more than N batch solves.
-// Deadline expiry of entries hidden by the cap surfaces when a slot frees
-// (or any other pop happens), not at the instant the deadline passes.
+// backlog — no pool cooperation needed.
+//
+// Tenant quotas.  Options::tenant_quotas / default_tenant_quota bound how
+// many of one tenant's tasks may run concurrently, the same way: a flow at
+// its quota is skipped by Pop() and its backlog hidden from Size() (its
+// expired heads stay visible), and the slot releases when the finishing
+// worker completes the wrapped task.  Quotas are per tenant across all
+// lanes.  <= 0 means unlimited — and unlimited flows are not tracked at
+// all, so the default configuration pays nothing.
 //
 // Threading.  Push/Pop/Size run under the owning ThreadPool's mutex (the
-// TaskQueue contract), so the lane deques need no locking of their own.
-// The depth/expired counters — and the batch-running count, which the
-// wrapped task decrements from a worker thread — are atomics and may be
-// read from any thread.
+// TaskQueue contract), so the lane/flow deques need no locking of their
+// own.  The depth/expired counters and the batch-running count are atomics;
+// the per-tenant running map is guarded by its own mutex because wrapped
+// tasks decrement it from worker threads (lock order: pool mutex, then
+// running mutex — the release path takes only the running mutex).
 #pragma once
 
 #include <array>
@@ -49,6 +67,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
 
 #include "core/thread_pool.h"
 #include "serve/request.h"
@@ -68,6 +90,21 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
     /// Test seam: time source for enqueue stamps and expiry checks.
     /// Defaults to std::chrono::steady_clock::now.
     std::function<std::chrono::steady_clock::time_point()> clock;
+
+    /// Fair-queueing weight of tenants absent from tenant_weights.
+    /// Non-positive weights are clamped to a tiny positive value.
+    double default_tenant_weight = 1.0;
+
+    /// Per-tenant fair-queueing weights: a weight-2 tenant receives twice
+    /// the service share of a weight-1 tenant while both are backlogged.
+    std::map<std::string, double> tenant_weights;
+
+    /// Concurrency quota of tenants absent from tenant_quotas; <= 0 means
+    /// unlimited.
+    int default_tenant_quota = 0;
+
+    /// Per-tenant concurrency quotas (<= 0 entries mean unlimited).
+    std::map<std::string, int> tenant_quotas;
   };
 
   RequestQueue();
@@ -90,6 +127,10 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   /// when it gates something.
   [[nodiscard]] int BatchRunning() const;
 
+  /// Tasks of `tenant` running right now.  Only tenants with a finite
+  /// quota are tracked (0 otherwise).  Readable off-thread.
+  [[nodiscard]] int TenantRunning(const std::string& tenant) const;
+
  private:
   struct Entry {
     core::ThreadPool::Task run;
@@ -97,16 +138,41 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
     std::chrono::steady_clock::time_point enqueue;
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
+    double tag = 0.0;  // start-time fair-queueing tag within the lane
+  };
+
+  /// One tenant's FIFO inside a lane.  Flows never hold an empty deque —
+  /// drained flows are erased (a re-appearing tenant re-anchors to the
+  /// lane's virtual time).
+  struct Flow {
+    std::deque<Entry> entries;
+    double last_tag = 0.0;
   };
 
   struct Lane {
-    std::deque<Entry> entries;
+    std::map<std::string, Flow> flows;  // deterministic iteration order
+    double virtual_time = 0.0;
     std::atomic<std::size_t> depth{0};
     std::atomic<std::uint64_t> expired{0};
   };
 
+  using FlowIter = std::map<std::string, Flow>::iterator;
+
   [[nodiscard]] std::chrono::steady_clock::time_point Now() const;
-  [[nodiscard]] core::ThreadPool::Task TakeFront(Lane& lane, bool expired);
+
+  /// Consumes the head of `it`'s flow; claims batch/quota slots and wraps
+  /// the task to release them unless the entry expired.
+  [[nodiscard]] core::ThreadPool::Task TakeEntry(Lane& lane, FlowIter it,
+                                                 bool expired);
+
+  /// Smallest-tagged flow whose tenant is under quota; flows.end() if every
+  /// flow is blocked.
+  [[nodiscard]] FlowIter EligibleHead(Lane& lane);
+
+  [[nodiscard]] double WeightFor(const std::string& flow) const;
+  [[nodiscard]] int QuotaFor(const std::string& flow) const;
+  [[nodiscard]] bool FlowBlocked(const std::string& flow) const;
+  [[nodiscard]] bool HasQuotas() const;
 
   /// True when the batch lane may not start another task right now.
   [[nodiscard]] bool BatchCapped() const;
@@ -120,6 +186,11 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   std::array<Lane, kNumPriorityLanes> lanes_;
   std::size_t size_ = 0;
   std::atomic<int> batch_running_{0};
+
+  /// Tenants with a finite quota currently running tasks (see file
+  /// comment for the lock order).
+  mutable std::mutex running_mutex_;
+  std::map<std::string, int> running_;
 };
 
 }  // namespace respect::serve

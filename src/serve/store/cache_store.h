@@ -49,6 +49,13 @@ struct SpillMeta {
 
   /// Canonical engine name, for observability only (the key covers it).
   std::string engine_name;
+
+  /// Device profile the schedule was optimized for.  Observability only —
+  /// the key covers it (non-default profiles fold their fingerprint in).
+  /// Format-v1 spills predate profiles and read back as the default
+  /// profile with a zero fingerprint.
+  std::string profile_name;
+  graph::CanonicalHash profile_fingerprint{};
 };
 
 /// Point-in-time store counters (all monotone except resident).

@@ -19,13 +19,22 @@ using deploy::ReadPod;
 using deploy::WritePod;
 
 constexpr std::uint32_t kMagic = 0x4c505352;  // "RSPL" little-endian
-constexpr std::uint32_t kFormatVersion = 1;
+
+/// Written on every Put.  v2 added the device-profile fields to the meta
+/// prefix; v1 files (no profile fields) still read back fine — as the
+/// default profile — so a pre-profile cache directory warm-starts a
+/// default-profile service without re-solving.  Versions above
+/// kFormatVersion are from a *newer* writer and are quarantined as clean
+/// misses rather than guessed at.
+constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kMinFormatVersion = 1;
 constexpr const char* kSpillExtension = ".spill";
 
 /// Everything above the package is small; this bounds resize attacks from a
 /// corrupt length field (the package reader has its own bounds).
 constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 constexpr std::uint32_t kMaxEngineNameBytes = 4096;
+constexpr std::uint32_t kMaxProfileNameBytes = 4096;
 constexpr std::uint64_t kMaxScheduleNodes = 1ull << 24;
 
 /// The self-description at the front of every payload — what Compact and
@@ -52,6 +61,12 @@ std::string SerializePayload(const SpillMeta& meta,
   WritePod(os, static_cast<std::uint32_t>(meta.engine_name.size()));
   os.write(meta.engine_name.data(),
            static_cast<std::streamsize>(meta.engine_name.size()));
+  // v2 fields: the device profile the schedule targets.
+  WritePod(os, static_cast<std::uint32_t>(meta.profile_name.size()));
+  os.write(meta.profile_name.data(),
+           static_cast<std::streamsize>(meta.profile_name.size()));
+  WritePod(os, meta.profile_fingerprint.hi);
+  WritePod(os, meta.profile_fingerprint.lo);
   WritePod(os, expires_at_unix_ms);
   WritePod(os, result.solve_seconds);
   WritePod(os, result.peak_stage_param_bytes);
@@ -64,8 +79,11 @@ std::string SerializePayload(const SpillMeta& meta,
 }
 
 /// Parses the meta fields at the front of a payload stream.  Throws
-/// std::runtime_error on any structural problem.
-SpillPrefix ReadMetaFields(std::istream& is) {
+/// std::runtime_error on any structural problem.  v1 payloads have no
+/// profile fields — they parse as the default profile ("coral", zero
+/// fingerprint), which is exactly what a pre-profile writer was solving
+/// for.
+SpillPrefix ReadMetaFields(std::istream& is, std::uint32_t version) {
   SpillPrefix prefix;
   ReadPod(is, prefix.meta.key.hi);
   ReadPod(is, prefix.meta.key.lo);
@@ -80,6 +98,17 @@ SpillPrefix ReadMetaFields(std::istream& is) {
   }
   prefix.meta.engine_name.resize(name_len);
   is.read(prefix.meta.engine_name.data(), name_len);
+  if (version >= 2) {
+    std::uint32_t profile_len = 0;
+    ReadPod(is, profile_len);
+    if (!is || profile_len > kMaxProfileNameBytes) {
+      throw std::runtime_error("spill: corrupt profile name");
+    }
+    prefix.meta.profile_name.resize(profile_len);
+    is.read(prefix.meta.profile_name.data(), profile_len);
+    ReadPod(is, prefix.meta.profile_fingerprint.hi);
+    ReadPod(is, prefix.meta.profile_fingerprint.lo);
+  }
   ReadPod(is, prefix.expires_at_unix_ms);
   if (!is) throw std::runtime_error("spill: truncated meta");
   return prefix;
@@ -87,11 +116,11 @@ SpillPrefix ReadMetaFields(std::istream& is) {
 
 /// Parses a verified payload.  Throws std::runtime_error on any structural
 /// problem; the caller translates that into quarantine-and-miss.
-LoadedSpill ParsePayload(const std::string& payload) {
+LoadedSpill ParsePayload(const std::string& payload, std::uint32_t version) {
   std::istringstream is(payload, std::ios::binary);
   LoadedSpill loaded;
   {
-    SpillPrefix prefix = ReadMetaFields(is);
+    SpillPrefix prefix = ReadMetaFields(is, version);
     loaded.meta = std::move(prefix.meta);
     loaded.expires_at_unix_ms = prefix.expires_at_unix_ms;
   }
@@ -142,7 +171,7 @@ LoadedSpill LoadSpillFile(const std::filesystem::path& path) {
   ReadPod(is, checksum.hi);
   ReadPod(is, checksum.lo);
   if (!is || magic != kMagic) throw std::runtime_error("spill: bad magic");
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw std::runtime_error("spill: unsupported format version");
   }
   if (payload_size == 0 || payload_size > kMaxPayloadBytes) {
@@ -157,7 +186,7 @@ LoadedSpill LoadSpillFile(const std::filesystem::path& path) {
   if (ChecksumOf(payload) != checksum) {
     throw std::runtime_error("spill: checksum mismatch");
   }
-  return ParsePayload(payload);
+  return ParsePayload(payload, version);
 }
 
 /// Reads only the header and the meta prefix of a spill file — enough for
@@ -177,13 +206,13 @@ SpillPrefix LoadSpillPrefix(const std::filesystem::path& path) {
   ReadPod(is, checksum.hi);
   ReadPod(is, checksum.lo);
   if (!is || magic != kMagic) throw std::runtime_error("spill: bad magic");
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     throw std::runtime_error("spill: unsupported format version");
   }
   if (payload_size == 0 || payload_size > kMaxPayloadBytes) {
     throw std::runtime_error("spill: implausible payload size");
   }
-  return ReadMetaFields(is);
+  return ReadMetaFields(is, version);
 }
 
 }  // namespace

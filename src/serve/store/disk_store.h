@@ -8,10 +8,17 @@
 //            u64 checksum.hi    u64 checksum.lo      (checksum = the
 //            graph::CanonicalHasher digest of the payload bytes)
 //   payload  key.hi/key.lo      rl_dependent + rl_version
-//            engine name        expires_at (unix milliseconds, 0 = never)
+//            engine name
+//            profile name + fingerprint hi/lo   (format v2 and later)
+//            expires_at (unix milliseconds, 0 = never)
 //            solve_seconds, peak_stage_param_bytes, proved_optimal
 //            schedule (num_stages + per-node stages)
 //            package  (deploy::WritePackage — the heavy part)
+//
+// Version compatibility: v1 files (pre-device-profile) read back as the
+// default profile, so old cache directories warm-start default-profile
+// services unchanged; files stamped with a version *newer* than this build
+// writes are quarantined as clean misses (never guessed at).
 //
 // A probe verifies magic, version, payload size, checksum, and that the
 // payload's embedded key equals the requested key before trusting a byte of

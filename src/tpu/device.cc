@@ -1,35 +1,54 @@
 #include "tpu/device.h"
 
 namespace respect::tpu {
+namespace {
+
+StageCost CostSegment(const deploy::PipelinePackage& package, std::size_t k,
+                      const EdgeTpuModel& device, const UsbLinkModel& link) {
+  const deploy::Segment& seg = package.segments[k];
+  StageCost cost;
+
+  cost.compute_us =
+      static_cast<double>(seg.macs) / device.macs_per_us + device.dispatch_us;
+
+  const std::int64_t overflow = seg.param_bytes - device.cache_bytes;
+  if (overflow > 0) {
+    // Off-cache weights stream from host memory on every inference.
+    cost.param_stream_us = link.TransferUs(overflow);
+  }
+
+  std::int64_t in_bytes = 0;
+  for (const deploy::BoundaryTensor& t : seg.inputs) in_bytes += t.bytes;
+  if (k == 0) in_bytes += package.host_input_bytes;
+  cost.input_xfer_us = link.TransferUs(in_bytes);
+
+  std::int64_t out_bytes = 0;
+  for (const deploy::BoundaryTensor& t : seg.outputs) out_bytes += t.bytes;
+  if (k + 1 == package.segments.size()) {
+    out_bytes += package.host_output_bytes;
+  }
+  cost.output_xfer_us = link.TransferUs(out_bytes);
+  return cost;
+}
+
+}  // namespace
 
 std::vector<StageCost> ProfilePackage(const deploy::PipelinePackage& package,
                                       const EdgeTpuModel& device,
                                       const UsbLinkModel& link) {
   std::vector<StageCost> costs(package.segments.size());
   for (std::size_t k = 0; k < package.segments.size(); ++k) {
-    const deploy::Segment& seg = package.segments[k];
-    StageCost& cost = costs[k];
+    costs[k] = CostSegment(package, k, device, link);
+  }
+  return costs;
+}
 
-    cost.compute_us =
-        static_cast<double>(seg.macs) / device.macs_per_us + device.dispatch_us;
-
-    const std::int64_t overflow = seg.param_bytes - device.cache_bytes;
-    if (overflow > 0) {
-      // Off-cache weights stream from host memory on every inference.
-      cost.param_stream_us = link.TransferUs(overflow);
-    }
-
-    std::int64_t in_bytes = 0;
-    for (const deploy::BoundaryTensor& t : seg.inputs) in_bytes += t.bytes;
-    if (k == 0) in_bytes += package.host_input_bytes;
-    cost.input_xfer_us = link.TransferUs(in_bytes);
-
-    std::int64_t out_bytes = 0;
-    for (const deploy::BoundaryTensor& t : seg.outputs) out_bytes += t.bytes;
-    if (k + 1 == package.segments.size()) {
-      out_bytes += package.host_output_bytes;
-    }
-    cost.output_xfer_us = link.TransferUs(out_bytes);
+std::vector<StageCost> ProfilePackage(const deploy::PipelinePackage& package,
+                                      const DeviceProfile& profile) {
+  std::vector<StageCost> costs(package.segments.size());
+  for (std::size_t k = 0; k < package.segments.size(); ++k) {
+    costs[k] = CostSegment(package, k, profile.DeviceAt(static_cast<int>(k)),
+                           profile.link);
   }
   return costs;
 }

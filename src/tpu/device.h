@@ -1,48 +1,29 @@
-// Edge TPU device and USB interconnect models.
+// Edge TPU device and USB interconnect cost model.
 //
 // Mirrors the physical testbed of the paper (Fig. 2): Coral Edge TPUs
 // chained off a host over USB 3.0.  The performance-relevant behaviours,
 // following Boroumand et al. [3] and the Coral documentation:
-//  * 8 MiB on-chip SRAM caches model parameters; a segment whose weights fit
+//  * on-chip SRAM caches model parameters; a segment whose weights fit
 //    is "on-cache" and streams nothing per inference;
 //  * parameters beyond the cache are re-fetched from the host on EVERY
 //    inference over USB — the dominant penalty unbalanced schedules pay;
 //  * activations crossing segments travel over USB with a fixed per-message
 //    latency plus bandwidth cost;
 //  * compute follows a systolic-array MACs/second rate.
+//
+// The device/link structs themselves live in tpu/device_profile.h (a
+// dependency-free header every layer can include); this header adds the
+// package-level cost profiling, which needs deploy::PipelinePackage.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "deploy/package.h"
+#include "tpu/device_profile.h"
 
 namespace respect::tpu {
-
-struct UsbLinkModel {
-  /// Effective USB 3.0 throughput (~320 MiB/s).
-  double bytes_per_us = 335.5;
-
-  /// Per-message round-trip overhead.
-  double latency_us = 60.0;
-
-  [[nodiscard]] double TransferUs(std::int64_t bytes) const {
-    return bytes <= 0 ? 0.0
-                      : latency_us + static_cast<double>(bytes) / bytes_per_us;
-  }
-};
-
-struct EdgeTpuModel {
-  /// On-chip parameter SRAM (8 MiB on Coral).
-  std::int64_t cache_bytes = 8ll * 1024 * 1024;
-
-  /// Sustained compute rate: 4 TOPS int8 ≈ 2e12 MAC/s = 2e6 MAC/us, derated
-  /// to ~55% utilization for real conv workloads.
-  double macs_per_us = 1.1e6;
-
-  /// Host dispatch overhead per segment invocation.
-  double dispatch_us = 25.0;
-};
 
 /// Per-inference latency of one pipeline segment on one device.
 struct StageCost {
@@ -62,9 +43,15 @@ struct StageCost {
 };
 
 /// Computes the steady-state per-inference cost of every segment of a
-/// package on the given device/link models.
+/// package on a homogeneous pipeline of the given device/link models.
 [[nodiscard]] std::vector<StageCost> ProfilePackage(
     const deploy::PipelinePackage& package, const EdgeTpuModel& device = {},
     const UsbLinkModel& link = {});
+
+/// Heterogeneous form: segment k is costed on profile.DeviceAt(k), all
+/// transfers on profile.link.  With the default profile this matches the
+/// homogeneous overload exactly.
+[[nodiscard]] std::vector<StageCost> ProfilePackage(
+    const deploy::PipelinePackage& package, const DeviceProfile& profile);
 
 }  // namespace respect::tpu

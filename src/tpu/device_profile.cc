@@ -1,0 +1,121 @@
+#include "tpu/device_profile.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace respect::tpu {
+namespace {
+
+// Shortest stage pattern with identical per-stage behaviour: trailing
+// entries equal to their predecessor are redundant under the clamping rule,
+// and an empty pattern means a single stock device.
+std::vector<EdgeTpuModel> CanonicalStages(
+    const std::vector<EdgeTpuModel>& stages) {
+  std::vector<EdgeTpuModel> out = stages;
+  if (out.empty()) out.push_back(EdgeTpuModel{});
+  while (out.size() > 1 && out[out.size() - 1] == out[out.size() - 2]) {
+    out.pop_back();
+  }
+  return out;
+}
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendF64(std::string& out, double value) {
+  AppendU64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+const std::vector<DeviceProfile>& Presets() {
+  static const std::vector<DeviceProfile> presets = [] {
+    std::vector<DeviceProfile> list;
+
+    list.push_back(DeviceProfile{});  // "coral"
+
+    DeviceProfile x2fast;
+    x2fast.name = "coral-x2fast";
+    EdgeTpuModel fast;
+    fast.cache_bytes = 16ll * 1024 * 1024;
+    fast.macs_per_us = 2.2e6;
+    fast.dispatch_us = 15.0;
+    x2fast.stages = {fast, EdgeTpuModel{}};
+    list.push_back(std::move(x2fast));
+
+    DeviceProfile constrained;
+    constrained.name = "constrained-4mb";
+    EdgeTpuModel small;
+    small.cache_bytes = 4ll * 1024 * 1024;
+    constrained.stages = {small};
+    list.push_back(std::move(constrained));
+
+    DeviceProfile usb2;
+    usb2.name = "coral-usb2";
+    usb2.link.bytes_per_us = 40.0;  // ~38 MiB/s effective USB 2.0
+    usb2.link.latency_us = 250.0;
+    list.push_back(std::move(usb2));
+
+    return list;
+  }();
+  return presets;
+}
+
+}  // namespace
+
+const EdgeTpuModel& DeviceProfile::DeviceAt(int stage) const {
+  static const EdgeTpuModel kStock{};
+  if (stages.empty()) return kStock;
+  const std::size_t index =
+      stage < 0 ? 0
+                : std::min(static_cast<std::size_t>(stage), stages.size() - 1);
+  return stages[index];
+}
+
+bool DeviceProfile::IsUniform() const {
+  return CanonicalStages(stages).size() == 1;
+}
+
+bool DeviceProfile::IsDefault() const {
+  return Fingerprint() == DefaultProfile().Fingerprint();
+}
+
+std::string DeviceProfile::Serialize() const {
+  const std::vector<EdgeTpuModel> canon = CanonicalStages(stages);
+  std::string out = "respect-device-profile-v1";
+  AppendU64(out, canon.size());
+  for (const EdgeTpuModel& device : canon) {
+    AppendU64(out, static_cast<std::uint64_t>(device.cache_bytes));
+    AppendF64(out, device.macs_per_us);
+    AppendF64(out, device.dispatch_us);
+  }
+  AppendF64(out, link.bytes_per_us);
+  AppendF64(out, link.latency_us);
+  return out;
+}
+
+graph::CanonicalHash DeviceProfile::Fingerprint() const {
+  graph::CanonicalHasher hasher;
+  hasher.Update(Serialize());
+  return hasher.Finish();
+}
+
+const DeviceProfile& DefaultProfile() { return Presets().front(); }
+
+std::optional<DeviceProfile> FindProfile(std::string_view name) {
+  if (name.empty()) return DefaultProfile();
+  for (const DeviceProfile& preset : Presets()) {
+    if (preset.name == name) return preset;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> ProfileNames() {
+  std::vector<std::string_view> names;
+  names.reserve(Presets().size());
+  for (const DeviceProfile& preset : Presets()) names.push_back(preset.name);
+  return names;
+}
+
+}  // namespace respect::tpu

@@ -21,16 +21,13 @@ struct Event {
   }
 };
 
-}  // namespace
-
-SimResult SimulatePipeline(const deploy::PipelinePackage& package,
-                           const SimConfig& config) {
-  const int stages = static_cast<int>(package.segments.size());
-  if (stages == 0 || config.num_inferences <= 0) {
+/// The DES core, shared by the homogeneous and per-stage-profile entry
+/// points: whatever produced `costs`, the event dynamics are identical.
+SimResult RunSim(const std::vector<StageCost>& costs, int num_inferences) {
+  const int stages = static_cast<int>(costs.size());
+  if (stages == 0 || num_inferences <= 0) {
     throw std::invalid_argument("SimulatePipeline: empty package or batch");
   }
-  const std::vector<StageCost> costs =
-      ProfilePackage(package, config.device, config.link);
 
   SimResult result;
   result.stage_busy_us.assign(stages, 0.0);
@@ -39,7 +36,7 @@ SimResult SimulatePipeline(const deploy::PipelinePackage& package,
   std::vector<double> device_free_at(stages, 0.0);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
-  for (int i = 0; i < config.num_inferences; ++i) {
+  for (int i = 0; i < num_inferences; ++i) {
     // Host feeds inference i as soon as it likes; admission is controlled by
     // stage 0 availability.
     queue.push(Event{0.0, i, 0});
@@ -70,13 +67,32 @@ SimResult SimulatePipeline(const deploy::PipelinePackage& package,
   }
 
   result.total_us = end_of_last;
-  result.per_inference_us = end_of_last / config.num_inferences;
+  result.per_inference_us = end_of_last / num_inferences;
   result.first_latency_us = first_latency;
   result.bottleneck_stage = static_cast<int>(
       std::max_element(result.stage_busy_us.begin(),
                        result.stage_busy_us.end()) -
       result.stage_busy_us.begin());
   return result;
+}
+
+}  // namespace
+
+SimResult SimulatePipeline(const deploy::PipelinePackage& package,
+                           const SimConfig& config) {
+  if (package.segments.empty() || config.num_inferences <= 0) {
+    throw std::invalid_argument("SimulatePipeline: empty package or batch");
+  }
+  return RunSim(ProfilePackage(package, config.device, config.link),
+                config.num_inferences);
+}
+
+SimResult SimulatePipeline(const deploy::PipelinePackage& package,
+                           const DeviceProfile& profile, int num_inferences) {
+  if (package.segments.empty() || num_inferences <= 0) {
+    throw std::invalid_argument("SimulatePipeline: empty package or batch");
+  }
+  return RunSim(ProfilePackage(package, profile), num_inferences);
 }
 
 double AnalyticPipelineUs(const std::vector<StageCost>& costs,

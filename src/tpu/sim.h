@@ -40,9 +40,16 @@ struct SimResult {
   std::int64_t events_processed = 0;
 };
 
-/// Runs the event-driven simulation.
+/// Runs the event-driven simulation on a homogeneous pipeline.
 [[nodiscard]] SimResult SimulatePipeline(const deploy::PipelinePackage& package,
                                          const SimConfig& config = {});
+
+/// Heterogeneous form: segment k executes on profile.DeviceAt(k) with all
+/// transfers on profile.link.  With the default profile this matches the
+/// SimConfig overload exactly.
+[[nodiscard]] SimResult SimulatePipeline(const deploy::PipelinePackage& package,
+                                         const DeviceProfile& profile,
+                                         int num_inferences = 1000);
 
 /// Closed-form pipeline recurrence:
 ///   t[i][k] = max(t[i][k-1], t[i-1][k]) + stage_us[k]

@@ -1,0 +1,156 @@
+// tpu::DeviceProfile tests — preset registry, fingerprint canonicalization
+// (name-blind, trailing-repeat collapse), per-stage clamping, heterogeneous
+// package costing, and DES-vs-analytic agreement on a non-uniform profile.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "deploy/package.h"
+#include "exact/dp_partitioner.h"
+#include "graph/sampler.h"
+#include "sched/device_aware.h"
+#include "tpu/device.h"
+#include "tpu/sim.h"
+
+namespace respect {
+namespace {
+
+using tpu::DeviceProfile;
+using tpu::EdgeTpuModel;
+
+deploy::PipelinePackage MakePackage(int stages, std::uint64_t seed = 42) {
+  std::mt19937_64 rng(seed);
+  const graph::Dag dag = graph::SampleTrainingDag(30, rng);
+  const auto dp = exact::PartitionDefaultOrder(dag, stages);
+  return deploy::BuildPackage(dag, dp.schedule, /*quantize=*/true);
+}
+
+TEST(DeviceProfileTest, PresetRegistryResolvesEveryListedName) {
+  const std::vector<std::string_view> names = tpu::ProfileNames();
+  ASSERT_GE(names.size(), 4u);
+  for (const std::string_view name : names) {
+    const auto profile = tpu::FindProfile(name);
+    ASSERT_TRUE(profile.has_value()) << name;
+    EXPECT_EQ(profile->name, name);
+  }
+  // The empty string is the "no profile requested" spelling of the default.
+  const auto unnamed = tpu::FindProfile("");
+  ASSERT_TRUE(unnamed.has_value());
+  EXPECT_TRUE(unnamed->IsDefault());
+  EXPECT_FALSE(tpu::FindProfile("no-such-fleet").has_value());
+}
+
+TEST(DeviceProfileTest, FingerprintIgnoresTheNameAndSeparatesHardware) {
+  DeviceProfile renamed = tpu::DefaultProfile();
+  renamed.name = "my-lab-corals";
+  EXPECT_EQ(renamed.Fingerprint(), tpu::DefaultProfile().Fingerprint());
+  EXPECT_TRUE(renamed.IsDefault());
+
+  // Every built-in preset describes distinct hardware.
+  const std::vector<std::string_view> names = tpu::ProfileNames();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(tpu::FindProfile(names[i])->Fingerprint(),
+                tpu::FindProfile(names[j])->Fingerprint())
+          << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(DeviceProfileTest, TrailingRepeatStagesCollapseToTheSameFingerprint) {
+  // Under the clamping rule {stock, stock, stock} behaves exactly like an
+  // empty pattern at every stage count, so they must fingerprint equal.
+  DeviceProfile padded;
+  padded.stages = {EdgeTpuModel{}, EdgeTpuModel{}, EdgeTpuModel{}};
+  EXPECT_EQ(padded.Fingerprint(), tpu::DefaultProfile().Fingerprint());
+  EXPECT_TRUE(padded.IsDefault());
+  EXPECT_TRUE(padded.IsUniform());
+
+  // A fast stage 0 padded with stock tails likewise collapses.
+  const DeviceProfile x2fast = *tpu::FindProfile("coral-x2fast");
+  DeviceProfile x2fast_padded = x2fast;
+  x2fast_padded.stages.push_back(EdgeTpuModel{});
+  EXPECT_EQ(x2fast_padded.Fingerprint(), x2fast.Fingerprint());
+  EXPECT_FALSE(x2fast.IsUniform());
+  EXPECT_FALSE(x2fast.IsDefault());
+}
+
+TEST(DeviceProfileTest, DeviceAtClampsToThePatternEnds) {
+  const DeviceProfile x2fast = *tpu::FindProfile("coral-x2fast");
+  const EdgeTpuModel& fast = x2fast.DeviceAt(0);
+  EXPECT_GT(fast.macs_per_us, EdgeTpuModel{}.macs_per_us);
+  EXPECT_EQ(x2fast.DeviceAt(1), EdgeTpuModel{});
+  EXPECT_EQ(x2fast.DeviceAt(7), EdgeTpuModel{});   // clamps high
+  EXPECT_EQ(x2fast.DeviceAt(-3), fast);            // clamps low
+  // An empty pattern is stock everywhere.
+  EXPECT_EQ(DeviceProfile{}.DeviceAt(2), EdgeTpuModel{});
+}
+
+TEST(DeviceProfileTest, ProfilePackageMatchesHomogeneousOnDefault) {
+  const auto package = MakePackage(4);
+  const auto homogeneous = tpu::ProfilePackage(package);
+  const auto via_profile = tpu::ProfilePackage(package, tpu::DefaultProfile());
+  ASSERT_EQ(homogeneous.size(), via_profile.size());
+  for (std::size_t k = 0; k < homogeneous.size(); ++k) {
+    EXPECT_DOUBLE_EQ(homogeneous[k].TotalUs(), via_profile[k].TotalUs()) << k;
+  }
+}
+
+TEST(DeviceProfileTest, HeterogeneousCostingSpeedsUpExactlyTheFastStage) {
+  const auto package = MakePackage(4);
+  const auto stock = tpu::ProfilePackage(package);
+  const auto hetero =
+      tpu::ProfilePackage(package, *tpu::FindProfile("coral-x2fast"));
+  ASSERT_EQ(stock.size(), hetero.size());
+  // Stage 0 computes at 2x the rate (and never slower overall); the other
+  // stages are untouched.
+  EXPECT_LT(hetero[0].compute_us, stock[0].compute_us);
+  for (std::size_t k = 1; k < stock.size(); ++k) {
+    EXPECT_DOUBLE_EQ(hetero[k].TotalUs(), stock[k].TotalUs()) << k;
+  }
+}
+
+TEST(DeviceProfileTest, SimAgreesWithAnalyticOnANonUniformProfile) {
+  const auto package = MakePackage(4);
+  const DeviceProfile profile = *tpu::FindProfile("coral-x2fast");
+  constexpr int kInferences = 500;
+  const auto sim = tpu::SimulatePipeline(package, profile, kInferences);
+  const double analytic = tpu::AnalyticPipelineUs(
+      tpu::ProfilePackage(package, profile), kInferences);
+  // The recurrence is exact for a linear pipeline; the DES must agree to
+  // numerical noise even when stages run on different devices.
+  EXPECT_NEAR(sim.total_us, analytic, 1e-6 * analytic);
+}
+
+TEST(DeviceProfileTest, RebalanceForProfileImprovesTheEstimatedBottleneck) {
+  std::mt19937_64 rng(7);
+  const graph::Dag dag = graph::SampleTrainingDag(40, rng);
+  const auto dp = exact::PartitionDefaultOrder(dag, 4);
+
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = 4;
+  constraints.profile = *tpu::FindProfile("coral-x2fast");
+
+  sched::Schedule rebalanced = dp.schedule;
+  const double before = sched::EstimateBottleneckUs(dag, dp.schedule,
+                                                    constraints.profile);
+  const bool changed =
+      sched::RebalanceForProfile(dag, constraints, rebalanced);
+  const double after =
+      sched::EstimateBottleneckUs(dag, rebalanced, constraints.profile);
+  EXPECT_TRUE(sched::ValidateSchedule(dag, rebalanced, constraints).ok);
+  EXPECT_LE(after, before);
+  if (changed) EXPECT_LT(after, before);
+
+  // The default profile is a guaranteed no-op: legacy behavior is
+  // bit-identical when nobody asks for heterogeneous hardware.
+  sched::PipelineConstraints default_constraints;
+  default_constraints.num_stages = 4;
+  sched::Schedule untouched = dp.schedule;
+  EXPECT_FALSE(sched::RebalanceForProfile(dag, default_constraints, untouched));
+  EXPECT_EQ(untouched.stage, dp.schedule.stage);
+}
+
+}  // namespace
+}  // namespace respect

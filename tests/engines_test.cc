@@ -17,6 +17,7 @@
 #include "core/thread_pool.h"
 #include "engines/registry.h"
 #include "graph/sampler.h"
+#include "sched/device_aware.h"
 
 namespace respect {
 namespace {
@@ -209,6 +210,84 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<std::string>& info) {
       return info.param;
     });
+
+// ── Heterogeneous device profiles across every engine ────────────────────
+
+/// Every built-in engine, compiled with an explicit heterogeneous profile,
+/// must stay valid and never end up with a worse estimated service-time
+/// bottleneck than its own profile-blind schedule replayed on that
+/// hardware.  (For engines that ignore the profile, the façade's
+/// RebalanceForProfile post-pass provides the adaptation; the annealer
+/// additionally swaps to the device-aware objective.)
+class HeterogeneousProfileTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(HeterogeneousProfileTest, ProfileAwareCompileNeverLosesToUniform) {
+  PipelineCompiler compiler(FastOptions());
+  const tpu::DeviceProfile profile = *tpu::FindProfile("coral-x2fast");
+  const std::string_view engine = MethodName(GetParam());
+  // The façade quantizes packages (uint8 from float32), so schedule-level
+  // service estimates scale graph bytes by the same 1/4.
+  constexpr double kBytesScale = 0.25;
+
+  std::mt19937_64 rng(17);
+  const graph::Dag dag = graph::SampleTrainingDag(28, rng);
+  const CompileResult uniform = compiler.Compile(dag, 4, engine);
+  const CompileResult adapted = compiler.Compile(dag, 4, engine, profile);
+
+  sched::PipelineConstraints constraints;
+  constraints.num_stages = 4;
+  const auto validation = ValidateSchedule(dag, adapted.schedule, constraints);
+  EXPECT_TRUE(validation.ok) << engine << ": " << validation.reason;
+
+  const double uniform_us = sched::EstimateBottleneckUs(
+      dag, uniform.schedule, profile, kBytesScale);
+  const double adapted_us = sched::EstimateBottleneckUs(
+      dag, adapted.schedule, profile, kBytesScale);
+  EXPECT_LE(adapted_us, uniform_us + 1e-9) << engine;
+
+  // The default profile must be byte-identical to the profile-less path —
+  // heterogeneity support cannot perturb the paper's pipeline.
+  const CompileResult via_default =
+      compiler.Compile(dag, 4, engine, tpu::DefaultProfile());
+  EXPECT_EQ(via_default.schedule.stage, uniform.schedule.stage) << engine;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, HeterogeneousProfileTest,
+                         ::testing::ValuesIn(kAllMethods),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                           return std::string(MethodName(info.param));
+                         });
+
+TEST(HeterogeneousProfileTest, FasterFrontStageAttractsMoreWork) {
+  // A chain of identical compute-heavy ops on a 2-stage pipeline whose
+  // stage 0 runs twice as fast: the byte objective splits the chain evenly,
+  // but the device-aware adaptation must push strictly more MACs onto the
+  // fast device.
+  graph::Dag dag;
+  for (int i = 0; i < 12; ++i) {
+    graph::OpAttr attr;
+    attr.macs = 2'000'000;
+    attr.param_bytes = 1024;
+    attr.output_bytes = 256;
+    dag.AddNode(std::move(attr));
+    if (i > 0) dag.AddEdge(i - 1, i);
+  }
+
+  PipelineCompiler compiler(FastOptions());
+  const tpu::DeviceProfile profile = *tpu::FindProfile("coral-x2fast");
+  const std::string_view engine = MethodName(Method::kGreedyBalance);
+  const CompileResult uniform = compiler.Compile(dag, 2, engine);
+  const CompileResult adapted = compiler.Compile(dag, 2, engine, profile);
+
+  const auto stage_macs = [&](const sched::Schedule& schedule, int stage) {
+    double macs = 0.0;
+    for (graph::NodeId v = 0; v < dag.NodeCount(); ++v) {
+      if (schedule.StageOf(v) == stage) macs += dag.Attr(v).macs;
+    }
+    return macs;
+  };
+  EXPECT_GT(stage_macs(adapted.schedule, 0), stage_macs(uniform.schedule, 0));
+}
 
 TEST(PipelineCompilerTest, ReplaceRlSwapsSnapshotCopyOnWrite) {
   PipelineCompiler compiler(FastOptions());

@@ -68,6 +68,23 @@ class RequestQueueTest : public ::testing::Test {
     task();
   }
 
+  /// Same, tagging the entry with a tenant flow.
+  void PushFlow(RequestQueue& queue, const std::string& label, Priority lane,
+                const std::string& flow, double deadline_in_seconds = -1.0) {
+    ThreadPool::TaskAttrs attrs;
+    attrs.lane = static_cast<int>(lane);
+    attrs.flow = flow;
+    if (deadline_in_seconds >= 0.0) {
+      attrs.has_deadline = true;
+      attrs.deadline = clock_.now +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(deadline_in_seconds));
+    }
+    attrs.on_expired = [this, label] { ran_.push_back(label + "!expired"); };
+    queue.Push([this, label] { ran_.push_back(label); }, std::move(attrs));
+  }
+
   FakeClock clock_;
   std::vector<std::string> ran_;
 };
@@ -243,6 +260,113 @@ TEST_F(RequestQueueTest, ExpiredCappedBatchHeadStillFailsFast) {
   EXPECT_EQ(queue.BatchRunning(), 1);  // the running task still holds its slot
   running();
   EXPECT_EQ(queue.BatchRunning(), 0);
+}
+
+// ── Per-tenant weighted-fair queueing ────────────────────────────────────
+
+TEST_F(RequestQueueTest, EqualWeightTenantsInterleaveUnderAFlood) {
+  RequestQueue queue = MakeQueue(/*aging_seconds=*/100.0);
+  // Tenant "a" floods 6 entries before "b" submits 2: fair queueing still
+  // alternates them while both are backlogged — the flood only deepens a's
+  // own sub-queue.
+  for (int i = 0; i < 6; ++i) {
+    PushFlow(queue, "a-" + std::to_string(i), Priority::kNormal, "a");
+  }
+  for (int i = 0; i < 2; ++i) {
+    PushFlow(queue, "b-" + std::to_string(i), Priority::kNormal, "b");
+  }
+  for (int i = 0; i < 8; ++i) PopAndRun(queue);
+  EXPECT_EQ(ran_, (std::vector<std::string>{"a-0", "b-0", "a-1", "b-1", "a-2",
+                                            "a-3", "a-4", "a-5"}));
+}
+
+TEST_F(RequestQueueTest, WeightTwoTenantReceivesTwiceTheService) {
+  RequestQueue::Options options;
+  options.aging_seconds = 100.0;
+  options.clock = [this] { return clock_.now; };
+  options.tenant_weights["big"] = 2.0;
+  RequestQueue queue(options);
+  for (int i = 0; i < 6; ++i) {
+    PushFlow(queue, "big", Priority::kNormal, "big");
+  }
+  for (int i = 0; i < 3; ++i) {
+    PushFlow(queue, "small", Priority::kNormal, "small");
+  }
+  // Over the first 6 pops (both tenants backlogged throughout), the
+  // weight-2 tenant gets exactly twice the weight-1 tenant's share.
+  int big = 0;
+  for (int i = 0; i < 6; ++i) {
+    PopAndRun(queue);
+    if (ran_.back() == "big") ++big;
+  }
+  EXPECT_EQ(big, 4);
+  for (int i = 0; i < 3; ++i) PopAndRun(queue);  // the rest drains
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST_F(RequestQueueTest, SingleTenantKeepsExactFifoOrder) {
+  RequestQueue queue = MakeQueue(/*aging_seconds=*/100.0);
+  for (int i = 0; i < 4; ++i) {
+    PushFlow(queue, "x-" + std::to_string(i), Priority::kNormal, "x");
+  }
+  for (int i = 0; i < 4; ++i) PopAndRun(queue);
+  EXPECT_EQ(ran_, (std::vector<std::string>{"x-0", "x-1", "x-2", "x-3"}));
+}
+
+TEST_F(RequestQueueTest, TenantQuotaHidesBacklogAcrossAllLanes) {
+  RequestQueue::Options options;
+  options.aging_seconds = 100.0;
+  options.clock = [this] { return clock_.now; };
+  options.tenant_quotas["t"] = 1;
+  RequestQueue queue(options);
+
+  PushFlow(queue, "t-0", Priority::kInteractive, "t");
+  PushFlow(queue, "t-1", Priority::kInteractive, "t");
+  EXPECT_EQ(queue.Size(), 2u);
+
+  // Popping t-0 claims t's one slot; the rest of t's backlog — in every
+  // lane — is invisible until the task finishes.
+  ThreadPool::Task running = queue.Pop();
+  EXPECT_EQ(queue.TenantRunning("t"), 1);
+  EXPECT_EQ(queue.Size(), 0u);
+  PushFlow(queue, "t-2", Priority::kNormal, "t");  // another lane: still hidden
+  EXPECT_EQ(queue.Size(), 0u);
+
+  // Other tenants are unaffected.
+  PushFlow(queue, "u-0", Priority::kNormal, "u");
+  EXPECT_EQ(queue.Size(), 1u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "u-0");
+
+  // Finishing t's task releases the slot and resurfaces the backlog.
+  running();
+  EXPECT_EQ(ran_.back(), "t-0");
+  EXPECT_EQ(queue.TenantRunning("t"), 0);
+  EXPECT_EQ(queue.Size(), 2u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "t-1");  // interactive lane first
+}
+
+TEST_F(RequestQueueTest, ExpiredQuotaBlockedHeadStillFailsFast) {
+  RequestQueue::Options options;
+  options.aging_seconds = 100.0;
+  options.clock = [this] { return clock_.now; };
+  options.tenant_quotas["t"] = 1;
+  RequestQueue queue(options);
+
+  PushFlow(queue, "t-running", Priority::kNormal, "t");
+  ThreadPool::Task running = queue.Pop();  // holds t's only slot
+  PushFlow(queue, "t-doomed", Priority::kNormal, "t",
+           /*deadline_in_seconds=*/0.5);
+  EXPECT_EQ(queue.Size(), 0u);  // blocked and unexpired: hidden
+  clock_.Advance(1.0);
+  // The lapsed head surfaces despite the quota — expiry costs no slot.
+  EXPECT_EQ(queue.Size(), 1u);
+  PopAndRun(queue);
+  EXPECT_EQ(ran_.back(), "t-doomed!expired");
+  EXPECT_EQ(queue.TenantRunning("t"), 1);  // running task still holds the slot
+  running();
+  EXPECT_EQ(queue.TenantRunning("t"), 0);
 }
 
 // The queue as a live ThreadPool policy: every submitted task runs exactly

@@ -179,6 +179,96 @@ TEST(CompileServiceTest, KeyCoversStagesAndGraphContent) {
   EXPECT_EQ(service.Metrics().hits, 0u);
 }
 
+TEST(PriorityTest, ParsePriorityRoundTripsEveryLaneName) {
+  for (const Priority priority :
+       {Priority::kInteractive, Priority::kNormal, Priority::kBatch}) {
+    const auto parsed = serve::ParsePriority(serve::PriorityName(priority));
+    ASSERT_TRUE(parsed.has_value()) << serve::PriorityName(priority);
+    EXPECT_EQ(*parsed, priority);
+  }
+  EXPECT_FALSE(serve::ParsePriority("urgent").has_value());
+  EXPECT_FALSE(serve::ParsePriority("").has_value());
+  EXPECT_FALSE(serve::ParsePriority("Interactive").has_value());  // exact case
+}
+
+// ── Device profiles in the serving key ───────────────────────────────────
+
+TEST(CompileServiceProfileTest, ProfilesSeparateCacheEntriesPerFleet) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(24, 77);
+  const auto ask = [&](const std::string& profile) {
+    return service.Compile(CompileRequest{.dag = dag,
+                                          .num_stages = 4,
+                                          .engine = "greedy",
+                                          .profile = profile});
+  };
+
+  // "" and the default preset's name are the same key: the default profile
+  // folds nothing in, so pre-profile cache entries stay reachable.
+  const CompileResponse unnamed = ask("");
+  const CompileResponse named_default = ask("coral");
+  EXPECT_EQ(named_default.result, unnamed.result);
+  EXPECT_EQ(named_default.key_hex, unnamed.key_hex);
+  EXPECT_EQ(named_default.outcome, CacheOutcome::kHit);
+
+  // Each non-default fleet gets its own entry for the same DAG/engine.
+  const CompileResponse fast = ask("coral-x2fast");
+  const CompileResponse usb2 = ask("coral-usb2");
+  EXPECT_NE(fast.key_hex, unnamed.key_hex);
+  EXPECT_NE(usb2.key_hex, unnamed.key_hex);
+  EXPECT_NE(fast.key_hex, usb2.key_hex);
+  EXPECT_EQ(fast.outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(service.Metrics().misses, 3u);
+
+  // And each is warm on repeat.
+  EXPECT_EQ(ask("coral-x2fast").result, fast.result);
+}
+
+TEST(CompileServiceProfileTest, UnknownProfileFailsBeforeTouchingTheCache) {
+  serve::CompileService service(FastOptions());
+  const graph::Dag dag = SampleDag(10, 79);
+  EXPECT_THROW((void)service.Compile(CompileRequest{.dag = dag,
+                                                    .num_stages = 2,
+                                                    .engine = "greedy",
+                                                    .profile = "no-such-fleet"}),
+               std::invalid_argument);
+  EXPECT_EQ(service.Metrics().misses, 0u);
+  EXPECT_EQ(service.Metrics().failures, 0u);
+}
+
+// ── Per-tenant accounting ────────────────────────────────────────────────
+
+TEST(CompileServiceTenantTest, MetricsCountWorkPerTenant) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::CompileService service(FastOptions(), options);
+
+  const graph::Dag a = SampleDag(20, 83);
+  const graph::Dag b = SampleDag(20, 85);
+  const graph::Dag c = SampleDag(20, 87);
+  const auto submit = [&](const graph::Dag& dag, const std::string& tenant) {
+    return service.Submit(CompileRequest{.dag = dag,
+                                         .num_stages = 4,
+                                         .engine = "greedy",
+                                         .tenant = tenant});
+  };
+  auto t0 = submit(a, "alpha");
+  auto t1 = submit(b, "alpha");
+  auto t2 = submit(c, "beta");
+  (void)t0.Wait();
+  (void)t1.Wait();
+  (void)t2.Wait();
+
+  const serve::ServiceMetrics metrics = service.Metrics();
+  ASSERT_TRUE(metrics.tenants.count("alpha"));
+  ASSERT_TRUE(metrics.tenants.count("beta"));
+  EXPECT_EQ(metrics.tenants.at("alpha").enqueued, 2u);
+  EXPECT_EQ(metrics.tenants.at("alpha").started, 2u);
+  EXPECT_EQ(metrics.tenants.at("alpha").expired, 0u);
+  EXPECT_EQ(metrics.tenants.at("beta").enqueued, 1u);
+  EXPECT_EQ(metrics.tenants.at("beta").started, 1u);
+}
+
 TEST(CompileServiceTest, ReplaceRlInvalidatesOnlyRlEntries) {
   serve::CompileService service(FastOptions());
   const graph::Dag dag = SampleDag(24, 13);

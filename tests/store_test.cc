@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "core/respect.h"
+#include "deploy/package.h"
+#include "deploy/pod_io.h"
 #include "engines/registry.h"
 #include "graph/canonical_hash.h"
 #include "graph/sampler.h"
@@ -370,6 +372,80 @@ TEST(DiskStoreTest, RenamedSpillNeverAnswersTheWrongKey) {
   EXPECT_EQ(store.Probe(other_key), nullptr);
   EXPECT_EQ(store.Metrics().corrupt_dropped, 1u);
   EXPECT_NE(store.Probe(meta.key), nullptr);  // the honest copy still serves
+}
+
+TEST(DiskStoreTest, Version1SpillsReadBackAsTheDefaultProfile) {
+  // Forward migration: a spill written by a pre-profile (v1) build must
+  // warm-start a v2 store as the default profile — byte-craft the v1
+  // envelope exactly as the old writer laid it out.
+  const TempDir dir("respect-store-v1-migration");
+  const graph::Dag dag = SampleDag(24, 41);
+  const graph::CanonicalHash key = graph::HashDag(dag);
+  const ResultPtr result = SolveOnce(dag);
+
+  std::ostringstream payload_os(std::ios::binary);
+  deploy::WritePod(payload_os, key.hi);
+  deploy::WritePod(payload_os, key.lo);
+  deploy::WritePod(payload_os, std::uint8_t{0});  // rl_dependent
+  deploy::WritePod(payload_os, std::uint64_t{0});  // rl_version
+  const std::string engine = "ListScheduling";
+  deploy::WritePod(payload_os, static_cast<std::uint32_t>(engine.size()));
+  payload_os.write(engine.data(),
+                   static_cast<std::streamsize>(engine.size()));
+  // v1 stops here: no profile name, no fingerprint.
+  deploy::WritePod(payload_os, std::int64_t{0});  // expires_at: never
+  deploy::WritePod(payload_os, result->solve_seconds);
+  deploy::WritePod(payload_os, result->peak_stage_param_bytes);
+  deploy::WritePod(payload_os, std::uint8_t{result->proved_optimal});
+  deploy::WritePod(payload_os, result->schedule.num_stages);
+  deploy::WritePod(payload_os,
+                   static_cast<std::uint64_t>(result->schedule.stage.size()));
+  for (const int stage : result->schedule.stage) {
+    deploy::WritePod(payload_os, stage);
+  }
+  deploy::WritePackage(result->package, payload_os);
+  const std::string payload = std::move(payload_os).str();
+
+  graph::CanonicalHasher hasher;
+  hasher.Update(std::string_view(payload));
+  const graph::CanonicalHash checksum = hasher.Finish();
+
+  DiskStore store(DiskStoreOptions{.directory = dir.str()});
+  const fs::path path = store.PathFor(key);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    deploy::WritePod(os, std::uint32_t{0x4c505352});  // "RSPL"
+    deploy::WritePod(os, std::uint32_t{1});           // format version 1
+    deploy::WritePod(os, static_cast<std::uint64_t>(payload.size()));
+    deploy::WritePod(os, checksum.hi);
+    deploy::WritePod(os, checksum.lo);
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+
+  // A fresh store indexes and serves the v1 file as a normal hit.
+  DiskStore reader(DiskStoreOptions{.directory = dir.str()});
+  EXPECT_EQ(reader.Metrics().resident, 1u);
+  const ResultPtr loaded = reader.Probe(key);
+  ASSERT_NE(loaded, nullptr);
+  ExpectSameResult(*loaded, *result);
+  EXPECT_EQ(reader.Metrics().corrupt_dropped, 0u);
+
+  // Compact reads the v1 prefix fine too (nothing to reclaim).
+  EXPECT_EQ(reader.Compact(/*live_rl_version=*/0), 0u);
+  EXPECT_TRUE(fs::exists(path));
+
+  // Rewriting the entry migrates the file to the current format version.
+  SpillMeta meta;
+  meta.key = key;
+  meta.engine_name = engine;
+  reader.Put(meta, loaded);
+  std::ifstream is(path, std::ios::binary);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  deploy::ReadPod(is, magic);
+  deploy::ReadPod(is, version);
+  EXPECT_EQ(magic, 0x4c505352u);
+  EXPECT_EQ(version, 2u);
 }
 
 TEST(DiskStoreTest, TtlExpiredEntriesAreDroppedOnProbe) {
