@@ -371,6 +371,35 @@ void BM_CompileServiceDiskWarmStart(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileServiceDiskWarmStart);
 
+/// The degraded-path tax: every iteration asks for Annealing under a solve
+/// budget far too small for it, so the service pays one budget-blown attempt
+/// (CancelToken poll -> CancelledError unwind) and then the ListScheduling
+/// fallback solve — the exact shape a saturated preferred engine produces in
+/// production.  Cache bypass keeps every iteration on this path, and the
+/// breaker is disabled so no iteration short-circuits the blown attempt
+/// (which would silently change what is being measured mid-run).  items/s is
+/// degraded requests per second; compare BM_CompileServiceColdSolve for the
+/// healthy-path cost.
+void BM_DegradedFallbackLatency(benchmark::State& state) {
+  static serve::CompileService* service = [] {
+    serve::ServiceOptions options;
+    options.fallback_chain = {"list"};
+    options.default_solve_budget_seconds = 5e-4;
+    options.breaker_failure_threshold = 0;  // disabled: iterations identical
+    return new serve::CompileService(BatchBenchOptions(), options);
+  }();
+  const serve::CompileRequest request{
+      .dag = BatchDags()[0],
+      .num_stages = 4,
+      .engine = Method::kAnnealing,
+      .cache_policy = serve::CachePolicy::kBypass};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service->Compile(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DegradedFallbackLatency);
+
 std::vector<serve::CompileRequest> BatchRequests(serve::Priority priority,
                                                  serve::CachePolicy policy) {
   std::vector<serve::CompileRequest> requests;

@@ -50,10 +50,12 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "cli_util.h"
+#include "core/failpoint.h"
 #include "deploy/pod_io.h"
 #include "engines/registry.h"
 #include "graph/canonical_hash.h"
@@ -77,6 +79,8 @@ int Usage(const char* argv0) {
       "          [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]\n"
       "          [--miss-storm] [--no-batch-decode]\n"
       "          [--profile=NAME] [--tenant=NAME] [--fleet-demo]\n"
+      "          [--chaos-demo] [--failpoint=SITE=ACTION;...] "
+      "[--budget-ms=N]\n"
       "  --profile targets a named device profile (",
       argv0, examples::kMaxStages);
   bool first = true;
@@ -89,7 +93,10 @@ int Usage(const char* argv0) {
                ")\n  --tenant tags requests for weighted-fair queueing; "
                "--fleet-demo runs one\n  service over several profiles and "
                "tenants and checks the fairness and\n  cache-separation "
-               "invariants\n");
+               "invariants\n  --chaos-demo serves a stream under injected "
+               "faults and exits non-zero\n  unless every request settles "
+               "valid-or-typed-error; --failpoint arms extra\n  fault sites "
+               "(any mode); --budget-ms bounds each engine solve attempt\n");
   return 2;
 }
 
@@ -143,6 +150,29 @@ void PrintServiceMetrics(const serve::CompileService& service) {
                 static_cast<unsigned long long>(m.store.corrupt_dropped),
                 static_cast<unsigned long long>(m.store.expired_dropped),
                 m.store.resident);
+  }
+  if (m.budget_blown + m.degraded_served + m.fallback_exhausted + m.shed +
+          m.writeback_errors >
+      0) {
+    std::printf("  budget-blown %llu  degraded %llu  fallback-exhausted "
+                "%llu  shed %llu  writeback-errors %llu\n",
+                static_cast<unsigned long long>(m.budget_blown),
+                static_cast<unsigned long long>(m.degraded_served),
+                static_cast<unsigned long long>(m.fallback_exhausted),
+                static_cast<unsigned long long>(m.shed),
+                static_cast<unsigned long long>(m.writeback_errors));
+  }
+  for (const auto& [name, breaker] : m.breakers) {
+    if (breaker.opened + breaker.short_circuits == 0 &&
+        breaker.consecutive_failures == 0) {
+      continue;  // healthy and never tripped: not worth a line
+    }
+    std::printf("  breaker %-16s %-9s failures %d  opened %llu  "
+                "short-circuits %llu\n",
+                name.c_str(), breaker.state.c_str(),
+                breaker.consecutive_failures,
+                static_cast<unsigned long long>(breaker.opened),
+                static_cast<unsigned long long>(breaker.short_circuits));
   }
   std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
               m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
@@ -579,6 +609,146 @@ int RunFleetDemo(const CompilerOptions& options,
   return failures == 0 ? 0 : 1;
 }
 
+/// --chaos-demo: the failure-domain hardening contract, live.  Arms a mix
+/// of failpoints (engine faults on the preferred engine, transient store
+/// write failures, writeback failures, queue-pop stalls), serves a mixed
+/// async stream through a fallback chain with solve budgets, circuit
+/// breakers, and a bounded queue — then verifies the one invariant that
+/// matters under faults: EVERY request settles with a valid schedule or a
+/// typed error (DeadlineExceeded / Overloaded).  Any untyped failure, or an
+/// injected fault leaking to a caller, exits non-zero.
+int RunChaosDemo(const CompilerOptions& options,
+                 serve::ServiceOptions service_options,
+                 const std::vector<graph::Dag>& zoo, int requests, int stages,
+                 const std::string& engine, int deadline_ms) {
+  const std::string canonical(
+      engines::EngineRegistry::Global().Resolve(serve::EngineRef(engine))
+          .name);
+  if (service_options.num_threads <= 0) service_options.num_threads = 2;
+  service_options.fallback_chain = {"list", "greedy"};
+  if (service_options.default_solve_budget_seconds <= 0.0) {
+    service_options.default_solve_budget_seconds = 1.0;
+  }
+  service_options.breaker_failure_threshold = 3;
+  service_options.breaker_open_seconds = 0.5;
+  service_options.max_lane_depth = 8;
+
+#if defined(RESPECT_FAILPOINTS) && RESPECT_FAILPOINTS
+  // The default fault mix; a --failpoint=SPEC on the command line adds to
+  // (or, for the same sites, overrides) these.  The engine fault count
+  // matches the breaker threshold exactly: the first wave absorbs the whole
+  // burst (opening the breaker), so the second wave's half-open probe runs
+  // against a healthy engine and demonstrates recovery.
+  const auto injected =
+      static_cast<std::uint64_t>(service_options.breaker_failure_threshold);
+  core::failpoint::Configure("engine.solve." + canonical, "error(chaos)",
+                             injected);
+  core::failpoint::Configure("store.write", "error(chaos ENOSPC)", 4);
+  core::failpoint::Configure("serve.writeback", "error(chaos)", 2);
+  core::failpoint::Configure("queue.pop", "delay(1)", 16);
+  std::printf("chaos demo: %d requests over %zu models, %d stages, "
+              "preferred engine %s -> fallback {list, greedy}\n"
+              "  armed: engine.solve.%s=error(x%llu) store.write=error(x4) "
+              "serve.writeback=error(x2) queue.pop=delay(1ms,x16)\n",
+              requests, zoo.size(), stages, canonical.c_str(),
+              canonical.c_str(), static_cast<unsigned long long>(injected));
+#else
+  std::printf("chaos demo: built with RESPECT_FAILPOINTS=OFF — nothing to "
+              "arm; running the stream fault-free\n");
+#endif
+
+  serve::CompileService service(options, service_options);
+  std::mt19937_64 rng(53);
+  const double deadline_s = deadline_ms > 0 ? deadline_ms * 1e-3 : 0.25;
+
+  int valid = 0;
+  int degraded = 0;
+  int deadline_failed = 0;
+  int overloaded = 0;
+  int untyped = 0;
+  std::string first_untyped;
+  const auto settle = [&](const serve::CompileService::Ticket& ticket) {
+    try {
+      const serve::CompileResponse& response = ticket.WaitResponse();
+      if (response.result != nullptr) {
+        ++valid;
+        if (response.degraded) ++degraded;
+      } else {
+        ++untyped;
+        if (first_untyped.empty()) first_untyped = "null result";
+      }
+    } catch (const serve::DeadlineExceeded&) {
+      ++deadline_failed;
+    } catch (const serve::Overloaded&) {
+      ++overloaded;
+    } catch (const std::exception& e) {
+      ++untyped;
+      if (first_untyped.empty()) first_untyped = e.what();
+    }
+  };
+
+  // Two waves.  The first rides out the injected fault burst (fallbacks,
+  // breaker opening, shedding at the depth bound); the pause lets the open
+  // breaker's window lapse, so the second wave demonstrates the recovery
+  // half of the contract — the half-open probe re-admitting the engine.
+  int wave_number = 0;
+  for (const int wave : {requests - requests / 2, requests / 2}) {
+    std::vector<serve::CompileService::Ticket> tickets;
+    tickets.reserve(wave);
+    for (int r = 0; r < wave; ++r) {
+      const bool interactive = r % 4 == 3;
+      const std::size_t pick =
+          std::min(rng() % zoo.size(), rng() % zoo.size());
+      tickets.push_back(service.Submit(serve::CompileRequest{
+          .dag = zoo[pick],
+          .num_stages = stages,
+          .engine = engine,
+          .priority = interactive ? serve::Priority::kInteractive
+                                  : serve::Priority::kBatch,
+          .deadline = interactive
+                          ? std::optional(serve::DeadlineIn(deadline_s))
+                          : std::nullopt,
+          // Half of each wave bypasses the cache so faults keep hitting
+          // live solves instead of being absorbed by warm entries.
+          .cache_policy = (r % 2 == 0) ? serve::CachePolicy::kBypass
+                                       : serve::CachePolicy::kUse}));
+      if (r % 8 == 7) {
+        // A paced stream, not one instantaneous burst: the queue both
+        // sheds (early, while solves back up behind the faults) and
+        // serves (once fallbacks land and the cache warms).
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    for (const auto& ticket : tickets) settle(ticket);
+    if (wave_number++ == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    }
+  }
+#if defined(RESPECT_FAILPOINTS) && RESPECT_FAILPOINTS
+  core::failpoint::ClearAll();
+#endif
+
+  std::printf("  settled %d/%d: %d valid (%d degraded), %d deadline, "
+              "%d overloaded, %d UNTYPED\n",
+              valid + deadline_failed + overloaded + untyped, requests, valid,
+              degraded, deadline_failed, overloaded, untyped);
+  PrintServiceMetrics(service);
+  if (untyped > 0) {
+    std::fprintf(stderr,
+                 "error: %d request(s) failed without a typed error "
+                 "(first: %s)\n",
+                 untyped, first_untyped.c_str());
+    return 1;
+  }
+  if (valid == 0) {
+    std::fprintf(stderr, "error: no request produced a valid schedule\n");
+    return 1;
+  }
+  std::printf("chaos demo: every request settled valid-or-typed under "
+              "injected faults\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -597,6 +767,9 @@ int main(int argc, char** argv) {
   bool miss_storm = false;
   bool batch_decode = true;
   bool fleet_demo = false;
+  bool chaos_demo = false;
+  int budget_ms = 0;        // 0 = no per-attempt solve budget
+  std::string failpoints;   // "site=action;..." spec, armed before serving
   std::string profile;  // empty = the default device profile
   std::string tenant;   // empty = the shared default tenant
   constexpr int kMaxInt = std::numeric_limits<int>::max();
@@ -649,6 +822,18 @@ int main(int argc, char** argv) {
       tenant = arg + 9;
     } else if (std::strcmp(arg, "--fleet-demo") == 0) {
       fleet_demo = true;
+    } else if (std::strcmp(arg, "--chaos-demo") == 0) {
+      chaos_demo = true;
+    } else if (std::strncmp(arg, "--failpoint=", 12) == 0) {
+      failpoints = arg + 12;
+      if (failpoints.empty()) {
+        std::fprintf(stderr, "error: --failpoint needs a site=action spec\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--budget-ms=", 12) == 0) {
+      if (!examples::ParseIntInRange(arg + 12, 1, kMaxInt, budget_ms)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--miss-storm") == 0) {
       miss_storm = true;
     } else if (std::strcmp(arg, "--no-batch-decode") == 0) {
@@ -709,6 +894,32 @@ int main(int argc, char** argv) {
   service_options.cache_dir = cache_dir;
   service_options.cache_ttl_seconds = cache_ttl_s;
   service_options.batch_decode = batch_decode;
+  service_options.default_solve_budget_seconds = budget_ms * 1e-3;
+
+  if (!failpoints.empty()) {
+#if defined(RESPECT_FAILPOINTS) && RESPECT_FAILPOINTS
+    if (!respect::core::failpoint::ConfigureFromSpec(failpoints)) {
+      std::fprintf(stderr, "error: malformed --failpoint spec '%s'\n",
+                   failpoints.c_str());
+      return Usage(argv[0]);
+    }
+    std::printf("failpoints armed: %s\n", failpoints.c_str());
+#else
+    std::fprintf(stderr, "error: --failpoint requires a build with "
+                 "RESPECT_FAILPOINTS=ON\n");
+    return 1;
+#endif
+  }
+
+  if (chaos_demo) {
+    try {
+      return RunChaosDemo(options, service_options, zoo, requests, stages,
+                          engine, deadline_ms);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: chaos demo failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (fleet_demo) {
     try {

@@ -14,7 +14,10 @@ Watched by default:
   * BM_TenantFairness               — weighted-fair queue throughput under an
                                       adversarial tenant mix (its jain /
                                       tenant_wait_p99_ms counters ride along
-                                      in the JSON for inspection).
+                                      in the JSON for inspection),
+  * BM_DegradedFallbackLatency      — degraded requests/s through the
+                                      budget-blown-attempt -> fallback-solve
+                                      path (the graceful-degradation tax).
 
 Benchmarks present in only one of the two files are reported and skipped
 (renames and newly added benchmarks must not hard-fail the gate); a
@@ -36,6 +39,7 @@ DEFAULT_WATCH = [
     "BM_CompileServiceWarmCache",
     "BM_CompileServiceDiskWarmStart",
     "BM_TenantFairness",
+    "BM_DegradedFallbackLatency",
 ]
 
 

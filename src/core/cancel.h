@@ -1,0 +1,112 @@
+// Cooperative cancellation for engine solves.
+//
+// A CancelToken is a cheap, copyable handle that solver inner loops poll
+// (annealing sweeps, B&B node expansion, RL decode steps).  The serving
+// layer arms one per request from its solve budget; when the budget
+// expires the engine unwinds with CancelledError and the service falls
+// back down its engine chain instead of returning a truncated schedule.
+//
+// Semantics:
+//  - A default-constructed token is "empty": Cancelled() is a null-check
+//    and never true, so threading a token through hot loops costs nothing
+//    when no budget is set.
+//  - Cancellation always unwinds via CancelledError — a cancelled solve
+//    never returns a partial or unvalidated schedule.  Engines' own
+//    max_expansions / time_limit budgets keep their historical
+//    best-incumbent return behavior; only the token throws.
+//  - Tokens are thread-safe: Cancel() may race with Cancelled() from the
+//    solver thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace respect::core {
+
+/// Thrown by solver loops when their CancelToken fires.  Deliberately a
+/// distinct type from the serve-layer DeadlineExceeded: the service decides
+/// how a blown budget surfaces (fallback, typed deadline error, ...).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  /// Empty token: never cancels, polling is a single null check.
+  CancelToken() = default;
+
+  /// A token that only fires when Cancel() is called.
+  [[nodiscard]] static CancelToken Manual() {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  /// A token that fires at `deadline` (steady clock) or on Cancel().
+  [[nodiscard]] static CancelToken WithDeadline(
+      std::chrono::steady_clock::time_point deadline) {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    token.state_->has_deadline = true;
+    token.state_->deadline = deadline;
+    return token;
+  }
+
+  /// A token that fires `budget_seconds` from now (or on Cancel()).
+  [[nodiscard]] static CancelToken WithBudget(double budget_seconds) {
+    return WithDeadline(std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(budget_seconds)));
+  }
+
+  /// True when the token can ever cancel (i.e. is not empty).
+  [[nodiscard]] bool Cancellable() const noexcept { return state_ != nullptr; }
+
+  void Cancel() const noexcept {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Polled by solver loops.  Reads the wall clock only when a deadline is
+  /// armed, so callers with tight loops should still stride their checks.
+  [[nodiscard]] bool Cancelled() const {
+    if (state_ == nullptr) {
+      return false;
+    }
+    if (state_->cancelled.load(std::memory_order_acquire)) {
+      return true;
+    }
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      // Latch so later polls skip the clock read.
+      state_->cancelled.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Unwinds with CancelledError naming the solver loop that noticed.
+  void ThrowIfCancelled(std::string_view site) const {
+    if (Cancelled()) {
+      throw CancelledError("solve cancelled at " + std::string(site));
+    }
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace respect::core

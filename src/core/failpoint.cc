@@ -1,0 +1,213 @@
+#include "core/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace respect::core::failpoint {
+
+namespace internal {
+std::atomic<int> g_configured{0};
+}  // namespace internal
+
+namespace {
+
+enum class Kind { kOff, kError, kDelay, kCrash };
+
+struct Site {
+  Kind kind = Kind::kOff;
+  std::string message;
+  int delay_ms = 0;
+  // Remaining injections; negative means unlimited.
+  std::int64_t remaining = -1;
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all threads
+  return *registry;
+}
+
+// Looks up `site`, bumps counters under the lock, and returns the action to
+// run outside it (delays must not hold the registry mutex).
+struct Pending {
+  Kind kind = Kind::kOff;
+  std::string message;
+  int delay_ms = 0;
+};
+
+bool Lookup(std::string_view site, Pending& out) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  if (it == registry.sites.end()) {
+    return false;
+  }
+  Site& entry = it->second;
+  ++entry.hits;
+  if (entry.kind == Kind::kOff) {
+    return false;
+  }
+  if (entry.remaining == 0) {
+    return false;  // budget exhausted: keep counting, stop injecting
+  }
+  if (entry.remaining > 0) {
+    --entry.remaining;
+  }
+  out.kind = entry.kind;
+  out.message = entry.message;
+  out.delay_ms = entry.delay_ms;
+  return true;
+}
+
+void Run(std::string_view site, const Pending& action) {
+  switch (action.kind) {
+    case Kind::kOff:
+      return;
+    case Kind::kError:
+      throw FailpointError("failpoint " + std::string(site) + ": " +
+                           (action.message.empty() ? "injected error"
+                                                   : action.message));
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      return;
+    case Kind::kCrash:
+      std::abort();
+  }
+}
+
+// Parses "error", "error(msg)", "delay(ms)", "crash", "off" into a Site.
+bool ParseAction(std::string_view action, Site& site) {
+  std::string_view name = action;
+  std::string_view arg;
+  auto open = action.find('(');
+  if (open != std::string_view::npos) {
+    if (action.back() != ')') {
+      return false;
+    }
+    name = action.substr(0, open);
+    arg = action.substr(open + 1, action.size() - open - 2);
+  }
+  if (name == "off") {
+    site.kind = Kind::kOff;
+  } else if (name == "error") {
+    site.kind = Kind::kError;
+    site.message = std::string(arg);
+  } else if (name == "delay") {
+    site.kind = Kind::kDelay;
+    try {
+      site.delay_ms = std::stoi(std::string(arg));
+    } catch (...) {
+      return false;
+    }
+    if (site.delay_ms < 0) {
+      return false;
+    }
+  } else if (name == "crash") {
+    site.kind = Kind::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Evaluate(std::string_view site) {
+  Pending action;
+  if (Lookup(site, action)) {
+    Run(site, action);
+  }
+}
+
+void EvaluateTagged(std::string_view site, std::string_view tag) {
+  Evaluate(site);
+  std::string tagged;
+  tagged.reserve(site.size() + 1 + tag.size());
+  tagged.append(site);
+  tagged.push_back('.');
+  tagged.append(tag);
+  Evaluate(tagged);
+}
+
+void Configure(std::string site, std::string action, std::uint64_t count) {
+  Site entry;
+  if (!ParseAction(action, entry)) {
+    throw std::invalid_argument("failpoint: bad action '" + action + "'");
+  }
+  entry.remaining = count == 0 ? -1 : static_cast<std::int64_t>(count);
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] = registry.sites.insert_or_assign(std::move(site), entry);
+  (void)it;
+  if (inserted) {
+    internal::g_configured.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool ConfigureFromSpec(std::string_view spec) {
+  std::size_t begin = 0;
+  bool ok = true;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find_first_of(";,", begin);
+    if (end == std::string_view::npos) {
+      end = spec.size();
+    }
+    std::string_view clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) {
+      if (end == spec.size()) {
+        break;
+      }
+      continue;
+    }
+    auto eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      ok = false;
+      continue;
+    }
+    try {
+      Configure(std::string(clause.substr(0, eq)),
+                std::string(clause.substr(eq + 1)));
+    } catch (const std::invalid_argument&) {
+      ok = false;
+    }
+    if (end == spec.size()) {
+      break;
+    }
+  }
+  return ok;
+}
+
+void Clear(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (registry.sites.erase(std::string(site)) > 0) {
+    internal::g_configured.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ClearAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  internal::g_configured.fetch_sub(static_cast<int>(registry.sites.size()),
+                                   std::memory_order_relaxed);
+  registry.sites.clear();
+}
+
+std::uint64_t HitCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+}  // namespace respect::core::failpoint

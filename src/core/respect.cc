@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "core/thread_pool.h"
 #include "rl/batch_decode_workspace.h"
 #include "sched/device_aware.h"
@@ -93,6 +94,15 @@ CompileResult PipelineCompiler::Compile(
   return CompileWith(*engine, dag, ConstraintsFor(num_stages, &profile));
 }
 
+CompileResult PipelineCompiler::Compile(
+    const graph::Dag& dag, int num_stages, std::string_view engine_name,
+    const tpu::DeviceProfile& profile, const core::CancelToken& cancel) const {
+  const auto engine = engines::EngineRegistry::Global().Create(
+      engine_name, MakeEngineContext());
+  return CompileWith(*engine, dag, ConstraintsFor(num_stages, &profile),
+                     cancel);
+}
+
 engines::EngineBudget PipelineCompiler::MakeBudget() const {
   engines::EngineBudget budget;
   budget.max_expansions = options_.exact_max_expansions;
@@ -128,9 +138,15 @@ CompileResult PipelineCompiler::FinishCompile(
 
 CompileResult PipelineCompiler::CompileWith(
     const engines::SchedulerEngine& engine, const graph::Dag& dag,
-    const sched::PipelineConstraints& constraints) const {
+    const sched::PipelineConstraints& constraints,
+    const core::CancelToken& cancel) const {
   dag.Validate();
-  return FinishCompile(engine.Schedule(dag, constraints, MakeBudget()), dag,
+  // Chaos tooling can stall or fail one engine ("engine.solve.RESPECT") or
+  // every solve ("engine.solve").
+  RESPECT_FAILPOINT_TAGGED("engine.solve", engine.Name());
+  engines::EngineBudget budget = MakeBudget();
+  budget.cancel = cancel;
+  return FinishCompile(engine.Schedule(dag, constraints, budget), dag,
                        constraints);
 }
 

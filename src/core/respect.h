@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/cancel.h"
 #include "deploy/package.h"
 #include "engines/method.h"
 #include "engines/registry.h"
@@ -103,6 +104,15 @@ class PipelineCompiler {
   [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
                                       std::string_view engine,
                                       const tpu::DeviceProfile& profile) const;
+
+  /// Same, carrying a cooperative cancellation token into the engine's
+  /// inner loops (the serving layer's per-request solve budget).  A fired
+  /// token unwinds with core::CancelledError — no partial schedule is ever
+  /// returned.  An empty token makes this identical to the overload above.
+  [[nodiscard]] CompileResult Compile(const graph::Dag& dag, int num_stages,
+                                      std::string_view engine,
+                                      const tpu::DeviceProfile& profile,
+                                      const core::CancelToken& cancel) const;
 
   /// Compiles every graph of the batch across `num_threads` worker threads
   /// (values < 1 select ThreadPool::DefaultThreadCount()).  Engines are
@@ -199,7 +209,9 @@ class PipelineCompiler {
   [[nodiscard]] CompileResult CompileWith(const engines::SchedulerEngine& engine,
                                           const graph::Dag& dag,
                                           const sched::PipelineConstraints&
-                                              constraints) const;
+                                              constraints,
+                                          const core::CancelToken& cancel =
+                                              {}) const;
   [[nodiscard]] std::vector<CompileResult> CompileBatchWith(
       const engines::SchedulerEngine& engine,
       std::span<const graph::Dag* const> dags, int num_stages,

@@ -54,6 +54,11 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Workers exit as soon as Size() reaches 0, which for a policy queue that
+  // hides capped entries can leave unconsumed work behind.  Every entry
+  // still queued must be settled exactly once (run or drop its on_expired)
+  // so promise-holding consumers are never left hanging.
+  queue_->Shutdown();
 }
 
 void ThreadPool::Submit(Task task) { Submit(std::move(task), TaskAttrs{}); }

@@ -49,6 +49,12 @@ class ThreadPool {
     /// default and empty flows ("" = the shared default flow) behave as if
     /// the field did not exist.
     std::string flow;
+
+    /// Marks the entry as load-sheddable: a bounded policy queue may refuse
+    /// it at Push time by throwing (the exception propagates out of
+    /// Submit(); nothing is enqueued).  Default false so bookkeeping tasks
+    /// (writebacks, batch groups, ParallelFor bodies) are never shed.
+    bool sheddable = false;
   };
 
   /// Ordering policy for pending tasks.  The pool calls every method under
@@ -78,6 +84,14 @@ class ThreadPool {
     /// pool's own activity (a returned task's completion on a worker that
     /// then re-reads Size(), or a later Push) — the pool never polls.
     [[nodiscard]] virtual std::size_t Size() const = 0;
+
+    /// Called exactly once by ~ThreadPool AFTER every worker has joined
+    /// (single-threaded, no pool mutex).  Implementations that still hold
+    /// entries — hidden by a concurrency cap or simply never popped before
+    /// stop — must settle each exactly once here: run its on_expired (the
+    /// channel that fails the entry's consumers) or deliberately drop it.
+    /// The default is a no-op for policies that never hide entries.
+    virtual void Shutdown() {}
   };
 
   /// Spawns `num_threads` workers (values < 1 are clamped to 1) over the

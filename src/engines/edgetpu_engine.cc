@@ -4,7 +4,10 @@ namespace respect::engines {
 
 EngineResult EdgeTpuCompilerEngine::Schedule(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    const EngineBudget& /*budget*/) const {
+    const EngineBudget& budget) const {
+  // One-shot profile-and-rebalance pass: entry check only (see the note in
+  // heuristic_engines.cc).
+  budget.cancel.ThrowIfCancelled("edgetpu compiler");
   heuristics::EdgeTpuCompilerConfig config = config_;
   config.num_stages = constraints.num_stages;
   return TimedSolve(

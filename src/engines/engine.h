@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.h"
 #include "graph/dag.h"
 #include "heuristics/edgetpu_compiler.h"
 #include "rl/scheduler.h"
@@ -37,6 +38,13 @@ struct EngineBudget {
 
   /// Wall-clock ceiling in seconds (0 = unlimited).
   double time_limit_seconds = 0.0;
+
+  /// Cooperative cancellation, polled in engine inner loops (annealing
+  /// sweeps, B&B expansion, RL decode steps).  Unlike the two soft limits
+  /// above — which return the best incumbent found — a fired token unwinds
+  /// with core::CancelledError so a cancelled solve never yields a partial
+  /// schedule.  Default-constructed (empty) tokens cost one null check.
+  core::CancelToken cancel;
 };
 
 /// Read-only state shared by every engine created for one compiler.

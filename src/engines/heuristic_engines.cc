@@ -8,23 +8,30 @@
 
 namespace respect::engines {
 
+// The one-shot heuristics run in microseconds, so a single entry check is
+// the right granularity: a pre-cancelled token (already-blown budget) is
+// refused without doing work, and a token firing mid-solve gains nothing.
+
 EngineResult ListSchedulingEngine::Schedule(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    const EngineBudget& /*budget*/) const {
+    const EngineBudget& budget) const {
+  budget.cancel.ThrowIfCancelled("list scheduling");
   return TimedSolve(
       [&] { return heuristics::ListSchedule(dag, constraints.num_stages); });
 }
 
 EngineResult HuLevelEngine::Schedule(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    const EngineBudget& /*budget*/) const {
+    const EngineBudget& budget) const {
+  budget.cancel.ThrowIfCancelled("hu level scheduling");
   return TimedSolve(
       [&] { return heuristics::HuLevelSchedule(dag, constraints.num_stages); });
 }
 
 EngineResult ForceDirectedEngine::Schedule(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    const EngineBudget& /*budget*/) const {
+    const EngineBudget& budget) const {
+  budget.cancel.ThrowIfCancelled("force directed scheduling");
   return TimedSolve([&] {
     return heuristics::ForceDirectedSchedule(dag, constraints.num_stages);
   });
@@ -32,20 +39,22 @@ EngineResult ForceDirectedEngine::Schedule(
 
 EngineResult AnnealingEngine::Schedule(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    const EngineBudget& /*budget*/) const {
+    const EngineBudget& budget) const {
   return TimedSolve([&] {
     heuristics::AnnealingConfig config;
     config.num_stages = constraints.num_stages;
     // Non-default profiles flip the annealer's cost to the device-aware
     // service-time bottleneck; the default keeps the paper's byte objective.
     config.profile = constraints.profile;
+    config.cancel = budget.cancel;
     return heuristics::AnnealSchedule(dag, config);
   });
 }
 
 EngineResult GreedyBalanceEngine::Schedule(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    const EngineBudget& /*budget*/) const {
+    const EngineBudget& budget) const {
+  budget.cancel.ThrowIfCancelled("greedy balance");
   return TimedSolve([&] {
     return exact::PartitionDefaultOrder(dag, constraints.num_stages).schedule;
   });

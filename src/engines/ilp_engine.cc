@@ -11,6 +11,7 @@ EngineResult IlpEngine::Schedule(const graph::Dag& dag,
   config.num_stages = constraints.num_stages;
   config.max_nodes = budget.max_expansions;
   config.time_limit_seconds = budget.time_limit_seconds;
+  config.cancel = budget.cancel;
 
   ilp::IlpScheduleResult r = ilp::SolveSchedulingIlp(dag, config);
   EngineResult result;

@@ -17,7 +17,7 @@ RlEngine::RlEngine(std::shared_ptr<const rl::RlScheduler> rl)
 
 EngineResult RlEngine::Schedule(const graph::Dag& dag,
                                 const sched::PipelineConstraints& constraints,
-                                const EngineBudget& /*budget*/) const {
+                                const EngineBudget& budget) const {
   // One decode workspace per thread: CompileBatch workers and the
   // CompileService pool each reuse their own buffers across requests, so
   // concurrent serving decodes stay allocation-free without sharing state.
@@ -27,7 +27,8 @@ EngineResult RlEngine::Schedule(const graph::Dag& dag,
   // schedule is repaired exactly once by the façade's PostProcess, outside
   // the solve time (RESPECT's Fig. 3 metric stays comparable to the
   // baseline engines).
-  rl::RlScheduler::Result raw = rl_->ScheduleRaw(dag, constraints, workspace);
+  rl::RlScheduler::Result raw =
+      rl_->ScheduleRaw(dag, constraints, workspace, budget.cancel);
   EngineResult result;
   result.schedule = std::move(raw.schedule);
   result.solve_seconds = raw.solve_seconds;
@@ -41,6 +42,11 @@ std::vector<EngineResult> RlEngine::ScheduleBatch(
   // Same per-thread reuse as Schedule(): one batch workspace per thread,
   // grown to the largest (nodes, batch) this thread has lock-stepped.
   thread_local rl::BatchDecodeWorkspace batch_workspace;
+
+  // The lock-stepped kernels are not cancellation-aware (a fired token
+  // would strand the whole group), so the batch path checks once up front;
+  // straggler singletons still poll per decode step via Schedule().
+  budget.cancel.ThrowIfCancelled("rl batch decode");
 
   std::vector<EngineResult> results(dags.size());
 

@@ -85,6 +85,9 @@ class BnbSearch {
       budget_hit_ = true;
       return true;
     }
+    if ((expansions_ & 0xFFF) == 0) {
+      config_.cancel.ThrowIfCancelled("b&b expansion");
+    }
     if (config_.time_limit_seconds > 0 && (expansions_ & 0xFFF) == 0) {
       const double elapsed =
           std::chrono::duration<double>(Clock::now() - start_).count();

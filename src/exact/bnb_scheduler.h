@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "core/cancel.h"
 #include "graph/dag.h"
 #include "sched/schedule.h"
 
@@ -34,6 +35,11 @@ struct BnbConfig {
 
   /// Wall-clock ceiling in seconds (0 = unlimited); checked periodically.
   double time_limit_seconds = 0.0;
+
+  /// Cooperative cancellation, polled alongside the periodic wall-clock
+  /// check.  Unlike the soft budgets above it does NOT return the
+  /// incumbent: the search unwinds with core::CancelledError.
+  core::CancelToken cancel;
 };
 
 struct BnbResult {

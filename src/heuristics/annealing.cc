@@ -66,6 +66,9 @@ sched::Schedule AnnealSchedule(const graph::Dag& dag,
                     : static_cast<double>(dag.TotalParamBytes()));
 
   for (int it = 0; it < config.iterations; ++it, temperature *= config.cooling) {
+    if ((it & 0x3F) == 0) {
+      config.cancel.ThrowIfCancelled("annealing sweep");
+    }
     const graph::NodeId v = pick_node(rng);
 
     // Feasible window of v given the rest of the schedule.

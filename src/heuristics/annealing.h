@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "core/cancel.h"
 #include "graph/dag.h"
 #include "sched/schedule.h"
 #include "tpu/device_profile.h"
@@ -33,6 +34,10 @@ struct AnnealingConfig {
   /// Byte-width scale applied to graph byte attributes when evaluating the
   /// device-aware cost (0.25 when deployment will quantize float32->uint8).
   double bytes_scale = 1.0;
+
+  /// Polled every 64 sweeps; fires as core::CancelledError (the incumbent
+  /// is discarded, not returned).  Empty token = no cancellation.
+  core::CancelToken cancel;
 };
 
 [[nodiscard]] sched::Schedule AnnealSchedule(const graph::Dag& dag,

@@ -111,6 +111,7 @@ IlpScheduleResult SolveSchedulingIlp(const graph::Dag& dag,
     SolverConfig solver_config;
     solver_config.max_nodes = config.max_nodes;
     solver_config.time_limit_seconds = config.time_limit_seconds;
+    solver_config.cancel = config.cancel;
     const Solution sol = SolveBranchAndBound(model, solver_config);
     if (!sol.feasible) {
       throw std::logic_error("SolveSchedulingIlp: infeasible model (|V| >= "
@@ -126,6 +127,7 @@ IlpScheduleResult SolveSchedulingIlp(const graph::Dag& dag,
     bnb.require_nonempty = true;
     bnb.max_expansions = config.max_nodes;
     bnb.time_limit_seconds = config.time_limit_seconds;
+    bnb.cancel = config.cancel;
     const exact::BnbResult bnb_result = exact::SolveExact(dag, bnb);
     result.schedule = bnb_result.schedule;
     result.objective = bnb_result.objective;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "core/cancel.h"
 #include "graph/dag.h"
 #include "ilp/model.h"
 #include "sched/schedule.h"
@@ -60,6 +61,9 @@ struct IlpScheduleConfig {
   /// Budgets forwarded to whichever engine runs.
   std::int64_t max_nodes = 20'000'000;
   double time_limit_seconds = 0.0;
+
+  /// Forwarded to whichever engine runs; fires as core::CancelledError.
+  core::CancelToken cancel;
 };
 
 /// Exact scheduling via the ILP route.

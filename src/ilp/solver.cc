@@ -105,6 +105,9 @@ class Search {
       budget_hit_ = true;
       return true;
     }
+    if ((nodes_ & 0x3FF) == 0) {
+      config_.cancel.ThrowIfCancelled("ilp node expansion");
+    }
     if (config_.time_limit_seconds > 0 && (nodes_ & 0x3FF) == 0) {
       const double elapsed =
           std::chrono::duration<double>(Clock::now() - start_).count();

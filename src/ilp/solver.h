@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.h"
 #include "ilp/model.h"
 
 namespace respect::ilp {
@@ -20,6 +21,10 @@ namespace respect::ilp {
 struct SolverConfig {
   std::int64_t max_nodes = 10'000'000;
   double time_limit_seconds = 0.0;  // 0 = unlimited
+
+  /// Polled with the periodic wall-clock check; fires by unwinding the
+  /// search with core::CancelledError (no incumbent is returned).
+  core::CancelToken cancel;
 };
 
 struct Solution {

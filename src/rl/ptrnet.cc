@@ -94,7 +94,8 @@ void PtrNetAgent::StepMaskInto(DecodeWorkspace& ws) const {
 }
 
 const std::vector<graph::NodeId>& PtrNetAgent::DecodeImpl(
-    const graph::Dag& dag, std::mt19937_64* rng, DecodeWorkspace& ws) const {
+    const graph::Dag& dag, std::mt19937_64* rng, DecodeWorkspace& ws,
+    const core::CancelToken& cancel) const {
   const int n = dag.NodeCount();
   const int d = config_.hidden_dim;
   ws.Reserve(d, n);
@@ -138,6 +139,7 @@ const std::vector<graph::NodeId>& PtrNetAgent::DecodeImpl(
   const nn::Tensor* zx = &ws.zx_d0;  // first input: trainable d0 projection
   int zx_col = 0;
   for (int t = 0; t < n; ++t) {
+    cancel.ThrowIfCancelled("rl decode step");
     decoder_.StepInto(*zx, zx_col, ws.gates, ws.state);
     StepMaskInto(ws);
     attention_.PointerLogitsInto(ws.contexts, ws.refs, ws.state.h, ws.valid,
@@ -170,8 +172,9 @@ std::vector<graph::NodeId> PtrNetAgent::DecodeSampled(
 }
 
 const std::vector<graph::NodeId>& PtrNetAgent::DecodeGreedy(
-    const graph::Dag& dag, DecodeWorkspace& ws) const {
-  return DecodeImpl(dag, nullptr, ws);
+    const graph::Dag& dag, DecodeWorkspace& ws,
+    const core::CancelToken& cancel) const {
+  return DecodeImpl(dag, nullptr, ws, cancel);
 }
 
 const std::vector<std::vector<graph::NodeId>>& PtrNetAgent::DecodeGreedyBatch(

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.h"
 #include "graph/dag.h"
 #include "nn/attention.h"
 #include "nn/lstm.h"
@@ -71,8 +72,11 @@ class PtrNetAgent {
   // `ws` (one per thread; see decode_workspace.h), so a steady-state call
   // performs zero heap allocations.  The returned reference aliases
   // `ws.sequence` and is valid until the next decode on the same workspace.
+  /// `cancel` (optional) is polled once per decode step; a fired token
+  /// unwinds with core::CancelledError before the step's recurrence runs.
   [[nodiscard]] const std::vector<graph::NodeId>& DecodeGreedy(
-      const graph::Dag& dag, DecodeWorkspace& ws) const;
+      const graph::Dag& dag, DecodeWorkspace& ws,
+      const core::CancelToken& cancel = {}) const;
   [[nodiscard]] const std::vector<graph::NodeId>& DecodeSampled(
       const graph::Dag& dag, std::mt19937_64& rng, DecodeWorkspace& ws) const;
 
@@ -116,7 +120,8 @@ class PtrNetAgent {
   /// Shared fused inference decode; `rng` null selects greedy argmax.
   /// Returns a reference to ws.sequence.
   [[nodiscard]] const std::vector<graph::NodeId>& DecodeImpl(
-      const graph::Dag& dag, std::mt19937_64* rng, DecodeWorkspace& ws) const;
+      const graph::Dag& dag, std::mt19937_64* rng, DecodeWorkspace& ws,
+      const core::CancelToken& cancel = {}) const;
 
   /// Valid-node mask at one decode step (position-indexed), written into
   /// ws.valid.

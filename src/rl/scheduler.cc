@@ -16,10 +16,10 @@ RlScheduler::Result RlScheduler::ScheduleRaw(
 
 RlScheduler::Result RlScheduler::ScheduleRaw(
     const graph::Dag& dag, const sched::PipelineConstraints& constraints,
-    DecodeWorkspace& ws) const {
+    DecodeWorkspace& ws, const core::CancelToken& cancel) const {
   const auto start = std::chrono::steady_clock::now();
   Result result;
-  result.sequence = agent_.DecodeGreedy(dag, ws);
+  result.sequence = agent_.DecodeGreedy(dag, ws, cancel);
   result.schedule =
       sched::PackSequence(dag, result.sequence, constraints.num_stages);
   result.solve_seconds =

@@ -58,9 +58,12 @@ class RlScheduler {
   /// solve_seconds covers decode + packing only.
   [[nodiscard]] Result ScheduleRaw(const graph::Dag& dag,
                                    const sched::PipelineConstraints& constraints) const;
+  /// `cancel` (optional) is polled once per decode step and unwinds the
+  /// solve with core::CancelledError when it fires.
   [[nodiscard]] Result ScheduleRaw(const graph::Dag& dag,
                                    const sched::PipelineConstraints& constraints,
-                                   DecodeWorkspace& ws) const;
+                                   DecodeWorkspace& ws,
+                                   const core::CancelToken& cancel = {}) const;
 
   /// Batched ScheduleRaw over same-node-count graphs: one lock-stepped
   /// greedy decode (PtrNetAgent::DecodeGreedyBatch) followed by per-graph

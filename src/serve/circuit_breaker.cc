@@ -1,0 +1,96 @@
+#include "serve/circuit_breaker.h"
+
+namespace respect::serve {
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options()) {}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {}
+
+std::chrono::steady_clock::time_point CircuitBreaker::Now() const {
+  return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() >= open_until_) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++short_circuits_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++short_circuits_;
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to open for another full window.
+    probe_in_flight_ = false;
+    state_ = State::kOpen;
+    open_until_ = Now() + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  options_.open_seconds));
+    ++opened_;
+    return;
+  }
+  if (state_ == State::kClosed && options_.failure_threshold > 0 &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    open_until_ = Now() + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  options_.open_seconds));
+    ++opened_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::CurrentState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Snapshot CircuitBreaker::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snapshot;
+  snapshot.state = state_;
+  snapshot.consecutive_failures = consecutive_failures_;
+  snapshot.opened = opened_;
+  snapshot.short_circuits = short_circuits_;
+  return snapshot;
+}
+
+std::string_view ToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace respect::serve

@@ -1,0 +1,79 @@
+// Per-engine circuit breaker: closed → open → half-open with a single probe.
+//
+// CompileService keeps one breaker per engine.  Consecutive failures
+// (budget blows or solve errors) open the breaker; while open, requests
+// skip the sick engine straight to its fallback instead of burning a solve
+// budget each.  After `open_seconds` the breaker half-opens and admits
+// exactly one probe; the probe's outcome closes or re-opens it.
+//
+// Usage contract: every Allow() == true must be paired with exactly one
+// RecordSuccess() or RecordFailure() — that pairing is what releases the
+// half-open probe slot.  Outcomes may also be recorded without a prior
+// Allow() (a caller that attempted the engine despite an open breaker,
+// e.g. because it has no fallback left); the state machine absorbs them.
+//
+// Thread-safe; all methods take one short mutex.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+namespace respect::serve {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive failures that open the breaker (<= 0 disables opening;
+    /// the breaker then always allows).
+    int failure_threshold = 3;
+
+    /// How long an opened breaker rejects before half-opening a probe.
+    double open_seconds = 5.0;
+
+    /// Injectable clock for deterministic tests; null = steady_clock.
+    std::function<std::chrono::steady_clock::time_point()> clock;
+  };
+
+  struct Snapshot {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    std::uint64_t opened = 0;          // closed/half-open -> open transitions
+    std::uint64_t short_circuits = 0;  // Allow() calls answered false
+  };
+
+  CircuitBreaker();
+  explicit CircuitBreaker(const Options& options);
+
+  /// True when the caller may attempt the protected operation now.  An
+  /// expired open window flips to half-open and grants the probe slot to
+  /// the first caller; later callers are refused until the probe resolves.
+  [[nodiscard]] bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  [[nodiscard]] State CurrentState() const;
+  [[nodiscard]] Snapshot GetSnapshot() const;
+
+ private:
+  [[nodiscard]] std::chrono::steady_clock::time_point Now() const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point open_until_{};
+  std::uint64_t opened_ = 0;
+  std::uint64_t short_circuits_ = 0;
+};
+
+/// Human-readable state name ("closed" / "open" / "half-open").
+[[nodiscard]] std::string_view ToString(CircuitBreaker::State state);
+
+}  // namespace respect::serve

@@ -8,6 +8,8 @@
 #include <tuple>
 #include <utility>
 
+#include "core/cancel.h"
+#include "core/failpoint.h"
 #include "core/thread_pool.h"
 #include "engines/registry.h"
 #include "serve/request_queue.h"
@@ -53,6 +55,7 @@ std::unique_ptr<core::ThreadPool> MakeServicePool(
   RequestQueue::Options queue_options;
   queue_options.aging_seconds = options.queue_aging_seconds;
   queue_options.max_batch_inflight = options.max_batch_inflight;
+  queue_options.max_lane_depth = options.max_lane_depth;
   queue_options.default_tenant_weight = options.default_tenant_weight;
   queue_options.tenant_weights = options.tenant_weights;
   queue_options.default_tenant_quota = options.default_tenant_quota;
@@ -112,6 +115,23 @@ CompileService::CompileService(const CompilerOptions& compiler_options,
         std::make_unique<store::TinyLfuAdmission>(options.cache_capacity);
   }
   batch_decode_ = options.batch_decode;
+  default_solve_budget_seconds_ = options.default_solve_budget_seconds;
+  deadline_admission_ = options.deadline_admission;
+  breaker_options_.failure_threshold = options.breaker_failure_threshold;
+  breaker_options_.open_seconds = options.breaker_open_seconds;
+  breaker_options_.clock = options.breaker_clock;
+  // Resolve the fallback chain to canonical names now so a typo fails the
+  // constructor, not a degraded request under traffic.  Duplicates collapse
+  // (an alias and its canonical name are one candidate).
+  fallback_chain_.reserve(options.fallback_chain.size());
+  for (const std::string& name : options.fallback_chain) {
+    const std::string_view canonical =
+        engines::EngineRegistry::Global().Resolve(EngineRef(name)).name;
+    if (std::find(fallback_chain_.begin(), fallback_chain_.end(), canonical) ==
+        fallback_chain_.end()) {
+      fallback_chain_.push_back(canonical);
+    }
+  }
   if (!options.cache_dir.empty()) {
     store::DiskStoreOptions store_options;
     store_options.directory = options.cache_dir;
@@ -247,27 +267,114 @@ CompileService::ResultPtr CompileService::TryCached(const RequestKey& key) {
   return it->second->result;
 }
 
-CompileService::ResultPtr CompileService::SolveCold(const graph::Dag& dag,
-                                                    int num_stages,
-                                                    const RequestKey& key,
-                                                    double& solve_seconds) {
-  try {
-    const auto start = SteadyClock::now();
-    auto result = std::make_shared<const CompileResult>(
-        compiler_.Compile(dag, num_stages, key.engine_name, key.profile));
-    solve_seconds =
-        std::chrono::duration<double>(SteadyClock::now() - start).count();
-    solve_latency_.Record(solve_seconds);
-    return result;
-  } catch (...) {
-    failures_.fetch_add(1, std::memory_order_relaxed);
-    throw;
+CircuitBreaker& CompileService::BreakerFor(std::string_view engine) {
+  const std::lock_guard<std::mutex> lock(breaker_mutex_);
+  auto it = breakers_.find(engine);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(engine, std::make_unique<CircuitBreaker>(breaker_options_))
+             .first;
   }
+  return *it->second;
 }
 
-void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
+CompileService::ResultPtr CompileService::SolveCold(
+    const graph::Dag& dag, int num_stages, const RequestKey& key,
+    const CompileRequest& params, double& solve_seconds,
+    SolveOutcome& outcome) {
+  // Candidate chain: the preferred engine, then each configured fallback
+  // (minus the preferred engine itself — already first).
+  std::vector<std::string_view> candidates;
+  candidates.reserve(1 + fallback_chain_.size());
+  candidates.push_back(key.engine_name);
+  for (const std::string_view name : fallback_chain_) {
+    if (name != key.engine_name) candidates.push_back(name);
+  }
+
+  // Per-attempt budget: every candidate gets a fresh one — a fallback must
+  // not inherit the few microseconds the preferred engine left behind.
+  const double budget = params.solve_budget_seconds > 0.0
+                            ? params.solve_budget_seconds
+                            : default_solve_budget_seconds_;
+
+  std::exception_ptr first_failure;
+  bool first_was_budget = false;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::string_view engine = candidates[i];
+    const bool last = i + 1 == candidates.size();
+    if (params.deadline && SteadyClock::now() > *params.deadline) {
+      // The request's own deadline passed between attempts: stop walking,
+      // the caller's waiter is already (or about to be) past caring.
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      throw DeadlineExceeded(
+          "compile request deadline expired while walking the fallback "
+          "chain");
+    }
+    CircuitBreaker* breaker = breaker_options_.failure_threshold > 0
+                                  ? &BreakerFor(engine)
+                                  : nullptr;
+    if (breaker != nullptr && !breaker->Allow() && !last) {
+      // Open breaker: skip the sick engine straight to its fallback.  The
+      // last candidate is always attempted — short-circuiting it would turn
+      // "sick engine" into "no answer at all".
+      continue;
+    }
+    try {
+      const core::CancelToken cancel =
+          budget > 0.0 ? core::CancelToken::WithBudget(budget)
+                       : core::CancelToken();
+      const auto start = SteadyClock::now();
+      auto result = std::make_shared<const CompileResult>(
+          compiler_.Compile(dag, num_stages, engine, key.profile, cancel));
+      solve_seconds =
+          std::chrono::duration<double>(SteadyClock::now() - start).count();
+      solve_latency_.Record(solve_seconds);
+      // Load-compute-store EWMA: a lost race skews the admission estimate
+      // by one sample, which it tolerates by construction.
+      const double prev = ewma_solve_seconds_.load(std::memory_order_relaxed);
+      ewma_solve_seconds_.store(
+          prev == 0.0 ? solve_seconds : 0.8 * prev + 0.2 * solve_seconds,
+          std::memory_order_relaxed);
+      if (breaker != nullptr) breaker->RecordSuccess();
+      outcome.engine_used = engine;
+      outcome.degraded = engine != key.engine_name;
+      if (outcome.degraded) {
+        degraded_served_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return result;
+    } catch (const core::CancelledError&) {
+      budget_blown_.fetch_add(1, std::memory_order_relaxed);
+      if (breaker != nullptr) breaker->RecordFailure();
+      if (first_failure == nullptr) {
+        first_failure = std::current_exception();
+        first_was_budget = true;
+      }
+    } catch (...) {
+      if (breaker != nullptr) breaker->RecordFailure();
+      if (first_failure == nullptr) first_failure = std::current_exception();
+    }
+  }
+
+  fallback_exhausted_.fetch_add(1, std::memory_order_relaxed);
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  if (first_was_budget) {
+    // The chain died on budgets: surface the typed error the serving
+    // contract promises, not the internal cancellation type.
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    throw DeadlineExceeded(
+        "solve budget exhausted across the engine chain (preferred \"" +
+        std::string(key.engine_name) + "\" plus " +
+        std::to_string(candidates.size() - 1) + " fallback(s))");
+  }
+  std::rethrow_exception(first_failure);
+}
+
+void CompileService::ExecuteCached(const graph::Dag& dag,
+                                   const CompileRequest& params,
                                    const RequestKey& key, bool record_access,
                                    CompileResponse& response) {
+  const int num_stages = params.num_stages;
   if (record_access && admission_ != nullptr) {
     admission_->RecordAccess(key.hash);
   }
@@ -304,6 +411,10 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
   if (!owner) {
     response.result = flight->future.get();  // rethrows the owner's failure
     response.outcome = CacheOutcome::kCollapsed;
+    if (flight->degraded) {  // written before set_value; get() ordered it
+      response.degraded = true;
+      response.engine_name = flight->served_by;
+    }
     return;
   }
 
@@ -342,14 +453,42 @@ void CompileService::ExecuteCached(const graph::Dag& dag, int num_stages,
   misses_.fetch_add(1, std::memory_order_relaxed);
   try {
     double solve_seconds = 0.0;
-    ResultPtr result = SolveCold(dag, num_stages, key, solve_seconds);
-    {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
-      InsertLocked(shard, key, result);
-      shard.flights.erase(key.hash);
+    SolveOutcome outcome;
+    ResultPtr result =
+        SolveCold(dag, num_stages, key, params, solve_seconds, outcome);
+    if (!outcome.degraded) {
+      {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        InsertLocked(shard, key, result);
+        shard.flights.erase(key.hash);
+      }
+      flight->promise.set_value(result);
+      EnqueueWriteback(key, result);
+    } else {
+      // A fallback answered.  Cache (and spill) the result under the
+      // fallback engine's OWN key — the preferred engine's key must never
+      // serve a degraded result once the engine recovers.  The flight under
+      // the preferred key still resolves so collapsed waiters share this
+      // answer, tagged degraded via the flight's provenance fields.
+      const RequestKey used_key = MakeKey(
+          dag, num_stages, EngineRef(std::string(outcome.engine_used)),
+          key.profile.name);
+      Shard& used_shard = ShardFor(used_key.hash);
+      {
+        const std::lock_guard<std::mutex> lock(used_shard.mutex);
+        InsertLocked(used_shard, used_key, result);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.flights.erase(key.hash);
+      }
+      flight->degraded = true;
+      flight->served_by = outcome.engine_used;
+      flight->promise.set_value(result);
+      EnqueueWriteback(used_key, result);
+      response.degraded = true;
+      response.engine_name = outcome.engine_used;
     }
-    flight->promise.set_value(result);
-    EnqueueWriteback(key, result);
     response.result = std::move(result);
     response.outcome = CacheOutcome::kMiss;
     response.solve_seconds = solve_seconds;
@@ -371,33 +510,58 @@ CompileResponse CompileService::Execute(
                                                params.engine, params.profile);
   CompileResponse response;
   response.engine_name = key.engine_name;
+  response.requested_engine = key.engine_name;
   response.key_hex = key.hash.ToHex();
   switch (params.cache_policy) {
     case CachePolicy::kUse:
       // A precomputed key means the batch path probed (and recorded) this
       // request in TryCached already — don't double-count it in the
       // admission sketch.
-      ExecuteCached(dag, params.num_stages, key,
+      ExecuteCached(dag, params, key,
                     /*record_access=*/!precomputed.has_value(), response);
       break;
-    case CachePolicy::kBypass:
+    case CachePolicy::kBypass: {
       // Forced fresh solve, cache untouched; not counted as a miss (misses
       // are cache-lookup outcomes, and this never looked).
       bypasses_.fetch_add(1, std::memory_order_relaxed);
-      response.result =
-          SolveCold(dag, params.num_stages, key, response.solve_seconds);
+      SolveOutcome outcome;
+      response.result = SolveCold(dag, params.num_stages, key, params,
+                                  response.solve_seconds, outcome);
       response.outcome = CacheOutcome::kBypass;
+      if (outcome.degraded) {
+        response.degraded = true;
+        response.engine_name = outcome.engine_used;
+      }
       break;
+    }
     case CachePolicy::kRefresh: {
       refreshes_.fetch_add(1, std::memory_order_relaxed);
-      ResultPtr result =
-          SolveCold(dag, params.num_stages, key, response.solve_seconds);
-      {
-        Shard& shard = ShardFor(key.hash);
-        const std::lock_guard<std::mutex> lock(shard.mutex);
-        InsertLocked(shard, key, result);
+      SolveOutcome outcome;
+      ResultPtr result = SolveCold(dag, params.num_stages, key, params,
+                                   response.solve_seconds, outcome);
+      if (!outcome.degraded) {
+        {
+          Shard& shard = ShardFor(key.hash);
+          const std::lock_guard<std::mutex> lock(shard.mutex);
+          InsertLocked(shard, key, result);
+        }
+        EnqueueWriteback(key, result);  // a refresh renews the disk copy too
+      } else {
+        // A degraded refresh must not overwrite the preferred engine's
+        // entry with a fallback result — it lands under the fallback
+        // engine's key, exactly like the kUse path.
+        const RequestKey used_key = MakeKey(
+            dag, params.num_stages, EngineRef(std::string(outcome.engine_used)),
+            key.profile.name);
+        {
+          Shard& used_shard = ShardFor(used_key.hash);
+          const std::lock_guard<std::mutex> lock(used_shard.mutex);
+          InsertLocked(used_shard, used_key, result);
+        }
+        EnqueueWriteback(used_key, result);
+        response.degraded = true;
+        response.engine_name = outcome.engine_used;
       }
-      EnqueueWriteback(key, result);  // a refresh renews the disk copy too
       response.result = std::move(result);
       response.outcome = CacheOutcome::kRefresh;
       break;
@@ -421,13 +585,21 @@ void CompileService::EnqueueWriteback(const RequestKey& key,
   meta.profile_name = key.profile.name;
   meta.profile_fingerprint = key.profile_fingerprint;
   // Normal lane: writeback must not wait out a capped batch flood, and
-  // must not delay interactive solves either.  Put never throws (failed
-  // writes are counted store-side), so the decrement always runs.
+  // must not delay interactive solves either.  Put reports I/O failures
+  // through the store's own counters; anything that still throws (an
+  // injected fault, an unexpected error) is counted service-side — the
+  // spill is lost but never silently, and the decrement always runs so
+  // FlushStore cannot hang on a failed write.
   core::ThreadPool::TaskAttrs attrs;
   attrs.lane = static_cast<int>(LaneIndex(Priority::kNormal));
   pool_->Submit(
       [this, meta = std::move(meta), result = std::move(result)] {
-        store_->Put(meta, result);
+        try {
+          RESPECT_FAILPOINT("serve.writeback");
+          store_->Put(meta, result);
+        } catch (...) {
+          writeback_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
         {
           const std::lock_guard<std::mutex> lock(writeback_mutex_);
           --pending_writebacks_;
@@ -486,9 +658,42 @@ CompileService::Ticket CompileService::SubmitInternal(
 
   Ticket ticket(pending->promise.get_future().share());
 
+  // Deadline-aware admission (opt-in): when the lane's backlog times the
+  // recent average solve cost already exceeds the request's deadline, the
+  // queue wait alone would expire it — shed now (Overloaded) instead of
+  // letting a doomed entry deepen the backlog for everyone behind it.
+  if (deadline_admission_ && pending->request.deadline) {
+    const double ewma = ewma_solve_seconds_.load(std::memory_order_relaxed);
+    const LaneCounters& counters = lane_counters_[lane];
+    const std::uint64_t enqueued =
+        counters.enqueued.load(std::memory_order_relaxed);
+    const std::uint64_t settled =
+        counters.started.load(std::memory_order_relaxed) +
+        counters.expired.load(std::memory_order_relaxed) +
+        counters.shed.load(std::memory_order_relaxed);
+    const double backlog =
+        enqueued > settled ? static_cast<double>(enqueued - settled) : 0.0;
+    const double est_wait =
+        backlog * ewma / std::max(1, pool_->NumThreads());
+    if (ewma > 0.0 &&
+        pending->enqueue_time +
+                std::chrono::duration_cast<SteadyClock::duration>(
+                    std::chrono::duration<double>(est_wait)) >
+            *pending->request.deadline) {
+      lane_counters_[lane].shed.fetch_add(1, std::memory_order_relaxed);
+      pending->promise.set_exception(std::make_exception_ptr(Overloaded(
+          "deadline-aware admission: estimated queue wait " +
+          std::to_string(est_wait) + "s on lane " +
+          std::string(PriorityName(pending->request.priority)) +
+          " exceeds the request deadline")));
+      return ticket;
+    }
+  }
+
   core::ThreadPool::TaskAttrs attrs;
   attrs.lane = static_cast<int>(lane);
   attrs.flow = pending->request.tenant;  // weighted-fair queueing + quotas
+  attrs.sheddable = true;  // a full lane refuses us with Overloaded
   if (pending->request.deadline) {
     attrs.has_deadline = true;
     attrs.deadline = *pending->request.deadline;
@@ -502,37 +707,46 @@ CompileService::Ticket CompileService::SubmitInternal(
         std::string(PriorityName(pending->request.priority)) + ")")));
   };
 
-  pool_->Submit(
-      [this, pending, lane] {
-        const double wait = std::chrono::duration<double>(
-                                SteadyClock::now() - pending->enqueue_time)
-                                .count();
-        // Belt and braces: the lane queue fails expired entries at pop time,
-        // but the FIFO baseline doesn't, and a deadline can pass between the
-        // pop decision and this first instruction.
-        if (pending->request.deadline &&
-            SteadyClock::now() > *pending->request.deadline) {
-          lane_counters_[lane].expired.fetch_add(1, std::memory_order_relaxed);
-          BumpTenant(pending->request.tenant, &TenantMetrics::expired);
-          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
-          pending->promise.set_exception(std::make_exception_ptr(
-              DeadlineExceeded("compile request deadline expired after " +
-                               std::to_string(wait) + "s in queue")));
-          return;
-        }
-        lane_counters_[lane].started.fetch_add(1, std::memory_order_relaxed);
-        BumpTenant(pending->request.tenant, &TenantMetrics::started);
-        lane_wait_[lane].Record(wait);
-        try {
-          CompileResponse response =
-              Execute(pending->request.dag, pending->request, pending->key);
-          response.queue_wait_seconds = wait;
-          pending->promise.set_value(std::move(response));
-        } catch (...) {
-          pending->promise.set_exception(std::current_exception());
-        }
-      },
-      std::move(attrs));
+  try {
+    pool_->Submit(
+        [this, pending, lane] {
+          const double wait = std::chrono::duration<double>(
+                                  SteadyClock::now() - pending->enqueue_time)
+                                  .count();
+          // Belt and braces: the lane queue fails expired entries at pop
+          // time, but the FIFO baseline doesn't, and a deadline can pass
+          // between the pop decision and this first instruction.
+          if (pending->request.deadline &&
+              SteadyClock::now() > *pending->request.deadline) {
+            lane_counters_[lane].expired.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            BumpTenant(pending->request.tenant, &TenantMetrics::expired);
+            deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+            pending->promise.set_exception(std::make_exception_ptr(
+                DeadlineExceeded("compile request deadline expired after " +
+                                 std::to_string(wait) + "s in queue")));
+            return;
+          }
+          lane_counters_[lane].started.fetch_add(1, std::memory_order_relaxed);
+          BumpTenant(pending->request.tenant, &TenantMetrics::started);
+          lane_wait_[lane].Record(wait);
+          try {
+            CompileResponse response =
+                Execute(pending->request.dag, pending->request, pending->key);
+            response.queue_wait_seconds = wait;
+            pending->promise.set_value(std::move(response));
+          } catch (...) {
+            pending->promise.set_exception(std::current_exception());
+          }
+        },
+        std::move(attrs));
+  } catch (const Overloaded&) {
+    // The lane refused the entry at its depth bound (nothing enqueued).
+    // The typed rejection reaches the caller through the ticket, same as
+    // every other async failure.
+    lane_counters_[lane].shed.fetch_add(1, std::memory_order_relaxed);
+    pending->promise.set_exception(std::current_exception());
+  }
   return ticket;
 }
 
@@ -972,6 +1186,23 @@ ServiceMetrics CompileService::Metrics() const {
   metrics.batch_solved = batch_solved_.load(std::memory_order_relaxed);
   metrics.batch_single = batch_single_.load(std::memory_order_relaxed);
   metrics.batch_groups = batch_groups_.load(std::memory_order_relaxed);
+  metrics.budget_blown = budget_blown_.load(std::memory_order_relaxed);
+  metrics.degraded_served = degraded_served_.load(std::memory_order_relaxed);
+  metrics.fallback_exhausted =
+      fallback_exhausted_.load(std::memory_order_relaxed);
+  metrics.writeback_errors =
+      writeback_errors_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(breaker_mutex_);
+    for (const auto& [name, breaker] : breakers_) {
+      const CircuitBreaker::Snapshot snapshot = breaker->GetSnapshot();
+      BreakerMetrics& out = metrics.breakers[std::string(name)];
+      out.state = std::string(ToString(snapshot.state));
+      out.consecutive_failures = snapshot.consecutive_failures;
+      out.opened = snapshot.opened;
+      out.short_circuits = snapshot.short_circuits;
+    }
+  }
   if (store_ != nullptr) metrics.store = store_->Metrics();
   {
     const std::lock_guard<std::mutex> lock(tenant_mutex_);
@@ -988,9 +1219,12 @@ ServiceMetrics CompileService::Metrics() const {
     out.enqueued = lane_counters_[lane].enqueued.load(std::memory_order_relaxed);
     out.started = lane_counters_[lane].started.load(std::memory_order_relaxed);
     out.expired = lane_counters_[lane].expired.load(std::memory_order_relaxed);
+    out.shed = lane_counters_[lane].shed.load(std::memory_order_relaxed);
+    metrics.shed += out.shed;
     // Monotone counters loaded independently; saturate rather than wrap on
-    // a transiently inconsistent snapshot.
-    const std::uint64_t settled = out.started + out.expired;
+    // a transiently inconsistent snapshot.  Shed requests counted enqueued
+    // but never start or expire, so they settle here too.
+    const std::uint64_t settled = out.started + out.expired + out.shed;
     out.depth = out.enqueued > settled
                     ? static_cast<std::size_t>(out.enqueued - settled)
                     : 0;

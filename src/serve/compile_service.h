@@ -54,6 +54,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -70,6 +71,7 @@
 #include "engines/method.h"
 #include "graph/canonical_hash.h"
 #include "graph/dag.h"
+#include "serve/circuit_breaker.h"
 #include "serve/request.h"
 #include "serve/store/cache_store.h"
 #include "tpu/device_profile.h"
@@ -161,6 +163,46 @@ struct ServiceOptions {
 
   /// Per-tenant concurrency quotas (<= 0 entries mean unlimited).
   std::map<std::string, int> tenant_quotas;
+
+  /// Ordered engines tried after the preferred engine blows its solve
+  /// budget, throws, or sits behind an open circuit breaker.  Any EngineRef
+  /// spelling; resolved to canonical names at construction (unknown names
+  /// throw std::invalid_argument there, not under traffic).  Empty = no
+  /// fallback: a blown budget surfaces as DeadlineExceeded.  A response
+  /// served by a fallback is tagged degraded and cached under the fallback
+  /// engine's own key, never the preferred engine's.
+  std::vector<std::string> fallback_chain;
+
+  /// Per-engine-attempt solve budget (seconds) for requests that leave
+  /// CompileRequest::solve_budget_seconds at 0; 0 here too = unlimited.
+  /// Each attempt down the fallback chain gets a fresh budget.
+  double default_solve_budget_seconds = 0.0;
+
+  /// Consecutive solve failures (budget blows included) that open an
+  /// engine's circuit breaker; <= 0 disables breakers entirely.  While
+  /// open, requests skip the sick engine straight to its fallback —
+  /// except when it is the last candidate, which is always attempted.
+  int breaker_failure_threshold = 3;
+
+  /// Seconds an open breaker short-circuits its engine before half-opening
+  /// to admit a single probe solve.
+  double breaker_open_seconds = 5.0;
+
+  /// Test seam: breaker time source (null = steady_clock).
+  std::function<std::chrono::steady_clock::time_point()> breaker_clock;
+
+  /// Bound on queued entries per priority lane (serve::RequestQueue);
+  /// <= 0 = unbounded.  A request submitted into a full lane is shed —
+  /// Ticket::Wait throws Overloaded — instead of deepening the backlog.
+  /// Ignored by the fifo_queue baseline.
+  int max_lane_depth = 0;
+
+  /// Deadline-aware admission: shed a request at Submit time (Overloaded)
+  /// when its lane's backlog times the recent average solve cost already
+  /// exceeds the request's deadline — the queue wait alone would expire it.
+  /// Off by default: expiry then still fails the request fast, but only
+  /// once it surfaces in the queue.
+  bool deadline_admission = false;
 };
 
 /// Per-tenant async-path counters ("" is the shared default tenant).
@@ -176,9 +218,18 @@ struct LaneMetrics {
   std::uint64_t enqueued = 0;  // Submits routed to this lane
   std::uint64_t started = 0;   // began their compile on a worker
   std::uint64_t expired = 0;   // failed fast with DeadlineExceeded
+  std::uint64_t shed = 0;      // refused at admission with Overloaded
   std::size_t depth = 0;       // waiting in queue right now (approximate)
   double wait_p50_seconds = 0.0;  // queue wait of started requests
   double wait_p99_seconds = 0.0;
+};
+
+/// Point-in-time view of one engine's circuit breaker.
+struct BreakerMetrics {
+  std::string state;  // "closed" / "open" / "half-open"
+  int consecutive_failures = 0;
+  std::uint64_t opened = 0;          // transitions into open
+  std::uint64_t short_circuits = 0;  // attempts skipped while open
 };
 
 /// Point-in-time counters; Metrics() assembles a consistent-enough snapshot
@@ -200,6 +251,12 @@ struct ServiceMetrics {
   std::uint64_t batch_single = 0;     // grouped-path solves that fell back to
                                       // the per-graph decode (stragglers)
   std::uint64_t batch_groups = 0;     // lock-stepped group decodes executed
+  std::uint64_t budget_blown = 0;     // engine attempts cancelled on budget
+  std::uint64_t degraded_served = 0;  // responses produced by a fallback
+  std::uint64_t fallback_exhausted = 0;  // requests whose whole chain failed
+  std::uint64_t shed = 0;             // requests refused at admission
+                                      // (Overloaded), summed over lanes
+  std::uint64_t writeback_errors = 0;  // background spills that failed
   double solve_p50_seconds = 0.0;     // over the recent cold-solve window
   double solve_p99_seconds = 0.0;
   std::size_t cache_size = 0;         // resident entries right now
@@ -211,6 +268,10 @@ struct ServiceMetrics {
 
   /// Persistent-tier counters; all zero when no cache_dir is configured.
   store::StoreMetrics store{};
+
+  /// Circuit-breaker state by canonical engine name; an engine appears
+  /// once it has served (or skipped) at least one solve attempt.
+  std::map<std::string, BreakerMetrics> breakers;
 };
 
 class CompileService {
@@ -356,10 +417,14 @@ class CompileService {
   };
 
   /// One single-flight slot: the owner solves and resolves the future; every
-  /// concurrent identical request waits on it.
+  /// concurrent identical request waits on it.  The provenance fields are
+  /// written by the owner before set_value — promise/future ordering makes
+  /// them visible to every waiter that returned from future.get().
   struct Flight {
     std::promise<ResultPtr> promise;
     std::shared_future<ResultPtr> future;
+    bool degraded = false;
+    std::string_view served_by{};  // canonical engine that actually solved
   };
 
   struct Shard {
@@ -431,16 +496,32 @@ class CompileService {
   /// probe → cold solve + insert, in that order.  `record_access` feeds the
   /// admission sketch; it is false when the batch path already recorded
   /// this logical request in its TryCached probe (one access per request,
-  /// whatever the entry point).
-  void ExecuteCached(const graph::Dag& dag, int num_stages,
+  /// whatever the entry point).  A degraded solve is inserted (and written
+  /// back) under the fallback engine's own key, never the preferred one's.
+  void ExecuteCached(const graph::Dag& dag, const CompileRequest& params,
                      const RequestKey& key, bool record_access,
                      CompileResponse& response);
 
-  /// One cold engine solve; records the latency window and the failure
-  /// counter.
+  /// Which engine actually solved, and whether that was a fallback.
+  struct SolveOutcome {
+    std::string_view engine_used{};  // canonical; borrowed from the registry
+    bool degraded = false;
+  };
+
+  /// One cold solve through the engine chain: the preferred engine (unless
+  /// its breaker is open and a fallback exists), then each configured
+  /// fallback, each attempt under a fresh solve budget.  Records latency,
+  /// breaker outcomes, and the budget/fallback counters.  Throws when every
+  /// candidate failed — a chain that died purely on budgets surfaces as
+  /// DeadlineExceeded.
   [[nodiscard]] ResultPtr SolveCold(const graph::Dag& dag, int num_stages,
                                     const RequestKey& key,
-                                    double& solve_seconds);
+                                    const CompileRequest& params,
+                                    double& solve_seconds,
+                                    SolveOutcome& outcome);
+
+  /// The breaker guarding `engine` (created closed on first use).
+  [[nodiscard]] CircuitBreaker& BreakerFor(std::string_view engine);
 
   /// Submit with an optionally precomputed key (the batch path probes the
   /// cache with the key first, then reuses it — one DAG serialization+hash
@@ -539,6 +620,27 @@ class CompileService {
   std::atomic<std::uint64_t> batch_solved_{0};
   std::atomic<std::uint64_t> batch_single_{0};
   std::atomic<std::uint64_t> batch_groups_{0};
+  std::atomic<std::uint64_t> budget_blown_{0};
+  std::atomic<std::uint64_t> degraded_served_{0};
+  std::atomic<std::uint64_t> fallback_exhausted_{0};
+  std::atomic<std::uint64_t> writeback_errors_{0};
+
+  /// Fallback chain resolved to canonical registry names at construction.
+  std::vector<std::string_view> fallback_chain_;
+  double default_solve_budget_seconds_ = 0.0;
+
+  /// Deadline-aware admission (ServiceOptions::deadline_admission) and the
+  /// smoothed cold-solve cost its wait estimate uses.  The EWMA update is
+  /// load-compute-store (not CAS): a lost race skews the estimate by one
+  /// sample, which admission can tolerate.
+  bool deadline_admission_ = false;
+  std::atomic<double> ewma_solve_seconds_{0.0};
+
+  /// One breaker per canonical engine name, created closed on first use.
+  /// string_view keys borrow from the registry (process lifetime).
+  CircuitBreaker::Options breaker_options_;
+  mutable std::mutex breaker_mutex_;
+  std::map<std::string_view, std::unique_ptr<CircuitBreaker>> breakers_;
 
   /// Spill writes queued on the pool but not yet landed (FlushStore waits
   /// on this reaching zero).
@@ -550,6 +652,7 @@ class CompileService {
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> started{0};
     std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> shed{0};
   };
   std::array<LaneCounters, kNumPriorityLanes> lane_counters_;
   std::array<LatencyWindow, kNumPriorityLanes> lane_wait_;

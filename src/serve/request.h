@@ -145,6 +145,17 @@ class DeadlineExceeded : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Thrown (synchronously from Submit-side admission, or through
+/// Ticket::Wait) when the service sheds the request instead of queueing it:
+/// the request's lane is at its configured depth bound, or deadline-aware
+/// admission estimates the queue wait alone already exceeds the deadline.
+/// The request never occupies a worker; back off and retry, or retry
+/// against a less loaded lane.
+class Overloaded : public std::runtime_error {
+ public:
+  explicit Overloaded(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct CompileRequest {
   graph::Dag dag;
   int num_stages = 0;
@@ -173,6 +184,15 @@ struct CompileRequest {
   /// identical work is shared across tenants; fairness applies to queueing,
   /// not to cached answers.
   std::string tenant;
+
+  /// Per-engine-attempt solve budget in seconds; 0 inherits
+  /// ServiceOptions::default_solve_budget_seconds (0 there too = no budget).
+  /// When the preferred engine blows the budget its solve is cancelled
+  /// (core::CancelToken) and the service walks the configured fallback
+  /// chain; each fallback attempt gets a fresh budget.  With no fallback
+  /// configured (or every engine blown), the request fails with
+  /// DeadlineExceeded.
+  double solve_budget_seconds = 0.0;
 };
 
 struct CompileResponse {
@@ -186,12 +206,23 @@ struct CompileResponse {
   /// This request's own cold solve (0.0 for hits and collapsed waits).
   double solve_seconds = 0.0;
 
-  /// Canonical engine name; borrowed from the registry, valid for the
-  /// process lifetime.
+  /// Canonical engine name that actually produced the result; borrowed
+  /// from the registry, valid for the process lifetime.  Differs from the
+  /// requested engine exactly when `degraded` is set.
   std::string_view engine_name;
 
   /// Hex of the content-addressed request key (graph::CanonicalHash).
   std::string key_hex;
+
+  /// True when the preferred engine blew its solve budget / failed / had an
+  /// open circuit breaker and a fallback engine produced this (still fully
+  /// valid and repaired) schedule.  Degraded results are cached under the
+  /// fallback engine's own key, never under the preferred engine's.
+  bool degraded = false;
+
+  /// Canonical name of the engine the request asked for.  Equal to
+  /// engine_name unless `degraded` is set.
+  std::string_view requested_engine;
 };
 
 }  // namespace respect::serve

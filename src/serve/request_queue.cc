@@ -1,7 +1,10 @@
 #include "serve/request_queue.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "core/failpoint.h"
 
 namespace respect::serve {
 
@@ -58,6 +61,19 @@ bool RequestQueue::FlowBlocked(const std::string& flow) const {
 void RequestQueue::Push(core::ThreadPool::Task task,
                         core::ThreadPool::TaskAttrs attrs) {
   Lane& lane = lanes_[LaneIndex(attrs.lane)];
+  // Depth-bound admission runs under the pool mutex, so the depth check and
+  // the enqueue are atomic with respect to every other Push/Pop: the bound
+  // can never be overshot by a race.  The throw propagates out of
+  // ThreadPool::Submit before any pool accounting happens.
+  if (attrs.sheddable && options_.max_lane_depth > 0 &&
+      lane.depth.load(std::memory_order_relaxed) >=
+          static_cast<std::size_t>(options_.max_lane_depth)) {
+    lane.shed.fetch_add(1, std::memory_order_relaxed);
+    throw Overloaded("lane " + std::string(PriorityName(static_cast<Priority>(
+                         LaneIndex(attrs.lane)))) +
+                     " at depth bound " +
+                     std::to_string(options_.max_lane_depth));
+  }
   Flow& flow = lane.flows[attrs.flow];
   const double tag = std::max(lane.virtual_time, flow.last_tag) +
                      1.0 / WeightFor(attrs.flow);
@@ -94,6 +110,18 @@ core::ThreadPool::Task RequestQueue::TakeEntry(Lane& lane, FlowIter it,
   // The popped tag advances the lane's virtual time (monotonically — a
   // quota-unblocked flow may surface an older tag).
   lane.virtual_time = std::max(lane.virtual_time, entry.tag);
+
+#if defined(RESPECT_FAILPOINTS) && RESPECT_FAILPOINTS
+  // Chaos hook: the injected action (a stall, an error) must run on the
+  // worker that executes the task, never here under the pool mutex — so
+  // wrap instead of evaluating, and only when something is armed.
+  if (core::failpoint::Armed()) {
+    entry.run = [run = std::move(entry.run)] {
+      RESPECT_FAILPOINT("queue.pop");
+      run();
+    };
+  }
+#endif
 
   // Claim slots now (under the pool mutex) and release them when the task
   // finishes on its worker — the release is visible to that worker's very
@@ -225,6 +253,41 @@ std::size_t RequestQueue::Depth(Priority lane) const {
 std::uint64_t RequestQueue::Expired(Priority lane) const {
   return lanes_[LaneIndex(static_cast<int>(lane))].expired.load(
       std::memory_order_relaxed);
+}
+
+std::uint64_t RequestQueue::Shed(Priority lane) const {
+  return lanes_[LaneIndex(static_cast<int>(lane))].shed.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t RequestQueue::ShutdownDrained() const {
+  return shutdown_drained_.load(std::memory_order_relaxed);
+}
+
+void RequestQueue::Shutdown() {
+  // Post-join, single-threaded (the TaskQueue::Shutdown contract): workers
+  // stop as soon as Size() hits zero, which strands entries hidden by the
+  // batch cap or a tenant quota.  Each stranded entry is settled exactly
+  // once — its on_expired runs (failing its waiters fast) or, absent one,
+  // it is dropped deliberately.
+  for (Lane& lane : lanes_) {
+    for (auto& [name, flow] : lane.flows) {
+      for (Entry& entry : flow.entries) {
+        shutdown_drained_.fetch_add(1, std::memory_order_relaxed);
+        lane.depth.fetch_sub(1, std::memory_order_relaxed);
+        --size_;
+        if (entry.on_expired) {
+          try {
+            entry.on_expired();
+          } catch (...) {
+            // Settling must reach every entry; a throwing callback cannot
+            // be reported anywhere at this point.
+          }
+        }
+      }
+    }
+    lane.flows.clear();
+  }
 }
 
 int RequestQueue::BatchRunning() const {

@@ -87,6 +87,13 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
     /// <= 0 means unlimited.
     int max_batch_inflight = 0;
 
+    /// Bound on entries resident per lane; <= 0 means unbounded.  Only
+    /// entries marked TaskAttrs::sheddable are refused (Push throws
+    /// serve::Overloaded, counted in Shed()); bookkeeping tasks always
+    /// enqueue.  The bound compares against the lane's total residency, so
+    /// unsheddable entries consume depth but are never rejected.
+    int max_lane_depth = 0;
+
     /// Test seam: time source for enqueue stamps and expiry checks.
     /// Defaults to std::chrono::steady_clock::now.
     std::function<std::chrono::steady_clock::time_point()> clock;
@@ -110,10 +117,18 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   RequestQueue();
   explicit RequestQueue(const Options& options);
 
+  /// Throws serve::Overloaded (nothing enqueued) for a sheddable entry
+  /// pushed into a lane at its configured max_lane_depth.
   void Push(core::ThreadPool::Task task,
             core::ThreadPool::TaskAttrs attrs) override;
   [[nodiscard]] core::ThreadPool::Task Pop() override;
   [[nodiscard]] std::size_t Size() const override;
+
+  /// Settles every entry still queued when the owning pool shuts down:
+  /// runs each entry's on_expired exactly once (entries without one are
+  /// dropped), so no promise-holding waiter hangs on a destroyed pool.
+  /// Called by ~ThreadPool after the workers have joined.
+  void Shutdown() override;
 
   /// Entries resident in `lane` right now (atomic; readable off-thread).
   [[nodiscard]] std::size_t Depth(Priority lane) const;
@@ -121,6 +136,14 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   /// Entries of `lane` expired in-queue so far (atomic; readable
   /// off-thread).
   [[nodiscard]] std::uint64_t Expired(Priority lane) const;
+
+  /// Sheddable entries refused at Push because `lane` was at its depth
+  /// bound (atomic; readable off-thread).
+  [[nodiscard]] std::uint64_t Shed(Priority lane) const;
+
+  /// Entries settled by Shutdown() — on_expired run or dropped — instead
+  /// of popped by a worker (atomic; readable off-thread).
+  [[nodiscard]] std::uint64_t ShutdownDrained() const;
 
   /// Batch-lane tasks running right now (atomic; readable off-thread).
   /// Always 0 when no cap is configured — the count is only maintained
@@ -154,6 +177,7 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
     double virtual_time = 0.0;
     std::atomic<std::size_t> depth{0};
     std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> shed{0};
   };
 
   using FlowIter = std::map<std::string, Flow>::iterator;
@@ -186,6 +210,7 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
   std::array<Lane, kNumPriorityLanes> lanes_;
   std::size_t size_ = 0;
   std::atomic<int> batch_running_{0};
+  std::atomic<std::uint64_t> shutdown_drained_{0};
 
   /// Tenants with a finite quota currently running tasks (see file
   /// comment for the lock order).

@@ -64,7 +64,8 @@ struct StoreMetrics {
   std::uint64_t hits = 0;             // probes answered with a result
   std::uint64_t misses = 0;           // probes with no usable entry
   std::uint64_t writes = 0;           // successful Put spills
-  std::uint64_t write_failures = 0;   // Put attempts that could not land
+  std::uint64_t write_failures = 0;   // Puts that failed every attempt
+  std::uint64_t write_retries = 0;    // transient failures retried inside Put
   std::uint64_t corrupt_dropped = 0;  // malformed entries quarantined
   std::uint64_t expired_dropped = 0;  // TTL-expired entries dropped lazily
   std::uint64_t compacted = 0;        // entries removed by Compact

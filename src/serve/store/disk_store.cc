@@ -1,13 +1,16 @@
 #include "serve/store/disk_store.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "core/respect.h"
 #include "deploy/package.h"
 #include "deploy/pod_io.h"
@@ -159,6 +162,9 @@ graph::CanonicalHash ChecksumOf(const std::string& payload) {
 /// Reads and fully verifies one spill file.  Throws std::runtime_error on
 /// any corruption; returns the parsed record otherwise.
 LoadedSpill LoadSpillFile(const std::filesystem::path& path) {
+  // Chaos seam: an injected read error takes the same quarantine-and-miss
+  // path a real EIO would.
+  RESPECT_FAILPOINT("store.read");
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("spill: cannot open");
   std::uint32_t magic = 0;
@@ -334,35 +340,61 @@ void DiskStore::Put(const SpillMeta& meta, const ResultPtr& result) {
             .count();
   }
   const std::filesystem::path final_path = PathFor(meta.key);
-  const std::filesystem::path temp_path =
-      final_path.string() + "." +
-      std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed)) +
-      ".tmp";
+  std::string payload;
+  graph::CanonicalHash checksum;
   try {
-    const std::string payload =
-        SerializePayload(meta, expires_at_unix_ms, *result);
-    const graph::CanonicalHash checksum = ChecksumOf(payload);
-    {
-      std::ofstream os(temp_path, std::ios::binary | std::ios::trunc);
-      if (!os) throw std::runtime_error("cannot open temp file");
-      WritePod(os, kMagic);
-      WritePod(os, kFormatVersion);
-      WritePod(os, static_cast<std::uint64_t>(payload.size()));
-      WritePod(os, checksum.hi);
-      WritePod(os, checksum.lo);
-      os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-      os.flush();
-      if (!os) throw std::runtime_error("write failed");
-    }
-    // Atomic publish: readers see the old complete file or the new one,
-    // never a partial write.
-    std::filesystem::rename(temp_path, final_path);
-    Index(meta.key);
-    writes_.fetch_add(1, std::memory_order_relaxed);
+    payload = SerializePayload(meta, expires_at_unix_ms, *result);
+    checksum = ChecksumOf(payload);
   } catch (...) {
-    std::error_code ec;
-    std::filesystem::remove(temp_path, ec);
+    // Serialization failures are deterministic — retrying cannot help.
     write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Transient I/O failures (ENOSPC racing a cleanup, EIO blips) often clear
+  // within milliseconds: retry with doubling backoff before giving the
+  // spill up.  Every attempt writes its own temp file and removes it on
+  // failure — no litter however an attempt dies.
+  const int attempts = 1 + std::max(0, options_.write_retries);
+  int backoff_ms = std::max(0, options_.write_retry_backoff_ms);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const std::filesystem::path temp_path =
+        final_path.string() + "." +
+        std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed)) +
+        ".tmp";
+    try {
+      {
+        std::ofstream os(temp_path, std::ios::binary | std::ios::trunc);
+        if (!os) throw std::runtime_error("cannot open temp file");
+        RESPECT_FAILPOINT("store.write");
+        WritePod(os, kMagic);
+        WritePod(os, kFormatVersion);
+        WritePod(os, static_cast<std::uint64_t>(payload.size()));
+        WritePod(os, checksum.hi);
+        WritePod(os, checksum.lo);
+        os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+        os.flush();
+        if (!os) throw std::runtime_error("write failed");
+      }
+      // Atomic publish: readers see the old complete file or the new one,
+      // never a partial write.
+      RESPECT_FAILPOINT("store.rename");
+      std::filesystem::rename(temp_path, final_path);
+      Index(meta.key);
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } catch (...) {
+      std::error_code ec;
+      std::filesystem::remove(temp_path, ec);
+      if (attempt + 1 == attempts) {
+        write_failures_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      write_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+      }
+    }
   }
 }
 
@@ -413,6 +445,7 @@ StoreMetrics DiskStore::Metrics() const {
   metrics.misses = misses_.load(std::memory_order_relaxed);
   metrics.writes = writes_.load(std::memory_order_relaxed);
   metrics.write_failures = write_failures_.load(std::memory_order_relaxed);
+  metrics.write_retries = write_retries_.load(std::memory_order_relaxed);
   metrics.corrupt_dropped = corrupt_dropped_.load(std::memory_order_relaxed);
   metrics.expired_dropped = expired_dropped_.load(std::memory_order_relaxed);
   metrics.compacted = compacted_.load(std::memory_order_relaxed);

@@ -62,6 +62,12 @@ struct DiskStoreOptions {
   /// Test seam: wall-clock source for expiry stamps and checks.  Defaults
   /// to std::chrono::system_clock::now.
   std::function<std::chrono::system_clock::time_point()> clock;
+
+  /// Extra attempts after a failed spill write (transient ENOSPC/EIO often
+  /// clears within milliseconds); 0 disables retrying.  Each retry backs
+  /// off twice as long, starting at write_retry_backoff_ms.
+  int write_retries = 2;
+  int write_retry_backoff_ms = 2;
 };
 
 class DiskStore final : public CacheStore {
@@ -114,6 +120,7 @@ class DiskStore final : public CacheStore {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> write_failures_{0};
+  std::atomic<std::uint64_t> write_retries_{0};
   std::atomic<std::uint64_t> corrupt_dropped_{0};
   std::atomic<std::uint64_t> expired_dropped_{0};
   std::atomic<std::uint64_t> compacted_{0};

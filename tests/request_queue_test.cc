@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -367,6 +369,149 @@ TEST_F(RequestQueueTest, ExpiredQuotaBlockedHeadStillFailsFast) {
   EXPECT_EQ(queue.TenantRunning("t"), 1);  // running task still holds the slot
   running();
   EXPECT_EQ(queue.TenantRunning("t"), 0);
+}
+
+// ── Depth bounds and load shedding ───────────────────────────────────────
+
+TEST_F(RequestQueueTest, DepthBoundShedsOnlySheddableEntries) {
+  RequestQueue::Options options;
+  options.aging_seconds = 100.0;
+  options.max_lane_depth = 2;
+  options.clock = [this] { return clock_.now; };
+  RequestQueue queue(options);
+
+  const auto push = [&](const std::string& label, bool sheddable) {
+    ThreadPool::TaskAttrs attrs;
+    attrs.lane = static_cast<int>(Priority::kNormal);
+    attrs.sheddable = sheddable;
+    queue.Push([this, label] { ran_.push_back(label); }, std::move(attrs));
+  };
+
+  push("n-0", /*sheddable=*/true);
+  push("n-1", /*sheddable=*/true);
+  EXPECT_THROW(push("n-2", /*sheddable=*/true), serve::Overloaded);
+  EXPECT_EQ(queue.Shed(Priority::kNormal), 1u);
+  EXPECT_EQ(queue.Depth(Priority::kNormal), 2u);
+
+  // Bookkeeping (unsheddable) entries always enqueue, even over the bound,
+  // and other lanes are unaffected by this lane's pressure.
+  push("n-keep", /*sheddable=*/false);
+  EXPECT_EQ(queue.Depth(Priority::kNormal), 3u);
+  Push(queue, "i-0", Priority::kInteractive);
+  EXPECT_EQ(queue.Depth(Priority::kInteractive), 1u);
+
+  // Unsheddable residency still counts against the bound: the lane stays
+  // full for sheddable traffic until something drains.
+  EXPECT_THROW(push("n-3", /*sheddable=*/true), serve::Overloaded);
+  EXPECT_EQ(queue.Shed(Priority::kNormal), 2u);
+
+  for (int i = 0; i < 4; ++i) PopAndRun(queue);
+  EXPECT_EQ(ran_, (std::vector<std::string>{"i-0", "n-0", "n-1", "n-keep"}));
+  push("n-4", /*sheddable=*/true);  // drained lane admits again
+  EXPECT_EQ(queue.Depth(Priority::kNormal), 1u);
+}
+
+TEST_F(RequestQueueTest, DepthBoundComposesWithBatchCapAndQuota) {
+  RequestQueue::Options options;
+  options.aging_seconds = 100.0;
+  options.max_lane_depth = 2;
+  options.max_batch_inflight = 1;
+  options.tenant_quotas["t"] = 1;
+  options.clock = [this] { return clock_.now; };
+  RequestQueue queue(options);
+
+  const auto push = [&](const std::string& label, Priority lane,
+                        const std::string& flow) {
+    ThreadPool::TaskAttrs attrs;
+    attrs.lane = static_cast<int>(lane);
+    attrs.flow = flow;
+    attrs.sheddable = true;
+    queue.Push([this, label] { ran_.push_back(label); }, std::move(attrs));
+  };
+
+  // Fill the batch lane to its depth bound, then start one batch task: the
+  // inflight cap hides the remaining entry from Size(), but it still holds
+  // its depth slot — the bound tracks residency, not visibility.
+  push("b-0", Priority::kBatch, "t");
+  push("b-1", Priority::kBatch, "t");
+  EXPECT_THROW(push("b-2", Priority::kBatch, "t"), serve::Overloaded);
+  ThreadPool::Task running_batch = queue.Pop();
+  EXPECT_EQ(queue.Size(), 0u);  // capped: b-1 hidden
+  EXPECT_EQ(queue.Depth(Priority::kBatch), 1u);
+  push("b-3", Priority::kBatch, "t");  // depth 1 < 2: admitted while hidden
+  EXPECT_THROW(push("b-4", Priority::kBatch, "t"), serve::Overloaded);
+  EXPECT_EQ(queue.Shed(Priority::kBatch), 2u);
+
+  // Tenant t's quota slot is held by the running batch task, so t's normal-
+  // lane work is hidden too — yet its depth slots still bound admission.
+  push("n-0", Priority::kNormal, "t");
+  push("n-1", Priority::kNormal, "t");
+  EXPECT_THROW(push("n-2", Priority::kNormal, "t"), serve::Overloaded);
+  EXPECT_EQ(queue.Size(), 0u);  // everything blocked behind cap + quota
+  EXPECT_EQ(queue.Shed(Priority::kNormal), 1u);
+
+  // Finishing the batch task releases both the batch slot and the quota
+  // slot; everything queued drains in lane order.
+  running_batch();
+  EXPECT_EQ(ran_.back(), "b-0");
+  EXPECT_EQ(queue.Size(), 4u);
+  for (int i = 0; i < 4; ++i) PopAndRun(queue);
+  EXPECT_EQ(ran_, (std::vector<std::string>{"b-0", "n-0", "n-1", "b-1",
+                                            "b-3"}));
+}
+
+// Weighted-fair service under overload: one tenant floods a depth-bounded
+// lane; sheds happen (the backlog cannot absorb the flood), yet the service
+// received by the three backlogged tenants stays near-equal — Jain fairness
+// over served counts >= 0.9.
+TEST_F(RequestQueueTest, ServiceStaysFairUnderSheddingFlood) {
+  RequestQueue::Options options;
+  options.aging_seconds = 100.0;
+  options.max_lane_depth = 6;
+  options.clock = [this] { return clock_.now; };
+  RequestQueue queue(options);
+
+  std::map<std::string, int> served;
+  std::uint64_t shed_pushes = 0;
+  const auto push = [&](const std::string& tenant) {
+    ThreadPool::TaskAttrs attrs;
+    attrs.lane = static_cast<int>(Priority::kNormal);
+    attrs.flow = tenant;
+    attrs.sheddable = true;
+    try {
+      queue.Push([&served, tenant] { ++served[tenant]; }, std::move(attrs));
+    } catch (const serve::Overloaded&) {
+      ++shed_pushes;
+    }
+  };
+
+  for (int round = 0; round < 150; ++round) {
+    // Interleaved arrivals: every tenant offers work each round, tenant
+    // "a" offers 3x as much.  The lane serves 3 per round, so the flood
+    // keeps the lane at its bound and pushes beyond it are shed.
+    push("a");
+    push("b");
+    push("c");
+    push("a");
+    push("a");
+    clock_.Advance(0.001);
+    for (int i = 0; i < 3 && queue.Size() > 0; ++i) PopAndRun(queue);
+  }
+  while (queue.Size() > 0) PopAndRun(queue);
+
+  EXPECT_GT(shed_pushes, 0u);
+  EXPECT_EQ(queue.Shed(Priority::kNormal), shed_pushes);
+  ASSERT_EQ(served.size(), 3u);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [tenant, count] : served) {
+    sum += count;
+    sum_sq += static_cast<double>(count) * count;
+  }
+  const double jain = (sum * sum) / (3.0 * sum_sq);
+  EXPECT_GE(jain, 0.9) << "served: a=" << served["a"] << " b=" << served["b"]
+                       << " c=" << served["c"];
 }
 
 // The queue as a live ThreadPool policy: every submitted task runs exactly

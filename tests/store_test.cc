@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/failpoint.h"
 #include "core/respect.h"
 #include "deploy/package.h"
 #include "deploy/pod_io.h"
@@ -245,6 +246,47 @@ TEST(DiskStoreTest, PutProbeRoundTripsTheResult) {
   EXPECT_EQ(metrics.hits, 1u);
   EXPECT_EQ(metrics.misses, 1u);
 }
+
+#if defined(RESPECT_FAILPOINTS) && RESPECT_FAILPOINTS
+// Regression (failure-domain hardening PR): a transient write failure must
+// retry to success, count the retry, and never leave a temp file behind; an
+// exhausted retry budget is one counted write failure, still litter-free.
+TEST(DiskStoreTest, TransientWriteFailureRetriesWithoutTempLitter) {
+  const TempDir dir("respect-store-write-retry");
+  DiskStore store(DiskStoreOptions{.directory = dir.str(),
+                                   .write_retries = 2,
+                                   .write_retry_backoff_ms = 1});
+  const ResultPtr result = SolveOnce(SampleDag(24, 6));
+  SpillMeta meta;
+  meta.key = graph::CanonicalHash{0x7e57, 0x1};
+  meta.engine_name = "ListScheduling";
+  {
+    const core::failpoint::ScopedFailpoint fp("store.write", "error", 1);
+    store.Put(meta, result);
+  }
+  auto metrics = store.Metrics();
+  EXPECT_EQ(metrics.writes, 1u);
+  EXPECT_EQ(metrics.write_retries, 1u);
+  EXPECT_EQ(metrics.write_failures, 0u);
+  EXPECT_NE(store.Probe(meta.key), nullptr);
+
+  SpillMeta doomed = meta;
+  doomed.key = graph::CanonicalHash{0x7e57, 0x2};
+  {
+    const core::failpoint::ScopedFailpoint fp("store.write", "error");
+    store.Put(doomed, result);  // Put must not throw even when every
+                                // attempt fails
+  }
+  metrics = store.Metrics();
+  EXPECT_EQ(metrics.writes, 1u);
+  EXPECT_EQ(metrics.write_failures, 1u);
+  EXPECT_EQ(store.Probe(doomed.key), nullptr);
+
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+#endif  // RESPECT_FAILPOINTS
 
 TEST(DiskStoreTest, ScanWarmStartsAndIgnoresForeignFiles) {
   const TempDir dir("respect-store-scan");
