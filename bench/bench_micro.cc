@@ -22,6 +22,8 @@
 #include "graph/topology.h"
 #include "heuristics/backend_compile.h"
 #include "models/zoo.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
 #include "nn/lstm.h"
 #include "nn/simd.h"
 #include "nn/tape.h"
@@ -31,6 +33,7 @@
 #include "rl/reference_decode.h"
 #include "serve/compile_service.h"
 #include "serve/request.h"
+#include "serve/store/spill_codec.h"
 #include "tpu/sim.h"
 
 namespace {
@@ -370,6 +373,55 @@ void BM_CompileServiceDiskWarmStart(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CompileServiceDiskWarmStart);
+
+/// Peer warm-fetch round trip: what a freshly restarted fleet shard pays
+/// per already-solved graph — one FetchSpill over the loopback wire
+/// protocol (frame encode, socket round trip, spill read on the peer) plus
+/// the local checksum-verify + decode of the returned envelope.  Compare
+/// against BM_CompileServiceDiskWarmStart for the network-hop tax over a
+/// local disk hit, and BM_CompileServiceColdSolve for what peer warmth
+/// saves.
+void BM_FleetWarmFetch(benchmark::State& state) {
+  struct Fixture {
+    serve::CompileService service;
+    net::FleetServer server;
+    net::FleetClient client;
+    graph::CanonicalHash key;
+    Fixture()
+        : service(BatchBenchOptions(),
+                  [] {
+                    const std::filesystem::path dir =
+                        std::filesystem::temp_directory_path() /
+                        "respect-bench-fleet-store";
+                    std::filesystem::remove_all(dir);
+                    serve::ServiceOptions options;
+                    options.cache_dir = dir.string();
+                    return options;
+                  }()),
+          server(service, {}),
+          client(server.Address()) {
+      const serve::CompileRequest request{.dag = BatchDags()[0],
+                                          .num_stages = 4,
+                                          .engine = Method::kAnnealing};
+      benchmark::DoNotOptimize(service.Compile(request));
+      service.FlushStore();  // the spill the fetches serve
+      key = service.KeyFor(request);
+    }
+  };
+  static Fixture* fixture = new Fixture();
+  for (auto _ : state) {
+    std::optional<std::string> envelope =
+        fixture->client.FetchSpill(fixture->key);
+    if (!envelope ||
+        !serve::store::TryDecodeSpillEnvelope(*envelope).has_value()) {
+      state.SkipWithError("peer fetch missed or failed to verify");
+      return;
+    }
+    benchmark::DoNotOptimize(envelope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetWarmFetch);
 
 /// The degraded-path tax: every iteration asks for Annealing under a solve
 /// budget far too small for it, so the service pays one budget-blown attempt

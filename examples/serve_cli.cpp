@@ -38,6 +38,10 @@
 // comparing per-worker refill throughput.  Exits non-zero if the batched
 // variant never took the batch path.  --no-batch-decode disables grouped
 // miss solving in the other modes (A/B escape hatch).
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -60,6 +64,10 @@
 #include "engines/registry.h"
 #include "graph/canonical_hash.h"
 #include "graph/sampler.h"
+#include "net/consistent_hash.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
+#include "net/socket.h"
 #include "serve/compile_service.h"
 #include "serve/request.h"
 #include "tpu/device_profile.h"
@@ -79,8 +87,8 @@ int Usage(const char* argv0) {
       "          [--cache-dir=DIR] [--cache-ttl-s=N] [--restart-demo]\n"
       "          [--miss-storm] [--no-batch-decode]\n"
       "          [--profile=NAME] [--tenant=NAME] [--fleet-demo]\n"
-      "          [--chaos-demo] [--failpoint=SITE=ACTION;...] "
-      "[--budget-ms=N]\n"
+      "          [--fleet[=N]] [--chaos-demo] "
+      "[--failpoint=SITE=ACTION;...] [--budget-ms=N]\n"
       "  --profile targets a named device profile (",
       argv0, examples::kMaxStages);
   bool first = true;
@@ -93,6 +101,9 @@ int Usage(const char* argv0) {
                ")\n  --tenant tags requests for weighted-fair queueing; "
                "--fleet-demo runs one\n  service over several profiles and "
                "tenants and checks the fairness and\n  cache-separation "
+               "invariants\n  --fleet[=N] spawns N loopback shard processes "
+               "(default 3) behind the wire\n  protocol and checks the "
+               "routing-dedup, kill-survival, and peer-warm-restart\n  "
                "invariants\n  --chaos-demo serves a stream under injected "
                "faults and exits non-zero\n  unless every request settles "
                "valid-or-typed-error; --failpoint arms extra\n  fault sites "
@@ -150,6 +161,15 @@ void PrintServiceMetrics(const serve::CompileService& service) {
                 static_cast<unsigned long long>(m.store.corrupt_dropped),
                 static_cast<unsigned long long>(m.store.expired_dropped),
                 m.store.resident);
+  }
+  if (m.peer_fetches + m.peer_hits + m.peer_fetch_failures > 0) {
+    std::printf("  peer: fetches %llu  hits %llu  failures %llu  "
+                "exports %llu  imports %llu\n",
+                static_cast<unsigned long long>(m.peer_fetches),
+                static_cast<unsigned long long>(m.peer_hits),
+                static_cast<unsigned long long>(m.peer_fetch_failures),
+                static_cast<unsigned long long>(m.store.exports),
+                static_cast<unsigned long long>(m.store.imports));
   }
   if (m.budget_blown + m.degraded_served + m.fallback_exhausted + m.shed +
           m.writeback_errors >
@@ -749,6 +769,421 @@ int RunChaosDemo(const CompilerOptions& options,
   return 0;
 }
 
+// ── Fleet mode: N serve_cli processes behind net::FleetServer ──────────────
+
+/// Atomic small-file write (tmp + rename): readers polling for the file
+/// never observe a partial write.
+void WriteFileAtomic(const std::filesystem::path& path,
+                     const std::string& contents) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << contents;
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+bool WaitForFile(const std::filesystem::path& path, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 50) {
+    if (std::filesystem::exists(path)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return std::filesystem::exists(path);
+}
+
+/// Child process body behind the hidden --fleet-serve flag: one
+/// CompileService + FleetServer shard.  Publishes its bound address as
+/// addr-<id>.e<epoch>, joins the ring once members.txt appears, serves
+/// until the parent drops the stop file (or the shard is orphaned), then
+/// flushes its spills and exits.  The cache directory is per (shard,
+/// epoch) so a restarted shard comes up cold on purpose — its warmth must
+/// come from peer spill fetch.
+int RunFleetShard(const CompilerOptions& options,
+                  serve::ServiceOptions service_options,
+                  const std::string& fleet_dir, int shard_id, int epoch,
+                  int port) {
+  namespace fs = std::filesystem;
+  const fs::path dir(fleet_dir);
+  const fs::path cache_dir = dir / ("shard-" + std::to_string(shard_id)) /
+                             ("cache-e" + std::to_string(epoch));
+  fs::create_directories(cache_dir);
+  service_options.cache_dir = cache_dir.string();
+  serve::CompileService service(options, service_options);
+  net::FleetServerOptions server_options;
+  server_options.port = port;
+  net::FleetServer server(service, server_options);
+
+  WriteFileAtomic(dir / ("addr-" + std::to_string(shard_id) + ".e" +
+                         std::to_string(epoch)),
+                  server.Address() + "\n");
+
+  const fs::path members_path = dir / "members.txt";
+  if (!WaitForFile(members_path, 20000)) {
+    std::fprintf(stderr, "[shard %d] members.txt never appeared\n", shard_id);
+    return 1;
+  }
+  std::vector<std::string> members;
+  {
+    std::ifstream in(members_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) members.push_back(line);
+    }
+  }
+  server.SetMembers(members, server.Address());
+
+  const fs::path stop_path = dir / "stop";
+  while (!fs::exists(stop_path) && ::getppid() != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  service.FlushStore();
+  return 0;
+}
+
+pid_t SpawnShard(const std::string& fleet_dir, int shard_id, int epoch,
+                 int port) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<std::string> args = {
+      "/proc/self/exe",
+      "--fleet-serve",
+      "--fleet-dir=" + fleet_dir,
+      "--fleet-id=" + std::to_string(shard_id),
+      "--fleet-epoch=" + std::to_string(epoch),
+  };
+  if (port > 0) args.push_back("--fleet-port=" + std::to_string(port));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  ::execv("/proc/self/exe", argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+/// One compile against the fleet with transport failover: start at
+/// `start`, walk the membership on NetError/WireError (reconnecting lazily
+/// through `clients`).  Typed service errors propagate to the caller —
+/// they are settled outcomes, not transport failures.
+serve::CompileResponse FleetCompile(
+    std::vector<std::unique_ptr<net::FleetClient>>& clients,
+    const std::vector<std::string>& members, int start,
+    const serve::CompileRequest& request) {
+  net::FleetClientOptions client_options;
+  client_options.connect_timeout_ms = 1000;
+  client_options.io_timeout_ms = 30000;
+  const int n = static_cast<int>(members.size());
+  for (int attempt = 0; attempt < n; ++attempt) {
+    const int shard = (start + attempt) % n;
+    try {
+      if (clients[shard] == nullptr) {
+        clients[shard] =
+            std::make_unique<net::FleetClient>(members[shard], client_options);
+      }
+      return clients[shard]->Compile(request);
+    } catch (const net::NetError&) {
+      clients[shard].reset();  // dead shard: fail over to the next member
+    } catch (const net::WireError&) {
+      clients[shard].reset();
+    }
+  }
+  throw net::NetError("fleet compile: no shard reachable");
+}
+
+/// Parent orchestrator behind --fleet=N.  Three phases:
+///   1. Healthy: a skewed stream round-robined across N shards; asserts
+///      fleet-wide engine-solves-per-unique-graph <= 1.1 (forward-to-owner
+///      dedups the fleet like one cache).
+///   2. Kill: SIGKILL the shard owning the most unique keys mid-replay;
+///      every request must still settle valid-or-typed (transport failover
+///      + degrade-to-local at the surviving shards).
+///   3. Restart: bring the shard back on the same port with a FRESH cache
+///      directory and drive the stream through it; asserts it warm-starts
+///      entirely via peer spill fetch — zero local engine solves.
+/// Exits non-zero when any phase's invariant fails.
+int RunFleet(const CompilerOptions& options,
+             const serve::ServiceOptions& service_options,
+             const std::vector<graph::Dag>& zoo, int requests, int stages,
+             const std::string& engine, int fleet_n,
+             const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      cache_dir.empty()
+          ? fs::temp_directory_path() /
+                ("respect-fleet-" + std::to_string(::getpid()))
+          : fs::path(cache_dir);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::printf("fleet: %d shards, workspace %s\n", fleet_n,
+              dir.string().c_str());
+
+  std::vector<pid_t> pids(fleet_n, -1);
+  const auto kill_all = [&] {
+    for (pid_t pid : pids) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (pid_t pid : pids) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  };
+
+  for (int i = 0; i < fleet_n; ++i) {
+    pids[i] = SpawnShard(dir.string(), i, /*epoch=*/1, /*port=*/0);
+  }
+
+  std::vector<std::string> members(fleet_n);
+  std::vector<int> ports(fleet_n, 0);
+  for (int i = 0; i < fleet_n; ++i) {
+    const fs::path addr_path = dir / ("addr-" + std::to_string(i) + ".e1");
+    if (!WaitForFile(addr_path, 15000)) {
+      std::fprintf(stderr, "error: shard %d never published its address\n",
+                   i);
+      kill_all();
+      return 1;
+    }
+    std::ifstream in(addr_path);
+    std::getline(in, members[i]);
+    ports[i] = net::SplitHostPort(members[i]).second;
+  }
+  {
+    std::string roster;
+    for (const std::string& member : members) roster += member + "\n";
+    WriteFileAtomic(dir / "members.txt", roster);
+  }
+
+  // The parent computes keys and ownership with the same code the shards
+  // run: a throwaway local service for MakeKey, and the same ring.
+  serve::CompileService key_service(options);
+  const net::ConsistentHashRing ring(members);
+
+  // Skewed popularity (min of two draws): hot models repeat, as serving
+  // traffic does.
+  std::mt19937_64 stream_rng(271828);
+  std::vector<int> stream;
+  stream.reserve(requests);
+  for (int r = 0; r < requests; ++r) {
+    const int a = static_cast<int>(stream_rng() % zoo.size());
+    const int b = static_cast<int>(stream_rng() % zoo.size());
+    stream.push_back(std::min(a, b));
+  }
+  const auto make_request = [&](int model) {
+    return serve::CompileRequest{.dag = zoo[model],
+                                 .num_stages = stages,
+                                 .engine = engine};
+  };
+  std::map<std::string, int> owner_uniques;  // member -> unique keys owned
+  std::vector<int> unique_models;            // first-seen order
+  {
+    std::map<int, bool> seen;
+    for (const int model : stream) {
+      if (seen.emplace(model, true).second) {
+        unique_models.push_back(model);
+        owner_uniques[ring.OwnerOf(
+            key_service.KeyFor(make_request(model)).lo)]++;
+      }
+    }
+  }
+  const std::size_t unique_keys = unique_models.size();
+
+  std::vector<std::unique_ptr<net::FleetClient>> clients(fleet_n);
+  int valid = 0;
+  int typed = 0;
+  int untyped = 0;
+  const auto send_one = [&](int start, int model) {
+    try {
+      const serve::CompileResponse response =
+          FleetCompile(clients, members, start, make_request(model));
+      if (response.result != nullptr) {
+        ++valid;
+      } else {
+        ++untyped;
+      }
+    } catch (const serve::DeadlineExceeded&) {
+      ++typed;
+    } catch (const serve::Overloaded&) {
+      ++typed;
+    } catch (const std::invalid_argument&) {
+      ++typed;
+    } catch (const net::RemoteError&) {
+      ++typed;
+    } catch (const std::exception& e) {
+      ++untyped;
+      std::fprintf(stderr, "untyped failure: %s\n", e.what());
+    }
+  };
+  const auto drive = [&](int at_shard_or_rr, bool round_robin,
+                         int kill_at_index, int victim) {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (kill_at_index >= 0 && static_cast<int>(i) == kill_at_index) {
+        std::printf("fleet: SIGKILL shard %d (%s) mid-stream\n", victim,
+                    members[victim].c_str());
+        ::kill(pids[victim], SIGKILL);
+        ::waitpid(pids[victim], nullptr, 0);
+        pids[victim] = -1;
+      }
+      const int start = round_robin ? static_cast<int>(i) % fleet_n
+                                    : at_shard_or_rr;
+      send_one(start, stream[i]);
+    }
+  };
+  const auto flush_all = [&] {
+    for (int i = 0; i < fleet_n; ++i) {
+      if (pids[i] <= 0) continue;
+      try {
+        if (clients[i] == nullptr) {
+          clients[i] = std::make_unique<net::FleetClient>(members[i]);
+        }
+        clients[i]->Flush();
+      } catch (const std::exception&) {
+        clients[i].reset();
+      }
+    }
+  };
+  const auto stats_of = [&](int shard) {
+    if (clients[shard] == nullptr) {
+      clients[shard] = std::make_unique<net::FleetClient>(members[shard]);
+    }
+    return clients[shard]->Stats();
+  };
+
+  int exit_code = 0;
+
+  // Phase 1 — healthy fleet.
+  std::printf("fleet phase 1: %zu requests (%zu unique) round-robin over "
+              "%d shards\n",
+              stream.size(), unique_keys, fleet_n);
+  drive(0, /*round_robin=*/true, /*kill_at_index=*/-1, -1);
+  flush_all();
+  std::uint64_t total_solves = 0;
+  for (int i = 0; i < fleet_n; ++i) {
+    try {
+      const net::FleetStats stats = stats_of(i);
+      std::printf("  shard %d: requests %llu  solves %llu  hits %llu  "
+                  "forwarded %llu\n",
+                  i, static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.engine_solves),
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.forwarded));
+      total_solves += stats.engine_solves;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: stats from shard %d failed: %s\n", i,
+                   e.what());
+      kill_all();
+      return 1;
+    }
+  }
+  const double solves_per_unique =
+      unique_keys == 0 ? 0.0
+                       : static_cast<double>(total_solves) /
+                             static_cast<double>(unique_keys);
+  std::printf("fleet phase 1: %llu engine solves / %zu unique graphs = "
+              "%.3f solves-per-unique\n",
+              static_cast<unsigned long long>(total_solves), unique_keys,
+              solves_per_unique);
+  if (solves_per_unique > 1.1) {
+    std::fprintf(stderr, "error: fleet solved duplicates (%.3f > 1.1) — "
+                 "forward-to-owner dedup is broken\n",
+                 solves_per_unique);
+    exit_code = 1;
+  }
+
+  // Phase 2 — kill the busiest owner mid-stream.
+  int victim = 0;
+  for (int i = 1; i < fleet_n; ++i) {
+    if (owner_uniques[members[i]] > owner_uniques[members[victim]]) {
+      victim = i;
+    }
+  }
+  std::printf("fleet phase 2: replay with shard %d (owner of %d unique "
+              "keys) killed mid-stream\n",
+              victim, owner_uniques[members[victim]]);
+  const int before_valid = valid;
+  const int before_typed = typed;
+  drive(0, /*round_robin=*/true,
+        /*kill_at_index=*/static_cast<int>(stream.size()) / 3, victim);
+  clients[victim].reset();
+  // Settle pass: with the victim down, touch every unique key once more so
+  // a surviving shard solves-and-spills any key only the victim had served
+  // before the kill.  Without this, a victim-owned key whose stream
+  // occurrences all landed pre-kill would exist in no survivor's store —
+  // and phase 3's peer warm-up would have nowhere to fetch it from.
+  for (std::size_t u = 0; u < unique_models.size(); ++u) {
+    send_one(static_cast<int>(u) % fleet_n, unique_models[u]);
+  }
+  flush_all();
+  std::printf("fleet phase 2: %d valid, %d typed, %d untyped after the "
+              "kill\n",
+              valid - before_valid, typed - before_typed, untyped);
+  if (untyped > 0) {
+    std::fprintf(stderr, "error: %d request(s) failed without a typed "
+                 "error during the kill\n",
+                 untyped);
+    exit_code = 1;
+  }
+
+  // Phase 3 — restart the victim on its old port with a fresh cache dir.
+  std::printf("fleet phase 3: restart shard %d on port %d with an empty "
+              "cache (epoch 2)\n",
+              victim, ports[victim]);
+  pids[victim] = SpawnShard(dir.string(), victim, /*epoch=*/2,
+                            ports[victim]);
+  const fs::path addr2 =
+      dir / ("addr-" + std::to_string(victim) + ".e2");
+  if (!WaitForFile(addr2, 15000)) {
+    std::fprintf(stderr, "error: restarted shard %d never came back\n",
+                 victim);
+    kill_all();
+    return 1;
+  }
+  drive(victim, /*round_robin=*/false, /*kill_at_index=*/-1, -1);
+  try {
+    const net::FleetStats stats = stats_of(victim);
+    std::printf("fleet phase 3: restarted shard solves %llu  peer-hits "
+                "%llu  peer-fetches %llu\n",
+                static_cast<unsigned long long>(stats.engine_solves),
+                static_cast<unsigned long long>(stats.peer_hits),
+                static_cast<unsigned long long>(stats.peer_fetches));
+    if (stats.engine_solves != 0) {
+      std::fprintf(stderr, "error: restarted shard re-solved %llu already-"
+                   "solved graphs instead of peer-warming\n",
+                   static_cast<unsigned long long>(stats.engine_solves));
+      exit_code = 1;
+    }
+    if (stats.peer_hits == 0) {
+      std::fprintf(stderr,
+                   "error: restarted shard never peer-warm fetched\n");
+      exit_code = 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: stats from restarted shard failed: %s\n",
+                 e.what());
+    exit_code = 1;
+  }
+  if (untyped > 0) exit_code = 1;
+
+  // Orderly teardown: stop file, bounded wait, SIGKILL stragglers.
+  WriteFileAtomic(dir / "stop", "stop\n");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  for (int i = 0; i < fleet_n; ++i) {
+    if (pids[i] <= 0) continue;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (::waitpid(pids[i], nullptr, WNOHANG) != 0) {
+        pids[i] = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  kill_all();
+  if (exit_code == 0) {
+    std::printf("fleet: all invariants held (dedup <= 1.1, valid-or-typed "
+                "under kill, peer warm restart)\n");
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -768,6 +1203,12 @@ int main(int argc, char** argv) {
   bool batch_decode = true;
   bool fleet_demo = false;
   bool chaos_demo = false;
+  int fleet_n = 0;          // > 0: parent of a --fleet multi-process run
+  bool fleet_serve = false;  // hidden: this process is a fleet shard
+  std::string fleet_dir;
+  int fleet_id = 0;
+  int fleet_epoch = 1;
+  int fleet_port = 0;
   int budget_ms = 0;        // 0 = no per-attempt solve budget
   std::string failpoints;   // "site=action;..." spec, armed before serving
   std::string profile;  // empty = the default device profile
@@ -822,6 +1263,28 @@ int main(int argc, char** argv) {
       tenant = arg + 9;
     } else if (std::strcmp(arg, "--fleet-demo") == 0) {
       fleet_demo = true;
+    } else if (std::strcmp(arg, "--fleet") == 0) {
+      fleet_n = 3;
+    } else if (std::strncmp(arg, "--fleet=", 8) == 0) {
+      if (!examples::ParseIntInRange(arg + 8, 2, 8, fleet_n)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--fleet-serve") == 0) {
+      fleet_serve = true;
+    } else if (std::strncmp(arg, "--fleet-dir=", 12) == 0) {
+      fleet_dir = arg + 12;
+    } else if (std::strncmp(arg, "--fleet-id=", 11) == 0) {
+      if (!examples::ParseIntInRange(arg + 11, 0, 255, fleet_id)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--fleet-epoch=", 14) == 0) {
+      if (!examples::ParseIntInRange(arg + 14, 1, kMaxInt, fleet_epoch)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--fleet-port=", 13) == 0) {
+      if (!examples::ParseIntInRange(arg + 13, 1, 65535, fleet_port)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--chaos-demo") == 0) {
       chaos_demo = true;
     } else if (std::strncmp(arg, "--failpoint=", 12) == 0) {
@@ -896,6 +1359,23 @@ int main(int argc, char** argv) {
   service_options.batch_decode = batch_decode;
   service_options.default_solve_budget_seconds = budget_ms * 1e-3;
 
+  if (fleet_serve) {
+    // Hidden shard mode, exec'd by the --fleet parent.  It runs the exact
+    // same option/zoo construction as the parent above, so cache keys and
+    // ring placement agree across all processes.
+    if (fleet_dir.empty()) {
+      std::fprintf(stderr, "error: --fleet-serve requires --fleet-dir\n");
+      return 2;
+    }
+    try {
+      return RunFleetShard(options, service_options, fleet_dir, fleet_id,
+                           fleet_epoch, fleet_port);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[shard %d] fatal: %s\n", fleet_id, e.what());
+      return 1;
+    }
+  }
+
   if (!failpoints.empty()) {
 #if defined(RESPECT_FAILPOINTS) && RESPECT_FAILPOINTS
     if (!respect::core::failpoint::ConfigureFromSpec(failpoints)) {
@@ -909,6 +1389,16 @@ int main(int argc, char** argv) {
                  "RESPECT_FAILPOINTS=ON\n");
     return 1;
 #endif
+  }
+
+  if (fleet_n > 0) {
+    try {
+      return RunFleet(options, service_options, zoo, requests, stages,
+                      engine, fleet_n, cache_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: fleet run failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (chaos_demo) {

@@ -17,11 +17,16 @@ Watched by default:
                                       in the JSON for inspection),
   * BM_DegradedFallbackLatency      — degraded requests/s through the
                                       budget-blown-attempt -> fallback-solve
-                                      path (the graceful-degradation tax).
+                                      path (the graceful-degradation tax),
+  * BM_FleetWarmFetch               — peer spill fetches/s over the loopback
+                                      wire protocol (the restart-warm-start
+                                      tax of a fleet shard).
 
 Benchmarks present in only one of the two files are reported and skipped
-(renames and newly added benchmarks must not hard-fail the gate); a
-regression in any watched metric exits non-zero.
+(renames and newly added benchmarks must not hard-fail the gate); a missing
+baseline file passes with a notice (the first run on a branch has no
+artifact to compare against); a regression in any watched metric exits
+non-zero.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
@@ -40,6 +45,7 @@ DEFAULT_WATCH = [
     "BM_CompileServiceDiskWarmStart",
     "BM_TenantFairness",
     "BM_DegradedFallbackLatency",
+    "BM_FleetWarmFetch",
 ]
 
 
@@ -68,7 +74,12 @@ def main():
                         help="benchmark names to gate on")
     args = parser.parse_args()
 
-    baseline = load_items_per_second(args.baseline)
+    try:
+        baseline = load_items_per_second(args.baseline)
+    except FileNotFoundError:
+        print(f"no baseline yet ({args.baseline} does not exist); "
+              "nothing to gate against — passing")
+        return 0
     current = load_items_per_second(args.current)
 
     failures = []

@@ -1,0 +1,237 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "core/failpoint.h"
+
+namespace respect::net {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in MakeAddress(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("invalid IPv4 address: \"" + host +
+                   "\" (numeric addresses only; no DNS)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::pair<std::string, int> SplitHostPort(std::string_view address) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    throw NetError("malformed address \"" + std::string(address) +
+                   "\" (want host:port)");
+  }
+  const std::string_view port_text = address.substr(colon + 1);
+  int port = 0;
+  const auto [end, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc() || end != port_text.data() + port_text.size() ||
+      port < 1 || port > 65535) {
+    throw NetError("malformed port in \"" + std::string(address) + "\"");
+  }
+  return {std::string(address.substr(0, colon)), port};
+}
+
+Socket::~Socket() { Close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::Connect(const std::string& host, int port, int timeout_ms) {
+  const sockaddr_in addr = MakeAddress(host, port);
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.Valid()) ThrowErrno("socket");
+  const int fd = socket.fd_;
+  // Non-blocking connect + poll bounds the handshake; the socket goes back
+  // to blocking before any data moves.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) ThrowErrno("connect to " + host);
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      throw NetError("connect to " + host + ":" + std::to_string(port) +
+                     " timed out");
+    }
+    if (rc < 0) ThrowErrno("poll during connect");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      throw NetError("connect to " + host + ":" + std::to_string(port) +
+                     " failed: " + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  SetNoDelay(fd);
+  return socket;
+}
+
+void Socket::SetIoTimeout(int timeout_ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::SendAll(std::string_view bytes) {
+  // Chaos seam: an injected write error surfaces as the same NetError a
+  // peer dying mid-frame would produce.
+  try {
+    RESPECT_FAILPOINT("net.write");
+  } catch (const std::exception& e) {
+    throw NetError(std::string("send failed (injected): ") + e.what());
+  }
+  if (fd_ < 0) throw NetError("send on closed socket");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing
+    // SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("send timed out");
+      }
+      ThrowErrno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::RecvExact(void* buffer, std::size_t size) {
+  // Chaos seam: an injected read error surfaces as the same NetError a
+  // reset or short read would produce.
+  try {
+    RESPECT_FAILPOINT("net.read");
+  } catch (const std::exception& e) {
+    throw NetError(std::string("recv failed (injected): ") + e.what());
+  }
+  if (fd_ < 0) throw NetError("recv on closed socket");
+  char* out = static_cast<char*>(buffer);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd_, out + received, size - received, 0);
+    if (n == 0) throw NetError("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw NetError("recv timed out");
+      }
+      ThrowErrno("recv");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::ListenSocket(const std::string& host, int port) {
+  const sockaddr_in addr = MakeAddress(host, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket ListenSocket::AcceptOnce(int poll_ms) {
+  // Chaos seam: an injected accept error exercises the server's
+  // keep-listening-anyway path, as the NetError a failing accept yields.
+  try {
+    RESPECT_FAILPOINT("net.accept");
+  } catch (const std::exception& e) {
+    throw NetError(std::string("accept failed (injected): ") + e.what());
+  }
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, poll_ms);
+  if (rc == 0) return Socket();  // nothing arrived; caller re-checks stop
+  if (rc < 0) {
+    if (errno == EINTR) return Socket();
+    ThrowErrno("poll on listener");
+  }
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return Socket();
+    ThrowErrno("accept");
+  }
+  SetNoDelay(conn);
+  return Socket(conn);
+}
+
+}  // namespace respect::net

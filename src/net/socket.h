@@ -1,0 +1,107 @@
+// Blocking POSIX TCP sockets for the compile fleet — a deliberately small
+// RAII layer under the wire codec (net/wire.h): connect with a timeout,
+// send-all, recv-exact, and a poll-driven accept loop that a server can
+// stop cleanly.
+//
+// Scope: loopback/LAN fleets with numeric addresses ("127.0.0.1:7430").
+// There is no DNS, no TLS, and no non-blocking I/O beyond the connect
+// handshake; per-socket send/receive timeouts (SetIoTimeout) bound every
+// blocking call so a hung peer degrades to a typed NetError instead of a
+// wedged worker.
+//
+// Failure model: every I/O problem — refused connection, reset, short
+// read, timeout — throws NetError.  Failpoint sites net.read / net.write /
+// net.accept let the chaos suite inject those same failures without a
+// misbehaving kernel.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace respect::net {
+
+/// Transport-layer failure (connect/send/recv/accept).  Distinct from
+/// WireError (net/wire.h), which means the bytes arrived but are not a
+/// valid frame.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Splits "host:port" into its parts.  Throws NetError on a malformed
+/// address (missing colon, empty host, non-numeric or out-of-range port).
+[[nodiscard]] std::pair<std::string, int> SplitHostPort(
+    std::string_view address);
+
+/// A connected (or accepted) stream socket.  Move-only; the destructor
+/// closes the descriptor.
+class Socket {
+ public:
+  Socket() = default;  // invalid until assigned
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  /// Connects to a numeric IPv4 host with a bounded handshake.  Throws
+  /// NetError on refusal, timeout, or any setup failure.  The returned
+  /// socket is blocking with TCP_NODELAY set.
+  [[nodiscard]] static Socket Connect(const std::string& host, int port,
+                                      int timeout_ms = 5000);
+
+  [[nodiscard]] bool Valid() const { return fd_ >= 0; }
+
+  /// Bounds every subsequent blocking send/recv; 0 restores
+  /// block-indefinitely.  A lapsed timeout surfaces as NetError.
+  void SetIoTimeout(int timeout_ms);
+
+  /// Writes all of `bytes` or throws NetError.  Failpoint site: net.write.
+  void SendAll(std::string_view bytes);
+
+  /// Reads exactly `size` bytes into `buffer` or throws NetError (a clean
+  /// peer close mid-message is an error here; framing decides where
+  /// messages end).  Failpoint site: net.read.
+  void RecvExact(void* buffer, std::size_t size);
+
+  /// Half-closes both directions so a thread blocked in RecvExact on this
+  /// socket fails over to NetError — how a server unsticks its connection
+  /// handlers at Stop.  Safe on an invalid socket.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening socket.  Port 0 binds an ephemeral port; Port()
+/// reports the real one.
+class ListenSocket {
+ public:
+  /// Binds and listens on a numeric IPv4 host.  Throws NetError.
+  ListenSocket(const std::string& host, int port);
+  ~ListenSocket();
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  [[nodiscard]] int Port() const { return port_; }
+
+  /// Waits up to `poll_ms` for one connection.  Returns an invalid Socket
+  /// when nothing arrived in time (the caller's accept loop re-checks its
+  /// stop flag and calls again); throws NetError on accept failure.
+  /// Failpoint site: net.accept.
+  [[nodiscard]] Socket AcceptOnce(int poll_ms);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace respect::net

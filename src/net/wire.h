@@ -1,0 +1,185 @@
+// Fleet wire protocol — length-prefixed, checksummed frames carrying POD
+// serializations of the serving request/response types.
+//
+// Frame layout (host-native bytes via deploy/pod_io.h; the fleet is
+// homogeneous loopback/LAN processes, matching the spill format's
+// convention):
+//
+//   header   u32 magic 'RNWF'     u32 frame type      u64 payload bytes
+//            u64 checksum.hi      u64 checksum.lo     (checksum = the
+//            graph::CanonicalHasher digest of the payload bytes)
+//   payload  type-specific, starting with a u32 payload version
+//
+// Versioned envelopes, unknown-field tolerant: every payload opens with a
+// version, fields are append-only, and decoders read the fields they know
+// and ignore trailing bytes — a v1 reader accepts a v2 writer's frames.
+// The checksum still covers every byte, so tolerance never means trusting
+// corruption.
+//
+// Every malformed byte sequence — short header, bad magic, implausible
+// size, checksum mismatch, out-of-range enum — throws WireError, never UB;
+// tests/net_test.cc drives truncated and bit-flipped frames through the
+// decoders under ASan to hold that line.
+//
+// Frame conversation (client speaks first on every exchange):
+//
+//   kCompileRequest  -> kCompileResponse | kError
+//   kSpillGet        -> kSpillData       | kSpillMiss | kError
+//   kStatsGet        -> kStatsData
+//   kFlush           -> kFlushOk
+//   kPing            -> kPong
+//
+// kError carries a WireErrorKind so the service's typed failures
+// (DeadlineExceeded, Overloaded, std::invalid_argument) survive the hop
+// and rethrow as the same types on the client.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "graph/canonical_hash.h"
+#include "serve/request.h"
+
+namespace respect::net {
+
+class Socket;
+
+/// The bytes arrived but are not a valid frame (framing, checksum, or
+/// payload structure).  Distinct from NetError (transport failure).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Relayed remote failure with no more specific typed form (the peer's
+/// kInternal errors).
+class RemoteError : public std::runtime_error {
+ public:
+  explicit RemoteError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x46574e52;  // "RNWF"
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 8 + 8;
+inline constexpr std::uint64_t kMaxFramePayloadBytes = 1ull << 30;
+inline constexpr std::uint32_t kWireVersion = 1;
+inline constexpr std::uint64_t kMaxWireStringBytes = 1ull << 20;
+inline constexpr std::uint64_t kMaxWireDagBytes = 1ull << 26;
+
+enum class FrameType : std::uint32_t {
+  kCompileRequest = 1,
+  kCompileResponse = 2,
+  kError = 3,
+  kSpillGet = 4,
+  kSpillData = 5,
+  kSpillMiss = 6,
+  kStatsGet = 7,
+  kStatsData = 8,
+  kFlush = 9,
+  kFlushOk = 10,
+  kPing = 11,
+  kPong = 12,
+};
+
+[[nodiscard]] std::string_view FrameTypeName(FrameType type);
+
+struct FrameHeader {
+  FrameType type = FrameType::kPing;
+  std::uint64_t payload_size = 0;
+  graph::CanonicalHash checksum;
+};
+
+/// Serializes the 32-byte header for `payload` (computes its checksum).
+[[nodiscard]] std::string EncodeFrameHeader(FrameType type,
+                                            std::string_view payload);
+
+/// Parses and range-checks a header.  Throws WireError on anything but a
+/// well-formed header of a known frame type within the payload bound.
+[[nodiscard]] FrameHeader DecodeFrameHeader(std::string_view bytes);
+
+/// Throws WireError unless `payload` matches the header's size and
+/// checksum.
+void VerifyFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// Writes one frame (header + payload) to the socket.
+void SendFrame(Socket& socket, FrameType type, std::string_view payload);
+
+/// Reads one verified frame.  NetError for transport failures, WireError
+/// for malformed bytes.
+[[nodiscard]] std::pair<FrameType, std::string> RecvFrame(Socket& socket);
+
+// ── Compile request / response payloads ────────────────────────────────────
+
+struct WireCompileRequest {
+  serve::CompileRequest request;
+
+  /// Routing loop prevention: set on owner-forwarded requests so the owner
+  /// answers locally instead of re-consulting the ring.
+  bool no_forward = false;
+};
+
+/// Serializes every CompileRequest field.  The deadline travels as
+/// remaining time (steady_clock points do not cross processes) and is
+/// re-anchored to the receiver's clock on decode.
+[[nodiscard]] std::string EncodeCompileRequest(
+    const serve::CompileRequest& request, bool no_forward);
+
+[[nodiscard]] WireCompileRequest DecodeCompileRequest(
+    std::string_view payload);
+
+/// Serializes every CompileResponse field, including the result body when
+/// present (shared byte layout with the spill codec's WriteResultBody).
+[[nodiscard]] std::string EncodeCompileResponse(
+    const serve::CompileResponse& response);
+
+/// Engine names decode into process-lifetime string_views: known names
+/// resolve to the registry's canonical storage, unknown ones land in an
+/// interning pool (never a dangling view).
+[[nodiscard]] serve::CompileResponse DecodeCompileResponse(
+    std::string_view payload);
+
+// ── Typed error payload ────────────────────────────────────────────────────
+
+enum class WireErrorKind : std::uint8_t {
+  kInvalidArgument = 0,
+  kDeadlineExceeded = 1,
+  kOverloaded = 2,
+  kInternal = 3,
+};
+
+[[nodiscard]] std::string EncodeErrorPayload(WireErrorKind kind,
+                                             std::string_view message);
+
+[[nodiscard]] std::pair<WireErrorKind, std::string> DecodeErrorPayload(
+    std::string_view payload);
+
+/// Rethrows a decoded error payload as the matching typed exception:
+/// std::invalid_argument, serve::DeadlineExceeded, serve::Overloaded, or
+/// RemoteError.
+[[noreturn]] void ThrowDecodedError(WireErrorKind kind,
+                                    const std::string& message);
+
+// ── Fleet statistics payload ───────────────────────────────────────────────
+
+/// Fleet-visible counters one shard reports (kStatsGet): enough for the
+/// fleet demo to compute solves-per-unique-graph and to prove a restarted
+/// shard warm-started from its peers.
+struct FleetStats {
+  std::uint64_t requests = 0;          // compile frames handled
+  std::uint64_t engine_solves = 0;     // local cold solves paid
+  std::uint64_t cache_hits = 0;        // memory-tier answers
+  std::uint64_t disk_hits = 0;         // persistent-tier answers
+  std::uint64_t peer_hits = 0;         // peer-envelope answers
+  std::uint64_t peer_fetches = 0;      // peer warm attempts
+  std::uint64_t forwarded = 0;         // requests relayed to their owner
+  std::uint64_t forward_failures = 0;  // relays that degraded to local
+  std::uint64_t spill_served = 0;      // kSpillGet answered with bytes
+  std::uint64_t spill_missed = 0;      // kSpillGet answered with a miss
+};
+
+[[nodiscard]] std::string EncodeFleetStats(const FleetStats& stats);
+[[nodiscard]] FleetStats DecodeFleetStats(std::string_view payload);
+
+}  // namespace respect::net

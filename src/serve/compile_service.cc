@@ -14,6 +14,7 @@
 #include "engines/registry.h"
 #include "serve/request_queue.h"
 #include "serve/store/disk_store.h"
+#include "serve/store/spill_codec.h"
 #include "serve/store/tinylfu.h"
 
 namespace respect::serve {
@@ -425,22 +426,10 @@ void CompileService::ExecuteCached(const graph::Dag& dag,
     std::int64_t disk_expiry_ms = 0;
     if (ResultPtr from_disk = store_->Probe(key.hash, &disk_expiry_ms)) {
       disk_hits_.fetch_add(1, std::memory_order_relaxed);
-      // Promote at the spill's *remaining* lifetime: re-arming a full TTL
-      // here would let the entry outlive the age bound by up to 2x.
-      std::optional<SteadyClock::time_point> promote_expiry;
-      if (disk_expiry_ms != 0) {
-        const auto remaining =
-            std::chrono::system_clock::time_point(
-                std::chrono::milliseconds(disk_expiry_ms)) -
-            std::chrono::system_clock::now();
-        promote_expiry =
-            SteadyClock::now() +
-            std::chrono::duration_cast<SteadyClock::duration>(remaining);
-      }
       {
         const std::lock_guard<std::mutex> lock(shard.mutex);
         InsertLocked(shard, key, from_disk,
-                     promote_expiry);  // promote, subject to admission
+                     PromoteExpiry(disk_expiry_ms));  // subject to admission
         shard.flights.erase(key.hash);
       }
       flight->promise.set_value(from_disk);
@@ -449,6 +438,11 @@ void CompileService::ExecuteCached(const graph::Dag& dag,
       return;
     }
   }
+
+  // Both local tiers missed: in fleet mode, ask peers for their spill
+  // envelope before paying an engine solve.  A verified fetch settles the
+  // flight exactly like a disk hit; any failure falls through to the solve.
+  if (TryPeerWarm(key, shard, flight, response)) return;
 
   misses_.fetch_add(1, std::memory_order_relaxed);
   try {
@@ -616,6 +610,128 @@ void CompileService::FlushStore() {
 
 std::size_t CompileService::CompactStore() {
   return store_ != nullptr ? store_->Compact(compiler_.RlVersion()) : 0;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+CompileService::PromoteExpiry(std::int64_t expires_at_unix_ms) {
+  if (expires_at_unix_ms == 0) return std::nullopt;
+  const auto remaining = std::chrono::system_clock::time_point(
+                             std::chrono::milliseconds(expires_at_unix_ms)) -
+                         std::chrono::system_clock::now();
+  return SteadyClock::now() +
+         std::chrono::duration_cast<SteadyClock::duration>(remaining);
+}
+
+std::shared_ptr<const CompileService::PeerFetchFn>
+CompileService::PeerFetchSnapshot() const {
+  const std::lock_guard<std::mutex> lock(peer_fetch_mutex_);
+  return peer_fetch_;
+}
+
+void CompileService::SetPeerFetch(PeerFetchFn fetch) {
+  std::shared_ptr<const PeerFetchFn> installed;
+  if (fetch) {
+    installed = std::make_shared<const PeerFetchFn>(std::move(fetch));
+  }
+  const std::lock_guard<std::mutex> lock(peer_fetch_mutex_);
+  peer_fetch_ = std::move(installed);
+}
+
+std::optional<std::string> CompileService::ExportSpill(
+    const graph::CanonicalHash& key) {
+  return store_ != nullptr ? store_->ExportRaw(key) : std::nullopt;
+}
+
+bool CompileService::ImportSpill(const graph::CanonicalHash& key,
+                                 std::string_view bytes) {
+  return store_ != nullptr && store_->ImportRaw(key, bytes);
+}
+
+bool CompileService::TryPeerWarm(const RequestKey& key, Shard& shard,
+                                 const std::shared_ptr<Flight>& flight,
+                                 CompileResponse& response) {
+  const std::shared_ptr<const PeerFetchFn> fetch = PeerFetchSnapshot();
+  if (fetch == nullptr) return false;
+  peer_fetches_.fetch_add(1, std::memory_order_relaxed);
+  std::string bytes;
+  try {
+    bytes = (*fetch)(key.hash);
+  } catch (...) {
+    // A dead or slow peer degrades to a local solve — never a request
+    // failure.
+    peer_fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (bytes.empty()) return false;  // clean peer miss
+  const std::optional<store::SpillEnvelope> envelope =
+      store::TryDecodeSpillEnvelope(bytes);
+  const bool usable =
+      envelope && envelope->meta.key == key.hash &&
+      (envelope->expires_at_unix_ms == 0 ||
+       std::chrono::system_clock::now() <
+           std::chrono::system_clock::time_point(
+               std::chrono::milliseconds(envelope->expires_at_unix_ms)));
+  if (!usable) {
+    // Corrupt, mismatched, or expired peer bytes: counted, discarded, and
+    // the request pays its own solve — a lying peer cannot poison a cache.
+    peer_fetch_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (store_ != nullptr) {
+    store_->ImportRaw(key.hash, bytes);  // durable warmth; refusal is fine
+  }
+  peer_hits_.fetch_add(1, std::memory_order_relaxed);
+  ResultPtr result = envelope->result;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    InsertLocked(shard, key, result,
+                 PromoteExpiry(envelope->expires_at_unix_ms));
+    shard.flights.erase(key.hash);
+  }
+  flight->promise.set_value(result);
+  response.result = std::move(result);
+  response.outcome = CacheOutcome::kPeerHit;
+  return true;
+}
+
+graph::CanonicalHash CompileService::KeyFor(
+    const CompileRequest& request) const {
+  return MakeKey(request.dag, request.num_stages, request.engine,
+                 request.profile)
+      .hash;
+}
+
+std::optional<CompileResponse> CompileService::TryServeLocal(
+    const CompileRequest& request) {
+  if (request.cache_policy != CachePolicy::kUse) return std::nullopt;
+  const RequestKey key = MakeKey(request.dag, request.num_stages,
+                                 request.engine, request.profile);
+  CompileResponse response;
+  response.engine_name = key.engine_name;
+  response.requested_engine = key.engine_name;
+  response.key_hex = key.hash.ToHex();
+  // Note: a miss here followed by a full Compile records the admission
+  // access twice — a one-sample skew the frequency sketch tolerates.
+  if (ResultPtr cached = TryCached(key)) {
+    response.result = std::move(cached);
+    response.outcome = CacheOutcome::kHit;
+    return response;
+  }
+  if (store_ != nullptr) {
+    std::int64_t disk_expiry_ms = 0;
+    if (ResultPtr from_disk = store_->Probe(key.hash, &disk_expiry_ms)) {
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      Shard& shard = ShardFor(key.hash);
+      {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        InsertLocked(shard, key, from_disk, PromoteExpiry(disk_expiry_ms));
+      }
+      response.result = std::move(from_disk);
+      response.outcome = CacheOutcome::kDiskHit;
+      return response;
+    }
+  }
+  return std::nullopt;
 }
 
 CompileResponse CompileService::CompileOn(const graph::Dag& dag,
@@ -1192,6 +1308,10 @@ ServiceMetrics CompileService::Metrics() const {
       fallback_exhausted_.load(std::memory_order_relaxed);
   metrics.writeback_errors =
       writeback_errors_.load(std::memory_order_relaxed);
+  metrics.peer_fetches = peer_fetches_.load(std::memory_order_relaxed);
+  metrics.peer_hits = peer_hits_.load(std::memory_order_relaxed);
+  metrics.peer_fetch_failures =
+      peer_fetch_failures_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(breaker_mutex_);
     for (const auto& [name, breaker] : breakers_) {

@@ -257,6 +257,10 @@ struct ServiceMetrics {
   std::uint64_t shed = 0;             // requests refused at admission
                                       // (Overloaded), summed over lanes
   std::uint64_t writeback_errors = 0;  // background spills that failed
+  std::uint64_t peer_fetches = 0;     // peer warm attempts on cold misses
+  std::uint64_t peer_hits = 0;        // requests answered by peer envelopes
+  std::uint64_t peer_fetch_failures = 0;  // fetches that threw or returned
+                                          // corrupt/mismatched bytes
   double solve_p50_seconds = 0.0;     // over the recent cold-solve window
   double solve_p99_seconds = 0.0;
   std::size_t cache_size = 0;         // resident entries right now
@@ -406,6 +410,49 @@ class CompileService {
   /// would desynchronize keys from results — weight swaps go through
   /// ReplaceRl.
   [[nodiscard]] const PipelineCompiler& Compiler() const { return compiler_; }
+
+  // ── Fleet hooks (net::FleetServer) ─────────────────────────────────────
+
+  /// The content-addressed key this request resolves to — what the fleet
+  /// router hashes to pick an owner shard.  Same validation as Compile: an
+  /// unknown engine or profile throws std::invalid_argument.  Pure (no
+  /// cache side effects).
+  [[nodiscard]] graph::CanonicalHash KeyFor(
+      const CompileRequest& request) const;
+
+  /// Local-tiers-only probe: answers a CachePolicy::kUse request from the
+  /// memory cache (kHit) or the persistent store (kDiskHit, promoted), and
+  /// returns nullopt otherwise — never joins a flight, never solves, never
+  /// peer-fetches.  The fleet server uses this to decide whether a request
+  /// it does not own can be answered in place or must forward.  Non-kUse
+  /// policies always return nullopt (they never probe caches).
+  [[nodiscard]] std::optional<CompileResponse> TryServeLocal(
+      const CompileRequest& request);
+
+  /// Peer warm hook: called on a cold miss (after both local tiers missed,
+  /// before the engine solve) with the request key; returns raw spill
+  /// envelope bytes or "" for a peer miss.  The bytes are fully verified
+  /// here — checksum, embedded key, expiry — before anything is served;
+  /// corrupt bytes and thrown exceptions count as peer_fetch_failures and
+  /// the request falls through to a normal local solve.  A verified fetch
+  /// is imported into the local store (durable warmth), promoted into
+  /// memory, and surfaced as CacheOutcome::kPeerHit.  Pass nullptr to
+  /// uninstall.  The function must stay callable until it is uninstalled
+  /// and every in-flight request has settled (net::FleetServer::Stop does
+  /// both).
+  using PeerFetchFn = std::function<std::string(const graph::CanonicalHash&)>;
+  void SetPeerFetch(PeerFetchFn fetch);
+
+  /// Verified raw spill envelope bytes for `key` from the persistent tier,
+  /// or nullopt (no store, absent, corrupt, expired) — the serving side of
+  /// a peer's fetch-by-hex.
+  [[nodiscard]] std::optional<std::string> ExportSpill(
+      const graph::CanonicalHash& key);
+
+  /// Verifies and persists raw envelope bytes under `key` (see
+  /// store::CacheStore::ImportRaw).  False without a store or when the
+  /// bytes are refused.
+  bool ImportSpill(const graph::CanonicalHash& key, std::string_view bytes);
 
  private:
   struct CacheEntry {
@@ -574,6 +621,22 @@ class CompileService {
   [[nodiscard]] bool DropIfExpiredLocked(Shard& shard,
                                          std::list<CacheEntry>::iterator it);
 
+  /// Memory-promotion cap for an entry carrying an absolute wall-clock
+  /// expiry (disk hit, peer-fetched envelope): promote at the *remaining*
+  /// lifetime — re-arming a full TTL would let the entry outlive its age
+  /// bound by up to 2x.  Nullopt when the entry never expires.
+  [[nodiscard]] static std::optional<std::chrono::steady_clock::time_point>
+  PromoteExpiry(std::int64_t expires_at_unix_ms);
+
+  /// Snapshot of the installed peer-fetch hook (null when none).
+  [[nodiscard]] std::shared_ptr<const PeerFetchFn> PeerFetchSnapshot() const;
+
+  /// Flight-owner peer warm attempt: fetch → verify → import → promote →
+  /// resolve the flight.  True when the response was filled (kPeerHit).
+  [[nodiscard]] bool TryPeerWarm(const RequestKey& key, Shard& shard,
+                                 const std::shared_ptr<Flight>& flight,
+                                 CompileResponse& response);
+
   /// Enqueues a background spill of `result` on the pool (no-op without a
   /// store).  Never blocks on I/O; FlushStore waits for all of these.
   void EnqueueWriteback(const RequestKey& key, ResultPtr result);
@@ -624,6 +687,14 @@ class CompileService {
   std::atomic<std::uint64_t> degraded_served_{0};
   std::atomic<std::uint64_t> fallback_exhausted_{0};
   std::atomic<std::uint64_t> writeback_errors_{0};
+  std::atomic<std::uint64_t> peer_fetches_{0};
+  std::atomic<std::uint64_t> peer_hits_{0};
+  std::atomic<std::uint64_t> peer_fetch_failures_{0};
+
+  /// Peer warm hook (SetPeerFetch); swapped atomically under its mutex,
+  /// read as a shared_ptr snapshot so an uninstall never races a call.
+  mutable std::mutex peer_fetch_mutex_;
+  std::shared_ptr<const PeerFetchFn> peer_fetch_;
 
   /// Fallback chain resolved to canonical registry names at construction.
   std::vector<std::string_view> fallback_chain_;

@@ -95,6 +95,9 @@ enum class CacheOutcome {
   kRefresh,    // CachePolicy::kRefresh solve, entry overwritten
   kDiskHit,    // answered from the persistent store, no solve (promoted
                // into memory subject to the admission policy)
+  kPeerHit,    // answered by a peer-fetched spill envelope (fleet mode) —
+               // verified, imported into the local store, and promoted
+               // into memory; no local engine solve
 };
 
 [[nodiscard]] constexpr std::string_view CacheOutcomeName(
@@ -106,6 +109,7 @@ enum class CacheOutcome {
     case CacheOutcome::kBypass: return "bypass";
     case CacheOutcome::kRefresh: return "refresh";
     case CacheOutcome::kDiskHit: return "disk-hit";
+    case CacheOutcome::kPeerHit: return "peer-hit";
   }
   return "unknown";
 }

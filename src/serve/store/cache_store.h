@@ -29,7 +29,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "graph/canonical_hash.h"
 #include "serve/request.h"
@@ -69,6 +71,8 @@ struct StoreMetrics {
   std::uint64_t corrupt_dropped = 0;  // malformed entries quarantined
   std::uint64_t expired_dropped = 0;  // TTL-expired entries dropped lazily
   std::uint64_t compacted = 0;        // entries removed by Compact
+  std::uint64_t exports = 0;          // raw envelopes served to peers
+  std::uint64_t imports = 0;          // raw envelopes accepted from peers
   std::size_t resident = 0;           // entries indexed right now
 };
 
@@ -95,6 +99,30 @@ class CacheStore {
   /// live_rl_version, TTL-expired entries, and anything malformed.  Returns
   /// the number of entries removed.
   virtual std::size_t Compact(std::uint64_t live_rl_version) = 0;
+
+  /// Returns the verified raw envelope bytes stored under `key` — the exact
+  /// self-describing `.spill` format (serve/store/spill_codec.h) — or
+  /// nullopt when the entry is absent, corrupt, or expired.  This is the
+  /// fleet peer-fetch read: bytes are fully verified (checksum + embedded
+  /// key) before a single one leaves the process.  The default
+  /// implementation has no raw form and always misses.
+  [[nodiscard]] virtual std::optional<std::string> ExportRaw(
+      const graph::CanonicalHash& key) {
+    (void)key;
+    return std::nullopt;
+  }
+
+  /// Accepts raw envelope bytes fetched from a peer and persists them under
+  /// `key`.  The bytes are fully verified first (checksum, version range,
+  /// embedded key == `key`, not expired); anything malformed is refused
+  /// with `false` — corrupt peer bytes are a typed miss, never a stored
+  /// lie.  Must not throw.  The default implementation stores nothing.
+  virtual bool ImportRaw(const graph::CanonicalHash& key,
+                         std::string_view bytes) {
+    (void)key;
+    (void)bytes;
+    return false;
+  }
 
   [[nodiscard]] virtual StoreMetrics Metrics() const = 0;
 };

@@ -12,213 +12,25 @@
 
 #include "core/failpoint.h"
 #include "core/respect.h"
-#include "deploy/package.h"
-#include "deploy/pod_io.h"
+#include "serve/store/spill_codec.h"
 
 namespace respect::serve::store {
 namespace {
 
-using deploy::ReadPod;
-using deploy::WritePod;
-
-constexpr std::uint32_t kMagic = 0x4c505352;  // "RSPL" little-endian
-
-/// Written on every Put.  v2 added the device-profile fields to the meta
-/// prefix; v1 files (no profile fields) still read back fine — as the
-/// default profile — so a pre-profile cache directory warm-starts a
-/// default-profile service without re-solving.  Versions above
-/// kFormatVersion are from a *newer* writer and are quarantined as clean
-/// misses rather than guessed at.
-constexpr std::uint32_t kFormatVersion = 2;
-constexpr std::uint32_t kMinFormatVersion = 1;
 constexpr const char* kSpillExtension = ".spill";
 
-/// Everything above the package is small; this bounds resize attacks from a
-/// corrupt length field (the package reader has its own bounds).
-constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
-constexpr std::uint32_t kMaxEngineNameBytes = 4096;
-constexpr std::uint32_t kMaxProfileNameBytes = 4096;
-constexpr std::uint64_t kMaxScheduleNodes = 1ull << 24;
-
-/// The self-description at the front of every payload — what Compact and
-/// TTL checks need without touching the package bytes.
-struct SpillPrefix {
-  SpillMeta meta;
-  std::int64_t expires_at_unix_ms = 0;  // 0 = never
-};
-
-struct LoadedSpill {
-  SpillMeta meta;
-  std::int64_t expires_at_unix_ms = 0;  // 0 = never
-  ResultPtr result;
-};
-
-std::string SerializePayload(const SpillMeta& meta,
-                             std::int64_t expires_at_unix_ms,
-                             const CompileResult& result) {
-  std::ostringstream os(std::ios::binary);
-  WritePod(os, meta.key.hi);
-  WritePod(os, meta.key.lo);
-  WritePod(os, static_cast<std::uint8_t>(meta.rl_dependent));
-  WritePod(os, meta.rl_version);
-  WritePod(os, static_cast<std::uint32_t>(meta.engine_name.size()));
-  os.write(meta.engine_name.data(),
-           static_cast<std::streamsize>(meta.engine_name.size()));
-  // v2 fields: the device profile the schedule targets.
-  WritePod(os, static_cast<std::uint32_t>(meta.profile_name.size()));
-  os.write(meta.profile_name.data(),
-           static_cast<std::streamsize>(meta.profile_name.size()));
-  WritePod(os, meta.profile_fingerprint.hi);
-  WritePod(os, meta.profile_fingerprint.lo);
-  WritePod(os, expires_at_unix_ms);
-  WritePod(os, result.solve_seconds);
-  WritePod(os, result.peak_stage_param_bytes);
-  WritePod(os, static_cast<std::uint8_t>(result.proved_optimal));
-  WritePod(os, result.schedule.num_stages);
-  WritePod(os, static_cast<std::uint64_t>(result.schedule.stage.size()));
-  for (const int stage : result.schedule.stage) WritePod(os, stage);
-  deploy::WritePackage(result.package, os);
-  return std::move(os).str();
-}
-
-/// Parses the meta fields at the front of a payload stream.  Throws
-/// std::runtime_error on any structural problem.  v1 payloads have no
-/// profile fields — they parse as the default profile ("coral", zero
-/// fingerprint), which is exactly what a pre-profile writer was solving
-/// for.
-SpillPrefix ReadMetaFields(std::istream& is, std::uint32_t version) {
-  SpillPrefix prefix;
-  ReadPod(is, prefix.meta.key.hi);
-  ReadPod(is, prefix.meta.key.lo);
-  std::uint8_t rl_dependent = 0;
-  ReadPod(is, rl_dependent);
-  prefix.meta.rl_dependent = rl_dependent != 0;
-  ReadPod(is, prefix.meta.rl_version);
-  std::uint32_t name_len = 0;
-  ReadPod(is, name_len);
-  if (!is || name_len > kMaxEngineNameBytes) {
-    throw std::runtime_error("spill: corrupt engine name");
-  }
-  prefix.meta.engine_name.resize(name_len);
-  is.read(prefix.meta.engine_name.data(), name_len);
-  if (version >= 2) {
-    std::uint32_t profile_len = 0;
-    ReadPod(is, profile_len);
-    if (!is || profile_len > kMaxProfileNameBytes) {
-      throw std::runtime_error("spill: corrupt profile name");
-    }
-    prefix.meta.profile_name.resize(profile_len);
-    is.read(prefix.meta.profile_name.data(), profile_len);
-    ReadPod(is, prefix.meta.profile_fingerprint.hi);
-    ReadPod(is, prefix.meta.profile_fingerprint.lo);
-  }
-  ReadPod(is, prefix.expires_at_unix_ms);
-  if (!is) throw std::runtime_error("spill: truncated meta");
-  return prefix;
-}
-
-/// Parses a verified payload.  Throws std::runtime_error on any structural
-/// problem; the caller translates that into quarantine-and-miss.
-LoadedSpill ParsePayload(const std::string& payload, std::uint32_t version) {
-  std::istringstream is(payload, std::ios::binary);
-  LoadedSpill loaded;
-  {
-    SpillPrefix prefix = ReadMetaFields(is, version);
-    loaded.meta = std::move(prefix.meta);
-    loaded.expires_at_unix_ms = prefix.expires_at_unix_ms;
-  }
-
-  auto result = std::make_shared<CompileResult>();
-  ReadPod(is, result->solve_seconds);
-  ReadPod(is, result->peak_stage_param_bytes);
-  std::uint8_t proved_optimal = 0;
-  ReadPod(is, proved_optimal);
-  result->proved_optimal = proved_optimal != 0;
-  ReadPod(is, result->schedule.num_stages);
-  std::uint64_t node_count = 0;
-  ReadPod(is, node_count);
-  if (!is || node_count > kMaxScheduleNodes) {
-    throw std::runtime_error("spill: corrupt schedule");
-  }
-  result->schedule.stage.resize(node_count);
-  for (int& stage : result->schedule.stage) ReadPod(is, stage);
-  if (!is) throw std::runtime_error("spill: truncated schedule");
-  result->package = deploy::ReadPackage(is);
-  // The package reader stops exactly at its last field; anything after it
-  // means the payload is not what the checksum was supposed to cover.
-  if (is.peek() != std::char_traits<char>::eof()) {
-    throw std::runtime_error("spill: trailing bytes");
-  }
-  loaded.result = std::move(result);
-  return loaded;
-}
-
-graph::CanonicalHash ChecksumOf(const std::string& payload) {
-  graph::CanonicalHasher hasher;
-  hasher.Update(std::string_view(payload));
-  return hasher.Finish();
-}
-
-/// Reads and fully verifies one spill file.  Throws std::runtime_error on
-/// any corruption; returns the parsed record otherwise.
-LoadedSpill LoadSpillFile(const std::filesystem::path& path) {
+/// Reads a whole file into a string.  Throws std::runtime_error when the
+/// file cannot be opened or read.
+std::string ReadFileBytes(const std::filesystem::path& path) {
   // Chaos seam: an injected read error takes the same quarantine-and-miss
   // path a real EIO would.
   RESPECT_FAILPOINT("store.read");
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("spill: cannot open");
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint64_t payload_size = 0;
-  graph::CanonicalHash checksum;
-  ReadPod(is, magic);
-  ReadPod(is, version);
-  ReadPod(is, payload_size);
-  ReadPod(is, checksum.hi);
-  ReadPod(is, checksum.lo);
-  if (!is || magic != kMagic) throw std::runtime_error("spill: bad magic");
-  if (version < kMinFormatVersion || version > kFormatVersion) {
-    throw std::runtime_error("spill: unsupported format version");
-  }
-  if (payload_size == 0 || payload_size > kMaxPayloadBytes) {
-    throw std::runtime_error("spill: implausible payload size");
-  }
-  std::string payload(static_cast<std::size_t>(payload_size), '\0');
-  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_size ||
-      is.peek() != std::char_traits<char>::eof()) {
-    throw std::runtime_error("spill: truncated or oversized payload");
-  }
-  if (ChecksumOf(payload) != checksum) {
-    throw std::runtime_error("spill: checksum mismatch");
-  }
-  return ParsePayload(payload, version);
-}
-
-/// Reads only the header and the meta prefix of a spill file — enough for
-/// compaction decisions without deserializing (or even reading) the
-/// package bytes.  Structural corruption throws; the prefix is NOT
-/// checksum-verified (Probe fully verifies before any byte is served).
-SpillPrefix LoadSpillPrefix(const std::filesystem::path& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("spill: cannot open");
-  std::uint32_t magic = 0;
-  std::uint32_t version = 0;
-  std::uint64_t payload_size = 0;
-  graph::CanonicalHash checksum;
-  ReadPod(is, magic);
-  ReadPod(is, version);
-  ReadPod(is, payload_size);
-  ReadPod(is, checksum.hi);
-  ReadPod(is, checksum.lo);
-  if (!is || magic != kMagic) throw std::runtime_error("spill: bad magic");
-  if (version < kMinFormatVersion || version > kFormatVersion) {
-    throw std::runtime_error("spill: unsupported format version");
-  }
-  if (payload_size == 0 || payload_size > kMaxPayloadBytes) {
-    throw std::runtime_error("spill: implausible payload size");
-  }
-  return ReadMetaFields(is, version);
+  std::ostringstream os(std::ios::binary);
+  os << is.rdbuf();
+  if (!is && !is.eof()) throw std::runtime_error("spill: read failed");
+  return std::move(os).str();
 }
 
 }  // namespace
@@ -288,6 +100,40 @@ void DiskStore::Drop(const graph::CanonicalHash& key,
   counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool DiskStore::Expired(std::int64_t expires_at_unix_ms) const {
+  return expires_at_unix_ms != 0 &&
+         Now() > std::chrono::system_clock::time_point(
+                     std::chrono::milliseconds(expires_at_unix_ms));
+}
+
+std::optional<std::string> DiskStore::LoadVerified(
+    const graph::CanonicalHash& key, SpillEnvelope* envelope) {
+  const std::filesystem::path path = PathFor(key);
+  std::string bytes;
+  SpillEnvelope loaded;
+  try {
+    bytes = ReadFileBytes(path);
+    loaded = DecodeSpillEnvelope(bytes);
+  } catch (const std::exception&) {
+    // Truncated, bit-flipped, wrong version, vanished — all the same clean
+    // miss: quarantine (delete) the file so it is never re-probed.
+    Drop(key, path, corrupt_dropped_);
+    return std::nullopt;
+  }
+  if (loaded.meta.key != key) {
+    // A file whose envelope answers a different request than its name
+    // claims (e.g. a renamed spill) must never be served.
+    Drop(key, path, corrupt_dropped_);
+    return std::nullopt;
+  }
+  if (Expired(loaded.expires_at_unix_ms)) {
+    Drop(key, path, expired_dropped_);
+    return std::nullopt;
+  }
+  if (envelope != nullptr) *envelope = std::move(loaded);
+  return bytes;
+}
+
 ResultPtr DiskStore::Probe(const graph::CanonicalHash& key,
                            std::int64_t* expires_at_unix_ms) {
   probes_.fetch_add(1, std::memory_order_relaxed);
@@ -295,36 +141,63 @@ ResultPtr DiskStore::Probe(const graph::CanonicalHash& key,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  const std::filesystem::path path = PathFor(key);
-  LoadedSpill loaded;
-  try {
-    loaded = LoadSpillFile(path);
-  } catch (const std::exception&) {
-    // Truncated, bit-flipped, wrong version, vanished — all the same clean
-    // miss: quarantine (delete) the file so it is never re-probed.
-    Drop(key, path, corrupt_dropped_);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  if (loaded.meta.key != key) {
-    // A file whose envelope answers a different request than its name
-    // claims (e.g. a renamed spill) must never be served.
-    Drop(key, path, corrupt_dropped_);
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  if (loaded.expires_at_unix_ms != 0 &&
-      Now() > std::chrono::system_clock::time_point(
-                  std::chrono::milliseconds(loaded.expires_at_unix_ms))) {
-    Drop(key, path, expired_dropped_);
+  SpillEnvelope envelope;
+  if (!LoadVerified(key, &envelope)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
   if (expires_at_unix_ms != nullptr) {
-    *expires_at_unix_ms = loaded.expires_at_unix_ms;
+    *expires_at_unix_ms = envelope.expires_at_unix_ms;
   }
-  return loaded.result;
+  return envelope.result;
+}
+
+bool DiskStore::WriteEnvelopeAtomic(const graph::CanonicalHash& key,
+                                    std::string_view envelope) {
+  // Transient I/O failures (ENOSPC racing a cleanup, EIO blips) often clear
+  // within milliseconds: retry with doubling backoff before giving the
+  // spill up.  Every attempt writes its own temp file and removes it on
+  // failure — no litter however an attempt dies.
+  const std::filesystem::path final_path = PathFor(key);
+  const int attempts = 1 + std::max(0, options_.write_retries);
+  int backoff_ms = std::max(0, options_.write_retry_backoff_ms);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const std::filesystem::path temp_path =
+        final_path.string() + "." +
+        std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed)) +
+        ".tmp";
+    try {
+      {
+        std::ofstream os(temp_path, std::ios::binary | std::ios::trunc);
+        if (!os) throw std::runtime_error("cannot open temp file");
+        RESPECT_FAILPOINT("store.write");
+        os.write(envelope.data(),
+                 static_cast<std::streamsize>(envelope.size()));
+        os.flush();
+        if (!os) throw std::runtime_error("write failed");
+      }
+      // Atomic publish: readers see the old complete file or the new one,
+      // never a partial write.
+      RESPECT_FAILPOINT("store.rename");
+      std::filesystem::rename(temp_path, final_path);
+      Index(key);
+      return true;
+    } catch (...) {
+      std::error_code ec;
+      std::filesystem::remove(temp_path, ec);
+      if (attempt + 1 == attempts) {
+        write_failures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      write_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+      }
+    }
+  }
+  return false;
 }
 
 void DiskStore::Put(const SpillMeta& meta, const ResultPtr& result) {
@@ -339,63 +212,40 @@ void DiskStore::Put(const SpillMeta& meta, const ResultPtr& result) {
                 .time_since_epoch())
             .count();
   }
-  const std::filesystem::path final_path = PathFor(meta.key);
-  std::string payload;
-  graph::CanonicalHash checksum;
+  std::string envelope;
   try {
-    payload = SerializePayload(meta, expires_at_unix_ms, *result);
-    checksum = ChecksumOf(payload);
+    envelope = EncodeSpillEnvelope(meta, expires_at_unix_ms, *result);
   } catch (...) {
     // Serialization failures are deterministic — retrying cannot help.
     write_failures_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  // Transient I/O failures (ENOSPC racing a cleanup, EIO blips) often clear
-  // within milliseconds: retry with doubling backoff before giving the
-  // spill up.  Every attempt writes its own temp file and removes it on
-  // failure — no litter however an attempt dies.
-  const int attempts = 1 + std::max(0, options_.write_retries);
-  int backoff_ms = std::max(0, options_.write_retry_backoff_ms);
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    const std::filesystem::path temp_path =
-        final_path.string() + "." +
-        std::to_string(temp_counter_.fetch_add(1, std::memory_order_relaxed)) +
-        ".tmp";
-    try {
-      {
-        std::ofstream os(temp_path, std::ios::binary | std::ios::trunc);
-        if (!os) throw std::runtime_error("cannot open temp file");
-        RESPECT_FAILPOINT("store.write");
-        WritePod(os, kMagic);
-        WritePod(os, kFormatVersion);
-        WritePod(os, static_cast<std::uint64_t>(payload.size()));
-        WritePod(os, checksum.hi);
-        WritePod(os, checksum.lo);
-        os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-        os.flush();
-        if (!os) throw std::runtime_error("write failed");
-      }
-      // Atomic publish: readers see the old complete file or the new one,
-      // never a partial write.
-      RESPECT_FAILPOINT("store.rename");
-      std::filesystem::rename(temp_path, final_path);
-      Index(meta.key);
-      writes_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    } catch (...) {
-      std::error_code ec;
-      std::filesystem::remove(temp_path, ec);
-      if (attempt + 1 == attempts) {
-        write_failures_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      write_retries_.fetch_add(1, std::memory_order_relaxed);
-      if (backoff_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
-      }
-    }
+  if (WriteEnvelopeAtomic(meta.key, envelope)) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+std::optional<std::string> DiskStore::ExportRaw(
+    const graph::CanonicalHash& key) {
+  if (!Indexed(key)) return std::nullopt;
+  std::optional<std::string> bytes = LoadVerified(key, nullptr);
+  if (bytes) exports_.fetch_add(1, std::memory_order_relaxed);
+  return bytes;
+}
+
+bool DiskStore::ImportRaw(const graph::CanonicalHash& key,
+                          std::string_view bytes) {
+  const std::optional<SpillEnvelope> envelope = TryDecodeSpillEnvelope(bytes);
+  if (!envelope || envelope->meta.key != key ||
+      Expired(envelope->expires_at_unix_ms)) {
+    // Corrupt, mismatched, or already-dead peer bytes never touch disk:
+    // the caller sees a refusal, the directory keeps only verified truth.
+    import_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!WriteEnvelopeAtomic(key, bytes)) return false;
+  imports_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 std::size_t DiskStore::Compact(std::uint64_t live_rl_version) {
@@ -409,7 +259,9 @@ std::size_t DiskStore::Compact(std::uint64_t live_rl_version) {
     const std::filesystem::path path = PathFor(key);
     SpillPrefix prefix;
     try {
-      prefix = LoadSpillPrefix(path);
+      std::ifstream is(path, std::ios::binary);
+      if (!is) throw std::runtime_error("spill: cannot open");
+      prefix = DecodeSpillPrefix(is);
     } catch (const std::exception&) {
       Drop(key, path, corrupt_dropped_);
       ++removed;
@@ -428,9 +280,7 @@ std::size_t DiskStore::Compact(std::uint64_t live_rl_version) {
       ++removed;
       continue;
     }
-    if (prefix.expires_at_unix_ms != 0 &&
-        Now() > std::chrono::system_clock::time_point(
-                    std::chrono::milliseconds(prefix.expires_at_unix_ms))) {
+    if (Expired(prefix.expires_at_unix_ms)) {
       Drop(key, path, expired_dropped_);
       ++removed;
     }
@@ -449,6 +299,8 @@ StoreMetrics DiskStore::Metrics() const {
   metrics.corrupt_dropped = corrupt_dropped_.load(std::memory_order_relaxed);
   metrics.expired_dropped = expired_dropped_.load(std::memory_order_relaxed);
   metrics.compacted = compacted_.load(std::memory_order_relaxed);
+  metrics.exports = exports_.load(std::memory_order_relaxed);
+  metrics.imports = imports_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(index_mutex_);
     metrics.resident = index_.size();

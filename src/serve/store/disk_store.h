@@ -44,10 +44,13 @@
 #include <filesystem>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 
 #include "serve/store/cache_store.h"
+#include "serve/store/spill_codec.h"
 
 namespace respect::serve::store {
 
@@ -89,6 +92,19 @@ class DiskStore final : public CacheStore {
   /// verification stays where it matters, on the Probe path that serves
   /// bytes to callers.
   std::size_t Compact(std::uint64_t live_rl_version) override;
+
+  /// Fleet peer-fetch read: the verified raw envelope bytes for `key`, or
+  /// nullopt (absent, corrupt — quarantined on the way out — or expired).
+  [[nodiscard]] std::optional<std::string> ExportRaw(
+      const graph::CanonicalHash& key) override;
+
+  /// Fleet peer-fetch write: fully verifies the envelope (checksum, version
+  /// range, embedded key == `key`, not expired) then publishes it with the
+  /// same temp-file + rename discipline as Put.  Refused bytes never touch
+  /// the directory.
+  bool ImportRaw(const graph::CanonicalHash& key,
+                 std::string_view bytes) override;
+
   [[nodiscard]] StoreMetrics Metrics() const override;
 
   /// The `<key-hex>.spill` path an entry lives at (exposed for tests that
@@ -107,6 +123,22 @@ class DiskStore final : public CacheStore {
   void Drop(const graph::CanonicalHash& key, const std::filesystem::path& path,
             std::atomic<std::uint64_t>& counter);
 
+  /// True when a non-zero absolute expiry has passed (per the test clock).
+  [[nodiscard]] bool Expired(std::int64_t expires_at_unix_ms) const;
+
+  /// Reads and fully verifies the spill file for `key`, returning its raw
+  /// bytes (and the decoded envelope through `envelope` when non-null).
+  /// Corruption quarantines the file and expiry drops it — both are
+  /// nullopt.  The shared read path behind Probe and ExportRaw.
+  [[nodiscard]] std::optional<std::string> LoadVerified(
+      const graph::CanonicalHash& key, SpillEnvelope* envelope);
+
+  /// Writes `envelope` to `<key-hex>.spill` via a temp file + rename, with
+  /// the configured retry/backoff schedule.  Counts write_failures on
+  /// giving up; the caller counts the success.
+  bool WriteEnvelopeAtomic(const graph::CanonicalHash& key,
+                           std::string_view envelope);
+
   DiskStoreOptions options_;
   std::filesystem::path directory_;
 
@@ -124,6 +156,9 @@ class DiskStore final : public CacheStore {
   std::atomic<std::uint64_t> corrupt_dropped_{0};
   std::atomic<std::uint64_t> expired_dropped_{0};
   std::atomic<std::uint64_t> compacted_{0};
+  std::atomic<std::uint64_t> exports_{0};
+  std::atomic<std::uint64_t> imports_{0};
+  std::atomic<std::uint64_t> import_rejected_{0};
 };
 
 }  // namespace respect::serve::store

@@ -1,0 +1,202 @@
+#include "serve/store/spill_codec.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/respect.h"
+#include "deploy/package.h"
+#include "deploy/pod_io.h"
+
+namespace respect::serve::store {
+namespace {
+
+using deploy::ReadPod;
+using deploy::WritePod;
+
+/// Parses the meta fields at the front of a payload stream.  Throws
+/// std::runtime_error on any structural problem.  v1 payloads have no
+/// profile fields — they parse as the default profile ("coral", zero
+/// fingerprint), which is exactly what a pre-profile writer was solving
+/// for.
+SpillPrefix ReadMetaFields(std::istream& is, std::uint32_t version) {
+  SpillPrefix prefix;
+  ReadPod(is, prefix.meta.key.hi);
+  ReadPod(is, prefix.meta.key.lo);
+  std::uint8_t rl_dependent = 0;
+  ReadPod(is, rl_dependent);
+  prefix.meta.rl_dependent = rl_dependent != 0;
+  ReadPod(is, prefix.meta.rl_version);
+  std::uint32_t name_len = 0;
+  ReadPod(is, name_len);
+  if (!is || name_len > kMaxSpillEngineNameBytes) {
+    throw std::runtime_error("spill: corrupt engine name");
+  }
+  prefix.meta.engine_name.resize(name_len);
+  is.read(prefix.meta.engine_name.data(), name_len);
+  if (version >= 2) {
+    std::uint32_t profile_len = 0;
+    ReadPod(is, profile_len);
+    if (!is || profile_len > kMaxSpillProfileNameBytes) {
+      throw std::runtime_error("spill: corrupt profile name");
+    }
+    prefix.meta.profile_name.resize(profile_len);
+    is.read(prefix.meta.profile_name.data(), profile_len);
+    ReadPod(is, prefix.meta.profile_fingerprint.hi);
+    ReadPod(is, prefix.meta.profile_fingerprint.lo);
+  }
+  ReadPod(is, prefix.expires_at_unix_ms);
+  if (!is) throw std::runtime_error("spill: truncated meta");
+  return prefix;
+}
+
+struct SpillHeader {
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  graph::CanonicalHash checksum;
+};
+
+/// Parses and range-checks the fixed header from a stream.  Throws on bad
+/// magic, out-of-range version, or an implausible payload size.
+SpillHeader ReadHeader(std::istream& is) {
+  SpillHeader header;
+  std::uint32_t magic = 0;
+  ReadPod(is, magic);
+  ReadPod(is, header.version);
+  ReadPod(is, header.payload_size);
+  ReadPod(is, header.checksum.hi);
+  ReadPod(is, header.checksum.lo);
+  if (!is || magic != kSpillMagic) {
+    throw std::runtime_error("spill: bad magic");
+  }
+  if (header.version < kSpillMinFormatVersion ||
+      header.version > kSpillFormatVersion) {
+    throw std::runtime_error("spill: unsupported format version");
+  }
+  if (header.payload_size == 0 || header.payload_size > kMaxSpillPayloadBytes) {
+    throw std::runtime_error("spill: implausible payload size");
+  }
+  return header;
+}
+
+}  // namespace
+
+void WriteResultBody(std::ostream& os, const CompileResult& result) {
+  WritePod(os, result.solve_seconds);
+  WritePod(os, result.peak_stage_param_bytes);
+  WritePod(os, static_cast<std::uint8_t>(result.proved_optimal));
+  WritePod(os, result.schedule.num_stages);
+  WritePod(os, static_cast<std::uint64_t>(result.schedule.stage.size()));
+  for (const int stage : result.schedule.stage) WritePod(os, stage);
+  deploy::WritePackage(result.package, os);
+}
+
+ResultPtr ReadResultBody(std::istream& is) {
+  auto result = std::make_shared<CompileResult>();
+  ReadPod(is, result->solve_seconds);
+  ReadPod(is, result->peak_stage_param_bytes);
+  std::uint8_t proved_optimal = 0;
+  ReadPod(is, proved_optimal);
+  result->proved_optimal = proved_optimal != 0;
+  ReadPod(is, result->schedule.num_stages);
+  std::uint64_t node_count = 0;
+  ReadPod(is, node_count);
+  if (!is || node_count > kMaxSpillScheduleNodes) {
+    throw std::runtime_error("spill: corrupt schedule");
+  }
+  result->schedule.stage.resize(node_count);
+  for (int& stage : result->schedule.stage) ReadPod(is, stage);
+  if (!is) throw std::runtime_error("spill: truncated schedule");
+  result->package = deploy::ReadPackage(is);
+  return result;
+}
+
+graph::CanonicalHash SpillChecksum(std::string_view payload) {
+  graph::CanonicalHasher hasher;
+  hasher.Update(payload);
+  return hasher.Finish();
+}
+
+std::string EncodeSpillPayload(const SpillMeta& meta,
+                               std::int64_t expires_at_unix_ms,
+                               const CompileResult& result) {
+  std::ostringstream os(std::ios::binary);
+  WritePod(os, meta.key.hi);
+  WritePod(os, meta.key.lo);
+  WritePod(os, static_cast<std::uint8_t>(meta.rl_dependent));
+  WritePod(os, meta.rl_version);
+  WritePod(os, static_cast<std::uint32_t>(meta.engine_name.size()));
+  os.write(meta.engine_name.data(),
+           static_cast<std::streamsize>(meta.engine_name.size()));
+  // v2 fields: the device profile the schedule targets.
+  WritePod(os, static_cast<std::uint32_t>(meta.profile_name.size()));
+  os.write(meta.profile_name.data(),
+           static_cast<std::streamsize>(meta.profile_name.size()));
+  WritePod(os, meta.profile_fingerprint.hi);
+  WritePod(os, meta.profile_fingerprint.lo);
+  WritePod(os, expires_at_unix_ms);
+  WriteResultBody(os, result);
+  return std::move(os).str();
+}
+
+std::string EncodeSpillEnvelope(const SpillMeta& meta,
+                                std::int64_t expires_at_unix_ms,
+                                const CompileResult& result) {
+  const std::string payload =
+      EncodeSpillPayload(meta, expires_at_unix_ms, result);
+  const graph::CanonicalHash checksum = SpillChecksum(payload);
+  std::ostringstream os(std::ios::binary);
+  WritePod(os, kSpillMagic);
+  WritePod(os, kSpillFormatVersion);
+  WritePod(os, static_cast<std::uint64_t>(payload.size()));
+  WritePod(os, checksum.hi);
+  WritePod(os, checksum.lo);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return std::move(os).str();
+}
+
+SpillEnvelope DecodeSpillEnvelope(std::string_view bytes) {
+  if (bytes.size() < kSpillHeaderBytes) {
+    throw std::runtime_error("spill: truncated header");
+  }
+  std::istringstream header_stream(
+      std::string(bytes.substr(0, kSpillHeaderBytes)), std::ios::binary);
+  const SpillHeader header = ReadHeader(header_stream);
+  const std::string_view payload = bytes.substr(kSpillHeaderBytes);
+  if (payload.size() != header.payload_size) {
+    throw std::runtime_error("spill: truncated or oversized payload");
+  }
+  if (SpillChecksum(payload) != header.checksum) {
+    throw std::runtime_error("spill: checksum mismatch");
+  }
+  std::istringstream is(std::string(payload), std::ios::binary);
+  SpillEnvelope envelope;
+  {
+    SpillPrefix prefix = ReadMetaFields(is, header.version);
+    envelope.meta = std::move(prefix.meta);
+    envelope.expires_at_unix_ms = prefix.expires_at_unix_ms;
+  }
+  envelope.result = ReadResultBody(is);
+  // The package reader stops exactly at its last field; anything after it
+  // means the payload is not what the checksum was supposed to cover.
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw std::runtime_error("spill: trailing bytes");
+  }
+  return envelope;
+}
+
+std::optional<SpillEnvelope> TryDecodeSpillEnvelope(std::string_view bytes) {
+  try {
+    return DecodeSpillEnvelope(bytes);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+SpillPrefix DecodeSpillPrefix(std::istream& is) {
+  const SpillHeader header = ReadHeader(is);
+  return ReadMetaFields(is, header.version);
+}
+
+}  // namespace respect::serve::store

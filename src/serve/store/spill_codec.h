@@ -1,0 +1,112 @@
+// Spill envelope codec — the one definition of the `.spill` byte format,
+// shared by the on-disk store (serve/store/disk_store.cc) and the fleet
+// peer-fetch path (net/fleet_server.cc), which ships whole envelopes
+// between processes so any node can warm any other.
+//
+// Envelope layout (host-native bytes via deploy/pod_io.h):
+//
+//   header   u32 magic 'RSPL'   u32 format version   u64 payload bytes
+//            u64 checksum.hi    u64 checksum.lo      (checksum = the
+//            graph::CanonicalHasher digest of the payload bytes)
+//   payload  key.hi/key.lo      rl_dependent + rl_version
+//            engine name
+//            profile name + fingerprint hi/lo   (format v2 and later)
+//            expires_at (unix milliseconds, 0 = never)
+//            result body (WriteResultBody below)
+//
+// Version compatibility: v1 payloads (pre-device-profile) decode as the
+// default profile; versions newer than kSpillFormatVersion are refused —
+// a decoder never guesses at fields it does not know.
+//
+// Every structural problem — short buffer, bad magic, implausible sizes,
+// checksum mismatch, trailing bytes — throws std::runtime_error from the
+// Decode functions; TryDecodeSpillEnvelope converts all of those into
+// nullopt for callers (peer fetch, raw import) that treat corrupt bytes as
+// a typed miss.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/canonical_hash.h"
+#include "serve/store/cache_store.h"
+
+namespace respect {
+struct CompileResult;
+}  // namespace respect
+
+namespace respect::serve::store {
+
+inline constexpr std::uint32_t kSpillMagic = 0x4c505352;  // "RSPL"
+inline constexpr std::uint32_t kSpillFormatVersion = 2;
+inline constexpr std::uint32_t kSpillMinFormatVersion = 1;
+
+/// Fixed header size: magic + version + payload size + checksum hi/lo.
+inline constexpr std::size_t kSpillHeaderBytes = 4 + 4 + 8 + 8 + 8;
+
+/// Everything above the package is small; this bounds resize attacks from a
+/// corrupt length field (the package reader has its own bounds).
+inline constexpr std::uint64_t kMaxSpillPayloadBytes = 1ull << 30;
+inline constexpr std::uint32_t kMaxSpillEngineNameBytes = 4096;
+inline constexpr std::uint32_t kMaxSpillProfileNameBytes = 4096;
+inline constexpr std::uint64_t kMaxSpillScheduleNodes = 1ull << 24;
+
+/// The self-description at the front of every payload — what Compact and
+/// TTL checks need without touching the package bytes.
+struct SpillPrefix {
+  SpillMeta meta;
+  std::int64_t expires_at_unix_ms = 0;  // 0 = never
+};
+
+/// A fully decoded and verified envelope.
+struct SpillEnvelope {
+  SpillMeta meta;
+  std::int64_t expires_at_unix_ms = 0;  // 0 = never
+  ResultPtr result;
+};
+
+/// Serializes the result fields that follow the meta prefix (solve stats,
+/// schedule, deploy package).  Shared with the wire response codec
+/// (net/wire.cc) so a schedule travels in one byte layout whether it rides
+/// in a spill file or a CompileResponse frame.
+void WriteResultBody(std::ostream& os, const CompileResult& result);
+
+/// Inverse of WriteResultBody.  Throws std::runtime_error on malformed or
+/// truncated input.  Leaves the stream positioned exactly past the body.
+[[nodiscard]] ResultPtr ReadResultBody(std::istream& is);
+
+/// graph::CanonicalHasher digest of the payload bytes — the envelope
+/// checksum.
+[[nodiscard]] graph::CanonicalHash SpillChecksum(std::string_view payload);
+
+/// Serializes one payload (no header).
+[[nodiscard]] std::string EncodeSpillPayload(const SpillMeta& meta,
+                                             std::int64_t expires_at_unix_ms,
+                                             const CompileResult& result);
+
+/// Serializes one complete envelope: header + payload, ready to write to a
+/// file or ship over a socket.
+[[nodiscard]] std::string EncodeSpillEnvelope(const SpillMeta& meta,
+                                              std::int64_t expires_at_unix_ms,
+                                              const CompileResult& result);
+
+/// Parses and fully verifies one envelope (magic, version range, payload
+/// size, checksum, no trailing bytes).  Throws std::runtime_error on any
+/// problem.
+[[nodiscard]] SpillEnvelope DecodeSpillEnvelope(std::string_view bytes);
+
+/// DecodeSpillEnvelope with every failure mode folded to nullopt — the
+/// typed-miss form used by peer fetch and raw import.
+[[nodiscard]] std::optional<SpillEnvelope> TryDecodeSpillEnvelope(
+    std::string_view bytes);
+
+/// Reads only the header and the meta prefix from a stream — enough for
+/// compaction decisions without deserializing (or even reading) the package
+/// bytes.  Structural corruption throws; the prefix is NOT
+/// checksum-verified (full verification stays where bytes are served).
+[[nodiscard]] SpillPrefix DecodeSpillPrefix(std::istream& is);
+
+}  // namespace respect::serve::store

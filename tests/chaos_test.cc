@@ -32,6 +32,9 @@
 #include "engines/registry.h"
 #include "graph/canonical_hash.h"
 #include "graph/sampler.h"
+#include "net/fleet_client.h"
+#include "net/fleet_server.h"
+#include "net/socket.h"
 #include "serve/circuit_breaker.h"
 #include "serve/compile_service.h"
 #include "serve/request.h"
@@ -663,6 +666,114 @@ TEST(RequestQueueChaosTest, QueuePopFailpointFiresOnTheWorkerSide) {
   EXPECT_THROW(task(), FailpointError);
   EXPECT_FALSE(ran);
   EXPECT_EQ(queue.Size(), 0u);
+}
+
+// ── Fleet network fault injection ────────────────────────────────────────
+
+TEST(NetChaosTest, InjectedWriteFailureIsTypedAndTheLinkRecovers) {
+  EnsureChaosEngines();
+  serve::CompileService service(FastOptions());
+  net::FleetServer server(service);
+  net::FleetClient client(server.Address());
+
+  {
+    // Fires on the client's send — nothing reaches the wire, so the same
+    // connection keeps working once the fault clears.
+    const ScopedFailpoint fp("net.write", "error(cable pulled)", 1);
+    EXPECT_THROW(client.Ping(), net::NetError);
+  }
+  client.Ping();  // the link is intact
+  server.Stop();
+}
+
+TEST(NetChaosTest, InjectedReadFailureClosesCleanAndServerSurvives) {
+  EnsureChaosEngines();
+  serve::CompileService service(FastOptions());
+  net::FleetServer server(service);
+  net::FleetClient client(server.Address());
+  client.Ping();
+
+  {
+    // Unbounded: both ends of the exchange hit the fault.  The client sees
+    // a typed NetError; the server handler treats it as a dead connection
+    // and returns its worker to the pool.
+    const ScopedFailpoint fp("net.read", "error(reset by chaos)");
+    EXPECT_THROW(client.Ping(), net::NetError);
+  }
+  // A fresh connection proves the server outlived the fault.
+  net::FleetClient fresh(server.Address());
+  fresh.Ping();
+  server.Stop();
+}
+
+TEST(NetChaosTest, InjectedAcceptFailuresKeepTheListenerAlive) {
+  EnsureChaosEngines();
+  serve::CompileService service(FastOptions());
+  net::FleetServer server(service);
+
+  // A few accept-loop iterations fail; the loop must stay listening and
+  // accept this connection once the fault budget is spent.
+  const ScopedFailpoint fp("net.accept", "error(EMFILE)", 2);
+  net::FleetClient client(server.Address());
+  client.Ping();
+  const CompileResponse response =
+      client.Compile(CompileRequest{.dag = SampleDag(16, 91),
+                                    .num_stages = 4,
+                                    .engine = "list"});
+  ASSERT_NE(response.result, nullptr);
+  server.Stop();
+}
+
+TEST(NetChaosTest, DroppedPeerDegradesToLocalSolve) {
+  EnsureChaosEngines();
+  // Shard A holds the warm spills; shard B (forwarding off, peer warm on)
+  // would normally answer from A's envelopes.
+  const TempDir dir_a("respect-chaos-peer-a");
+  const TempDir dir_b("respect-chaos-peer-b");
+  serve::ServiceOptions svc_a;
+  svc_a.cache_dir = dir_a.str();
+  serve::ServiceOptions svc_b;
+  svc_b.cache_dir = dir_b.str();
+  serve::CompileService service_a(FastOptions(), svc_a);
+  serve::CompileService service_b(FastOptions(), svc_b);
+
+  net::FleetServer server_a(service_a);
+  net::FleetServerOptions options_b;
+  options_b.forward_to_owner = false;
+  net::FleetServer server_b(service_b, options_b);
+  server_b.SetMembers({server_a.Address(), server_b.Address()},
+                      server_b.Address());
+
+  const graph::Dag first = SampleDag(20, 92);
+  const graph::Dag second = SampleDag(20, 93);
+  net::FleetClient client_a(server_a.Address());
+  (void)client_a.Compile(CompileRequest{.dag = first, .num_stages = 4,
+                                        .engine = "list"});
+  (void)client_a.Compile(CompileRequest{.dag = second, .num_stages = 4,
+                                        .engine = "list"});
+  client_a.Flush();
+
+  net::FleetClient client_b(server_b.Address());
+  {
+    // The peer link is down: the cold miss must degrade to a local solve —
+    // valid result, failure counted, request never fails.
+    const ScopedFailpoint fp("net.peer_fetch", "error(peer dropped)");
+    const CompileResponse degraded = client_b.Compile(
+        CompileRequest{.dag = first, .num_stages = 4, .engine = "list"});
+    ASSERT_NE(degraded.result, nullptr);
+    EXPECT_EQ(degraded.outcome, CacheOutcome::kMiss);
+  }
+  const auto during = service_b.Metrics();
+  EXPECT_GE(during.peer_fetch_failures, 1u);
+  EXPECT_EQ(during.peer_hits, 0u);
+
+  // Fault cleared: the next cold key warms from the peer again.
+  const CompileResponse warmed = client_b.Compile(
+      CompileRequest{.dag = second, .num_stages = 4, .engine = "list"});
+  EXPECT_EQ(warmed.outcome, CacheOutcome::kPeerHit);
+  EXPECT_GE(service_b.Metrics().peer_hits, 1u);
+  server_b.Stop();
+  server_a.Stop();
 }
 
 #endif  // RESPECT_FAILPOINTS
