@@ -24,6 +24,7 @@
 #include "models/zoo.h"
 #include "net/fleet_client.h"
 #include "net/fleet_server.h"
+#include "obs/trace.h"
 #include "nn/lstm.h"
 #include "nn/simd.h"
 #include "nn/tape.h"
@@ -344,6 +345,52 @@ void BM_CompileServiceWarmCache(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CompileServiceWarmCache);
+
+/// Tracing tax on the hot serving path.  Disarmed is the default serving
+/// configuration: every OBS_SPAN along the warm-cache path costs one relaxed
+/// atomic load and nothing else, so this must stay within noise of
+/// BM_CompileServiceWarmCache (the regression gate watches the pair at a 1%
+/// band).  Armed runs the same stream with the tracer recording and the ring
+/// drained every 4096 iterations — the price of leaving tracing on in
+/// production, not a gate, just a published number.
+void BM_TraceOverheadDisarmed(benchmark::State& state) {
+  static serve::CompileService* service =
+      new serve::CompileService(BatchBenchOptions());
+  const serve::CompileRequest request{.dag = BatchDags()[0],
+                                      .num_stages = 4,
+                                      .engine = Method::kAnnealing};
+  obs::Tracer::Global().Stop();  // belt-and-braces: a prior armed run
+  benchmark::DoNotOptimize(service->Compile(request));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service->Compile(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceOverheadDisarmed);
+
+void BM_TraceOverheadArmed(benchmark::State& state) {
+  static serve::CompileService* service =
+      new serve::CompileService(BatchBenchOptions());
+  const serve::CompileRequest request{.dag = BatchDags()[0],
+                                      .num_stages = 4,
+                                      .engine = Method::kAnnealing};
+  obs::Tracer::Global().Start();
+  benchmark::DoNotOptimize(service->Compile(request));
+  std::int64_t since_drain = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service->Compile(request));
+    if (++since_drain == 4096) {  // keep the ring from saturating
+      state.PauseTiming();
+      benchmark::DoNotOptimize(obs::Tracer::Global().Drain());
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracer::Global().Stop();
+  benchmark::DoNotOptimize(obs::Tracer::Global().Drain());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceOverheadArmed);
 
 /// Restart warm-start throughput: every iteration drops the in-memory
 /// cache, so each request pays the full persistent-tier path — index check,

@@ -68,6 +68,8 @@
 #include "net/fleet_client.h"
 #include "net/fleet_server.h"
 #include "net/socket.h"
+#include "obs/chrometrace.h"
+#include "obs/trace.h"
 #include "serve/compile_service.h"
 #include "serve/request.h"
 #include "tpu/device_profile.h"
@@ -89,6 +91,8 @@ int Usage(const char* argv0) {
       "          [--profile=NAME] [--tenant=NAME] [--fleet-demo]\n"
       "          [--fleet[=N]] [--chaos-demo] "
       "[--failpoint=SITE=ACTION;...] [--budget-ms=N]\n"
+      "          [--trace-out=FILE] [--metrics-out=FILE|-] "
+      "[--sim-trace-out=FILE]\n"
       "  --profile targets a named device profile (",
       argv0, examples::kMaxStages);
   bool first = true;
@@ -107,7 +111,13 @@ int Usage(const char* argv0) {
                "invariants\n  --chaos-demo serves a stream under injected "
                "faults and exits non-zero\n  unless every request settles "
                "valid-or-typed-error; --failpoint arms extra\n  fault sites "
-               "(any mode); --budget-ms bounds each engine solve attempt\n");
+               "(any mode); --budget-ms bounds each engine solve attempt\n"
+               "  --trace-out arms per-request span tracing and writes a "
+               "chrometrace JSON\n  (in --fleet mode: one merged trace, one "
+               "pid track per shard); --metrics-out\n  writes the unified "
+               "registry as Prometheus text ('-' = stdout);\n  "
+               "--sim-trace-out writes a served schedule's simulated "
+               "per-stage timeline\n");
   return 2;
 }
 
@@ -131,92 +141,7 @@ void PrintLane(const char* label, const LaneSamples& lane) {
       Percentile(lane.total_seconds, 0.99) * 1e3);
 }
 
-void PrintServiceMetrics(const serve::CompileService& service) {
-  const serve::ServiceMetrics m = service.Metrics();
-  std::printf("  hits %llu  disk-hits %llu  misses %llu  "
-              "single-flight waits %llu  bypasses %llu\n",
-              static_cast<unsigned long long>(m.hits),
-              static_cast<unsigned long long>(m.disk_hits),
-              static_cast<unsigned long long>(m.misses),
-              static_cast<unsigned long long>(m.single_flight_waits),
-              static_cast<unsigned long long>(m.bypasses));
-  std::printf("  evictions %llu  invalidations %llu  failures %llu  "
-              "deadline-expired %llu  resident %zu\n",
-              static_cast<unsigned long long>(m.evictions),
-              static_cast<unsigned long long>(m.invalidations),
-              static_cast<unsigned long long>(m.failures),
-              static_cast<unsigned long long>(m.deadline_expired),
-              m.cache_size);
-  if (m.ttl_expired + m.admission_rejected > 0) {
-    std::printf("  ttl-expired %llu  admission-rejected %llu\n",
-                static_cast<unsigned long long>(m.ttl_expired),
-                static_cast<unsigned long long>(m.admission_rejected));
-  }
-  if (m.store.probes + m.store.writes > 0) {
-    std::printf("  store: probes %llu  hits %llu  writes %llu  "
-                "corrupt %llu  expired %llu  resident %zu\n",
-                static_cast<unsigned long long>(m.store.probes),
-                static_cast<unsigned long long>(m.store.hits),
-                static_cast<unsigned long long>(m.store.writes),
-                static_cast<unsigned long long>(m.store.corrupt_dropped),
-                static_cast<unsigned long long>(m.store.expired_dropped),
-                m.store.resident);
-  }
-  if (m.peer_fetches + m.peer_hits + m.peer_fetch_failures > 0) {
-    std::printf("  peer: fetches %llu  hits %llu  failures %llu  "
-                "exports %llu  imports %llu\n",
-                static_cast<unsigned long long>(m.peer_fetches),
-                static_cast<unsigned long long>(m.peer_hits),
-                static_cast<unsigned long long>(m.peer_fetch_failures),
-                static_cast<unsigned long long>(m.store.exports),
-                static_cast<unsigned long long>(m.store.imports));
-  }
-  if (m.budget_blown + m.degraded_served + m.fallback_exhausted + m.shed +
-          m.writeback_errors >
-      0) {
-    std::printf("  budget-blown %llu  degraded %llu  fallback-exhausted "
-                "%llu  shed %llu  writeback-errors %llu\n",
-                static_cast<unsigned long long>(m.budget_blown),
-                static_cast<unsigned long long>(m.degraded_served),
-                static_cast<unsigned long long>(m.fallback_exhausted),
-                static_cast<unsigned long long>(m.shed),
-                static_cast<unsigned long long>(m.writeback_errors));
-  }
-  for (const auto& [name, breaker] : m.breakers) {
-    if (breaker.opened + breaker.short_circuits == 0 &&
-        breaker.consecutive_failures == 0) {
-      continue;  // healthy and never tripped: not worth a line
-    }
-    std::printf("  breaker %-16s %-9s failures %d  opened %llu  "
-                "short-circuits %llu\n",
-                name.c_str(), breaker.state.c_str(),
-                breaker.consecutive_failures,
-                static_cast<unsigned long long>(breaker.opened),
-                static_cast<unsigned long long>(breaker.short_circuits));
-  }
-  std::printf("  cold-solve latency p50 %.2f ms  p99 %.2f ms\n",
-              m.solve_p50_seconds * 1e3, m.solve_p99_seconds * 1e3);
-  for (const auto& [tenant, tm] : m.tenants) {
-    std::printf("  tenant %-10s enqueued %llu  started %llu  expired %llu\n",
-                tenant.c_str(),
-                static_cast<unsigned long long>(tm.enqueued),
-                static_cast<unsigned long long>(tm.started),
-                static_cast<unsigned long long>(tm.expired));
-  }
-  for (std::size_t lane = 0; lane < serve::kNumPriorityLanes; ++lane) {
-    const serve::LaneMetrics& lm = m.lanes[lane];
-    if (lm.enqueued == 0) continue;
-    std::printf("  lane %-11s enqueued %llu  started %llu  expired %llu  "
-                "wait p50 %.2f ms  p99 %.2f ms\n",
-                std::string(
-                    PriorityName(static_cast<serve::Priority>(lane)))
-                    .c_str(),
-                static_cast<unsigned long long>(lm.enqueued),
-                static_cast<unsigned long long>(lm.started),
-                static_cast<unsigned long long>(lm.expired),
-                lm.wait_p50_seconds * 1e3, lm.wait_p99_seconds * 1e3);
-  }
-}
+using examples::PrintServiceMetrics;  // the shared dump in cli_util.h
 
 /// One synchronous pass over a fixed request stream; the measurable unit of
 /// the restart demo.
@@ -801,16 +726,21 @@ bool WaitForFile(const std::filesystem::path& path, int timeout_ms) {
 int RunFleetShard(const CompilerOptions& options,
                   serve::ServiceOptions service_options,
                   const std::string& fleet_dir, int shard_id, int epoch,
-                  int port) {
+                  int port, bool trace_arm) {
   namespace fs = std::filesystem;
   const fs::path dir(fleet_dir);
   const fs::path cache_dir = dir / ("shard-" + std::to_string(shard_id)) /
                              ("cache-e" + std::to_string(epoch));
   fs::create_directories(cache_dir);
   service_options.cache_dir = cache_dir.string();
+  // Arm span tracing before any request arrives; the parent drains the
+  // ring over the wire (kTraceDump) before teardown.
+  if (trace_arm) obs::Tracer::Global().Start();
   serve::CompileService service(options, service_options);
   net::FleetServerOptions server_options;
   server_options.port = port;
+  // pid 0 is the parent's track in the merged chrometrace; shards are 1..N.
+  server_options.shard_id = static_cast<std::uint32_t>(shard_id) + 1;
   net::FleetServer server(service, server_options);
 
   WriteFileAtomic(dir / ("addr-" + std::to_string(shard_id) + ".e" +
@@ -831,6 +761,12 @@ int RunFleetShard(const CompilerOptions& options,
     }
   }
   server.SetMembers(members, server.Address());
+  // Readiness ack: the parent must not drive traffic until every shard has
+  // installed the ring — a pre-ring request is always served locally, which
+  // silently defeats the forward-to-owner dedup the fleet phase asserts.
+  WriteFileAtomic(dir / ("ready-" + std::to_string(shard_id) + ".e" +
+                         std::to_string(epoch)),
+                  "ready\n");
 
   const fs::path stop_path = dir / "stop";
   while (!fs::exists(stop_path) && ::getppid() != 1) {
@@ -842,7 +778,7 @@ int RunFleetShard(const CompilerOptions& options,
 }
 
 pid_t SpawnShard(const std::string& fleet_dir, int shard_id, int epoch,
-                 int port) {
+                 int port, bool trace_arm) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   std::vector<std::string> args = {
@@ -853,6 +789,7 @@ pid_t SpawnShard(const std::string& fleet_dir, int shard_id, int epoch,
       "--fleet-epoch=" + std::to_string(epoch),
   };
   if (port > 0) args.push_back("--fleet-port=" + std::to_string(port));
+  if (trace_arm) args.push_back("--fleet-trace");
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
   for (std::string& arg : args) argv.push_back(arg.data());
@@ -906,7 +843,8 @@ int RunFleet(const CompilerOptions& options,
              const serve::ServiceOptions& service_options,
              const std::vector<graph::Dag>& zoo, int requests, int stages,
              const std::string& engine, int fleet_n,
-             const std::string& cache_dir) {
+             const std::string& cache_dir, const std::string& trace_out) {
+  const bool tracing = !trace_out.empty();
   namespace fs = std::filesystem;
   const fs::path dir =
       cache_dir.empty()
@@ -929,7 +867,7 @@ int RunFleet(const CompilerOptions& options,
   };
 
   for (int i = 0; i < fleet_n; ++i) {
-    pids[i] = SpawnShard(dir.string(), i, /*epoch=*/1, /*port=*/0);
+    pids[i] = SpawnShard(dir.string(), i, /*epoch=*/1, /*port=*/0, tracing);
   }
 
   std::vector<std::string> members(fleet_n);
@@ -950,6 +888,13 @@ int RunFleet(const CompilerOptions& options,
     std::string roster;
     for (const std::string& member : members) roster += member + "\n";
     WriteFileAtomic(dir / "members.txt", roster);
+  }
+  for (int i = 0; i < fleet_n; ++i) {
+    if (!WaitForFile(dir / ("ready-" + std::to_string(i) + ".e1"), 15000)) {
+      std::fprintf(stderr, "error: shard %d never joined the ring\n", i);
+      kill_all();
+      return 1;
+    }
   }
 
   // The parent computes keys and ownership with the same code the shards
@@ -992,8 +937,16 @@ int RunFleet(const CompilerOptions& options,
   int untyped = 0;
   const auto send_one = [&](int start, int model) {
     try {
+      serve::CompileRequest request = make_request(model);
+      // Mint the trace id client-side: every hop this request takes —
+      // entry shard, forward to owner, peer fetch — shares it, which is
+      // what makes the merged fleet trace coherent across pid tracks.
+      if (obs::Armed()) {
+        request.trace_id = obs::Tracer::Global().MintTraceId();
+      }
+      const obs::ScopedTraceId trace_scope(request.trace_id);
       const serve::CompileResponse response =
-          FleetCompile(clients, members, start, make_request(model));
+          FleetCompile(clients, members, start, request);
       if (response.result != nullptr) {
         ++valid;
       } else {
@@ -1127,10 +1080,12 @@ int RunFleet(const CompilerOptions& options,
               "cache (epoch 2)\n",
               victim, ports[victim]);
   pids[victim] = SpawnShard(dir.string(), victim, /*epoch=*/2,
-                            ports[victim]);
+                            ports[victim], tracing);
   const fs::path addr2 =
       dir / ("addr-" + std::to_string(victim) + ".e2");
-  if (!WaitForFile(addr2, 15000)) {
+  if (!WaitForFile(addr2, 15000) ||
+      !WaitForFile(dir / ("ready-" + std::to_string(victim) + ".e2"),
+                   15000)) {
     std::fprintf(stderr, "error: restarted shard %d never came back\n",
                  victim);
     kill_all();
@@ -1161,6 +1116,39 @@ int RunFleet(const CompilerOptions& options,
     exit_code = 1;
   }
   if (untyped > 0) exit_code = 1;
+
+  // Drain every live shard's trace ring over the wire and merge the
+  // fragments (plus the parent's own client-side spans) into one trace
+  // file — one pid track per shard, pid 0 for the parent.
+  if (tracing) {
+    std::vector<std::string> fragments;
+    fragments.emplace_back();
+    obs::AppendChromeTraceEvents(fragments.back(),
+                                 obs::Tracer::Global().Drain(), /*pid=*/0);
+    for (int i = 0; i < fleet_n; ++i) {
+      if (pids[i] <= 0) continue;
+      try {
+        if (clients[i] == nullptr) {
+          clients[i] = std::make_unique<net::FleetClient>(members[i]);
+        }
+        fragments.push_back(clients[i]->TraceDumpFetch().events_json);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: trace dump from shard %d failed: %s\n",
+                     i, e.what());
+        clients[i].reset();
+      }
+    }
+    std::ofstream trace_file(trace_out, std::ios::trunc);
+    obs::WriteChromeTraceFragments(trace_file, fragments);
+    if (trace_file) {
+      std::printf("fleet: merged chrometrace written to %s\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_out.c_str());
+      exit_code = 1;
+    }
+  }
 
   // Orderly teardown: stop file, bounded wait, SIGKILL stragglers.
   WriteFileAtomic(dir / "stop", "stop\n");
@@ -1213,6 +1201,10 @@ int main(int argc, char** argv) {
   std::string failpoints;   // "site=action;..." spec, armed before serving
   std::string profile;  // empty = the default device profile
   std::string tenant;   // empty = the shared default tenant
+  std::string trace_out;      // empty = tracing disarmed
+  std::string metrics_out;    // Prometheus text; "-" = stdout
+  std::string sim_trace_out;  // simulated timeline chrometrace
+  bool fleet_trace = false;   // hidden: arm tracing in a fleet shard
   constexpr int kMaxInt = std::numeric_limits<int>::max();
 
   int positional = 0;
@@ -1301,6 +1293,26 @@ int main(int argc, char** argv) {
       miss_storm = true;
     } else if (std::strcmp(arg, "--no-batch-decode") == 0) {
       batch_decode = false;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
+      if (trace_out.empty()) {
+        std::fprintf(stderr, "error: --trace-out needs a path\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+      if (metrics_out.empty()) {
+        std::fprintf(stderr, "error: --metrics-out needs a path or '-'\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strncmp(arg, "--sim-trace-out=", 16) == 0) {
+      sim_trace_out = arg + 16;
+      if (sim_trace_out.empty()) {
+        std::fprintf(stderr, "error: --sim-trace-out needs a path\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--fleet-trace") == 0) {
+      fleet_trace = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
       return Usage(argv[0]);
@@ -1369,7 +1381,7 @@ int main(int argc, char** argv) {
     }
     try {
       return RunFleetShard(options, service_options, fleet_dir, fleet_id,
-                           fleet_epoch, fleet_port);
+                           fleet_epoch, fleet_port, fleet_trace);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[shard %d] fatal: %s\n", fleet_id, e.what());
       return 1;
@@ -1391,10 +1403,15 @@ int main(int argc, char** argv) {
 #endif
   }
 
+  // Arm the tracer before any service exists so admission mints trace ids
+  // from the very first request.  (Fleet shards arm their own rings via the
+  // hidden --fleet-trace flag; the parent's ring records the client side.)
+  if (!trace_out.empty()) obs::Tracer::Global().Start();
+
   if (fleet_n > 0) {
     try {
       return RunFleet(options, service_options, zoo, requests, stages,
-                      engine, fleet_n, cache_dir);
+                      engine, fleet_n, cache_dir, trace_out);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: fleet run failed: %s\n", e.what());
       return 1;
@@ -1575,5 +1592,55 @@ int main(int argc, char** argv) {
         lanes[lane]);
   }
   PrintServiceMetrics(service);
+
+  if (!trace_out.empty()) {
+    std::ofstream trace_file(trace_out, std::ios::trunc);
+    obs::WriteChromeTrace(trace_file, obs::Tracer::Global().Drain(),
+                          /*pid=*/0);
+    if (!trace_file) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("chrometrace written to %s (dropped events: %llu)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(
+                    obs::Tracer::Global().Dropped()));
+  }
+  if (!metrics_out.empty() &&
+      !examples::WritePrometheusMetrics(service, metrics_out)) {
+    return 1;
+  }
+  if (!sim_trace_out.empty()) {
+    // A schedule this run actually served (warm by now), simulated with the
+    // per-(inference, stage) timeline recorded, exported as its own trace:
+    // one tid track per pipeline stage, transfer/compute sub-events nested.
+    try {
+      const serve::CompileResponse sampled = service.Compile(
+          serve::CompileRequest{.dag = zoo[0],
+                                .num_stages = stages,
+                                .engine = engine});
+      tpu::SimConfig sim_config;
+      sim_config.num_inferences = 64;
+      sim_config.record_timeline = true;
+      const tpu::SimResult sim =
+          tpu::SimulatePipeline(sampled.result->package, sim_config);
+      const std::vector<tpu::StageCost> costs = tpu::ProfilePackage(
+          sampled.result->package, sim_config.device, sim_config.link);
+      std::ofstream sim_file(sim_trace_out, std::ios::trunc);
+      obs::WriteSimChromeTrace(sim_file, sim.timeline, costs);
+      if (!sim_file) {
+        std::fprintf(stderr, "error: cannot write sim trace to %s\n",
+                     sim_trace_out.c_str());
+        return 1;
+      }
+      std::printf("sim chrometrace written to %s (%zu intervals, "
+                  "%.0f us total)\n",
+                  sim_trace_out.c_str(), sim.timeline.size(), sim.total_us);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: sim trace export failed: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

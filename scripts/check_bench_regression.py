@@ -20,13 +20,19 @@ Watched by default:
                                       path (the graceful-degradation tax),
   * BM_FleetWarmFetch               — peer spill fetches/s over the loopback
                                       wire protocol (the restart-warm-start
-                                      tax of a fleet shard).
+                                      tax of a fleet shard),
+  * BM_TraceOverheadDisarmed        — the warm-cache path with every OBS_SPAN
+                                      site compiled in but the tracer stopped;
+                                      must track BM_CompileServiceWarmCache
+                                      (disarmed tracing is one relaxed load
+                                      per span site).
 
 Benchmarks present in only one of the two files are reported and skipped
 (renames and newly added benchmarks must not hard-fail the gate); a missing
 baseline file passes with a notice (the first run on a branch has no
 artifact to compare against); a regression in any watched metric exits
-non-zero.
+non-zero.  Unwatched benchmarks shared by both files are reported as INFO
+deltas so a passing run still shows the whole perf surface at a glance.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
@@ -46,6 +52,7 @@ DEFAULT_WATCH = [
     "BM_TenantFairness",
     "BM_DegradedFallbackLatency",
     "BM_FleetWarmFetch",
+    "BM_TraceOverheadDisarmed",
 ]
 
 
@@ -102,6 +109,16 @@ def main():
         print(f"\nregression gate failed for: {', '.join(failures)} "
               f"(allowed drop: {args.max_regression:.0%})")
         return 1
+
+    # Informational deltas for everything both runs measured but the gate
+    # does not watch — the whole perf surface at a glance on a green run.
+    unwatched = sorted(name for name in baseline
+                       if name in current and name not in args.watch)
+    for name in unwatched:
+        old, new = baseline[name], current[name]
+        change = (new - old) / old if old else 0.0
+        print(f"INFO  {name}: {old:,.1f} -> {new:,.1f} items/s ({change:+.1%})")
+
     print("\nregression gate passed")
     return 0
 

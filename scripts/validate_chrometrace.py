@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Structural validator for merged fleet chrometrace files.
+
+CI runs `serve_cli ... --fleet=3 --trace-out=trace.json` and feeds the result
+here.  The checks are the invariants the exporter and the wire-merge promise:
+
+  1. The file parses as a Trace Event Format JSON object with a non-empty
+     "traceEvents" array.
+  2. Every event carries the required keys (name/ph/ts/pid/tid) with sane
+     types; "X" complete events also carry a non-negative "dur".
+  3. Per (pid, tid) track, "X" spans nest: sorted by start time, a span
+     either follows the previous span or sits fully inside it — the RAII
+     LIFO discipline means sibling spans never partially overlap.  Two
+     carve-outs: explicitly-timed cross-thread intervals (serve.queue_wait
+     is a wall interval stitched onto the popping thread's track, so two
+     waits can legitimately overlap) are skipped, and comparisons carry a
+     small epsilon for the sim exporter's millisecond rounding.
+  4. At least one trace id appears on two or more pid tracks: a request was
+     forwarded between shards and its spans still stitch into one flow
+     (the cross-shard coherence the wire's trace_id field exists for).
+     Skipped under --allow-single-pid, for single-process traces where
+     every event legitimately lands on one track.
+
+Usage:  validate_chrometrace.py TRACE.json [--min-events N]
+        [--allow-single-pid]
+Exits non-zero with a diagnostic on the first violated invariant.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+# Spans recorded as explicit wall intervals across threads (RecordSpan), not
+# RAII scopes on the emitting thread — the LIFO nesting invariant does not
+# apply to them.  Names are matched before the ':detail' suffix.
+CROSS_THREAD_SPANS = {"serve.queue_wait"}
+
+# Slack for the sim exporter's %.3f timestamp rounding (microseconds).
+EPSILON = 0.01
+
+
+def fail(message):
+    print(f"FAIL  {message}")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=10,
+                        help="minimum traceEvents entries (default 10)")
+    parser.add_argument("--allow-single-pid", action="store_true",
+                        help="skip the cross-shard trace-id requirement "
+                             "(single-process traces)")
+    args = parser.parse_args()
+
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as err:
+            return fail(f"{args.trace} is not valid JSON: {err}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("top-level object has no traceEvents array")
+    if len(events) < args.min_events:
+        return fail(f"only {len(events)} events (need >= {args.min_events})")
+
+    tracks = collections.defaultdict(list)
+    trace_pids = collections.defaultdict(set)
+    for i, event in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                return fail(f"event {i} is missing '{key}': {event}")
+        if not isinstance(event["ts"], (int, float)):
+            return fail(f"event {i} has non-numeric ts: {event}")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(f"event {i} ('X') has bad dur: {event}")
+            if event["name"].split(":", 1)[0] not in CROSS_THREAD_SPANS:
+                tracks[(event["pid"], event["tid"])].append(
+                    (event["ts"], event["ts"] + dur, event["name"]))
+        elif event["ph"] != "i":
+            return fail(f"event {i} has unexpected ph {event['ph']!r}")
+        trace_id = event.get("args", {}).get("trace_id", 0)
+        if trace_id:
+            trace_pids[trace_id].add(event["pid"])
+
+    # Nesting: within a track, spans sorted by (start, -end) form a valid
+    # bracket sequence — each span closes no later than every open ancestor.
+    for (pid, tid), spans in tracks.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1] - EPSILON:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPSILON:
+                return fail(
+                    f"pid {pid} tid {tid}: span '{name}' [{start}, {end}] "
+                    f"partially overlaps '{stack[-1][2]}' "
+                    f"[{stack[-1][0]}, {stack[-1][1]}]")
+            stack.append((start, end, name))
+
+    cross = {t: sorted(p) for t, p in trace_pids.items() if len(p) > 1}
+    if not cross and not args.allow_single_pid:
+        return fail("no trace id spans more than one pid track — "
+                    "no request crossed a forward hop with a coherent id")
+
+    pids = sorted({e["pid"] for e in events})
+    print(f"ok    {len(events)} events across pid tracks {pids}")
+    print(f"ok    {len(trace_pids)} request flows, {len(cross)} cross-shard")
+    if cross:
+        sample = next(iter(sorted(cross)))
+        print(f"ok    e.g. trace {sample} spans pids {cross[sample]}")
+    print("chrometrace valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,11 @@ class ThreadPool {
     /// Submit(); nothing is enqueued).  Default false so bookkeeping tasks
     /// (writebacks, batch groups, ParallelFor bodies) are never shed.
     bool sheddable = false;
+
+    /// Observability trace id of the request flow this task belongs to
+    /// (0 = none).  Policy queues that record queue-wait spans tag them
+    /// with it; the pool itself ignores the field.
+    std::uint64_t trace_id = 0;
   };
 
   /// Ordering policy for pending tasks.  The pool calls every method under

@@ -63,6 +63,12 @@ FleetStats FleetClient::Stats() {
   return DecodeFleetStats(frame.second);
 }
 
+TraceDump FleetClient::TraceDumpFetch() {
+  const auto frame = Roundtrip(FrameType::kTraceDump, {});
+  ExpectType(frame, FrameType::kTraceData);
+  return DecodeTraceDump(frame.second);
+}
+
 void FleetClient::Flush() {
   ExpectType(Roundtrip(FrameType::kFlush, {}), FrameType::kFlushOk);
 }

@@ -60,6 +60,11 @@ class FleetClient {
 
   [[nodiscard]] FleetStats Stats();
 
+  /// Drains the peer's trace ring: its shard id plus a chrometrace event
+  /// fragment ready to splice into a merged fleet trace.  Draining is
+  /// destructive on the peer — each event is reported exactly once.
+  [[nodiscard]] TraceDump TraceDumpFetch();
+
   /// Blocks until the peer's background spill writes have landed.
   void Flush();
 

@@ -6,6 +6,8 @@
 
 #include "core/failpoint.h"
 #include "core/thread_pool.h"
+#include "obs/chrometrace.h"
+#include "obs/trace.h"
 
 namespace respect::net {
 
@@ -13,7 +15,30 @@ FleetServer::FleetServer(serve::CompileService& service,
                          const FleetServerOptions& options)
     : service_(service),
       options_(options),
-      listener_(options.host, options.port) {
+      listener_(options.host, options.port),
+      accepted_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_accepted_total", "Connections accepted")),
+      requests_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_requests_total", "Compile frames handled")),
+      forwarded_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_forwarded_total",
+          "Compile requests relayed to their owner shard")),
+      forward_failures_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_forward_failures_total",
+          "Relays degraded to a local solve")),
+      spill_requests_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_spill_requests_total", "kSpillGet frames received")),
+      spill_served_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_spill_served_total",
+          "Spill fetches answered with envelope bytes")),
+      spill_missed_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_spill_missed_total",
+          "Spill fetches answered with a miss")),
+      protocol_errors_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_protocol_errors_total",
+          "Malformed frames from clients")),
+      flushes_(service.MetricsRegistry().GetCounter(
+          "respect_fleet_flushes_total", "kFlush frames handled")) {
   if (!options_.members.empty()) {
     SetMembers(options_.members, options_.self_address);
   }
@@ -176,6 +201,18 @@ void FleetServer::HandleFrame(Socket& conn, FrameType type,
     case FrameType::kPing:
       SendFrame(conn, FrameType::kPong, {});
       return;
+    case FrameType::kTraceDump: {
+      // Drain this shard's ring into a bracket-less fragment; the collector
+      // splices every shard's fragment into one merged chrometrace, with
+      // this shard's events on process row `shard_id`.
+      TraceDump dump;
+      dump.shard_id = options_.shard_id;
+      obs::AppendChromeTraceEvents(dump.events_json,
+                                   obs::Tracer::Global().Drain(),
+                                   options_.shard_id);
+      SendFrame(conn, FrameType::kTraceData, EncodeTraceDump(dump));
+      return;
+    }
     default:
       throw WireError(std::string("wire: unexpected client frame ") +
                       std::string(FrameTypeName(type)));
@@ -189,6 +226,11 @@ void FleetServer::HandleCompile(Socket& conn, const std::string& payload) {
   // failures are typed kError replies.
   WireCompileRequest decoded = DecodeCompileRequest(payload);
   serve::CompileRequest& request = decoded.request;
+  // Adopt the client-minted trace id for everything this frame triggers
+  // (routing, the local solve, the reply) so a forwarded request's spans on
+  // every shard share one trace.
+  const obs::ScopedTraceId trace_scope(request.trace_id);
+  OBS_SPAN("net.handle_compile");
   try {
     if (request.cache_policy == serve::CachePolicy::kUse &&
         !decoded.no_forward && options_.forward_to_owner) {
@@ -275,6 +317,7 @@ FleetServer::PeerLink& FleetServer::LinkFor(const std::string& address) {
 
 std::pair<FrameType, std::string> FleetServer::ForwardCompile(
     const std::string& owner, std::string_view request_payload) {
+  OBS_SPAN("net.forward");
   PeerLink& link = LinkFor(owner);
   const std::lock_guard<std::mutex> lock(link.mutex);
   if (link.client == nullptr) {
@@ -291,6 +334,7 @@ std::pair<FrameType, std::string> FleetServer::ForwardCompile(
 }
 
 std::string FleetServer::PeerFetch(const graph::CanonicalHash& key) {
+  OBS_SPAN("net.spill_fetch");
   // Chaos seam: an injected fetch error degrades this miss to a local
   // solve, exactly like an unreachable fleet.
   RESPECT_FAILPOINT("net.peer_fetch");

@@ -89,6 +89,10 @@ struct FleetServerOptions {
   /// Read timeout on accepted connections; <= 0 = block until the client
   /// closes (Stop still unsticks handlers via socket shutdown).
   int idle_timeout_ms = 0;
+
+  /// Stamped as the chrometrace `pid` on this shard's kTraceDump replies,
+  /// so a merged fleet trace shows one process row per shard.
+  std::uint32_t shard_id = 0;
 };
 
 /// Server-side counters (the service keeps its own cache/solve metrics).
@@ -179,15 +183,18 @@ class FleetServer {
   std::mutex conns_mutex_;
   std::list<std::weak_ptr<Socket>> conns_;
 
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> forwarded_{0};
-  std::atomic<std::uint64_t> forward_failures_{0};
-  std::atomic<std::uint64_t> spill_requests_{0};
-  std::atomic<std::uint64_t> spill_served_{0};
-  std::atomic<std::uint64_t> spill_missed_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> flushes_{0};
+  /// Counters live in the fronted service's registry (one exposition page
+  /// per shard covers service + store + fleet tiers); the references keep
+  /// the std::atomic increment surface, so counting sites are unchanged.
+  obs::Counter& accepted_;
+  obs::Counter& requests_;
+  obs::Counter& forwarded_;
+  obs::Counter& forward_failures_;
+  obs::Counter& spill_requests_;
+  obs::Counter& spill_served_;
+  obs::Counter& spill_missed_;
+  obs::Counter& protocol_errors_;
+  obs::Counter& flushes_;
 };
 
 }  // namespace respect::net

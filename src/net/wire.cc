@@ -11,6 +11,7 @@
 #include "engines/registry.h"
 #include "graph/serialize.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 #include "serve/store/spill_codec.h"
 
 namespace respect::net {
@@ -94,6 +95,8 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kFlushOk: return "flush-ok";
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
+    case FrameType::kTraceDump: return "trace-dump";
+    case FrameType::kTraceData: return "trace-data";
   }
   return "unknown";
 }
@@ -126,7 +129,7 @@ FrameHeader DecodeFrameHeader(std::string_view bytes) {
   ReadPod(is, header.checksum.lo);
   if (!is || magic != kWireMagic) throw WireError("wire: bad frame magic");
   if (raw_type < static_cast<std::uint32_t>(FrameType::kCompileRequest) ||
-      raw_type > static_cast<std::uint32_t>(FrameType::kPong)) {
+      raw_type > static_cast<std::uint32_t>(FrameType::kTraceData)) {
     throw WireError("wire: unknown frame type " + std::to_string(raw_type));
   }
   header.type = static_cast<FrameType>(raw_type);
@@ -146,6 +149,9 @@ void VerifyFramePayload(const FrameHeader& header, std::string_view payload) {
 }
 
 void SendFrame(Socket& socket, FrameType type, std::string_view payload) {
+  const std::string_view frame_name = FrameTypeName(type);
+  OBS_SPAN_DETAIL("net.send_frame", frame_name.data(),
+                  static_cast<std::uint32_t>(frame_name.size()));
   std::string frame = EncodeFrameHeader(type, payload);
   frame.append(payload);
   socket.SendAll(frame);
@@ -156,6 +162,12 @@ std::pair<FrameType, std::string> RecvFrame(Socket& socket) {
   socket.RecvExact(header_bytes, sizeof(header_bytes));
   const FrameHeader header =
       DecodeFrameHeader(std::string_view(header_bytes, sizeof(header_bytes)));
+  // The span opens only once the header has landed: a server connection
+  // sits in the RecvExact above for its whole idle life, and an idle wait
+  // is not frame-decode work.
+  const std::string_view frame_name = FrameTypeName(header.type);
+  OBS_SPAN_DETAIL("net.recv_frame", frame_name.data(),
+                  static_cast<std::uint32_t>(frame_name.size()));
   std::string payload(static_cast<std::size_t>(header.payload_size), '\0');
   if (!payload.empty()) socket.RecvExact(payload.data(), payload.size());
   VerifyFramePayload(header, payload);
@@ -194,6 +206,10 @@ std::string EncodeCompileRequest(const serve::CompileRequest& request,
   WriteString(os, request.tenant);
   WritePod(os, request.solve_budget_seconds);
   WritePod(os, static_cast<std::uint8_t>(no_forward));
+  // Appended after the v1 fields (old readers skip it as trailing bytes):
+  // the observability trace id, so a forwarded request's spans on the owner
+  // shard join the client-minted trace.
+  WritePod(os, request.trace_id);
   return std::move(os).str();
 }
 
@@ -243,6 +259,11 @@ WireCompileRequest DecodeCompileRequest(std::string_view payload) {
     ReadPod(is, no_forward);
     if (!is) throw WireError("wire: truncated compile request");
     decoded.no_forward = no_forward != 0;
+    // Post-v1 appended field: absent from an old writer's frames, in which
+    // case the read fails cleanly and the id stays 0 (no trace).
+    std::uint64_t trace_id = 0;
+    ReadPod(is, trace_id);
+    if (is) request.trace_id = trace_id;
     // Trailing bytes are a newer writer's appended fields: ignored by
     // design (the checksum already vouched for them).
     return decoded;
@@ -369,6 +390,29 @@ FleetStats DecodeFleetStats(std::string_view payload) {
     ReadPod(is, stats.spill_missed);
     if (!is) throw WireError("wire: truncated fleet stats");
     return stats;
+  });
+}
+
+std::string EncodeTraceDump(const TraceDump& dump) {
+  std::ostringstream os(std::ios::binary);
+  WritePod(os, kWireVersion);
+  WritePod(os, dump.shard_id);
+  WriteString(os, dump.events_json);
+  return std::move(os).str();
+}
+
+TraceDump DecodeTraceDump(std::string_view payload) {
+  return WrapDecode("trace dump", [&] {
+    std::istringstream is(std::string(payload), std::ios::binary);
+    ReadPayloadVersion(is, "trace dump");
+    TraceDump dump;
+    ReadPod(is, dump.shard_id);
+    if (!is) throw WireError("wire: truncated trace dump");
+    // The fragment is bounded by the frame payload cap, not the generic
+    // string cap: a busy shard's ring drains to well over a megabyte.
+    dump.events_json =
+        ReadString(is, kMaxFramePayloadBytes, "trace events json");
+    return dump;
   });
 }
 

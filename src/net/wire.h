@@ -28,6 +28,7 @@
 //   kStatsGet        -> kStatsData
 //   kFlush           -> kFlushOk
 //   kPing            -> kPong
+//   kTraceDump       -> kTraceData
 //
 // kError carries a WireErrorKind so the service's typed failures
 // (DeadlineExceeded, Overloaded, std::invalid_argument) survive the hop
@@ -81,6 +82,8 @@ enum class FrameType : std::uint32_t {
   kFlushOk = 10,
   kPing = 11,
   kPong = 12,
+  kTraceDump = 13,
+  kTraceData = 14,
 };
 
 [[nodiscard]] std::string_view FrameTypeName(FrameType type);
@@ -181,5 +184,19 @@ struct FleetStats {
 
 [[nodiscard]] std::string EncodeFleetStats(const FleetStats& stats);
 [[nodiscard]] FleetStats DecodeFleetStats(std::string_view payload);
+
+// ── Trace dump payload ─────────────────────────────────────────────────────
+
+/// One shard's drained trace buffer (kTraceDump -> kTraceData): the shard
+/// id that stamps the chrometrace `pid` field, plus a bracket-less
+/// chrometrace event fragment (obs::AppendChromeTraceEvents) the collector
+/// splices into one merged trace file.
+struct TraceDump {
+  std::uint32_t shard_id = 0;
+  std::string events_json;  // comma-separated chrometrace event objects
+};
+
+[[nodiscard]] std::string EncodeTraceDump(const TraceDump& dump);
+[[nodiscard]] TraceDump DecodeTraceDump(std::string_view payload);
 
 }  // namespace respect::net

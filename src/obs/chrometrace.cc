@@ -1,0 +1,155 @@
+#include "obs/chrometrace.h"
+
+#include <cstdio>
+
+namespace respect::obs {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendEvent(std::string& out, const TraceEvent& event,
+                 std::uint32_t pid, bool& first) {
+  if (!first) out += ',';
+  first = false;
+
+  std::string name = event.name != nullptr ? event.name : "?";
+  if (event.detail != nullptr && event.detail_len > 0) {
+    name += ':';
+    name.append(event.detail, event.detail_len);
+  }
+
+  char buf[160];
+  out += "{\"name\":\"";
+  out += JsonEscape(name);
+  out += "\",\"cat\":\"respect\"";
+  if (event.dur_us < 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%lld",
+                  static_cast<long long>(event.start_us));
+  } else {
+    std::snprintf(buf, sizeof(buf), ",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld",
+                  static_cast<long long>(event.start_us),
+                  static_cast<long long>(event.dur_us));
+  }
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"pid\":%u,\"tid\":%u,\"args\":{\"trace_id\":%llu,"
+                "\"depth\":%u}}",
+                pid, event.tid,
+                static_cast<unsigned long long>(event.trace_id), event.depth);
+  out += buf;
+}
+
+}  // namespace
+
+void AppendChromeTraceEvents(std::string& out,
+                             const std::vector<TraceEvent>& events,
+                             std::uint32_t pid) {
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    AppendEvent(out, event, pid, first);
+  }
+}
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                      std::uint32_t pid) {
+  std::string fragment;
+  AppendChromeTraceEvents(fragment, events, pid);
+  WriteChromeTraceFragments(os, {fragment});
+}
+
+void WriteChromeTraceFragments(std::ostream& os,
+                               const std::vector<std::string>& fragments) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const std::string& fragment : fragments) {
+    if (fragment.empty()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << fragment;
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+namespace {
+
+void AppendSimEvent(std::ostream& os, bool& first, const char* name,
+                    int inference, int stage, double ts_us, double dur_us) {
+  if (!first) os << ',';
+  first = false;
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"X\","
+                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,"
+                "\"args\":{\"inference\":%d}}",
+                name, ts_us, dur_us, stage, inference);
+  os << buf;
+}
+
+}  // namespace
+
+void WriteSimChromeTrace(std::ostream& os,
+                         const std::vector<tpu::SimTimelineEntry>& timeline,
+                         const std::vector<tpu::StageCost>& costs) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const tpu::SimTimelineEntry& entry : timeline) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "inference %d", entry.inference);
+    AppendSimEvent(os, first, name, entry.inference, entry.stage,
+                   entry.start_us, entry.finish_us - entry.start_us);
+    if (entry.stage >= 0 && entry.stage < static_cast<int>(costs.size())) {
+      // Break the interval into its StageCost phases (the sim's service
+      // model: input transfer, then max(compute, param stream), then output
+      // transfer) on a nested track so link time reads next to compute.
+      const tpu::StageCost& cost = costs[entry.stage];
+      double cursor = entry.start_us;
+      if (cost.input_xfer_us > 0) {
+        AppendSimEvent(os, first, "input_xfer", entry.inference, entry.stage,
+                       cursor, cost.input_xfer_us);
+        cursor += cost.input_xfer_us;
+      }
+      const double exec =
+          cost.compute_us > cost.param_stream_us ? cost.compute_us
+                                                 : cost.param_stream_us;
+      if (exec > 0) {
+        AppendSimEvent(os, first,
+                       cost.param_stream_us > cost.compute_us
+                           ? "param_stream"
+                           : "compute",
+                       entry.inference, entry.stage, cursor, exec);
+        cursor += exec;
+      }
+      if (cost.output_xfer_us > 0) {
+        AppendSimEvent(os, first, "output_xfer", entry.inference, entry.stage,
+                       cursor, cost.output_xfer_us);
+      }
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace respect::obs

@@ -1,0 +1,58 @@
+// Chrome/Perfetto trace-event JSON export for live request traces and
+// simulated pipeline timelines.
+//
+// Output is the Trace Event Format's JSON-object flavor
+// ({"traceEvents":[...]}) using "X" complete events for spans and "i"
+// instant events for markers — loadable in chrome://tracing and Perfetto.
+//
+// Fleet merging works at the text level: each shard renders its events as a
+// *fragment* (a comma-separated run of event objects, no brackets) via
+// AppendChromeTraceEvents, ships it over the wire as the kTraceData payload,
+// and the coordinator concatenates fragments into one array with
+// WriteChromeTraceFragments.  Because all shards on a host stamp events from
+// the same CLOCK_MONOTONIC epoch, the merged timeline lines up without any
+// clock handshake, and a forwarded request's spans share one trace_id across
+// pid tracks.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "tpu/sim.h"
+
+namespace respect::obs {
+
+/// Renders `events` as a trace-event array *fragment* (no enclosing
+/// brackets) appended to `out`.  `pid` labels the process track — pass the
+/// OS pid for real traces so fleet shards land on distinct tracks.
+void AppendChromeTraceEvents(std::string& out,
+                             const std::vector<TraceEvent>& events,
+                             std::uint32_t pid);
+
+/// Writes a complete, self-contained chrometrace JSON object for one
+/// process's events.
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                      std::uint32_t pid);
+
+/// Merges pre-rendered event fragments (from AppendChromeTraceEvents, local
+/// or received via kTraceData) into one chrometrace JSON object.  Empty
+/// fragments are skipped.
+void WriteChromeTraceFragments(std::ostream& os,
+                               const std::vector<std::string>& fragments);
+
+/// Exports a simulated schedule timeline (SimulatePipeline with
+/// record_timeline) as a chrometrace: one tid track per pipeline stage, an
+/// "X" event per service interval, and — when `costs` is non-empty — nested
+/// input-transfer / compute / output-transfer sub-events per interval from
+/// the StageCost breakdown, so USB link time is visible next to compute.
+void WriteSimChromeTrace(std::ostream& os,
+                         const std::vector<tpu::SimTimelineEntry>& timeline,
+                         const std::vector<tpu::StageCost>& costs);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace respect::obs

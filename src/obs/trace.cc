@@ -1,0 +1,188 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace respect::obs {
+namespace internal {
+
+std::atomic<int> g_armed{0};
+
+namespace {
+
+// Per-thread SPSC event ring.  The owning thread is the only writer; Drain
+// (any thread, serialized by the registry mutex) is the only reader.  Rings
+// are shared_ptr-owned by both the thread_local slot and the global registry
+// so a thread's events survive its exit until the next Drain.
+struct Ring {
+  std::vector<TraceEvent> slots{Tracer::kRingCapacity};
+  std::atomic<std::uint64_t> head{0};  // next write position (producer)
+  std::atomic<std::uint64_t> read{0};  // next read position (consumer)
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t tid = 0;
+
+  void Push(const TraceEvent& event) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    if (h - read.load(std::memory_order_acquire) >= slots.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[h % slots.size()] = event;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  void DrainInto(std::vector<TraceEvent>& out) {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    for (std::uint64_t r = read.load(std::memory_order_relaxed); r < h; ++r) {
+      TraceEvent event = slots[r % slots.size()];
+      event.tid = tid;
+      out.push_back(event);
+    }
+    read.store(h, std::memory_order_release);
+  }
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* registry = new RingRegistry();  // leaked: outlives TLS
+  return *registry;
+}
+
+Ring& ThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto fresh = std::make_shared<Ring>();
+    RingRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    fresh->tid = registry.next_tid++;
+    registry.rings.push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+thread_local std::uint64_t t_trace_id = 0;
+thread_local std::uint32_t t_span_depth = 0;
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+}  // namespace
+}  // namespace internal
+
+std::int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start() {
+  internal::g_armed.store(1, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_armed.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<TraceEvent> out;
+  internal::RingRegistry& registry = internal::Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    ring->DrainInto(out);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::Dropped() const {
+  std::uint64_t total = 0;
+  internal::RingRegistry& registry = internal::Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& ring : registry.rings) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::MintTraceId() {
+  return internal::g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t Tracer::ThreadSpanDepth() { return internal::t_span_depth; }
+
+void Tracer::Record(const TraceEvent& event) {
+  internal::ThreadRing().Push(event);
+}
+
+std::uint64_t CurrentTraceId() { return internal::t_trace_id; }
+
+ScopedTraceId::ScopedTraceId(std::uint64_t id)
+    : previous_(internal::t_trace_id) {
+  internal::t_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { internal::t_trace_id = previous_; }
+
+ScopedSpan::ScopedSpan(const char* name, const char* detail,
+                       std::uint32_t detail_len) noexcept
+    : name_(nullptr), detail_(detail), detail_len_(detail_len), depth_(0),
+      start_us_(0) {
+  if (!Armed()) return;  // the disarmed fast path: one relaxed load
+  name_ = name;
+  depth_ = internal::t_span_depth++;
+  start_us_ = NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr) return;
+  --internal::t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.detail = detail_;
+  event.detail_len = detail_len_;
+  event.trace_id = internal::t_trace_id;
+  event.start_us = start_us_;
+  event.dur_us = NowMicros() - start_us_;
+  event.depth = depth_;
+  Tracer::Global().Record(event);
+}
+
+void RecordSpan(const char* name, std::int64_t start_us, std::int64_t end_us,
+                std::uint64_t trace_id, const char* detail,
+                std::uint32_t detail_len) {
+  if (!Armed()) return;
+  TraceEvent event;
+  event.name = name;
+  event.detail = detail;
+  event.detail_len = detail_len;
+  event.trace_id = trace_id;
+  event.start_us = start_us;
+  event.dur_us = end_us > start_us ? end_us - start_us : 0;
+  event.depth = internal::t_span_depth;
+  Tracer::Global().Record(event);
+}
+
+void RecordInstant(const char* name, const char* detail,
+                   std::uint32_t detail_len) {
+  if (!Armed()) return;
+  TraceEvent event;
+  event.name = name;
+  event.detail = detail;
+  event.detail_len = detail_len;
+  event.trace_id = internal::t_trace_id;
+  event.start_us = NowMicros();
+  event.dur_us = -1;
+  event.depth = internal::t_span_depth;
+  Tracer::Global().Record(event);
+}
+
+}  // namespace respect::obs

@@ -12,6 +12,7 @@
 #include "core/failpoint.h"
 #include "core/thread_pool.h"
 #include "engines/registry.h"
+#include "obs/trace.h"
 #include "serve/request_queue.h"
 #include "serve/store/disk_store.h"
 #include "serve/store/spill_codec.h"
@@ -67,12 +68,15 @@ std::unique_ptr<core::ThreadPool> MakeServicePool(
 
 }  // namespace
 
-void CompileService::LatencyWindow::Configure(std::size_t capacity) {
+void CompileService::LatencyWindow::Configure(std::size_t capacity,
+                                              obs::Histogram* histogram) {
   values_.reserve(std::max<std::size_t>(1, capacity));
   capacity_limit_ = std::max<std::size_t>(1, capacity);
+  histogram_ = histogram;
 }
 
 void CompileService::LatencyWindow::Record(double seconds) {
+  if (histogram_ != nullptr) histogram_->Observe(seconds);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (values_.size() < capacity_limit_) {
     values_.push_back(seconds);
@@ -137,13 +141,36 @@ CompileService::CompileService(const CompilerOptions& compiler_options,
     store::DiskStoreOptions store_options;
     store_options.directory = options.cache_dir;
     store_options.ttl_seconds = options.cache_ttl_seconds;
+    store_options.registry = &registry_;  // one exposition page per shard
     store_ = std::make_unique<store::DiskStore>(store_options);
   }
   pool_ = MakeServicePool(options);
-  solve_latency_.Configure(options.latency_window);
-  for (LatencyWindow& window : lane_wait_) {
-    window.Configure(options.latency_window);
+  solve_latency_.Configure(options.latency_window, &solve_hist_);
+  for (std::size_t lane = 0; lane < kNumPriorityLanes; ++lane) {
+    lane_wait_[lane].Configure(
+        options.latency_window,
+        &registry_.GetHistogram(
+            "respect_serve_lane_" +
+                std::string(PriorityName(static_cast<Priority>(lane))) +
+                "_wait_seconds",
+            "Queue wait of started requests (seconds)"));
   }
+}
+
+CompileService::LaneCounters CompileService::MakeLaneCounters(
+    std::size_t lane) {
+  const std::string stem =
+      "respect_serve_lane_" +
+      std::string(PriorityName(static_cast<Priority>(lane))) + "_";
+  return LaneCounters{
+      registry_.GetCounter(stem + "enqueued_total",
+                           "Submits routed to this lane"),
+      registry_.GetCounter(stem + "started_total",
+                           "Requests that began their compile on a worker"),
+      registry_.GetCounter(stem + "expired_total",
+                           "Requests failed fast with DeadlineExceeded"),
+      registry_.GetCounter(stem + "shed_total",
+                           "Requests refused at admission with Overloaded")};
 }
 
 // The pool joins before the members the queued tasks reference are torn
@@ -257,6 +284,7 @@ bool CompileService::DropIfExpiredLocked(Shard& shard,
 }
 
 CompileService::ResultPtr CompileService::TryCached(const RequestKey& key) {
+  OBS_SPAN("serve.cache_probe");
   if (admission_ != nullptr) admission_->RecordAccess(key.hash);
   Shard& shard = ShardFor(key.hash);
   const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -298,6 +326,7 @@ CompileService::ResultPtr CompileService::SolveCold(
                             ? params.solve_budget_seconds
                             : default_solve_budget_seconds_;
 
+  OBS_SPAN("serve.solve");
   std::exception_ptr first_failure;
   bool first_was_budget = false;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -319,8 +348,13 @@ CompileService::ResultPtr CompileService::SolveCold(
       // Open breaker: skip the sick engine straight to its fallback.  The
       // last candidate is always attempted — short-circuiting it would turn
       // "sick engine" into "no answer at all".
+      obs::RecordInstant("serve.breaker_short_circuit", engine.data(),
+                         static_cast<std::uint32_t>(engine.size()));
       continue;
     }
+    // Engine names borrow from the registry (process lifetime), so the
+    // span's detail pointer stays valid for any later drain.
+    OBS_SPAN_DETAIL("serve.attempt", engine.data(), engine.size());
     try {
       const core::CancelToken cancel =
           budget > 0.0 ? core::CancelToken::WithBudget(budget)
@@ -423,6 +457,7 @@ void CompileService::ExecuteCached(const graph::Dag& dag,
   // the one synchronous disk read on the request path.  Collapsed waiters
   // share the disk hit exactly as they would a solve.
   if (store_ != nullptr) {
+    OBS_SPAN("serve.disk_probe");
     std::int64_t disk_expiry_ms = 0;
     if (ResultPtr from_disk = store_->Probe(key.hash, &disk_expiry_ms)) {
       disk_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -584,10 +619,14 @@ void CompileService::EnqueueWriteback(const RequestKey& key,
   // injected fault, an unexpected error) is counted service-side — the
   // spill is lost but never silently, and the decrement always runs so
   // FlushStore cannot hang on a failed write.
+  const std::uint64_t trace_id = obs::CurrentTraceId();  // the request's flow
   core::ThreadPool::TaskAttrs attrs;
   attrs.lane = static_cast<int>(LaneIndex(Priority::kNormal));
+  attrs.trace_id = trace_id;
   pool_->Submit(
-      [this, meta = std::move(meta), result = std::move(result)] {
+      [this, meta = std::move(meta), result = std::move(result), trace_id] {
+        const obs::ScopedTraceId trace_scope(trace_id);
+        OBS_SPAN("serve.writeback");
         try {
           RESPECT_FAILPOINT("serve.writeback");
           store_->Put(meta, result);
@@ -652,6 +691,7 @@ bool CompileService::TryPeerWarm(const RequestKey& key, Shard& shard,
                                  CompileResponse& response) {
   const std::shared_ptr<const PeerFetchFn> fetch = PeerFetchSnapshot();
   if (fetch == nullptr) return false;
+  OBS_SPAN("serve.peer_fetch");
   peer_fetches_.fetch_add(1, std::memory_order_relaxed);
   std::string bytes;
   try {
@@ -745,6 +785,14 @@ CompileResponse CompileService::CompileOn(const graph::Dag& dag,
 }
 
 CompileResponse CompileService::Compile(const CompileRequest& request) {
+  // Admission is where a request's trace id is minted (when tracing is
+  // armed and the caller didn't bring one, e.g. from a fleet forward).
+  std::uint64_t trace_id = request.trace_id;
+  if (trace_id == 0 && obs::Armed()) {
+    trace_id = obs::Tracer::Global().MintTraceId();
+  }
+  const obs::ScopedTraceId trace_scope(trace_id);
+  OBS_SPAN("serve.compile");
   return CompileOn(request.dag, request);
 }
 
@@ -767,6 +815,9 @@ CompileService::Ticket CompileService::SubmitInternal(
   pending->request = std::move(request);
   pending->key = std::move(key);
   pending->enqueue_time = SteadyClock::now();
+  if (pending->request.trace_id == 0 && obs::Armed()) {
+    pending->request.trace_id = obs::Tracer::Global().MintTraceId();
+  }
 
   const std::size_t lane = LaneIndex(pending->request.priority);
   lane_counters_[lane].enqueued.fetch_add(1, std::memory_order_relaxed);
@@ -810,6 +861,7 @@ CompileService::Ticket CompileService::SubmitInternal(
   attrs.lane = static_cast<int>(lane);
   attrs.flow = pending->request.tenant;  // weighted-fair queueing + quotas
   attrs.sheddable = true;  // a full lane refuses us with Overloaded
+  attrs.trace_id = pending->request.trace_id;
   if (pending->request.deadline) {
     attrs.has_deadline = true;
     attrs.deadline = *pending->request.deadline;
@@ -826,6 +878,8 @@ CompileService::Ticket CompileService::SubmitInternal(
   try {
     pool_->Submit(
         [this, pending, lane] {
+          const obs::ScopedTraceId trace_scope(pending->request.trace_id);
+          OBS_SPAN("serve.request");
           const double wait = std::chrono::duration<double>(
                                   SteadyClock::now() - pending->enqueue_time)
                                   .count();
@@ -997,6 +1051,7 @@ void CompileService::RunBatchGroup(std::span<const CompileRequest> requests,
   std::vector<Active> waiters;
   owners.reserve(members.size());
 
+  OBS_SPAN("serve.batch_group");
   const auto respond = [](GroupMember& m, CacheOutcome outcome,
                           ResultPtr result, double wait, double solve) {
     CompileResponse response;

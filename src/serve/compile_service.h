@@ -71,6 +71,7 @@
 #include "engines/method.h"
 #include "graph/canonical_hash.h"
 #include "graph/dag.h"
+#include "obs/registry.h"
 #include "serve/circuit_breaker.h"
 #include "serve/request.h"
 #include "serve/store/cache_store.h"
@@ -454,6 +455,14 @@ class CompileService {
   /// bytes are refused.
   bool ImportSpill(const graph::CanonicalHash& key, std::string_view bytes);
 
+  // ── Observability ──────────────────────────────────────────────────────
+
+  /// The unified metrics registry behind Metrics()'s counters.  Instance-
+  /// scoped (tests assert exact per-service values); the disk store and the
+  /// fleet server register their metrics here too, so one
+  /// RenderPrometheus(os) call emits the whole shard's exposition page.
+  [[nodiscard]] obs::Registry& MetricsRegistry() { return registry_; }
+
  private:
   struct CacheEntry {
     graph::CanonicalHash key;
@@ -503,8 +512,11 @@ class CompileService {
   /// the most recent `capacity` samples.
   class LatencyWindow {
    public:
-    /// Call once before traffic (capacity is clamped to >= 1).
-    void Configure(std::size_t capacity);
+    /// Call once before traffic (capacity is clamped to >= 1).  When a
+    /// histogram is supplied, every Record also observes it — the window
+    /// keeps the snapshot's exact recent percentiles, the histogram feeds
+    /// the Prometheus exposition.
+    void Configure(std::size_t capacity, obs::Histogram* histogram = nullptr);
     void Record(double seconds);
     /// Percentiles over the resident window; both 0.0 while empty.
     void Percentiles(double& p50, double& p99) const;
@@ -514,6 +526,7 @@ class CompileService {
     std::vector<double> values_;  // grows to capacity, then a ring
     std::size_t next_ = 0;        // overwrite cursor once at capacity
     std::size_t capacity_limit_ = 1;
+    obs::Histogram* histogram_ = nullptr;  // optional registry mirror
   };
 
   /// Resolves the engine and the named device profile and builds the
@@ -668,28 +681,77 @@ class CompileService {
   /// key so results are only shared between identically configured services.
   graph::CanonicalHash options_fingerprint_;
 
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> invalidations_{0};
-  std::atomic<std::uint64_t> single_flight_waits_{0};
-  std::atomic<std::uint64_t> failures_{0};
-  std::atomic<std::uint64_t> bypasses_{0};
-  std::atomic<std::uint64_t> refreshes_{0};
-  std::atomic<std::uint64_t> deadline_expired_{0};
-  std::atomic<std::uint64_t> disk_hits_{0};
-  std::atomic<std::uint64_t> ttl_expired_{0};
-  std::atomic<std::uint64_t> admission_rejected_{0};
-  std::atomic<std::uint64_t> batch_solved_{0};
-  std::atomic<std::uint64_t> batch_single_{0};
-  std::atomic<std::uint64_t> batch_groups_{0};
-  std::atomic<std::uint64_t> budget_blown_{0};
-  std::atomic<std::uint64_t> degraded_served_{0};
-  std::atomic<std::uint64_t> fallback_exhausted_{0};
-  std::atomic<std::uint64_t> writeback_errors_{0};
-  std::atomic<std::uint64_t> peer_fetches_{0};
-  std::atomic<std::uint64_t> peer_hits_{0};
-  std::atomic<std::uint64_t> peer_fetch_failures_{0};
+  /// Unified metrics registry (obs::Registry).  Declared before every
+  /// counter reference below — members bind into it at construction.  The
+  /// references have the std::atomic fetch_add/load surface, so increment
+  /// sites are byte-for-byte the pre-registry code.
+  obs::Registry registry_;
+
+  obs::Counter& hits_ =
+      registry_.GetCounter("respect_serve_hits_total",
+                           "Requests answered from a resident memory entry");
+  obs::Counter& misses_ =
+      registry_.GetCounter("respect_serve_misses_total",
+                           "Cold solves started (cacheable or not)");
+  obs::Counter& evictions_ = registry_.GetCounter(
+      "respect_serve_evictions_total", "LRU capacity evictions");
+  obs::Counter& invalidations_ = registry_.GetCounter(
+      "respect_serve_invalidations_total", "Entries dropped by ReplaceRl");
+  obs::Counter& single_flight_waits_ = registry_.GetCounter(
+      "respect_serve_single_flight_waits_total",
+      "Requests collapsed onto another caller's in-flight solve");
+  obs::Counter& failures_ = registry_.GetCounter(
+      "respect_serve_failures_total", "Solves that threw");
+  obs::Counter& bypasses_ = registry_.GetCounter(
+      "respect_serve_bypasses_total", "CachePolicy::kBypass solves");
+  obs::Counter& refreshes_ = registry_.GetCounter(
+      "respect_serve_refreshes_total", "CachePolicy::kRefresh solves");
+  obs::Counter& deadline_expired_ = registry_.GetCounter(
+      "respect_serve_deadline_expired_total",
+      "DeadlineExceeded failures, all paths");
+  obs::Counter& disk_hits_ = registry_.GetCounter(
+      "respect_serve_disk_hits_total",
+      "Memory misses answered by the persistent store");
+  obs::Counter& ttl_expired_ = registry_.GetCounter(
+      "respect_serve_ttl_expired_total", "Memory entries lazily expired");
+  obs::Counter& admission_rejected_ = registry_.GetCounter(
+      "respect_serve_admission_rejected_total",
+      "Inserts refused by TinyLFU admission");
+  obs::Counter& batch_solved_ = registry_.GetCounter(
+      "respect_serve_batch_solved_total",
+      "Cold solves done by lock-stepped groups");
+  obs::Counter& batch_single_ = registry_.GetCounter(
+      "respect_serve_batch_single_total",
+      "Grouped-path solves that fell back to the per-graph decode");
+  obs::Counter& batch_groups_ = registry_.GetCounter(
+      "respect_serve_batch_groups_total",
+      "Lock-stepped group decodes executed");
+  obs::Counter& budget_blown_ = registry_.GetCounter(
+      "respect_serve_budget_blown_total",
+      "Engine attempts cancelled on solve budget");
+  obs::Counter& degraded_served_ = registry_.GetCounter(
+      "respect_serve_degraded_served_total",
+      "Responses produced by a fallback engine");
+  obs::Counter& fallback_exhausted_ = registry_.GetCounter(
+      "respect_serve_fallback_exhausted_total",
+      "Requests whose whole engine chain failed");
+  obs::Counter& writeback_errors_ = registry_.GetCounter(
+      "respect_serve_writeback_errors_total",
+      "Background spill writes that failed");
+  obs::Counter& peer_fetches_ = registry_.GetCounter(
+      "respect_serve_peer_fetches_total",
+      "Peer warm attempts on cold misses");
+  obs::Counter& peer_hits_ = registry_.GetCounter(
+      "respect_serve_peer_hits_total",
+      "Requests answered by peer spill envelopes");
+  obs::Counter& peer_fetch_failures_ = registry_.GetCounter(
+      "respect_serve_peer_fetch_failures_total",
+      "Peer fetches that threw or returned corrupt/mismatched bytes");
+
+  /// Cold-solve latency distribution (seconds) with Prometheus buckets;
+  /// LatencyWindow still backs the snapshot's exact windowed percentiles.
+  obs::Histogram& solve_hist_ = registry_.GetHistogram(
+      "respect_serve_solve_seconds", "Cold engine solve latency (seconds)");
 
   /// Peer warm hook (SetPeerFetch); swapped atomically under its mutex,
   /// read as a shared_ptr snapshot so an uninstall never races a call.
@@ -720,12 +782,17 @@ class CompileService {
   std::size_t pending_writebacks_ = 0;
 
   struct LaneCounters {
-    std::atomic<std::uint64_t> enqueued{0};
-    std::atomic<std::uint64_t> started{0};
-    std::atomic<std::uint64_t> expired{0};
-    std::atomic<std::uint64_t> shed{0};
+    obs::Counter& enqueued;
+    obs::Counter& started;
+    obs::Counter& expired;
+    obs::Counter& shed;
   };
-  std::array<LaneCounters, kNumPriorityLanes> lane_counters_;
+  /// Binds one lane's counters into the registry under
+  /// respect_serve_lane_<lane>_* names.
+  [[nodiscard]] LaneCounters MakeLaneCounters(std::size_t lane);
+  static_assert(kNumPriorityLanes == 3, "extend lane_counters_ init");
+  std::array<LaneCounters, kNumPriorityLanes> lane_counters_ = {
+      MakeLaneCounters(0), MakeLaneCounters(1), MakeLaneCounters(2)};
   std::array<LatencyWindow, kNumPriorityLanes> lane_wait_;
 
   /// Per-tenant async-path counters, keyed by tenant id.  A small map under

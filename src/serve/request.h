@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -197,6 +198,13 @@ struct CompileRequest {
   /// configured (or every engine blown), the request fails with
   /// DeadlineExceeded.
   double solve_budget_seconds = 0.0;
+
+  /// Observability trace id tagging every span this request produces
+  /// (obs::Tracer).  0 = unassigned: the service mints one at admission
+  /// while tracing is armed.  Carried across the fleet wire so a forwarded
+  /// request yields one coherent cross-shard trace; never part of the cache
+  /// key.
+  std::uint64_t trace_id = 0;
 };
 
 struct CompileResponse {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/failpoint.h"
+#include "obs/trace.h"
 
 namespace respect::serve {
 
@@ -80,7 +81,7 @@ void RequestQueue::Push(core::ThreadPool::Task task,
   flow.last_tag = tag;
   flow.entries.push_back(Entry{std::move(task), std::move(attrs.on_expired),
                                Now(), attrs.deadline, attrs.has_deadline,
-                               tag});
+                               tag, attrs.trace_id});
   lane.depth.fetch_add(1, std::memory_order_relaxed);
   ++size_;
 }
@@ -100,6 +101,26 @@ core::ThreadPool::Task RequestQueue::TakeEntry(Lane& lane, FlowIter it,
   if (flow.entries.empty()) lane.flows.erase(it);
   lane.depth.fetch_sub(1, std::memory_order_relaxed);
   --size_;
+
+  if (obs::Armed()) {
+    // The popping thread records the whole enqueue -> pop wait as one
+    // manually-timed span (it crosses threads, so RAII can't).  Lane names
+    // are constexpr literals — process-lifetime, safe to borrow.  With a
+    // test clock installed the stamps are synthetic; the span is recorded
+    // on the same clock, so it is at least self-consistent.
+    const std::size_t lane_index =
+        static_cast<std::size_t>(&lane - lanes_.data());
+    const std::string_view lane_name =
+        PriorityName(static_cast<Priority>(lane_index));
+    const auto to_us = [](Clock::time_point t) {
+      return std::chrono::duration_cast<std::chrono::microseconds>(
+                 t.time_since_epoch())
+          .count();
+    };
+    obs::RecordSpan("serve.queue_wait", to_us(entry.enqueue), to_us(Now()),
+                    entry.trace_id, lane_name.data(),
+                    static_cast<std::uint32_t>(lane_name.size()));
+  }
 
   if (expired) {
     lane.expired.fetch_add(1, std::memory_order_relaxed);

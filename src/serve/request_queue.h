@@ -162,6 +162,7 @@ class RequestQueue final : public core::ThreadPool::TaskQueue {
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
     double tag = 0.0;  // start-time fair-queueing tag within the lane
+    std::uint64_t trace_id = 0;  // obs flow tag for the queue-wait span
   };
 
   /// One tenant's FIFO inside a lane.  Flows never hold an empty deque —

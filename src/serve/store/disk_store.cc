@@ -12,6 +12,7 @@
 
 #include "core/failpoint.h"
 #include "core/respect.h"
+#include "obs/trace.h"
 #include "serve/store/spill_codec.h"
 
 namespace respect::serve::store {
@@ -36,7 +37,39 @@ std::string ReadFileBytes(const std::filesystem::path& path) {
 }  // namespace
 
 DiskStore::DiskStore(const DiskStoreOptions& options)
-    : options_(options), directory_(options.directory) {
+    : options_(options),
+      directory_(options.directory),
+      own_registry_(options.registry ? nullptr : new obs::Registry()),
+      registry_(options.registry ? options.registry : own_registry_.get()),
+      probes_(registry_->GetCounter("respect_store_probes_total",
+                                    "Disk-store probes")),
+      hits_(registry_->GetCounter("respect_store_hits_total",
+                                  "Disk-store verified hits")),
+      misses_(registry_->GetCounter("respect_store_misses_total",
+                                    "Disk-store misses")),
+      writes_(registry_->GetCounter("respect_store_writes_total",
+                                    "Spill files published")),
+      write_failures_(registry_->GetCounter(
+          "respect_store_write_failures_total",
+          "Spill writes abandoned after every retry")),
+      write_retries_(registry_->GetCounter("respect_store_write_retries_total",
+                                           "Spill write attempts retried")),
+      corrupt_dropped_(registry_->GetCounter(
+          "respect_store_corrupt_dropped_total",
+          "Spill files quarantined as corrupt or mismatched")),
+      expired_dropped_(registry_->GetCounter(
+          "respect_store_expired_dropped_total",
+          "Spill files dropped past their TTL")),
+      compacted_(registry_->GetCounter(
+          "respect_store_compacted_total",
+          "Spill files reclaimed by Compact (stale RL version)")),
+      exports_(registry_->GetCounter("respect_store_exports_total",
+                                     "Raw envelopes served to fleet peers")),
+      imports_(registry_->GetCounter("respect_store_imports_total",
+                                     "Peer envelopes verified and published")),
+      import_rejected_(registry_->GetCounter(
+          "respect_store_import_rejected_total",
+          "Peer envelopes refused at verification")) {
   if (directory_.empty()) {
     throw std::runtime_error("DiskStore: empty cache directory");
   }
@@ -93,7 +126,7 @@ void DiskStore::Unindex(const graph::CanonicalHash& key) {
 
 void DiskStore::Drop(const graph::CanonicalHash& key,
                      const std::filesystem::path& path,
-                     std::atomic<std::uint64_t>& counter) {
+                     obs::Counter& counter) {
   std::error_code ec;
   std::filesystem::remove(path, ec);  // best effort; the index is the truth
   Unindex(key);
@@ -108,6 +141,7 @@ bool DiskStore::Expired(std::int64_t expires_at_unix_ms) const {
 
 std::optional<std::string> DiskStore::LoadVerified(
     const graph::CanonicalHash& key, SpillEnvelope* envelope) {
+  OBS_SPAN("store.read");
   const std::filesystem::path path = PathFor(key);
   std::string bytes;
   SpillEnvelope loaded;
@@ -155,6 +189,7 @@ ResultPtr DiskStore::Probe(const graph::CanonicalHash& key,
 
 bool DiskStore::WriteEnvelopeAtomic(const graph::CanonicalHash& key,
                                     std::string_view envelope) {
+  OBS_SPAN("store.write");
   // Transient I/O failures (ENOSPC racing a cleanup, EIO blips) often clear
   // within milliseconds: retry with doubling backoff before giving the
   // spill up.  Every attempt writes its own temp file and removes it on
@@ -249,6 +284,7 @@ bool DiskStore::ImportRaw(const graph::CanonicalHash& key,
 }
 
 std::size_t DiskStore::Compact(std::uint64_t live_rl_version) {
+  OBS_SPAN("store.compact");
   std::vector<graph::CanonicalHash> keys;
   {
     const std::lock_guard<std::mutex> lock(index_mutex_);

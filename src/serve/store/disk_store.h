@@ -49,6 +49,7 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "obs/registry.h"
 #include "serve/store/cache_store.h"
 #include "serve/store/spill_codec.h"
 
@@ -71,6 +72,11 @@ struct DiskStoreOptions {
   /// off twice as long, starting at write_retry_backoff_ms.
   int write_retries = 2;
   int write_retry_backoff_ms = 2;
+
+  /// Metrics registry to register the store's counters into (must outlive
+  /// the store).  CompileService passes its own so one exposition page
+  /// covers both tiers; null makes the store carry a private registry.
+  obs::Registry* registry = nullptr;
 };
 
 class DiskStore final : public CacheStore {
@@ -119,9 +125,9 @@ class DiskStore final : public CacheStore {
   void Unindex(const graph::CanonicalHash& key);
 
   /// Deletes the file and drops it from the index, counting it against
-  /// `counter` (one of the atomic members below).
+  /// `counter` (one of the registry-backed members below).
   void Drop(const graph::CanonicalHash& key, const std::filesystem::path& path,
-            std::atomic<std::uint64_t>& counter);
+            obs::Counter& counter);
 
   /// True when a non-zero absolute expiry has passed (per the test clock).
   [[nodiscard]] bool Expired(std::int64_t expires_at_unix_ms) const;
@@ -147,18 +153,26 @@ class DiskStore final : public CacheStore {
       index_;  // keys with a (believed) resident spill file
 
   std::atomic<std::uint64_t> temp_counter_{0};  // unique temp-file suffixes
-  std::atomic<std::uint64_t> probes_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> writes_{0};
-  std::atomic<std::uint64_t> write_failures_{0};
-  std::atomic<std::uint64_t> write_retries_{0};
-  std::atomic<std::uint64_t> corrupt_dropped_{0};
-  std::atomic<std::uint64_t> expired_dropped_{0};
-  std::atomic<std::uint64_t> compacted_{0};
-  std::atomic<std::uint64_t> exports_{0};
-  std::atomic<std::uint64_t> imports_{0};
-  std::atomic<std::uint64_t> import_rejected_{0};
+
+  /// Counters live in the caller's registry (DiskStoreOptions::registry)
+  /// or the private one below; either way the references expose the same
+  /// std::atomic surface the pre-registry code used, so increment sites
+  /// are unchanged.  Declaration order matters: own_registry_ must
+  /// construct before any counter binds.
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Counter& probes_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& writes_;
+  obs::Counter& write_failures_;
+  obs::Counter& write_retries_;
+  obs::Counter& corrupt_dropped_;
+  obs::Counter& expired_dropped_;
+  obs::Counter& compacted_;
+  obs::Counter& exports_;
+  obs::Counter& imports_;
+  obs::Counter& import_rejected_;
 };
 
 }  // namespace respect::serve::store

@@ -23,7 +23,8 @@ struct Event {
 
 /// The DES core, shared by the homogeneous and per-stage-profile entry
 /// points: whatever produced `costs`, the event dynamics are identical.
-SimResult RunSim(const std::vector<StageCost>& costs, int num_inferences) {
+SimResult RunSim(const std::vector<StageCost>& costs, int num_inferences,
+                 bool record_timeline = false) {
   const int stages = static_cast<int>(costs.size());
   if (stages == 0 || num_inferences <= 0) {
     throw std::invalid_argument("SimulatePipeline: empty package or batch");
@@ -55,6 +56,10 @@ SimResult RunSim(const std::vector<StageCost>& costs, int num_inferences) {
     const double finish = start + cost.TotalUs();
     device_free_at[ev.stage] = finish;
     result.stage_busy_us[ev.stage] += cost.TotalUs();
+    if (record_timeline) {
+      result.timeline.push_back(
+          SimTimelineEntry{ev.inference, ev.stage, start, finish});
+    }
 
     if (ev.stage + 1 < stages) {
       // Downstream sees the data once the output transfer completed, which
@@ -84,7 +89,7 @@ SimResult SimulatePipeline(const deploy::PipelinePackage& package,
     throw std::invalid_argument("SimulatePipeline: empty package or batch");
   }
   return RunSim(ProfilePackage(package, config.device, config.link),
-                config.num_inferences);
+                config.num_inferences, config.record_timeline);
 }
 
 SimResult SimulatePipeline(const deploy::PipelinePackage& package,

@@ -19,6 +19,20 @@ struct SimConfig {
   int num_inferences = 1000;
   EdgeTpuModel device;
   UsbLinkModel link;
+
+  /// When set, SimResult.timeline records every (inference, stage) service
+  /// interval — the input to obs::WriteSimChromeTrace.  Off by default: the
+  /// timeline is O(inferences * stages) memory.
+  bool record_timeline = false;
+};
+
+/// One simulated service interval: inference `inference` occupied stage
+/// `stage` from start_us to finish_us (including its transfers).
+struct SimTimelineEntry {
+  int inference = 0;
+  int stage = 0;
+  double start_us = 0.0;
+  double finish_us = 0.0;
 };
 
 struct SimResult {
@@ -38,6 +52,10 @@ struct SimResult {
   int bottleneck_stage = 0;
 
   std::int64_t events_processed = 0;
+
+  /// Per-(inference, stage) service intervals; populated only when
+  /// SimConfig::record_timeline was set.
+  std::vector<SimTimelineEntry> timeline;
 };
 
 /// Runs the event-driven simulation on a homogeneous pipeline.

@@ -39,6 +39,7 @@
 #include "serve/compile_service.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
+#include "obs/trace.h"
 #include "serve/store/disk_store.h"
 #include "tpu/device_profile.h"
 
@@ -831,6 +832,163 @@ TEST(ThreadPoolChaosTest, PoolDestructionSettlesEveryTaskExactlyOnce) {
   for (int i = 0; i < kTasks; ++i) {
     EXPECT_EQ(settled[i].load(), 1) << "task " << i;
   }
+}
+
+// ── Trace span trees under failure ───────────────────────────────────────
+// The failure paths above must stay legible in a trace: a blown budget
+// shows the failed attempt next to the fallback attempt, an open breaker
+// leaves an instant marker instead of an attempt span, and a dead-peer
+// forward shows the failed hop and the local degrade under one trace id.
+
+/// Arms the global tracer for one test (clearing stale events both ways).
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    (void)obs::Tracer::Global().Drain();
+    obs::Tracer::Global().Start();
+  }
+  ~ScopedTracing() {
+    obs::Tracer::Global().Stop();
+    (void)obs::Tracer::Global().Drain();
+  }
+};
+
+std::string Detail(const obs::TraceEvent& event) {
+  return event.detail == nullptr ? std::string()
+                                 : std::string(event.detail, event.detail_len);
+}
+
+const obs::TraceEvent* FindSpan(const std::vector<obs::TraceEvent>& events,
+                                const std::string& name,
+                                const std::string& detail = "") {
+  for (const obs::TraceEvent& event : events) {
+    if (event.name == name && (detail.empty() || Detail(event) == detail)) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ChaosTraceTest, BlownBudgetFallbackWalkEmitsSpanTree) {
+  EnsureChaosEngines();
+  ScopedTracing tracing;
+  serve::ServiceOptions svc;
+  svc.fallback_chain = {"list"};
+  serve::CompileService service(FastOptions(), svc);
+
+  const CompileResponse response =
+      service.Compile(CompileRequest{.dag = SampleDag(24, 61),
+                                     .num_stages = 4,
+                                     .engine = "StallPoll",
+                                     .solve_budget_seconds = 0.05});
+  EXPECT_TRUE(response.degraded);
+
+  const auto events = obs::Tracer::Global().Drain();
+  const obs::TraceEvent* compile = FindSpan(events, "serve.compile");
+  const obs::TraceEvent* solve = FindSpan(events, "serve.solve");
+  const obs::TraceEvent* blown = FindSpan(events, "serve.attempt", "StallPoll");
+  const obs::TraceEvent* fallback =
+      FindSpan(events, "serve.attempt", "ListScheduling");
+  ASSERT_NE(compile, nullptr);
+  ASSERT_NE(solve, nullptr);
+  ASSERT_NE(blown, nullptr);
+  ASSERT_NE(fallback, nullptr);
+
+  // One request flow: every span carries the id minted at admission.
+  EXPECT_NE(compile->trace_id, 0u);
+  EXPECT_EQ(solve->trace_id, compile->trace_id);
+  EXPECT_EQ(blown->trace_id, compile->trace_id);
+  EXPECT_EQ(fallback->trace_id, compile->trace_id);
+
+  // Tree shape: compile is the root, attempts nest under the solve, and the
+  // blown attempt ran (and ended) before the fallback attempt began.
+  EXPECT_EQ(compile->depth, 0u);
+  EXPECT_GT(solve->depth, compile->depth);
+  EXPECT_GT(blown->depth, solve->depth);
+  EXPECT_EQ(fallback->depth, blown->depth);
+  EXPECT_LE(blown->start_us + blown->dur_us, fallback->start_us);
+  // The blown attempt paid roughly the budget before cancellation unwound.
+  EXPECT_GE(blown->dur_us, 40'000);
+}
+
+TEST(ChaosTraceTest, OpenBreakerShortCircuitEmitsInstantNotAttempt) {
+  EnsureChaosEngines();
+  FlakyEngine::Healthy().store(false);
+  serve::ServiceOptions svc;
+  svc.fallback_chain = {"list"};
+  svc.breaker_failure_threshold = 1;  // opens on the first failure
+  svc.breaker_open_seconds = 1000.0;
+  serve::CompileService service(FastOptions(), svc);
+
+  // First request: the failure that opens the breaker (spans discarded).
+  (void)Ask(service, SampleDag(24, 62), 4, "Flaky");
+  ScopedTracing tracing;
+
+  // Second request: the open breaker skips Flaky straight to the fallback.
+  const CompileResponse response = Ask(service, SampleDag(24, 63), 4, "Flaky");
+  EXPECT_TRUE(response.degraded);
+
+  const auto events = obs::Tracer::Global().Drain();
+  const obs::TraceEvent* skipped = FindSpan(events, "serve.attempt", "Flaky");
+  const obs::TraceEvent* marker =
+      FindSpan(events, "serve.breaker_short_circuit", "Flaky");
+  const obs::TraceEvent* fallback =
+      FindSpan(events, "serve.attempt", "ListScheduling");
+  EXPECT_EQ(skipped, nullptr);  // no attempt span for the sick engine
+  ASSERT_NE(marker, nullptr);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_LT(marker->dur_us, 0);  // instant, not a span
+  EXPECT_NE(marker->trace_id, 0u);
+  EXPECT_EQ(marker->trace_id, fallback->trace_id);
+}
+
+TEST(ChaosTraceTest, DeadPeerForwardShowsFailedHopAndLocalDegrade) {
+  ScopedTracing tracing;
+  serve::CompileService service(FastOptions());
+  net::FleetServerOptions options;
+  options.io_timeout_ms = 1000;
+  net::FleetServer server(service, options);
+  const std::string dead = "127.0.0.1:1";
+  const std::vector<std::string> members = {server.Address(), dead};
+  server.SetMembers(members, server.Address());
+
+  // A request owned by the dead peer, tagged with a client-minted trace id
+  // so the hop and the local degrade stitch into one flow.
+  const net::ConsistentHashRing ring(members);
+  CompileRequest request = [&] {
+    for (std::uint64_t seed = 100; seed < 200; ++seed) {
+      CompileRequest candidate{.dag = SampleDag(16, seed),
+                               .num_stages = 4,
+                               .engine = "anneal"};
+      if (ring.OwnerOf(service.KeyFor(candidate).lo) == dead) {
+        return candidate;
+      }
+    }
+    throw std::logic_error("no seed landed on the dead peer");
+  }();
+  request.trace_id = obs::Tracer::Global().MintTraceId();
+
+  net::FleetClient client(server.Address());
+  const CompileResponse response = client.Compile(request);
+  ASSERT_NE(response.result, nullptr);  // valid despite the dead owner
+  EXPECT_GE(server.Metrics().forward_failures, 1u);
+  server.Stop();
+
+  const auto events = obs::Tracer::Global().Drain();
+  const obs::TraceEvent* handled = FindSpan(events, "net.handle_compile");
+  const obs::TraceEvent* hop = FindSpan(events, "net.forward");
+  const obs::TraceEvent* compile = FindSpan(events, "serve.compile");
+  ASSERT_NE(handled, nullptr);
+  ASSERT_NE(hop, nullptr);
+  ASSERT_NE(compile, nullptr);
+
+  // The failed hop and the local solve both belong to the client's flow.
+  EXPECT_EQ(handled->trace_id, request.trace_id);
+  EXPECT_EQ(hop->trace_id, request.trace_id);
+  EXPECT_EQ(compile->trace_id, request.trace_id);
+  // The degrade is strictly after the hop failed, nested under handling.
+  EXPECT_GT(hop->depth, handled->depth);
+  EXPECT_LE(hop->start_us + hop->dur_us, compile->start_us);
 }
 
 }  // namespace
